@@ -1,0 +1,155 @@
+"""Ablation benchmarks: isolate each engine design choice.
+
+Beyond the paper's tables, these quantify how much each Figure 2 stage
+contributes and how the build knobs steer the non-determinism the
+paper characterizes:
+
+* A1 — optimization stages: latency with fusion/merging toggled off;
+* A2 — precision modes: FP32 vs FP16 vs INT8 vs BEST latency and size;
+* A3 — timing noise: auction noise vs engine-to-engine divergence;
+* A4 — timing repeats (TensorRT's avgTiming): the mitigation curve.
+"""
+
+import numpy as np
+
+from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+from repro.hardware.specs import XAVIER_NX
+from repro.models import build_model
+
+from conftest import print_table
+
+
+def _latency_us(engine) -> float:
+    return engine.create_execution_context().time_inference(
+        clock_mhz=599.0, include_engine_upload=False, jitter=0.0
+    ).total_us
+
+
+def test_ablation_optimization_stages(benchmark):
+    """A1: what fusion and merging each buy (paper Fig. 2 steps 2-3)."""
+    network = build_model("googlenet", pretrained=False)
+
+    def run():
+        results = {}
+        for label, fuse, merge in (
+            ("full pipeline", True, True),
+            ("no horizontal merge", True, False),
+        ):
+            config = BuilderConfig(
+                seed=7, enable_horizontal_merge=merge, timing_noise=0.0
+            )
+            engine = EngineBuilder(XAVIER_NX, config).build(network)
+            results[label] = (_latency_us(engine), engine.num_kernels)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation A1 — GoogLeNet on NX: optimizer stages",
+        f"{'configuration':<24}{'latency us':>12}{'kernels':>9}",
+        [
+            f"{label:<24}{lat:>12.1f}{kernels:>9}"
+            for label, (lat, kernels) in results.items()
+        ],
+    )
+    full_lat, full_kernels = results["full pipeline"]
+    nomerge_lat, nomerge_kernels = results["no horizontal merge"]
+    # Merging reduces kernel count (fewer launches) and latency.
+    assert full_kernels < nomerge_kernels
+    assert full_lat < nomerge_lat
+
+
+def test_ablation_precision_modes(benchmark):
+    """A2: the quantization stage's latency/size trade-off."""
+    network = build_model("alexnet", pretrained=False)
+    from repro.data import SyntheticImageNet
+
+    calibration = SyntheticImageNet().batch(
+        1, classes=range(16), seed=3
+    ).images
+
+    def run():
+        results = {}
+        for mode in (PrecisionMode.FP32, PrecisionMode.FP16,
+                     PrecisionMode.INT8, PrecisionMode.BEST):
+            config = BuilderConfig(
+                precision=mode, seed=11, timing_noise=0.0,
+                calibration_batch=calibration,
+            )
+            engine = EngineBuilder(XAVIER_NX, config).build(network)
+            results[mode.value] = (_latency_us(engine), engine.size_mb)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation A2 — AlexNet on NX: precision modes",
+        f"{'mode':<8}{'latency us':>12}{'plan MB':>9}",
+        [
+            f"{mode:<8}{lat:>12.1f}{size:>9.2f}"
+            for mode, (lat, size) in results.items()
+        ],
+    )
+    # FP16 is much faster and smaller than FP32.
+    assert results["fp16"][0] < results["fp32"][0] * 0.6
+    assert results["fp16"][1] < results["fp32"][1]
+    # BEST never loses to plain FP16 in a noiseless auction.
+    assert results["best"][0] <= results["fp16"][0] * 1.02
+
+
+def test_ablation_timing_noise(benchmark):
+    """A3: auction noise is the non-determinism dial — zero noise gives
+    identical builds; realistic noise gives divergent ones."""
+    network = build_model("resnet18", pretrained=False)
+
+    def builds_at(noise, count=4):
+        mappings = set()
+        for i in range(count):
+            config = BuilderConfig(seed=100 + i, timing_noise=noise)
+            engine = EngineBuilder(XAVIER_NX, config).build(network)
+            mappings.add(tuple(engine.kernel_names()))
+        return len(mappings)
+
+    def run():
+        return {noise: builds_at(noise) for noise in (0.0, 0.04, 0.08, 0.16)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation A3 — ResNet-18: timing noise vs distinct builds "
+        "(4 builds each)",
+        f"{'timing noise':>13}{'distinct kernel mappings':>26}",
+        [f"{noise:>13.2f}{count:>26}" for noise, count in results.items()],
+    )
+    assert results[0.0] == 1  # noiseless auctions are deterministic
+    assert results[0.08] > 1  # realistic jitter diverges
+
+
+def test_ablation_timing_repeats(benchmark):
+    """A4: TensorRT's avgTiming mitigation — more timing samples per
+    candidate quiet the auctions."""
+    network = build_model("resnet18", pretrained=False)
+
+    def disagreement_at(repeats, count=4):
+        builds = [
+            EngineBuilder(
+                XAVIER_NX,
+                BuilderConfig(seed=200 + i, timing_repeats=repeats),
+            ).build(network).kernel_names()
+            for i in range(count)
+        ]
+        diffs = [
+            sum(x != y for x, y in zip(a, b))
+            for i, a in enumerate(builds)
+            for b in builds[i + 1:]
+        ]
+        return float(np.mean(diffs))
+
+    def run():
+        return {r: disagreement_at(r) for r in (1, 4, 16, 64)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation A4 — ResNet-18: avgTiming repeats vs mean pairwise "
+        "binding disagreements",
+        f"{'repeats':>8}{'mean differing bindings':>25}",
+        [f"{r:>8}{d:>25.1f}" for r, d in results.items()],
+    )
+    assert results[64] < results[1]

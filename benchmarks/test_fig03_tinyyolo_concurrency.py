@@ -1,0 +1,46 @@
+"""Paper Figure 3: FPS and GPU utilization vs TensorRT thread count
+for Tiny-YOLOv3 on NX and AGX at maximum GPU clocks.
+
+Shapes reproduced: per-thread FPS stays flat up to saturation, GPU
+utilization climbs to the low-to-mid 80s and plateaus, and the AGX
+supports more concurrent threads than the NX (paper: 28 vs 36).
+"""
+
+from repro.analysis.concurrency import figure3
+
+from conftest import print_table
+
+
+def test_fig03_tinyyolo_concurrency(benchmark, farm):
+    nx, agx = benchmark.pedantic(
+        lambda: figure3(farm), rounds=1, iterations=1
+    )
+    for curve in (nx, agx):
+        rows = [
+            f"{p.threads:>8}{p.fps_per_thread:>14.1f}"
+            f"{p.gpu_utilization_pct:>12.1f}{p.ram_used_mb:>10}"
+            for p in curve.result.points
+        ]
+        print_table(
+            f"Figure 3 ({curve.device}) — Tiny-YOLOv3 thread sweep @ "
+            f"{curve.result.clock_mhz:.0f} MHz "
+            f"(saturates at {curve.saturation_threads} threads)",
+            f"{'threads':>8}{'FPS/thread':>14}{'GPU util %':>12}"
+            f"{'RAM MB':>10}",
+            rows,
+        )
+
+    # AGX sustains more concurrent streams than NX.
+    assert agx.saturation_threads > nx.saturation_threads
+    # Paper: AGX saturates at 36 threads for Tiny-YOLOv3.
+    assert 25 <= agx.saturation_threads <= 45
+    # Utilization plateaus slightly above 80% on both boards.
+    assert 80.0 < nx.saturation_gpu_util <= 86.5
+    assert 80.0 < agx.saturation_gpu_util <= 86.5
+    # Per-thread FPS roughly flat from 1 thread to saturation.
+    for curve in (nx, agx):
+        first = curve.result.points[0].fps_per_thread
+        last = curve.result.points[-1].fps_per_thread
+        assert last > 0.85 * first
+    # tegrastats recorded the sweep.
+    assert nx.tegrastats.samples and agx.tegrastats.samples

@@ -1,0 +1,47 @@
+"""Paper Table I: evaluation platforms with embedded NVIDIA GPUs.
+
+Regenerates the platform-specification table from the device models
+(the paper obtains it with the CUDA deviceQuery utility).
+"""
+
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX, device_query
+
+from conftest import print_table
+
+
+def test_table01_platform_specs(benchmark):
+    reports = benchmark.pedantic(
+        lambda: [device_query(spec) for spec in (XAVIER_NX, XAVIER_AGX)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ("CPU cores", XAVIER_NX.cpu_cores, XAVIER_AGX.cpu_cores),
+        ("GPU cores", XAVIER_NX.gpu_cores, XAVIER_AGX.gpu_cores),
+        ("SMs", XAVIER_NX.sms, XAVIER_AGX.sms),
+        ("Tensor cores", XAVIER_NX.tensor_cores, XAVIER_AGX.tensor_cores),
+        ("L1 / SM (KB)", XAVIER_NX.l1_kb_per_sm, XAVIER_AGX.l1_kb_per_sm),
+        ("L2 (KB)", XAVIER_NX.l2_kb, XAVIER_AGX.l2_kb),
+        ("RAM (GB)", XAVIER_NX.ram_gb, XAVIER_AGX.ram_gb),
+        ("Bus (bits)", XAVIER_NX.mem_bus_bits, XAVIER_AGX.mem_bus_bits),
+        ("BW (GB/s)", XAVIER_NX.mem_bandwidth_gbps,
+         XAVIER_AGX.mem_bandwidth_gbps),
+        ("Max clock (MHz)", XAVIER_NX.max_gpu_clock_mhz,
+         XAVIER_AGX.max_gpu_clock_mhz),
+        ("Technology (nm)", XAVIER_NX.technology_nm,
+         XAVIER_AGX.technology_nm),
+    ]
+    print_table(
+        "Table I — Evaluation platforms (paper: Xavier NX / Xavier AGX)",
+        f"{'field':<18}{'Xavier NX':>14}{'Xavier AGX':>14}",
+        [f"{name:<18}{nx:>14}{agx:>14}" for name, nx, agx in rows],
+    )
+    for report in reports:
+        print()
+        print(report)
+
+    # Paper Table I ground truth.
+    assert XAVIER_NX.gpu_cores == 384 and XAVIER_AGX.gpu_cores == 512
+    assert XAVIER_NX.sms == 6 and XAVIER_AGX.sms == 8
+    assert XAVIER_NX.tensor_cores == 48 and XAVIER_AGX.tensor_cores == 64
+    assert XAVIER_NX.ram_gb == 8 and XAVIER_AGX.ram_gb == 32

@@ -1,0 +1,39 @@
+"""Paper Table III: top-1 error on the benign dataset.
+
+TensorRT-style engines (NX and AGX builds) vs the unoptimized FP32
+model for AlexNet, ResNet-18 and VGG-16.  The paper's finding 1 shape:
+engine error stays at (or below) the unoptimized error — optimization
+does not cost accuracy.
+"""
+
+from repro.analysis.accuracy import benign_accuracy
+
+from conftest import print_table
+
+
+def test_table03_benign_accuracy(benchmark, trained_farm, dataset):
+    rows = benchmark.pedantic(
+        lambda: benign_accuracy(farm=trained_farm, dataset=dataset),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Table III — Top-1 error (%) on benign data",
+        f"{'model':<12}{'AGX TensorRT':>14}{'NX TensorRT':>14}"
+        f"{'Unoptimized':>14}",
+        [
+            f"{r.model:<12}{r.agx_error:>14.2f}{r.nx_error:>14.2f}"
+            f"{r.unoptimized_error:>14.2f}"
+            for r in rows
+        ],
+    )
+    for row in rows:
+        # Errors are in a sane classification band (paper: 33-48%).
+        assert 5.0 < row.unoptimized_error < 90.0
+        # Finding 1: the engines maintain accuracy — within a small
+        # margin of the unoptimized model on both platforms.
+        assert row.nx_error < row.unoptimized_error + 3.0
+        assert row.agx_error < row.unoptimized_error + 3.0
+        # NX and AGX engines agree closely (same math, different
+        # tactics).
+        assert abs(row.nx_error - row.agx_error) < 3.0

@@ -1,0 +1,40 @@
+"""Paper Table XII: run time across three engines of the same model,
+all built and run on the AGX platform.
+
+Finding 6 shape: several models show engine-to-engine mean-latency
+spreads well beyond their run-to-run noise — rebuilding the engine
+changes its performance.
+"""
+
+from repro.analysis.latency import LATENCY_MODELS, engine_variance
+
+from conftest import print_table
+
+
+def test_table12_engine_variance(benchmark, farm):
+    rows = benchmark.pedantic(
+        lambda: engine_variance(
+            farm, device="AGX", engines_per_model=3, runs=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    printable = []
+    for row in rows:
+        cells = "  ".join(f"{str(s):>12}" for s in row.per_engine)
+        printable.append(
+            f"{row.model:<24}{cells}  spread {row.spread_pct():>5.1f}%"
+        )
+    print_table(
+        "Table XII — Latency ms mean(std) of three AGX-built engines "
+        "per model, run on AGX",
+        f"{'model':<24}{'engine1':>12}  {'engine2':>12}  {'engine3':>12}",
+        printable,
+    )
+    assert len(rows) == len(LATENCY_MODELS)
+    # Finding 6: some models vary noticeably across engines…
+    spreads = {row.model: row.spread_pct() for row in rows}
+    assert sum(1 for s in spreads.values() if s > 3.0) >= 3, spreads
+    # …while others are stable (the paper's Googlenet/MTCNN rows),
+    # i.e. the variance is model- and build-dependent, not uniform.
+    assert sum(1 for s in spreads.values() if s < 2.0) >= 2, spreads

@@ -1,0 +1,59 @@
+"""Paper Table XVII: BSP-based cross-platform performance prediction
+for three engines of inception-v4, with per-kernel lambdas calibrated
+on NX and the execution time predicted for AGX.
+
+Finding reproduced (paper Section VI-B): the lambdas — and therefore
+the prediction error — change from engine to engine of the *same*
+model, because each engine maps to different kernels with different
+invocation counts.  The paper measures a 2-13% prediction-error swing.
+"""
+
+from repro.analysis.bsp import prediction_across_engines
+
+from conftest import print_table
+
+
+def test_table17_bsp_inception(benchmark, farm):
+    predictions = benchmark.pedantic(
+        lambda: prediction_across_engines(
+            model="inception_v4", engines_per_model=3, farm=farm
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Per-kernel lambdas for kernels shared by all three engines.
+    shared = set.intersection(
+        *({l.kernel for l in p.lambdas} for p in predictions)
+    )
+    rows = []
+    for kernel in sorted(shared)[:8]:
+        lams = []
+        for p in predictions:
+            lam = next(l.lam for l in p.lambdas if l.kernel == kernel)
+            lams.append(f"{lam:>9.4f}")
+        rows.append(f"{kernel:<66}{''.join(lams)}")
+    rows.append("-" * 90)
+    for i, p in enumerate(predictions, start=1):
+        rows.append(
+            f"engine{i}: predicted AGX {p.predicted_target_ms:7.3f} ms, "
+            f"measured {p.measured_target_ms:7.3f} ms, "
+            f"error {p.error_pct:5.2f}%"
+        )
+    print_table(
+        "Table XVII — BSP lambdas (per kernel, 3 engines) and AGX "
+        "prediction error, inception-v4 calibrated on NX",
+        f"{'kernel':<66}{'eng1':>9}{'eng2':>9}{'eng3':>9}",
+        rows,
+    )
+
+    errors = [p.error_pct for p in predictions]
+    # Prediction error differs across engines of the same model…
+    assert max(errors) - min(errors) > 0.2, errors
+    # …and lambdas for shared kernels differ between engines.
+    assert shared
+    kernel = sorted(shared)[0]
+    lams = [
+        next(l.lam for l in p.lambdas if l.kernel == kernel)
+        for p in predictions
+    ]
+    assert max(lams) > min(lams)

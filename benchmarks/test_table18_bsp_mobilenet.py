@@ -1,0 +1,41 @@
+"""Paper Table XVIII: the BSP prediction exercise repeated for
+Mobilenetv1 (engines built on NX, predicting AGX).
+
+Same conclusion as Table XVII on a detection model with depthwise
+convolutions and detection post-processing kernels in the mix.
+"""
+
+from repro.analysis.bsp import prediction_across_engines
+
+from conftest import print_table
+
+
+def test_table18_bsp_mobilenet(benchmark, farm):
+    predictions = benchmark.pedantic(
+        lambda: prediction_across_engines(
+            model="mobilenet_v1", engines_per_model=3, farm=farm
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for i, p in enumerate(predictions, start=1):
+        rows.append(
+            f"engine{i}: kernels with lambdas {len(p.lambdas):>3}, "
+            f"predicted AGX {p.predicted_target_ms:7.3f} ms, "
+            f"measured {p.measured_target_ms:7.3f} ms, "
+            f"error {p.error_pct:5.2f}%"
+        )
+    print_table(
+        "Table XVIII — BSP prediction for Mobilenetv1 "
+        "(NX-calibrated lambdas -> AGX)",
+        "per-engine prediction summary",
+        rows,
+    )
+    errors = [p.error_pct for p in predictions]
+    assert len(predictions) == 3
+    assert max(errors) - min(errors) > 0.2, errors
+    for p in predictions:
+        assert p.predicted_target_ms > 0
+        # The model is usable but imperfect: error below 100%.
+        assert p.error_pct < 100.0

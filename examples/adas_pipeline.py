@@ -1,0 +1,60 @@
+"""ADAS obstacle-detection pipeline with a hard deadline (Section VI-A).
+
+A pednet engine detects obstacles in the ego path; a detection must
+reach the braking subsystem within the frame deadline.  The example
+then runs the paper's WCET argument: certify worst-case latency on the
+deployed engine, rebuild the engine twice, and check whether the
+certification still holds.
+
+Run:  python examples/adas_pipeline.py
+"""
+
+from repro import BuilderConfig, EngineBuilder, XAVIER_NX, build_model
+from repro.apps.adas import AdasPipeline
+
+
+def main() -> None:
+    network = build_model("pednet")
+    deployed = EngineBuilder(XAVIER_NX, BuilderConfig(seed=300)).build(
+        network
+    )
+    rebuilds = [
+        EngineBuilder(XAVIER_NX, BuilderConfig(seed=s)).build(network)
+        for s in (301, 302, 303)
+    ]
+
+    pipeline = AdasPipeline(deployed, deadline_ms=1.0)
+    print("=== frame loop ===")
+    decisions = pipeline.run(8)
+    for d in decisions:
+        status = "BRAKE" if d.brake else "cruise"
+        deadline = "ok" if d.deadline_met else "MISSED DEADLINE"
+        print(f"  frame {d.frame_index}: {status:<7} "
+              f"inference {d.inference_ms:.3f} ms  [{deadline}]")
+    braked = sum(1 for d in decisions if d.brake)
+    print(f"  -> braked on {braked}/{len(decisions)} frames")
+
+    print("\n=== WCET certification across engine rebuilds ===")
+    report = pipeline.wcet_analysis(rebuilds, runs_per_engine=40)
+    for i, stats in enumerate(report.per_build):
+        tag = "deployed" if i == 0 else f"rebuild {i}"
+        print(f"  {tag:<10} mean {stats.mean_ms:.3f} ms  "
+              f"max {stats.max_ms:.3f} ms")
+    print(f"\n  certified WCET (deployed engine): "
+          f"{report.certified_wcet_ms:.3f} ms")
+    print(f"  true WCET over rebuilds:          "
+          f"{report.true_wcet_ms:.3f} ms")
+    if report.certification_violated:
+        print("  -> a rebuild EXCEEDS the certified WCET: the paper's "
+              "Finding 6 risk — WCET analysis does not survive engine "
+              "rebuilds")
+    else:
+        print("  -> certification held for these rebuilds (rerun with "
+              "more rebuilds to observe a violation)")
+    misses = report.builds_missing_deadline()
+    print(f"  builds whose worst case misses the {report.deadline_ms:.1f} "
+          f"ms deadline: {misses}/{len(report.per_build)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""A guided tour of the paper's non-determinism findings.
+
+Builds five engines of the same frozen ResNet-18 on the same device
+and shows, mechanically, where TensorRT-style non-determinism comes
+from and what it does:
+
+1. the engines bind DIFFERENT kernels (timing-based tactic auctions);
+2. therefore they produce bit-different outputs, flipping a small set
+   of predictions (Finding 2 / Tables V-VI);
+3. therefore they have different latencies (Finding 6 / Table XII);
+4. averaging more timing samples per auction (TensorRT's avgTiming)
+   makes builds more deterministic — the paper's mitigation.
+
+Run:  python examples/nondeterminism_tour.py
+"""
+
+import collections
+
+import numpy as np
+
+from repro import BuilderConfig, EngineBuilder, XAVIER_NX, build_model
+from repro.data import SyntheticImageNet
+from repro.metrics import prediction_mismatches, top1_predictions
+
+
+def main() -> None:
+    network = build_model("resnet18")
+    engines = [
+        EngineBuilder(XAVIER_NX, BuilderConfig(seed=500 + i)).build(network)
+        for i in range(5)
+    ]
+
+    print("=== 1. different builds bind different kernels ===")
+    for i, engine in enumerate(engines):
+        counter = collections.Counter(engine.kernel_names())
+        top = ", ".join(
+            f"{name.split('_')[2] if '_' in name else name} x{count}"
+            for name, count in counter.most_common(3)
+        )
+        print(f"  engine {i}: {engine.num_kernels} kernels ({top})")
+    distinct = {tuple(e.kernel_names()) for e in engines}
+    print(f"  -> {len(distinct)} distinct kernel mappings out of "
+          f"{len(engines)} builds")
+
+    print("\n=== 2. outputs differ on identical inputs ===")
+    dataset = SyntheticImageNet()
+    images = dataset.batch(10, seed=77).images
+    preds = []
+    for engine in engines:
+        scores = engine.create_execution_context().execute(
+            data=images
+        ).primary()
+        preds.append(top1_predictions(scores))
+    base = preds[0]
+    for i, p in enumerate(preds[1:], start=1):
+        flips = prediction_mismatches(base, p)
+        print(f"  engine 0 vs engine {i}: {flips}/{len(images)} "
+              f"predictions differ ({100 * flips / len(images):.2f}%)")
+
+    print("\n=== 3. latencies differ across builds ===")
+    for i, engine in enumerate(engines):
+        ctx = engine.create_execution_context()
+        rng = np.random.default_rng(1)
+        samples = [
+            ctx.time_inference(clock_mhz=599.0, rng=rng).total_ms
+            for _ in range(10)
+        ]
+        mean = float(np.mean(samples))
+        std = float(np.std(samples))
+        print(f"  engine {i}: {mean:.3f}({std:.3f}) ms")
+
+    print("\n=== 4. mitigation: average more timing samples ===")
+    for repeats in (1, 4, 16, 64):
+        builds = [
+            EngineBuilder(
+                XAVIER_NX,
+                BuilderConfig(seed=900 + i, timing_repeats=repeats),
+            ).build(network).kernel_names()
+            for i in range(4)
+        ]
+        diffs = [
+            sum(x != y for x, y in zip(a, b))
+            for i, a in enumerate(builds)
+            for b in builds[i + 1:]
+        ]
+        mean_diff = sum(diffs) / len(diffs)
+        print(f"  timing_repeats={repeats:>2}: builds disagree on "
+              f"{mean_diff:.1f} kernel bindings on average "
+              f"(of {len(builds[0])})")
+    print("  -> more repeats -> quieter auctions -> more deterministic "
+          "builds (at a longer build time)")
+
+
+if __name__ == "__main__":
+    main()

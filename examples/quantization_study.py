@@ -1,0 +1,52 @@
+"""Precision-mode study: FP32 vs FP16 vs calibrated INT8.
+
+Goes beyond the paper's FP16 default and exercises the full
+quantization pipeline, reporting the three-way trade-off the engine
+navigates: accuracy, plan size, and simulated latency.
+
+Run:  python examples/quantization_study.py
+"""
+
+import numpy as np
+
+from repro import BuilderConfig, EngineBuilder, PrecisionMode, XAVIER_NX
+from repro.data import SyntheticImageNet
+from repro.metrics import top1_error
+from repro.models import build_model
+
+
+def main() -> None:
+    network = build_model("alexnet")
+    dataset = SyntheticImageNet()
+    test = dataset.batch(4, classes=range(50), seed=11)
+    calibration = dataset.batch(1, classes=range(16), seed=12).images
+
+    print(f"{'mode':<8}{'top-1 err %':>12}{'plan MB':>10}"
+          f"{'latency ms':>12}{'kernels':>9}")
+    print("-" * 51)
+    for mode in (PrecisionMode.FP32, PrecisionMode.FP16,
+                 PrecisionMode.INT8, PrecisionMode.BEST):
+        config = BuilderConfig(
+            precision=mode,
+            seed=600,
+            calibration_batch=calibration,
+        )
+        engine = EngineBuilder(XAVIER_NX, config).build(network)
+        context = engine.create_execution_context()
+        scores = context.execute(data=test.images).primary()
+        error = top1_error(scores, test.labels)
+        latency = context.time_inference(
+            clock_mhz=599.0, jitter=0.0
+        ).total_ms
+        print(f"{mode.value:<8}{error:>12.2f}{engine.size_mb:>10.2f}"
+              f"{latency:>12.3f}{engine.num_kernels:>9}")
+
+    print("\nnotes:")
+    print(" * FP16/INT8 maintain accuracy (paper Finding 1) while the")
+    print("   engine gets faster; INT8 needs the calibration batch.")
+    print(" * INT8 clipping can even denoise extreme adversarial")
+    print("   inputs — try corrupting `test.images` with severity 5.")
+
+
+if __name__ == "__main__":
+    main()

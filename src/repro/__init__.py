@@ -1,0 +1,63 @@
+"""repro — reproduction of "Demystifying TensorRT" (IISWC 2021).
+
+A complete, self-contained reimplementation of the paper's system under
+study and measurement harness:
+
+* :mod:`repro.engine` — a TensorRT-like inference engine (dead-layer
+  removal, vertical fusion, horizontal merging, FP16/INT8 quantization,
+  timing-based kernel tactic selection);
+* :mod:`repro.hardware` — Jetson Xavier NX / AGX device models with an
+  analytic kernel cost model, memcpy model, DVFS clocks, and a
+  multi-stream concurrency scheduler;
+* :mod:`repro.graph`, :mod:`repro.runtime` — the shared network IR and
+  a numpy executor with honest FP16/INT8 numerics;
+* :mod:`repro.frameworks`, :mod:`repro.models` — Caffe / TensorFlow /
+  Darknet / PyTorch frontends and the paper's 13-network model zoo;
+* :mod:`repro.data`, :mod:`repro.metrics` — synthetic benign /
+  adversarial / traffic datasets and evaluation metrics;
+* :mod:`repro.profiling` — nvprof / tegrastats equivalents;
+* :mod:`repro.analysis` — one harness per paper table and figure;
+* :mod:`repro.apps` — the traffic-intersection and ADAS reference
+  applications of Section VI.
+
+Quickstart::
+
+    from repro import build_model, EngineBuilder, XAVIER_NX
+
+    net = build_model("resnet18")
+    engine = EngineBuilder(XAVIER_NX).build(net)
+    context = engine.create_execution_context()
+    outputs = context.execute(data=images)
+    timing = context.time_inference(clock_mhz=599.0)
+"""
+
+from repro.engine import (
+    BuilderConfig,
+    Engine,
+    EngineBuilder,
+    ExecutionContext,
+    PrecisionMode,
+)
+from repro.graph import Graph, LayerKind
+from repro.hardware import XAVIER_AGX, XAVIER_NX, device_query
+from repro.models import build_model, list_models
+from repro.runtime import GraphExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuilderConfig",
+    "Engine",
+    "EngineBuilder",
+    "ExecutionContext",
+    "Graph",
+    "GraphExecutor",
+    "LayerKind",
+    "PrecisionMode",
+    "XAVIER_AGX",
+    "XAVIER_NX",
+    "__version__",
+    "build_model",
+    "device_query",
+    "list_models",
+]

@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per paper analysis.
+
+Each module reproduces a specific table or figure of the paper; the
+``benchmarks/`` tree invokes these and prints rows in the paper's
+format.  Scale knobs (image counts, noise subsets) default to
+laptop-feasible sizes and expand via ``REPRO_FULL=1`` — see
+:mod:`repro.analysis.config`.
+"""
+
+from repro.analysis.config import ExperimentScale, current_scale
+from repro.analysis.engines import EngineFarm
+
+__all__ = ["EngineFarm", "ExperimentScale", "current_scale"]

@@ -1,0 +1,177 @@
+"""BSP-inspired performance prediction: paper Section VI-B,
+Tables XVII and XVIII.
+
+Implements the model of Amarís et al. the paper adopts (its Eq. 2)::
+
+    T = N * (Comp + CommGM + CommSM) / (F * C * lambda)
+
+``Comp`` counts compute cycles, ``CommGM``/``CommSM`` memory-access
+cycles, ``F`` the clock, ``C`` the core count, and ``lambda`` an
+empirically-calibrated fudge factor per kernel: the ratio of predicted
+to measured time on a *calibration* platform, reused to predict a
+*target* platform with the same microarchitecture.
+
+The paper's point — reproduced here — is that the optimization engine
+breaks this methodology: each engine build of the same network maps to
+different kernels with different invocation counts and timings, so the
+lambdas calibrated on one engine do not transfer, and prediction error
+varies by several percent across builds of the *same model*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.analysis.latency import measure_case, paper_clock_for
+from repro.engine.engine import Engine
+from repro.hardware.specs import DeviceSpec
+from repro.profiling.nvprof import Nvprof
+
+#: Cycle cost of one global-memory access chain (model constant).
+_GM_CYCLES = 400.0
+#: Cycle cost of one shared-memory access (model constant).
+_SM_CYCLES = 30.0
+
+
+def bsp_predicted_us(
+    kernel_workload, device: DeviceSpec, clock_mhz: float
+) -> float:
+    """Raw BSP prediction (lambda = 1) for one kernel invocation."""
+    comp_cycles = kernel_workload.flops / 2.0  # FMA: 2 FLOP / cycle / core
+    gm_accesses = kernel_workload.total_bytes / 32.0  # 32B sectors
+    sm_accesses = kernel_workload.flops / 8.0  # operand reuse in smem
+    total_cycles = (
+        comp_cycles + gm_accesses * _GM_CYCLES / 64.0 + sm_accesses * _SM_CYCLES / 64.0
+    )
+    return total_cycles / (clock_mhz * 1e6 * device.gpu_cores) * 1e6 * 64.0
+
+
+@dataclass
+class KernelLambda:
+    """Calibrated lambda for one kernel of one engine."""
+
+    kernel: str
+    lam: float
+    calls: int
+    measured_us: float  # avg per invocation on the calibration device
+
+
+@dataclass
+class BSPPrediction:
+    """Cross-platform prediction for one engine."""
+
+    engine_name: str
+    lambdas: List[KernelLambda]
+    predicted_target_ms: float
+    measured_target_ms: float
+
+    @property
+    def error_pct(self) -> float:
+        return (
+            100.0
+            * abs(self.predicted_target_ms - self.measured_target_ms)
+            / self.measured_target_ms
+        )
+
+
+def _profile_kernels(
+    engine: Engine, device_name: str, seed: int
+) -> Dict[str, tuple]:
+    """kernel -> (calls, avg_us) on one device (engine resident)."""
+    profiler = Nvprof()
+    measure_case(
+        engine, device_name, runs=3, seed=seed,
+        profiler=profiler, include_engine_upload=False,
+    )
+    runs = profiler.num_inferences
+    return {
+        name: (stats.calls // runs, stats.avg_us)
+        for name, stats in profiler.kernel_summary().items()
+    }
+
+
+def predict_engine(
+    engine: Engine,
+    calibration_device: str = "NX",
+    target_device: str = "AGX",
+    seed: int = 0,
+) -> BSPPrediction:
+    """Calibrate lambdas on one platform, predict the other.
+
+    Follows the paper's adaptation: per-kernel lambdas are obtained on
+    the calibration board from profiled runtimes, then the BSP formula
+    is re-evaluated with the target board's core count and frequency
+    and divided by the same lambdas.
+    """
+    cal_spec = device_by_name(calibration_device)
+    tgt_spec = device_by_name(target_device)
+    cal_clock = paper_clock_for(calibration_device)
+    tgt_clock = paper_clock_for(target_device)
+
+    cal_profile = _profile_kernels(engine, calibration_device, seed)
+    # Workloads by kernel name (first binding wins; same-named kernels
+    # in one engine share tiling behaviour).
+    workload_by_kernel: Dict[str, object] = {}
+    calls_by_kernel: Dict[str, int] = {}
+    for binding in engine.bindings:
+        for kernel in binding.kernels:
+            workload_by_kernel.setdefault(kernel.name, binding.workload)
+            calls_by_kernel[kernel.name] = (
+                calls_by_kernel.get(kernel.name, 0) + 1
+            )
+
+    lambdas: List[KernelLambda] = []
+    predicted_total_us = 0.0
+    for kernel_name, (calls, measured_us) in cal_profile.items():
+        workload = workload_by_kernel.get(kernel_name)
+        if workload is None or measured_us <= 0:
+            continue
+        raw_cal = bsp_predicted_us(workload, cal_spec, cal_clock)
+        lam = raw_cal / measured_us
+        lambdas.append(
+            KernelLambda(
+                kernel=kernel_name,
+                lam=lam,
+                calls=calls,
+                measured_us=measured_us,
+            )
+        )
+        raw_tgt = bsp_predicted_us(workload, tgt_spec, tgt_clock)
+        predicted_total_us += calls * raw_tgt / lam
+
+    measured = measure_case(
+        engine, target_device, runs=5, seed=seed + 1,
+        include_engine_upload=False,
+    )
+    return BSPPrediction(
+        engine_name=engine.name,
+        lambdas=lambdas,
+        predicted_target_ms=predicted_total_us / 1e3,
+        measured_target_ms=measured.mean_ms,
+    )
+
+
+def prediction_across_engines(
+    model: str = "inception_v4",
+    engines_per_model: int = 3,
+    farm: Optional[EngineFarm] = None,
+    calibration_device: str = "NX",
+    target_device: str = "AGX",
+) -> List[BSPPrediction]:
+    """Tables XVII/XVIII: the same model's engines, each calibrated and
+    predicted independently — lambdas and errors differ per engine."""
+    farm = farm or EngineFarm(pretrained=False)
+    predictions = []
+    for slot in range(engines_per_model):
+        engine = farm.engine(model, calibration_device, slot)
+        predictions.append(
+            predict_engine(
+                engine,
+                calibration_device=calibration_device,
+                target_device=target_device,
+                seed=slot * 17,
+            )
+        )
+    return predictions

@@ -1,0 +1,75 @@
+"""Concurrency experiments: paper Figures 3 and 4.
+
+Sweeps TensorRT thread (stream) counts for a light CNN (Tiny-YOLOv3)
+and a heavier CNN (GoogLeNet) on both platforms at maximum GPU clocks,
+recording per-thread FPS and GPU utilization via the tegrastats model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.hardware.scheduler import ConcurrencyResult, StreamScheduler
+from repro.profiling.tegrastats import Tegrastats
+
+
+@dataclass
+class ConcurrencyFigure:
+    """One platform's curve of Figure 3 or 4."""
+
+    model: str
+    device: str
+    result: ConcurrencyResult
+    tegrastats: Tegrastats
+
+    @property
+    def saturation_threads(self) -> int:
+        return self.result.max_threads
+
+    @property
+    def saturation_gpu_util(self) -> float:
+        return self.result.points[-1].gpu_utilization_pct
+
+    @property
+    def saturation_fps(self) -> float:
+        return self.result.points[-1].fps_per_thread
+
+
+def concurrency_sweep(
+    model: str,
+    device: str,
+    farm: Optional[EngineFarm] = None,
+    step: int = 4,
+) -> ConcurrencyFigure:
+    """Thread sweep for one (model, device) pair at max clocks."""
+    farm = farm or EngineFarm(pretrained=False)
+    engine = farm.engine(model, device, 0)
+    spec = device_by_name(device)
+    stats = Tegrastats()
+    scheduler = StreamScheduler(engine, spec)
+    result = scheduler.sweep(
+        clock_mhz=spec.max_gpu_clock_mhz, step=step, tegrastats=stats
+    )
+    return ConcurrencyFigure(
+        model=model, device=device, result=result, tegrastats=stats
+    )
+
+
+def figure3(farm: Optional[EngineFarm] = None):
+    """Figure 3: Tiny-YOLOv3 on NX and AGX."""
+    farm = farm or EngineFarm(pretrained=False)
+    return (
+        concurrency_sweep("tiny_yolov3", "NX", farm),
+        concurrency_sweep("tiny_yolov3", "AGX", farm),
+    )
+
+
+def figure4(farm: Optional[EngineFarm] = None):
+    """Figure 4: GoogLeNet on NX and AGX."""
+    farm = farm or EngineFarm(pretrained=False)
+    return (
+        concurrency_sweep("googlenet", "NX", farm),
+        concurrency_sweep("googlenet", "AGX", farm),
+    )

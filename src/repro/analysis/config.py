@@ -1,0 +1,89 @@
+"""Experiment scale configuration.
+
+The paper's accuracy studies use 5,000 benign and 60,000 adversarial
+predictions; regenerating those numbers on a numpy runtime is possible
+but slow, so the default harness scale is reduced and the full scale is
+opt-in:
+
+* default          — minutes; statistically meaningful shapes
+* ``REPRO_FULL=1`` — the paper's full counts; hours
+
+All experiment modules read counts from :func:`current_scale` so the
+two modes stay consistent across tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Image/noise counts used by the accuracy + consistency studies."""
+
+    name: str
+    benign_classes: int
+    benign_images_per_class: int
+    adversarial_classes: int
+    adversarial_images_per_class: int
+    adversarial_noises: Tuple[str, ...]
+    consistency_images: int
+    latency_runs: int
+
+    @property
+    def benign_total(self) -> int:
+        return self.benign_classes * self.benign_images_per_class
+
+
+_DEFAULT = ExperimentScale(
+    name="default",
+    benign_classes=100,
+    benign_images_per_class=6,
+    adversarial_classes=50,
+    adversarial_images_per_class=2,
+    adversarial_noises=(
+        "gaussian_noise",
+        "impulse_noise",
+        "defocus_blur",
+        "fog",
+        "contrast",
+    ),
+    consistency_images=2500,
+    latency_runs=10,
+)
+
+_FULL = ExperimentScale(
+    name="full",
+    benign_classes=100,
+    benign_images_per_class=50,
+    adversarial_classes=100,
+    adversarial_images_per_class=20,
+    adversarial_noises=(
+        "gaussian_noise",
+        "shot_noise",
+        "impulse_noise",
+        "speckle_noise",
+        "defocus_blur",
+        "glass_blur",
+        "motion_blur",
+        "zoom_blur",
+        "snow",
+        "frost",
+        "fog",
+        "brightness",
+        "contrast",
+        "elastic_transform",
+        "pixelate",
+    ),
+    consistency_images=60_000,
+    latency_runs=10,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The active scale, selected by the ``REPRO_FULL`` env variable."""
+    if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+        return _FULL
+    return _DEFAULT

@@ -1,0 +1,105 @@
+"""Output-consistency experiments: paper Tables V and VI.
+
+Builds three engines per platform from the same frozen model and
+counts, pairwise, how many predictions differ on identical inputs.
+The differences are real numeric divergence: each engine's tactics
+accumulate in different orders (split-K), so images near a decision
+boundary flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.accuracy import engine_scores
+from repro.analysis.config import current_scale
+from repro.analysis.engines import EngineFarm
+from repro.data.corruptions import corrupt_batch
+from repro.data.synthetic import SyntheticImageNet
+from repro.metrics.accuracy import prediction_mismatches, top1_predictions
+
+#: Models of the consistency study (paper Table V).
+CONSISTENCY_MODELS = ("resnet18", "vgg16", "inception_v4", "alexnet")
+
+
+def consistency_eval_images(
+    dataset: Optional[SyntheticImageNet] = None,
+    total: Optional[int] = None,
+) -> np.ndarray:
+    """The prediction set: benign + mildly corrupted images, matching
+    the paper's use of its 60,000-prediction adversarial set."""
+    scale = current_scale()
+    dataset = dataset or SyntheticImageNet()
+    total = total or scale.consistency_images
+    # Ceil division so the benign + corrupted halves always cover the
+    # requested prediction count.
+    per_class = max(1, -(-total // (2 * dataset.num_classes)))
+    base = dataset.batch(per_class, seed=555)
+    noisy = corrupt_batch(base.images, "gaussian_noise", 1)
+    images = np.concatenate([base.images, noisy], axis=0)
+    return images[:total]
+
+
+@dataclass
+class ConsistencyReport:
+    """Pairwise mismatch counts for one model."""
+
+    model: str
+    total_predictions: int
+    cross_platform: Dict[str, int]  # "NX1-AGX2" -> count
+    same_platform: Dict[str, Dict[str, int]]  # platform -> "1-2" -> count
+
+
+def engine_predictions(
+    farm: EngineFarm,
+    model: str,
+    device: str,
+    count: int,
+    images: np.ndarray,
+) -> List[np.ndarray]:
+    """Per-engine top-1 predictions on the shared image set."""
+    preds = []
+    for slot in range(count):
+        engine = farm.engine(model, device, slot)
+        preds.append(top1_predictions(engine_scores(engine, images)))
+    return preds
+
+
+def consistency_report(
+    model: str,
+    farm: Optional[EngineFarm] = None,
+    images: Optional[np.ndarray] = None,
+    engines_per_platform: int = 3,
+) -> ConsistencyReport:
+    """Tables V and VI for one model."""
+    farm = farm or EngineFarm()
+    if images is None:
+        images = consistency_eval_images()
+    nx_preds = engine_predictions(
+        farm, model, "NX", engines_per_platform, images
+    )
+    agx_preds = engine_predictions(
+        farm, model, "AGX", engines_per_platform, images
+    )
+
+    cross: Dict[str, int] = {}
+    for i, nx in enumerate(nx_preds, start=1):
+        for j, agx in enumerate(agx_preds, start=1):
+            cross[f"NX{i}-AGX{j}"] = prediction_mismatches(nx, agx)
+
+    same: Dict[str, Dict[str, int]] = {"NX": {}, "AGX": {}}
+    for platform, preds in (("NX", nx_preds), ("AGX", agx_preds)):
+        for i in range(len(preds)):
+            for j in range(i + 1, len(preds)):
+                same[platform][f"{i + 1}-{j + 1}"] = prediction_mismatches(
+                    preds[i], preds[j]
+                )
+    return ConsistencyReport(
+        model=model,
+        total_predictions=len(images),
+        cross_platform=cross,
+        same_platform=same,
+    )

@@ -1,0 +1,84 @@
+"""DVFS study: latency across the GPU clock ladders (extension).
+
+The paper pins one clock pair (599 / 624.75 MHz) for fairness; this
+extension sweeps the *entire* supported frequency ladder of both
+boards, separating each model's latency into its clock-scaling part
+(compute) and its clock-invariant part (memcpy + DRAM latency).  This
+quantifies a practical deployment question the paper raises implicitly:
+how much performance does a power-constrained (low-clock) mode cost?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.hardware.power import PowerModel
+
+
+@dataclass(frozen=True)
+class ClockPoint:
+    """Latency/power at one ladder frequency."""
+
+    clock_mhz: float
+    latency_ms: float
+    fps: float
+    power_w: float
+
+    @property
+    def fps_per_watt(self) -> float:
+        return self.fps / self.power_w if self.power_w else 0.0
+
+
+@dataclass
+class ClockSweep:
+    """One model's latency across a device's frequency ladder."""
+
+    model: str
+    device: str
+    points: List[ClockPoint]
+
+    @property
+    def speedup_max_vs_min(self) -> float:
+        return self.points[0].latency_ms / self.points[-1].latency_ms
+
+    def most_efficient(self) -> ClockPoint:
+        """The ladder point with the best FPS/W."""
+        return max(self.points, key=lambda p: p.fps_per_watt)
+
+
+def clock_sweep(
+    model: str,
+    device_name: str,
+    farm: Optional[EngineFarm] = None,
+) -> ClockSweep:
+    """Latency at every supported GPU frequency of one board."""
+    farm = farm or EngineFarm(pretrained=False)
+    device = device_by_name(device_name)
+    engine = farm.engine(model, device_name, 0)
+    context = engine.create_execution_context()
+    power_model = PowerModel(device)
+    points = []
+    for clock in device.supported_gpu_clocks_mhz:
+        timing = context.time_inference(
+            clock_mhz=clock, include_engine_upload=False, jitter=0.0
+        )
+        latency_ms = timing.total_ms
+        fps = 1e3 / latency_ms
+        # Single-stream inference keeps the GPU partially busy.
+        utilization = min(0.6, 0.25 + 0.2 * (clock / device.max_gpu_clock_mhz))
+        power = power_model.sample(
+            gpu_utilization=utilization,
+            clock_mhz=clock,
+            mem_bw_utilization=0.3,
+        )
+        points.append(
+            ClockPoint(
+                clock_mhz=clock,
+                latency_ms=latency_ms,
+                fps=fps,
+                power_w=power.total_w,
+            )
+        )
+    return ClockSweep(model=model, device=device_name, points=points)

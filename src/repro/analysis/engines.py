@@ -1,0 +1,100 @@
+"""Engine construction helpers shared by the experiment harnesses.
+
+The paper builds multiple engines per (model, platform) pair — three
+each on NX and AGX for the consistency study — and reuses them across
+experiments.  :class:`EngineFarm` memoizes those builds with stable
+per-slot seeds so every table regenerates identically run-to-run while
+still exhibiting build-to-build diversity (different seeds per slot,
+exactly like rebuilding on a real board at different moments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.builder import BuilderConfig, EngineBuilder, PrecisionMode
+from repro.engine.engine import Engine
+from repro.graph.ir import Graph
+from repro.hardware.specs import DeviceSpec, XAVIER_AGX, XAVIER_NX
+from repro.models import build_model
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    devices = {"NX": XAVIER_NX, "AGX": XAVIER_AGX}
+    try:
+        return devices[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; use NX or AGX") from None
+
+
+class EngineFarm:
+    """Builds and memoizes engines per (model, device, slot index)."""
+
+    def __init__(
+        self,
+        precision: PrecisionMode = PrecisionMode.FP16,
+        pretrained: bool = True,
+        base_seed: int = 1000,
+    ):
+        self.precision = precision
+        self.pretrained = pretrained
+        self.base_seed = base_seed
+        self._graphs: Dict[str, Graph] = {}
+        self._engines: Dict[Tuple[str, str, int], Engine] = {}
+
+    # ------------------------------------------------------------------
+    def graph(self, model_name: str) -> Graph:
+        if model_name not in self._graphs:
+            self._graphs[model_name] = build_model(
+                model_name, pretrained=self.pretrained
+            )
+        return self._graphs[model_name]
+
+    def _slot_seed(self, model_name: str, device_name: str, slot: int) -> int:
+        # Stable, distinct seed per slot: the harness regenerates the
+        # same 'engine 1/2/3' every run, like loading saved plans.
+        return int(
+            np.random.SeedSequence(
+                [self.base_seed, hash(model_name) & 0xFFFF,
+                 hash(device_name) & 0xFFFF, slot]
+            ).generate_state(1)[0]
+            % (2 ** 31)
+        )
+
+    def engine(
+        self,
+        model_name: str,
+        device_name: str,
+        slot: int = 0,
+        calibration_batch: Optional[np.ndarray] = None,
+    ) -> Engine:
+        """The ``slot``-th engine of ``model_name`` built on a device."""
+        key = (model_name, device_name, slot)
+        if key not in self._engines:
+            device = device_by_name(device_name)
+            config = BuilderConfig(
+                precision=self.precision,
+                seed=self._slot_seed(model_name, device_name, slot),
+                calibration_batch=calibration_batch,
+                input_name=self._input_name(model_name),
+            )
+            builder = EngineBuilder(device, config)
+            self._engines[key] = builder.build(self.graph(model_name))
+        return self._engines[key]
+
+    def engines(
+        self, model_name: str, device_name: str, count: int
+    ) -> List[Engine]:
+        """``count`` independently built engines on one device."""
+        return [
+            self.engine(model_name, device_name, slot)
+            for slot in range(count)
+        ]
+
+    @staticmethod
+    def _input_name(model_name: str) -> str:
+        from repro.models import MODEL_REGISTRY
+
+        return MODEL_REGISTRY[model_name].input_name

@@ -1,0 +1,303 @@
+"""Inference-latency experiments: paper Tables VIII-XIII.
+
+The paper's four compile/run cases:
+
+* ``cNX_rNX``  — engine compiled on NX, run on NX (NVIDIA-recommended)
+* ``cNX_rAGX`` — compiled on NX, the same binary run on AGX
+* ``cAGX_rAGX``— compiled on AGX, run on AGX
+* ``cAGX_rNX`` — compiled on AGX, run on NX
+
+and its three anomaly categories:
+
+* case ① — cAGX_rAGX slower than cNX_rNX (platform-specific engines)
+* case ② — cNX_rAGX slower than cNX_rNX (same NX-built engine)
+* case ③ — cAGX_rAGX slower than cAGX_rNX (same AGX-built engine)
+
+Latency runs follow the paper's methodology: GPU clocks pinned to
+599 MHz (NX) / 624.75 MHz (AGX), 10 runs per cell, nvprof attached
+(Table VIII) or not (Table IX), engine-upload memcpy included unless
+excluded for Table X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.engine.engine import Engine
+from repro.hardware.clocks import (
+    PAPER_LATENCY_CLOCK_AGX_MHZ,
+    PAPER_LATENCY_CLOCK_NX_MHZ,
+)
+from repro.metrics.performance import LatencyStats
+from repro.profiling.nvprof import Nvprof
+
+#: All 13 models of Table VIII, by registry name.
+LATENCY_MODELS = (
+    "alexnet",
+    "resnet18",
+    "vgg16",
+    "inception_v4",
+    "googlenet",
+    "ssd_inception_v2",
+    "detectnet_coco_dog",
+    "pednet",
+    "facenet",
+    "tiny_yolov3",
+    "mobilenet_v1",
+    "mtcnn",
+    "fcn_resnet18_cityscapes",
+)
+
+CASES = ("cNX_rNX", "cNX_rAGX", "cAGX_rAGX", "cAGX_rNX")
+
+
+def paper_clock_for(device_name: str) -> float:
+    return (
+        PAPER_LATENCY_CLOCK_NX_MHZ
+        if device_name == "NX"
+        else PAPER_LATENCY_CLOCK_AGX_MHZ
+    )
+
+
+def measure_case(
+    engine: Engine,
+    run_device: str,
+    runs: int = 10,
+    seed: int = 0,
+    profiler: Optional[Nvprof] = None,
+    include_engine_upload: bool = True,
+) -> LatencyStats:
+    """Mean(std) latency of one engine on one device, paper-style."""
+    device = device_by_name(run_device)
+    context = engine.create_execution_context(device)
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(runs):
+        timing = context.time_inference(
+            clock_mhz=paper_clock_for(run_device),
+            include_engine_upload=include_engine_upload,
+            rng=rng,
+            profiler=profiler,
+        )
+        samples.append(timing.total_us)
+    return LatencyStats.from_us_samples(samples)
+
+
+@dataclass
+class LatencyMatrixRow:
+    """One model's row of Table VIII."""
+
+    model: str
+    cases: Dict[str, LatencyStats]
+    anomalies: List[int] = field(default_factory=list)
+
+    def detect_anomalies(self) -> None:
+        """Mark the paper's anomaly cases ①②③."""
+        self.anomalies = []
+        if self.cases["cAGX_rAGX"].mean_ms > self.cases["cNX_rNX"].mean_ms:
+            self.anomalies.append(1)
+        if self.cases["cNX_rAGX"].mean_ms > self.cases["cNX_rNX"].mean_ms:
+            self.anomalies.append(2)
+        if self.cases["cAGX_rAGX"].mean_ms > self.cases["cAGX_rNX"].mean_ms:
+            self.anomalies.append(3)
+
+
+def latency_matrix(
+    farm: Optional[EngineFarm] = None,
+    models: Sequence[str] = LATENCY_MODELS,
+    runs: int = 10,
+    with_nvprof: bool = True,
+) -> List[LatencyMatrixRow]:
+    """Table VIII (with nvprof) or Table IX (without)."""
+    farm = farm or EngineFarm(pretrained=False)
+    rows = []
+    for model in models:
+        nx_engine = farm.engine(model, "NX", 0)
+        agx_engine = farm.engine(model, "AGX", 0)
+        cases = {}
+        for case, (engine, run_dev) in {
+            "cNX_rNX": (nx_engine, "NX"),
+            "cNX_rAGX": (nx_engine, "AGX"),
+            "cAGX_rAGX": (agx_engine, "AGX"),
+            "cAGX_rNX": (agx_engine, "NX"),
+        }.items():
+            profiler = Nvprof() if with_nvprof else None
+            cases[case] = measure_case(
+                engine,
+                run_dev,
+                runs=runs,
+                seed=hash((model, case)) & 0xFFFF,
+                profiler=profiler,
+            )
+        row = LatencyMatrixRow(model=model, cases=cases)
+        row.detect_anomalies()
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table X: memcpy included vs excluded
+# ----------------------------------------------------------------------
+@dataclass
+class MemcpySplitRow:
+    model: str
+    cnx_rnx_with: LatencyStats
+    cnx_rnx_without: LatencyStats
+    cnx_ragx_with: LatencyStats
+    cnx_ragx_without: LatencyStats
+
+
+MEMCPY_SPLIT_MODELS = (
+    "resnet18", "inception_v4", "pednet", "facenet", "mobilenet_v1",
+)
+
+
+def memcpy_split(
+    farm: Optional[EngineFarm] = None,
+    models: Sequence[str] = MEMCPY_SPLIT_MODELS,
+    runs: int = 10,
+) -> List[MemcpySplitRow]:
+    """Table X: the same NX-built engine on both platforms, with the
+    CUDA memcpy (engine upload) included and excluded."""
+    farm = farm or EngineFarm(pretrained=False)
+    rows = []
+    for model in models:
+        engine = farm.engine(model, "NX", 0)
+        rows.append(
+            MemcpySplitRow(
+                model=model,
+                cnx_rnx_with=measure_case(engine, "NX", runs, seed=1),
+                cnx_rnx_without=measure_case(
+                    engine, "NX", runs, seed=1, include_engine_upload=False
+                ),
+                cnx_ragx_with=measure_case(engine, "AGX", runs, seed=2),
+                cnx_ragx_without=measure_case(
+                    engine, "AGX", runs, seed=2, include_engine_upload=False
+                ),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table XI: per-kernel runtimes NX vs AGX
+# ----------------------------------------------------------------------
+@dataclass
+class KernelComparisonRow:
+    model: str
+    kernel: str
+    nx_avg_ms: float
+    agx_avg_ms: float
+
+
+def kernels_slower_on_agx(
+    farm: Optional[EngineFarm] = None,
+    models: Sequence[str] = ("pednet", "facenet", "mobilenet_v1"),
+) -> List[KernelComparisonRow]:
+    """Table XI: kernels of an NX-built engine that run slower on AGX."""
+    farm = farm or EngineFarm(pretrained=False)
+    rows = []
+    for model in models:
+        engine = farm.engine(model, "NX", 0)
+        per_device: Dict[str, Dict[str, float]] = {}
+        for dev in ("NX", "AGX"):
+            profiler = Nvprof()
+            # Averaging many runs separates the per-kernel device
+            # deltas (a few percent) from run-to-run jitter.
+            measure_case(engine, dev, runs=25, seed=3, profiler=profiler)
+            per_device[dev] = {
+                name: stats.avg_us
+                for name, stats in profiler.kernel_summary().items()
+            }
+        for kernel, nx_us in per_device["NX"].items():
+            agx_us = per_device["AGX"].get(kernel)
+            if agx_us is not None and agx_us > nx_us * 1.01:
+                rows.append(
+                    KernelComparisonRow(
+                        model=model,
+                        kernel=kernel,
+                        nx_avg_ms=nx_us / 1e3,
+                        agx_avg_ms=agx_us / 1e3,
+                    )
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables XII / XIII: engine-to-engine variance on one platform
+# ----------------------------------------------------------------------
+@dataclass
+class EngineVarianceRow:
+    model: str
+    per_engine: List[LatencyStats]
+
+    def spread_pct(self) -> float:
+        means = [s.mean_ms for s in self.per_engine]
+        return 100.0 * (max(means) - min(means)) / max(min(means), 1e-9)
+
+
+def engine_variance(
+    farm: Optional[EngineFarm] = None,
+    models: Sequence[str] = LATENCY_MODELS,
+    device: str = "AGX",
+    engines_per_model: int = 3,
+    runs: int = 10,
+) -> List[EngineVarianceRow]:
+    """Table XII: three engines of each model, built and run on AGX."""
+    farm = farm or EngineFarm(pretrained=False)
+    rows = []
+    for model in models:
+        stats = []
+        for slot in range(engines_per_model):
+            engine = farm.engine(model, device, slot)
+            stats.append(
+                measure_case(engine, device, runs=runs, seed=slot + 10)
+            )
+        rows.append(EngineVarianceRow(model=model, per_engine=stats))
+    return rows
+
+
+@dataclass
+class KernelInvocationReport:
+    """Table XIII: one kernel's invocation counts/durations per engine."""
+
+    model: str
+    kernel: str
+    per_engine_calls: List[int]
+    per_engine_avg_us: List[float]
+
+
+def kernel_invocation_variance(
+    farm: Optional[EngineFarm] = None,
+    model: str = "inception_v4",
+    device: str = "AGX",
+    engines_per_model: int = 3,
+) -> List[KernelInvocationReport]:
+    """Table XIII: how often each conv kernel is invoked by each of the
+    three engines of one model on one platform."""
+    farm = farm or EngineFarm(pretrained=False)
+    counts: List[Dict[str, int]] = []
+    avgs: List[Dict[str, float]] = []
+    for slot in range(engines_per_model):
+        engine = farm.engine(model, device, slot)
+        profiler = Nvprof()
+        measure_case(engine, device, runs=1, seed=slot, profiler=profiler)
+        summary = profiler.kernel_summary()
+        counts.append({k: s.calls for k, s in summary.items()})
+        avgs.append({k: s.avg_us for k, s in summary.items()})
+    kernels = sorted({k for c in counts for k in c})
+    reports = []
+    for kernel in kernels:
+        reports.append(
+            KernelInvocationReport(
+                model=model,
+                kernel=kernel,
+                per_engine_calls=[c.get(kernel, 0) for c in counts],
+                per_engine_avg_us=[a.get(kernel, 0.0) for a in avgs],
+            )
+        )
+    return reports

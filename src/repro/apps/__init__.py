@@ -1,0 +1,24 @@
+"""Reference applications (paper Section VI).
+
+Two automotive applications built on the public engine API, used to
+demonstrate the practical impact of the characterization findings:
+
+* :mod:`repro.apps.traffic` — intelligent traffic-intersection control:
+  multi-camera vehicle detection, adaptive signal timing, and automated
+  rule-violation fining (where engine output non-determinism becomes a
+  legal problem).
+* :mod:`repro.apps.adas` — an Advanced Driving Assistance System
+  pipeline: obstacle detection feeding a braking controller with a
+  hard real-time deadline (where engine latency non-determinism breaks
+  WCET analysis).
+"""
+
+from repro.apps.traffic import IntersectionController, SignalPlan
+from repro.apps.adas import AdasPipeline, BrakeDecision
+
+__all__ = [
+    "AdasPipeline",
+    "BrakeDecision",
+    "IntersectionController",
+    "SignalPlan",
+]

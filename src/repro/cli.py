@@ -1,0 +1,344 @@
+"""``trtsim`` command-line interface.
+
+Sub-commands mirror the workflows of the paper's measurement setup::
+
+    trtsim devices                       # Table I (deviceQuery)
+    trtsim models                        # Table II (the model zoo)
+    trtsim build resnet18 --device NX    # build an engine, print stats
+    trtsim run resnet18 --device AGX     # latency, paper methodology
+    trtsim profile pednet --device NX    # nvprof-style kernel summary
+    trtsim concurrency tiny_yolov3 --device AGX   # Figs 3/4 sweep
+    trtsim accuracy                      # Table III
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_devices(_args) -> int:
+    from repro.hardware import XAVIER_AGX, XAVIER_NX, device_query
+
+    for spec in (XAVIER_NX, XAVIER_AGX):
+        print(device_query(spec))
+        print()
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    from repro.models import MODEL_REGISTRY, build_model
+
+    header = (
+        f"{'model':<26}{'task':<16}{'framework':<12}"
+        f"{'convs':>6}{'maxpool':>8}{'params':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, info in MODEL_REGISTRY.items():
+        graph = build_model(name, pretrained=False)
+        print(
+            f"{info.display_name:<26}{info.task:<16}{info.framework:<12}"
+            f"{info.paper_convs:>6}{info.paper_max_pools:>8}"
+            f"{graph.weight_volume():>10}"
+        )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.analysis.engines import device_by_name
+    from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+    from repro.engine.plan import save_plan
+    from repro.models import build_model
+
+    device = device_by_name(args.device)
+    config = BuilderConfig(
+        precision=PrecisionMode(args.precision),
+        seed=args.seed,
+    )
+    network = build_model(args.model, pretrained=not args.no_pretrain)
+    engine = EngineBuilder(device, config).build(network)
+    print(engine.describe())
+    for report in engine.pass_reports:
+        print(str(report).splitlines()[0])
+    if args.output:
+        save_plan(engine, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.engines import EngineFarm, device_by_name
+    from repro.analysis.latency import measure_case
+    from repro.profiling.nvprof import Nvprof
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.compile_device, args.slot)
+    profiler = Nvprof() if args.nvprof else None
+    stats = measure_case(
+        engine,
+        args.device,
+        runs=args.runs,
+        profiler=profiler,
+        include_engine_upload=not args.no_memcpy,
+    )
+    print(
+        f"{args.model} compiled on {args.compile_device}, "
+        f"run on {args.device}: {stats} ms over {stats.runs} runs "
+        f"({stats.fps:.1f} FPS)"
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.engines import EngineFarm
+    from repro.analysis.latency import measure_case
+    from repro.profiling.nvprof import Nvprof
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, 0)
+    profiler = Nvprof(mode=args.mode)
+    measure_case(engine, args.device, runs=args.runs, profiler=profiler)
+    print(profiler.report())
+    return 0
+
+
+def _cmd_concurrency(args) -> int:
+    from repro.analysis.concurrency import concurrency_sweep
+
+    figure = concurrency_sweep(args.model, args.device)
+    print(
+        f"{args.model} on {args.device}: saturates at "
+        f"{figure.saturation_threads} threads, "
+        f"{figure.saturation_fps:.1f} FPS/thread, "
+        f"{figure.saturation_gpu_util:.1f}% GPU"
+    )
+    print(f"{'threads':>8} {'FPS/thread':>12} {'GPU util %':>11}")
+    for point in figure.result.points:
+        print(
+            f"{point.threads:>8} {point.fps_per_thread:>12.1f} "
+            f"{point.gpu_utilization_pct:>11.1f}"
+        )
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    """trtexec-style one-shot: build, run, report (the workflow NVIDIA
+    ships as the trtexec binary)."""
+    from repro.analysis.engines import EngineFarm
+    from repro.analysis.latency import measure_case
+    from repro.profiling.nvprof import Nvprof
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, 0)
+    print(engine.describe())
+    profiler = Nvprof()
+    stats = measure_case(
+        engine, args.device, runs=args.runs, profiler=profiler
+    )
+    print(f"\nlatency: {stats} ms over {stats.runs} runs "
+          f"({stats.fps:.1f} FPS)")
+    print("\nper-kernel summary:")
+    print(profiler.report())
+    return 0
+
+
+def _cmd_clocks(args) -> int:
+    from repro.analysis.dvfs import clock_sweep
+
+    sweep = clock_sweep(args.model, args.device)
+    print(f"{args.model} on {args.device}: DVFS ladder sweep")
+    print(f"{'MHz':>9} {'latency ms':>11} {'FPS':>9} {'W':>6} {'FPS/W':>8}")
+    for point in sweep.points:
+        print(
+            f"{point.clock_mhz:>9.2f} {point.latency_ms:>11.3f} "
+            f"{point.fps:>9.1f} {point.power_w:>6.2f} "
+            f"{point.fps_per_watt:>8.1f}"
+        )
+    best = sweep.most_efficient()
+    print(f"\nmax-vs-min speedup: {sweep.speedup_max_vs_min:.2f}x; "
+          f"best efficiency at {best.clock_mhz:.0f} MHz "
+          f"({best.fps_per_watt:.1f} FPS/W)")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    """Per-layer engine report (TensorRT's EngineInspector)."""
+    from repro.analysis.engines import EngineFarm
+    from repro.engine.inspector import inspect_engine, inspect_engine_json
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, args.slot)
+    if args.json:
+        print(inspect_engine_json(engine))
+        return 0
+    report = inspect_engine(engine)
+    print(f"{report['engine']}: {report['num_layers']} layers, "
+          f"{report['num_kernel_invocations']} kernel invocations, "
+          f"predicted {report['predicted_kernel_us']:.1f} us")
+    print(f"{'layer':<30}{'kind':<20}{'kernel':<58}{'us':>8}")
+    for entry in report["layers"]:
+        for kernel in entry["kernels"]:
+            print(
+                f"{entry['layer'][:29]:<30}{entry['kind']:<20}"
+                f"{kernel['name'][:57]:<58}{kernel['predicted_us']:>8.2f}"
+            )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Export an inference timeline as a chrome://tracing JSON file."""
+    from repro.analysis.engines import EngineFarm, device_by_name
+    from repro.profiling.chrome_trace import save_chrome_trace
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, 0)
+    device = device_by_name(args.device)
+    context = engine.create_execution_context(device)
+    timings = [
+        context.time_inference(jitter=0.0) for _ in range(args.runs)
+    ]
+    save_chrome_trace(timings, args.output)
+    print(f"wrote {args.runs} inference timeline(s) to {args.output}")
+    return 0
+
+
+def _cmd_warmup(args) -> int:
+    """Pre-build the pretrained model-zoo cache (the slow first-run
+    step of the accuracy/consistency benchmarks)."""
+    import time
+
+    from repro.models import MODEL_REGISTRY, build_model
+
+    names = (
+        args.models.split(",") if args.models else list(MODEL_REGISTRY)
+    )
+    for name in names:
+        start = time.time()
+        build_model(name, pretrained=True)
+        print(f"  {name:<26} ready ({time.time() - start:5.1f}s)")
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from repro.analysis.accuracy import benign_accuracy
+
+    models = args.models.split(",") if args.models else None
+    rows = benign_accuracy(models=models) if models else benign_accuracy()
+    print(f"{'model':<14}{'AGX err%':>10}{'NX err%':>10}{'unopt err%':>12}")
+    for row in rows:
+        print(
+            f"{row.model:<14}{row.agx_error:>10.2f}{row.nx_error:>10.2f}"
+            f"{row.unoptimized_error:>12.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trtsim",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="print platform specs (Table I)")
+    sub.add_parser("models", help="list the model zoo (Table II)")
+
+    p = sub.add_parser("build", help="build an engine")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--precision", default="fp16",
+        choices=["fp32", "fp16", "int8", "best"],
+    )
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--no-pretrain", action="store_true")
+    p.add_argument("-o", "--output", default=None, help=".plan file")
+
+    p = sub.add_parser("run", help="measure inference latency")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--compile-device", default=None, choices=["NX", "AGX"],
+        help="build platform (defaults to --device)",
+    )
+    p.add_argument("--slot", type=int, default=0, help="engine slot index")
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--nvprof", action="store_true")
+    p.add_argument("--no-memcpy", action="store_true")
+
+    p = sub.add_parser("profile", help="nvprof-style kernel profile")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument("--mode", default="summary",
+                   choices=["summary", "gpu-trace"])
+    p.add_argument("--runs", type=int, default=3)
+
+    p = sub.add_parser("concurrency", help="thread sweep (Figs 3/4)")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+
+    p = sub.add_parser("accuracy", help="benign accuracy (Table III)")
+    p.add_argument("--models", default=None, help="comma-separated names")
+
+    p = sub.add_parser(
+        "exec", help="trtexec-style build+run+profile in one shot"
+    )
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument("--runs", type=int, default=10)
+
+    p = sub.add_parser("clocks", help="DVFS ladder sweep (extension)")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+
+    p = sub.add_parser(
+        "warmup", help="pre-build the pretrained model-zoo cache"
+    )
+    p.add_argument("--models", default=None, help="comma-separated names")
+
+    p = sub.add_parser("inspect", help="per-layer engine report")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument("--slot", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("trace", help="export a chrome://tracing timeline")
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument("--runs", type=int, default=1)
+    p.add_argument("-o", "--output", default="trace.json")
+
+    return parser
+
+
+_HANDLERS = {
+    "devices": _cmd_devices,
+    "models": _cmd_models,
+    "build": _cmd_build,
+    "run": _cmd_run,
+    "profile": _cmd_profile,
+    "concurrency": _cmd_concurrency,
+    "accuracy": _cmd_accuracy,
+    "exec": _cmd_exec,
+    "clocks": _cmd_clocks,
+    "warmup": _cmd_warmup,
+    "inspect": _cmd_inspect,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run" and args.compile_device is None:
+        args.compile_device = args.device
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

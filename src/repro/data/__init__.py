@@ -1,0 +1,30 @@
+"""Datasets (paper Section II-D).
+
+The paper evaluates on an ImageNet subset ("benign data"), an
+adversarially corrupted variant with 15 noise types x 5 severities
+("adversarial data"), and a labeled developing-region traffic image set.
+None of those can ship here, so this package generates class-separable
+synthetic equivalents:
+
+* :class:`~repro.data.synthetic.SyntheticImageNet` — class-conditional
+  images built from per-class procedural prototypes; a linear probe on
+  any fixed conv feature extractor genuinely classifies them, so
+  accuracy responds honestly to corruption and quantization.
+* :mod:`~repro.data.corruptions` — the 15-corruption x 5-severity
+  pipeline applied on top of benign images.
+* :class:`~repro.data.traffic.TrafficSceneDataset` — procedurally drawn
+  road scenes with vehicle bounding-box ground truth.
+"""
+
+from repro.data.synthetic import SyntheticImageNet
+from repro.data.corruptions import CORRUPTIONS, SEVERITIES, corrupt
+from repro.data.traffic import TrafficSceneDataset, VEHICLE_CLASSES
+
+__all__ = [
+    "CORRUPTIONS",
+    "SEVERITIES",
+    "SyntheticImageNet",
+    "TrafficSceneDataset",
+    "VEHICLE_CLASSES",
+    "corrupt",
+]

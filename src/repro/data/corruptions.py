@@ -1,0 +1,252 @@
+"""The adversarial dataset: 15 corruption types x 5 severity levels.
+
+The paper's "adversarial data" is the common-corruptions benchmark
+style: the same images as the benign set, perturbed by one of 15 noise
+families at severities 1 (mild) to 5 (destructive).  All 15 families
+are implemented here over float CHW images; severity scales each
+family's amplitude parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+from scipy import ndimage
+
+#: Severity levels, as in the paper (it evaluates 1 and 5).
+SEVERITIES = (1, 2, 3, 4, 5)
+
+
+def _sev(severity: int, values: List[float]) -> float:
+    """Pick the amplitude for a severity level (1-indexed)."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be in {SEVERITIES}, got {severity}")
+    return values[severity - 1]
+
+
+def _rng(image: np.ndarray, severity: int, tag: int) -> np.random.Generator:
+    """Deterministic per-image noise stream (image content + severity)."""
+    digest = int(np.abs(image[0]).sum() * 1000) & 0x7FFFFFFF
+    return np.random.default_rng((digest, severity, tag))
+
+
+# ----------------------------------------------------------------------
+# noise family implementations (image: (C,H,W) float32)
+# ----------------------------------------------------------------------
+def gaussian_noise(image: np.ndarray, severity: int) -> np.ndarray:
+    sigma = _sev(severity, [0.18, 0.30, 0.45, 0.65, 0.9])
+    noise = _rng(image, severity, 1).normal(0, sigma, image.shape)
+    return (image + noise).astype(np.float32)
+
+
+def shot_noise(image: np.ndarray, severity: int) -> np.ndarray:
+    scale = _sev(severity, [18.0, 10.0, 6.0, 3.5, 2.0])
+    rng = _rng(image, severity, 2)
+    shifted = image - image.min()
+    noisy = rng.poisson(np.clip(shifted * scale, 0, None)) / scale
+    return (noisy + image.min()).astype(np.float32)
+
+
+def impulse_noise(image: np.ndarray, severity: int) -> np.ndarray:
+    frac = _sev(severity, [0.03, 0.06, 0.11, 0.17, 0.25])
+    rng = _rng(image, severity, 3)
+    out = image.copy()
+    mask = rng.random(image.shape) < frac
+    lo, hi = image.min(), image.max()
+    out[mask] = rng.choice([lo, hi], size=int(mask.sum()))
+    return out.astype(np.float32)
+
+
+def speckle_noise(image: np.ndarray, severity: int) -> np.ndarray:
+    sigma = _sev(severity, [0.15, 0.25, 0.38, 0.55, 0.75])
+    noise = _rng(image, severity, 4).normal(0, sigma, image.shape)
+    return (image * (1.0 + noise)).astype(np.float32)
+
+
+def defocus_blur(image: np.ndarray, severity: int) -> np.ndarray:
+    sigma = _sev(severity, [0.6, 0.9, 1.3, 1.8, 2.6])
+    return ndimage.gaussian_filter(
+        image, sigma=(0, sigma, sigma)
+    ).astype(np.float32)
+
+
+def glass_blur(image: np.ndarray, severity: int) -> np.ndarray:
+    shift = _sev(severity, [1, 1, 2, 2, 3])
+    rng = _rng(image, severity, 5)
+    c, h, w = image.shape
+    dy = rng.integers(-int(shift), int(shift) + 1, (h, w))
+    dx = rng.integers(-int(shift), int(shift) + 1, (h, w))
+    ys = np.clip(np.arange(h)[:, None] + dy, 0, h - 1)
+    xs = np.clip(np.arange(w)[None, :] + dx, 0, w - 1)
+    shuffled = image[:, ys, xs]
+    return ndimage.gaussian_filter(
+        shuffled, sigma=(0, 0.5, 0.5)
+    ).astype(np.float32)
+
+
+def motion_blur(image: np.ndarray, severity: int) -> np.ndarray:
+    length = int(_sev(severity, [3, 5, 7, 9, 13]))
+    kernel = np.zeros((length, length), dtype=np.float32)
+    kernel[length // 2, :] = 1.0 / length
+    out = np.stack(
+        [ndimage.convolve(ch, kernel, mode="nearest") for ch in image]
+    )
+    return out.astype(np.float32)
+
+
+def zoom_blur(image: np.ndarray, severity: int) -> np.ndarray:
+    max_zoom = _sev(severity, [1.06, 1.12, 1.18, 1.26, 1.36])
+    c, h, w = image.shape
+    acc = image.copy()
+    steps = 4
+    for i in range(1, steps + 1):
+        zoom = 1.0 + (max_zoom - 1.0) * i / steps
+        zoomed = ndimage.zoom(image, (1, zoom, zoom), order=1)
+        zh, zw = zoomed.shape[1:]
+        top, left = (zh - h) // 2, (zw - w) // 2
+        acc += zoomed[:, top : top + h, left : left + w]
+    return (acc / (steps + 1)).astype(np.float32)
+
+
+def snow(image: np.ndarray, severity: int) -> np.ndarray:
+    amount = _sev(severity, [0.08, 0.15, 0.23, 0.32, 0.45])
+    rng = _rng(image, severity, 6)
+    flakes = (rng.random(image.shape[1:]) < amount).astype(np.float32)
+    flakes = ndimage.gaussian_filter(flakes, 0.6)
+    peak = image.max() if image.size else 1.0
+    return (image * (1 - 0.6 * flakes) + 2.0 * peak * flakes).astype(
+        np.float32
+    )
+
+
+def frost(image: np.ndarray, severity: int) -> np.ndarray:
+    strength = _sev(severity, [0.25, 0.4, 0.55, 0.7, 0.85])
+    rng = _rng(image, severity, 7)
+    pattern = ndimage.gaussian_filter(
+        rng.normal(0, 1, image.shape[1:]), 2.0
+    )
+    pattern = (pattern - pattern.min()) / (np.ptp(pattern) + 1e-9)
+    return (
+        image * (1 - strength * pattern[None]) + strength * pattern[None]
+    ).astype(np.float32)
+
+
+def fog(image: np.ndarray, severity: int) -> np.ndarray:
+    strength = _sev(severity, [0.3, 0.45, 0.6, 0.75, 0.9])
+    rng = _rng(image, severity, 8)
+    haze = ndimage.gaussian_filter(
+        rng.normal(0, 1, image.shape[1:]), 4.0
+    )
+    haze = (haze - haze.min()) / (np.ptp(haze) + 1e-9)
+    mean = float(image.mean())
+    return (
+        image * (1 - strength) + (mean + haze[None]) * strength
+    ).astype(np.float32)
+
+
+def brightness(image: np.ndarray, severity: int) -> np.ndarray:
+    shift = _sev(severity, [0.3, 0.55, 0.8, 1.1, 1.5])
+    return (image + shift).astype(np.float32)
+
+
+def contrast(image: np.ndarray, severity: int) -> np.ndarray:
+    factor = _sev(severity, [0.65, 0.5, 0.38, 0.26, 0.15])
+    mean = image.mean(axis=(1, 2), keepdims=True)
+    return ((image - mean) * factor + mean).astype(np.float32)
+
+
+def elastic_transform(image: np.ndarray, severity: int) -> np.ndarray:
+    alpha = _sev(severity, [1.0, 1.8, 2.6, 3.6, 5.0])
+    rng = _rng(image, severity, 9)
+    c, h, w = image.shape
+    dy = ndimage.gaussian_filter(rng.normal(0, 1, (h, w)), 3.0) * alpha
+    dx = ndimage.gaussian_filter(rng.normal(0, 1, (h, w)), 3.0) * alpha
+    ys = np.clip(np.arange(h)[:, None] + dy, 0, h - 1)
+    xs = np.clip(np.arange(w)[None, :] + dx, 0, w - 1)
+    out = np.stack(
+        [
+            ndimage.map_coordinates(
+                ch, [ys, xs], order=1, mode="nearest"
+            )
+            for ch in image
+        ]
+    )
+    return out.astype(np.float32)
+
+
+def pixelate(image: np.ndarray, severity: int) -> np.ndarray:
+    factor = int(_sev(severity, [2, 2, 3, 4, 6]))
+    c, h, w = image.shape
+    small_h, small_w = max(1, h // factor), max(1, w // factor)
+    small = image[:, : small_h * factor, : small_w * factor]
+    small = small.reshape(c, small_h, factor, small_w, factor).mean(
+        axis=(2, 4)
+    )
+    out = small.repeat(factor, axis=1).repeat(factor, axis=2)
+    padded = np.zeros_like(image)
+    padded[:, : out.shape[1], : out.shape[2]] = out[:, :h, :w]
+    return padded.astype(np.float32)
+
+
+def jpeg_compression(image: np.ndarray, severity: int) -> np.ndarray:
+    """DCT-domain coefficient truncation (blockwise), the JPEG artifact
+    mechanism without an actual codec."""
+    keep = int(_sev(severity, [6, 5, 4, 3, 2]))
+    block = 8
+    c, h, w = image.shape
+    out = image.copy()
+    from scipy.fft import dctn, idctn
+
+    for y in range(0, h - h % block, block):
+        for x in range(0, w - w % block, block):
+            patch = out[:, y : y + block, x : x + block]
+            coefs = dctn(patch, axes=(1, 2), norm="ortho")
+            mask = np.zeros((block, block), dtype=bool)
+            mask[:keep, :keep] = True
+            coefs *= mask[None]
+            out[:, y : y + block, x : x + block] = idctn(
+                coefs, axes=(1, 2), norm="ortho"
+            )
+    return out.astype(np.float32)
+
+
+#: The 15 noise families of the adversarial dataset.
+CORRUPTIONS: Dict[str, Callable[[np.ndarray, int], np.ndarray]] = {
+    "gaussian_noise": gaussian_noise,
+    "shot_noise": shot_noise,
+    "impulse_noise": impulse_noise,
+    "speckle_noise": speckle_noise,
+    "defocus_blur": defocus_blur,
+    "glass_blur": glass_blur,
+    "motion_blur": motion_blur,
+    "zoom_blur": zoom_blur,
+    "snow": snow,
+    "frost": frost,
+    "fog": fog,
+    "brightness": brightness,
+    "contrast": contrast,
+    "elastic_transform": elastic_transform,
+    "pixelate": pixelate,
+}
+# jpeg is swapped in for platforms where scipy.fft is slow; keep the
+# canonical count at 15 with jpeg available separately.
+EXTRA_CORRUPTIONS = {"jpeg_compression": jpeg_compression}
+
+
+def corrupt(
+    image: np.ndarray, corruption: str, severity: int
+) -> np.ndarray:
+    """Apply one named corruption at the given severity."""
+    try:
+        fn = CORRUPTIONS.get(corruption) or EXTRA_CORRUPTIONS[corruption]
+    except KeyError:
+        raise ValueError(f"unknown corruption {corruption!r}") from None
+    return fn(np.asarray(image, dtype=np.float32), severity)
+
+
+def corrupt_batch(
+    images: np.ndarray, corruption: str, severity: int
+) -> np.ndarray:
+    """Apply one corruption to every image in an (N,C,H,W) batch."""
+    return np.stack([corrupt(img, corruption, severity) for img in images])

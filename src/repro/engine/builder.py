@@ -1,0 +1,311 @@
+"""Engine building: the full Figure 2 pipeline, per target device.
+
+``EngineBuilder.build`` consumes a frontend graph and produces an
+:class:`~repro.engine.engine.Engine` — an optimized graph whose every
+layer is bound to a concrete kernel tactic, with the engine-file size
+accounted the way a serialized plan would be.
+
+Builds are **non-deterministic by default** (``seed=None`` draws fresh
+entropy), because tactic auctions are timing-based; pass an explicit
+``seed`` for reproducible builds (the analysis harness does, so the
+paper's tables regenerate stably).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.ir import DataType, Graph, Layer, LayerKind
+from repro.graph.shapes import infer_shapes
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.workload import LayerWorkload, layer_workload
+from repro.runtime.math_config import LayerMath, MathConfig
+
+from repro.engine.engine import Engine, LayerBinding
+from repro.engine.kernels import DEFAULT_CATALOG, KernelCatalog, KernelSpec
+from repro.engine.passes import (
+    CalibrationCache,
+    PassReport,
+    calibrate_int8,
+    find_mergeable_groups,
+    fuse_vertically,
+    merge_horizontally,
+    plan_quantization,
+    remove_dead_layers,
+)
+from repro.engine.tactics import TacticChoice, TacticSelector
+from repro.engine.timing_cache import TimingCache
+
+#: Serialized-plan overhead: fixed header + per-binding kernel metadata.
+#: Sized to the repo's scaled-down models (DESIGN.md §5) so overhead
+#: relates to weight volume the way a real plan's does.
+PLAN_FIXED_OVERHEAD_BYTES = 48 * 1024
+PLAN_PER_BINDING_BYTES = 1024
+
+
+class PrecisionMode(enum.Enum):
+    """Builder precision allowance (TensorRT's builder flags)."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+    BEST = "best"
+
+    def allowed_datatypes(self) -> List[DataType]:
+        return {
+            PrecisionMode.FP32: [DataType.FP32],
+            PrecisionMode.FP16: [DataType.FP16, DataType.FP32],
+            PrecisionMode.INT8: [DataType.INT8, DataType.FP32],
+            PrecisionMode.BEST: [DataType.INT8, DataType.FP16, DataType.FP32],
+        }[self]
+
+
+@dataclass
+class BuilderConfig:
+    """Knobs of one engine build."""
+
+    precision: PrecisionMode = PrecisionMode.FP16
+    seed: Optional[int] = None  # None => fresh entropy (realistic default)
+    timing_noise: float = 0.08
+    timing_repeats: int = 1
+    enable_horizontal_merge: bool = True
+    calibration_batch: Optional[np.ndarray] = None
+    input_name: str = "data"
+    #: Workspace (scratch memory) budget for kernel selection; kernels
+    #: whose scratch exceeds it are excluded from the auctions.
+    workspace_mb: float = 256.0
+    #: Optional timing cache: reuse measured tactic timings across
+    #: builds, making rebuilds deterministic (see engine.timing_cache).
+    timing_cache: Optional["TimingCache"] = None
+
+
+# Module-level build counter: distinguishes successive anonymous builds
+# even within one process (each gets fresh entropy).
+_BUILD_COUNTER = 0
+
+
+def _next_build_seed() -> int:
+    global _BUILD_COUNTER
+    _BUILD_COUNTER += 1
+    entropy = np.random.SeedSequence().entropy
+    return int((entropy + _BUILD_COUNTER) % (2 ** 63))
+
+
+def _stored_weight_bytes(layer: Layer, kernel: KernelSpec) -> int:
+    """Bytes the plan stores for this layer's weights under ``kernel``.
+
+    Tensor-core kernels keep weights in vector-aligned (ldg8/ldg16)
+    layouts; ``pad_weights_to_tile`` kernels additionally pad the
+    output-channel dimension to the CTA tile.  This is why an engine
+    can be *larger* than the unoptimized model it came from (paper
+    Table II: MTCNN 1.9 MB -> 3.8 MB; ResNet-18 AGX engine 2.3x the NX
+    engine).
+    """
+    total = 0
+    itemsize = kernel.precision.itemsize
+    for key, w in layer.weights.items():
+        if key == "kernel" and w.ndim >= 2:
+            out_c = w.shape[0]
+            rest = int(np.prod(w.shape[1:]))
+            if kernel.pad_weights_to_tile:
+                out_c = math.ceil(out_c / kernel.tile_m) * kernel.tile_m
+            if kernel.uses_tensor_cores:
+                vec = 16 if kernel.precision is DataType.INT8 else 8
+                rest = math.ceil(rest / vec) * vec
+            total += out_c * rest * itemsize
+        else:
+            total += int(w.size) * itemsize
+    return total
+
+
+class EngineBuilder:
+    """Builds engines for one target device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        config: Optional[BuilderConfig] = None,
+        catalog: KernelCatalog = DEFAULT_CATALOG,
+    ):
+        self.device = device
+        self.config = config or BuilderConfig()
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def build(self, network: Graph) -> Engine:
+        """Run the five-step pipeline and return a compiled engine."""
+        cfg = self.config
+        seed = cfg.seed if cfg.seed is not None else _next_build_seed()
+        rng = np.random.default_rng(seed)
+        selector = TacticSelector(
+            self.device,
+            clock_mhz=self.device.max_gpu_clock_mhz,  # builds run at max clock
+            rng=rng,
+            timing_noise=cfg.timing_noise,
+            timing_repeats=cfg.timing_repeats,
+            timing_cache=cfg.timing_cache,
+            workspace_limit_bytes=int(cfg.workspace_mb * 1024 * 1024),
+        )
+        allowed = cfg.precision.allowed_datatypes()
+        act_dtype = (
+            DataType.FP16
+            if cfg.precision is not PrecisionMode.FP32
+            else DataType.FP32
+        )
+
+        graph = network.copy()
+        graph.name = f"{network.name}::engine"
+        reports: List[PassReport] = []
+
+        # Steps 1-2: dead-layer removal, vertical fusion.
+        reports.append(remove_dead_layers(graph))
+        reports.append(fuse_vertically(graph))
+
+        # Step 3: horizontal merging, decided by noisy timing.
+        if cfg.enable_horizontal_merge:
+            reports.append(
+                merge_horizontally(
+                    graph, decide=self._make_merge_decider(selector, act_dtype, allowed)
+                )
+            )
+
+        # Step 4: quantization planning (+ calibration when supplied).
+        calibration: Optional[CalibrationCache] = None
+        if cfg.calibration_batch is not None and DataType.INT8 in allowed:
+            calibration = calibrate_int8(
+                graph, cfg.calibration_batch, cfg.input_name
+            )
+        quant = plan_quantization(graph, allowed, calibration)
+
+        # Step 5: tactic selection / kernel mapping.
+        shapes = infer_shapes(graph)
+        bindings: List[LayerBinding] = []
+        math_config = MathConfig(default=LayerMath())
+        build_time_us = 0.0
+        for layer in graph.toposort():
+            workload = layer_workload(layer, shapes, act_dtype)
+            if workload.category == "detection":
+                kernels = self.catalog.detection_sequence()
+                bindings.append(
+                    LayerBinding(
+                        layer_name=layer.name,
+                        kernels=list(kernels),
+                        workload=workload,
+                        tactic=None,
+                    )
+                )
+                continue
+            menu = quant.precisions_for(layer)
+            tactic = selector.choose(layer.name, workload, menu, self.catalog)
+            build_time_us += tactic.measured_us * tactic.candidates_timed
+            layer.precision = tactic.kernel.precision
+            math_config.per_layer[layer.name] = self._layer_math(
+                layer, tactic, calibration
+            )
+            # Re-price the workload now that the layer's stored
+            # precision is known (weight traffic shrinks under FP16/
+            # INT8); keeps runtime costs consistent with reloaded plans.
+            workload = layer_workload(layer, shapes, act_dtype)
+            bindings.append(
+                LayerBinding(
+                    layer_name=layer.name,
+                    kernels=[tactic.kernel],
+                    workload=workload,
+                    tactic=tactic,
+                )
+            )
+
+        weight_chunks = self._weight_chunks(graph, bindings)
+        size_bytes = (
+            sum(weight_chunks)
+            + PLAN_FIXED_OVERHEAD_BYTES
+            + PLAN_PER_BINDING_BYTES * len(bindings)
+        )
+
+        return Engine(
+            name=f"{network.name}@{self.device.name}#seed{seed}",
+            source_network=network.name,
+            device=self.device,
+            graph=graph,
+            bindings=bindings,
+            math_config=math_config,
+            size_bytes=size_bytes,
+            weight_chunks=weight_chunks,
+            input_name=cfg.input_name,
+            build_seed=seed,
+            precision_mode=cfg.precision,
+            pass_reports=reports,
+            build_time_us=build_time_us,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_merge_decider(
+        self,
+        selector: TacticSelector,
+        act_dtype: DataType,
+        allowed: Sequence[DataType],
+    ):
+        def decide(graph: Graph, group: Sequence[Layer]) -> bool:
+            shapes = infer_shapes(graph)
+            members = [layer_workload(l, shapes, act_dtype) for l in group]
+            first = members[0]
+            merged = LayerWorkload(
+                flops=sum(w.flops for w in members),
+                bytes_in=first.bytes_in,  # shared input read once
+                bytes_w=sum(w.bytes_w for w in members),
+                bytes_out=sum(w.bytes_out for w in members),
+                gemm_m=sum(w.gemm_m for w in members),
+                gemm_n=first.gemm_n,
+                gemm_k=first.gemm_k,
+                elements_out=sum(w.elements_out for w in members),
+                category="conv",
+            )
+            return selector.merge_is_faster(
+                members, merged, allowed, self.catalog
+            )
+
+        return decide
+
+    @staticmethod
+    def _layer_math(
+        layer: Layer,
+        tactic: TacticChoice,
+        calibration: Optional[CalibrationCache],
+    ) -> LayerMath:
+        kernel = tactic.kernel
+        if kernel.precision is DataType.INT8:
+            if calibration is None or not calibration.covers(layer.name):
+                raise RuntimeError(
+                    f"INT8 tactic chosen for uncalibrated layer {layer.name!r}"
+                )
+            return LayerMath(
+                precision=DataType.INT8,
+                split_k=kernel.split_k,
+                int8_scale_in=calibration.input_scales[layer.name],
+                int8_scale_w=calibration.weight_scales[layer.name],
+            )
+        return LayerMath(precision=kernel.precision, split_k=kernel.split_k)
+
+    @staticmethod
+    def _weight_chunks(
+        graph: Graph, bindings: List[LayerBinding]
+    ) -> List[int]:
+        """Per-layer stored weight sizes (one HtoD chunk each)."""
+        by_name: Dict[str, LayerBinding] = {
+            b.layer_name: b for b in bindings
+        }
+        chunks = []
+        for layer in graph.layers:
+            if not layer.weights:
+                continue
+            binding = by_name.get(layer.name)
+            if binding is None or binding.tactic is None:
+                chunks.append(layer.weight_bytes())
+            else:
+                chunks.append(_stored_weight_bytes(layer, binding.tactic.kernel))
+        return chunks

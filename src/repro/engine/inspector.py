@@ -1,0 +1,96 @@
+"""Engine inspector: per-layer JSON report (TensorRT's EngineInspector).
+
+Answers "what did the builder actually do to my network?" — per bound
+layer: the chosen kernel, its precision and tile configuration, the
+predicted cost breakdown on the build device, and the stored weight
+footprint.  Output is a plain dict (JSON-serializable) so it can feed
+dashboards or diffing tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.hardware.cost import CostModel
+from repro.hardware.specs import DeviceSpec
+
+from repro.engine.builder import _stored_weight_bytes
+from repro.engine.engine import Engine
+
+
+def inspect_engine(
+    engine: Engine,
+    device: Optional[DeviceSpec] = None,
+    clock_mhz: Optional[float] = None,
+) -> Dict:
+    """A structured report over every layer binding of ``engine``."""
+    device = device or engine.device
+    clock = clock_mhz or device.max_gpu_clock_mhz
+    cost_model = CostModel(device)
+    layer_by_name = {layer.name: layer for layer in engine.graph.layers}
+
+    layers: List[Dict] = []
+    total_us = 0.0
+    for binding in engine.bindings:
+        layer = layer_by_name[binding.layer_name]
+        kernel_entries = []
+        for kernel in binding.kernels:
+            cost = cost_model.kernel_cost(kernel, binding.workload, clock)
+            kernel_entries.append(
+                {
+                    "name": kernel.name,
+                    "precision": kernel.precision.value,
+                    "tile": [kernel.tile_m, kernel.tile_n],
+                    "split_k": kernel.split_k,
+                    "tensor_cores": kernel.uses_tensor_cores,
+                    "predicted_us": round(cost.total_us, 3),
+                    "breakdown_us": {
+                        "launch": round(cost.launch_us, 3),
+                        "compute": round(cost.compute_us, 3),
+                        "bandwidth": round(cost.bandwidth_us, 3),
+                        "latency": round(cost.latency_us, 3),
+                    },
+                }
+            )
+            total_us += cost.total_us
+        entry = {
+            "layer": binding.layer_name,
+            "kind": layer.kind.value,
+            "gemm": {
+                "m": binding.workload.gemm_m,
+                "n": binding.workload.gemm_n,
+                "k": binding.workload.gemm_k,
+            },
+            "flops": binding.workload.flops,
+            "bytes": binding.workload.total_bytes,
+            "kernels": kernel_entries,
+        }
+        if binding.tactic is not None:
+            entry["weight_bytes_stored"] = _stored_weight_bytes(
+                layer, binding.tactic.kernel
+            )
+            entry["auction"] = {
+                "candidates_timed": binding.tactic.candidates_timed,
+                "measured_us": round(binding.tactic.measured_us, 3),
+                "true_us": round(binding.tactic.true_us, 3),
+            }
+        layers.append(entry)
+
+    return {
+        "engine": engine.name,
+        "built_for": engine.device.name,
+        "inspected_on": device.name,
+        "clock_mhz": clock,
+        "precision_mode": engine.precision_mode.value,
+        "plan_size_bytes": engine.size_bytes,
+        "num_layers": len(layers),
+        "num_kernel_invocations": engine.num_kernels,
+        "predicted_kernel_us": round(total_us, 3),
+        "layers": layers,
+    }
+
+
+def inspect_engine_json(engine: Engine, **kwargs) -> str:
+    """The inspector report as pretty-printed JSON."""
+    return json.dumps(inspect_engine(engine, **kwargs), indent=2)

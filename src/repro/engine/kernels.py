@@ -1,0 +1,362 @@
+"""Catalog of pre-implemented CUDA kernels (paper Figure 2, step 5).
+
+TensorRT maps each optimized layer onto one of an "extensive library of
+pre-implemented CUDA kernels"; the profiler traces in the paper (Tables
+XI, XIII) show Volta-generation cuDNN/TensorRT kernels such as
+``trt_volta_h884cudnn_256x64_ldg8_relu_exp_small_nhwc_tn_v1``.  This
+module reproduces that library as a set of :class:`KernelSpec` entries
+whose properties (CTA tile, occupancy, reduction split, prefetch depth,
+weight storage format) feed the hardware cost model and the numeric
+executor.
+
+Two properties matter downstream:
+
+* ``split_k`` — reaches :class:`repro.runtime.math_config.LayerMath`, so
+  the *chosen kernel determines the arithmetic*, not just the speed.
+* ``pad_weights_to_tile`` — tensor-core kernels store weights padded to
+  the CTA tile and vector width, so a build that favors large-tile
+  kernels produces a *bigger engine file* (paper Table II, where some
+  AGX engines are ~2x their NX counterparts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.graph.ir import DataType
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One entry of the pre-implemented kernel library.
+
+    Attributes:
+        name: trace name, as a profiler would report it.
+        category: workload category this kernel can execute
+            (conv / gemm / depthwise / pooling / pointwise / lrn /
+            softmax / copy / detection / deconv).
+        precision: compute precision.
+        tile_m / tile_n: CTA output tile (GEMM view).
+        blocks_per_sm: occupancy (concurrent CTAs per SM).
+        split_k: reduction-axis split; >1 changes accumulation order.
+        prefetch_depth: reduction elements covered per DRAM latency trip
+            (deep prefetch hides latency; shallow exposes it).
+        bw_eff: fraction of peak DRAM bandwidth this kernel achieves.
+        uses_tensor_cores: whether the MMA path runs on tensor cores.
+        pad_weights_to_tile: store weights padded to (tile_m, vec) —
+            costs engine-file size, buys addressing regularity.
+        min_gemm_k: kernel only applicable when the reduction is at
+            least this long (deep-prefetch kernels need deep K).
+        access_granularity_bytes: useful bytes per DRAM burst this
+            kernel's load pattern consumes.  Sliced / split-K / NCHW
+            variants issue narrow strided accesses (32B); vectorized
+            NHWC8 variants consume full bursts (128B).  A device whose
+            minimum burst exceeds this wastes the difference — why some
+            kernels run *slower* on the AGX's 256-bit memory system
+            (paper Table XI).
+    """
+
+    name: str
+    category: str
+    precision: DataType
+    tile_m: int = 64
+    tile_n: int = 64
+    blocks_per_sm: int = 2
+    split_k: int = 1
+    prefetch_depth: int = 32
+    bw_eff: float = 0.6
+    uses_tensor_cores: bool = False
+    pad_weights_to_tile: bool = False
+    min_gemm_k: int = 0
+    access_granularity_bytes: int = 128
+
+    def supports(self, category: str, gemm_k: int) -> bool:
+        """Whether this kernel can run a layer of the given workload."""
+        return self.category == category and gemm_k >= self.min_gemm_k
+
+    def workspace_bytes(self, workload) -> int:
+        """Scratch memory this kernel needs for the given workload.
+
+        Split-K kernels materialize per-split partial sums; im2col-style
+        FP32 kernels materialize the unfolded input.  The builder's
+        workspace limit (TensorRT's ``workspace_mb``) filters kernels
+        whose scratch does not fit.
+        """
+        scratch = 0
+        if self.split_k > 1:
+            scratch += (
+                workload.gemm_m * workload.gemm_n * 4 * (self.split_k - 1)
+            )
+        if not self.uses_tensor_cores and self.category in ("conv", "deconv"):
+            scratch += workload.gemm_n * workload.gemm_k * 4  # im2col
+        return scratch
+
+
+def _conv_fp16() -> List[KernelSpec]:
+    """Tensor-core HMMA convolution kernels (h884cudnn family)."""
+    f16 = DataType.FP16
+    return [
+        KernelSpec(
+            "trt_volta_h884cudnn_64x32_sliced1x2_ldg8_relu_exp_small_nhwc_tn_v1",
+            "conv", f16, tile_m=64, tile_n=32, blocks_per_sm=4, split_k=2,
+            prefetch_depth=24, bw_eff=0.55, uses_tensor_cores=True,
+            access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "trt_volta_h884cudnn_128x64_ldg8_relu_exp_small_nhwc_tn_v1",
+            "conv", f16, tile_m=128, tile_n=64, blocks_per_sm=3, split_k=1,
+            prefetch_depth=32, bw_eff=0.62, uses_tensor_cores=True,
+            access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_volta_h884cudnn_128x128_ldg8_relu_exp_medium_nhwc_tn_v1",
+            "conv", f16, tile_m=128, tile_n=128, blocks_per_sm=2, split_k=1,
+            prefetch_depth=48, bw_eff=0.68, uses_tensor_cores=True,
+            min_gemm_k=32, access_granularity_bytes=128,
+        ),
+        KernelSpec(
+            "trt_volta_h884cudnn_256x64_ldg8_relu_exp_small_nhwc_tn_v1",
+            "conv", f16, tile_m=256, tile_n=64, blocks_per_sm=2, split_k=1,
+            prefetch_depth=48, bw_eff=0.66, uses_tensor_cores=True,
+            pad_weights_to_tile=True, access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_volta_h884cudnn_256x128_ldg8_relu_exp_medium_nhwc_tn_v1",
+            "conv", f16, tile_m=256, tile_n=128, blocks_per_sm=1, split_k=1,
+            prefetch_depth=64, bw_eff=0.70, uses_tensor_cores=True,
+            pad_weights_to_tile=True, min_gemm_k=64,
+            access_granularity_bytes=128,
+        ),
+        KernelSpec(
+            "trt_volta_h884cudnn_128x128_ldg8_relu_exp_interior_nhwc_tn_v1",
+            "conv", f16, tile_m=128, tile_n=128, blocks_per_sm=2, split_k=4,
+            prefetch_depth=16, bw_eff=0.58, uses_tensor_cores=True,
+            pad_weights_to_tile=True, min_gemm_k=64,
+            access_granularity_bytes=32,
+        ),
+    ]
+
+
+def _conv_fp32() -> List[KernelSpec]:
+    """CUDA-core SGEMM-style convolution kernels (scudnn family)."""
+    f32 = DataType.FP32
+    return [
+        KernelSpec(
+            "trt_volta_scudnn_128x32_relu_small_nn_v1",
+            "conv", f32, tile_m=128, tile_n=32, blocks_per_sm=3, split_k=1,
+            prefetch_depth=16, bw_eff=0.45, access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "trt_volta_scudnn_128x64_relu_interior_nn_v1",
+            "conv", f32, tile_m=128, tile_n=64, blocks_per_sm=2, split_k=1,
+            prefetch_depth=24, bw_eff=0.52, access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_volta_scudnn_128x128_relu_medium_nn_v1",
+            "conv", f32, tile_m=128, tile_n=128, blocks_per_sm=1, split_k=1,
+            prefetch_depth=32, bw_eff=0.55, min_gemm_k=32,
+        ),
+    ]
+
+
+def _conv_int8() -> List[KernelSpec]:
+    """Tensor-core IMMA convolution kernels (i8816cudnn family)."""
+    i8 = DataType.INT8
+    return [
+        KernelSpec(
+            "trt_volta_int8_i8816cudnn_int8_128x64_ldg16_relu_small_t1r1s1",
+            "conv", i8, tile_m=128, tile_n=64, blocks_per_sm=4, split_k=1,
+            prefetch_depth=48, bw_eff=0.60, uses_tensor_cores=True,
+            min_gemm_k=32,
+        ),
+        KernelSpec(
+            "trt_volta_int8_i8816cudnn_int8_256x64_ldg16_relu_medium_t1r1s1",
+            "conv", i8, tile_m=256, tile_n=64, blocks_per_sm=2, split_k=1,
+            prefetch_depth=64, bw_eff=0.64, uses_tensor_cores=True,
+            pad_weights_to_tile=True, min_gemm_k=64,
+        ),
+    ]
+
+
+def _gemm() -> List[KernelSpec]:
+    return [
+        KernelSpec(
+            "trt_volta_h884gemm_64x64_ldg8_tn_v1",
+            "gemm", DataType.FP16, tile_m=64, tile_n=64, blocks_per_sm=3,
+            split_k=1, prefetch_depth=32, bw_eff=0.62, uses_tensor_cores=True,
+        ),
+        KernelSpec(
+            "trt_volta_h884gemm_128x64_ldg8_splitK_tn_v1",
+            "gemm", DataType.FP16, tile_m=128, tile_n=64, blocks_per_sm=2,
+            split_k=4, prefetch_depth=24, bw_eff=0.58, uses_tensor_cores=True,
+            min_gemm_k=128, access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "trt_volta_sgemm_128x32_tn_v1",
+            "gemm", DataType.FP32, tile_m=128, tile_n=32, blocks_per_sm=2,
+            split_k=1, prefetch_depth=16, bw_eff=0.50,
+            access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "trt_volta_int8_i8816gemm_64x64_ldg16_tn_v1",
+            "gemm", DataType.INT8, tile_m=64, tile_n=64, blocks_per_sm=4,
+            split_k=1, prefetch_depth=48, bw_eff=0.58, uses_tensor_cores=True,
+            min_gemm_k=64,
+        ),
+    ]
+
+
+def _special() -> List[KernelSpec]:
+    f32, f16 = DataType.FP32, DataType.FP16
+    return [
+        KernelSpec(
+            "cuDepthwise::depthwiseConvHMMAPrefetchKernel",
+            "depthwise", f16, tile_m=32, tile_n=32, blocks_per_sm=4,
+            prefetch_depth=16, bw_eff=0.55, uses_tensor_cores=True,
+            access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "cuDepthwise::depthwiseConvKernel",
+            "depthwise", f32, tile_m=32, tile_n=32, blocks_per_sm=3,
+            prefetch_depth=8, bw_eff=0.48, access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "trt_volta_hcudnn_winograd_deconv_128x64_ldg8_v0",
+            "deconv", f16, tile_m=128, tile_n=64, blocks_per_sm=2,
+            prefetch_depth=32, bw_eff=0.55, uses_tensor_cores=True,
+        ),
+        KernelSpec(
+            "trt_volta_scudnn_deconv_128x32_nn_v0",
+            "deconv", f32, tile_m=128, tile_n=32, blocks_per_sm=2,
+            prefetch_depth=16, bw_eff=0.48,
+        ),
+        KernelSpec(
+            "cudnn::pooling_fw_4d_kernel<float,NCHW>",
+            "pooling", f32, blocks_per_sm=4, bw_eff=0.60,
+            access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_maxpool_fp16_vectorized_nhwc",
+            "pooling", f16, blocks_per_sm=4, bw_eff=0.75,
+            access_granularity_bytes=128,
+        ),
+        KernelSpec(
+            "lrn::lrnForward_NChWH2",
+            "lrn", f32, blocks_per_sm=2, bw_eff=0.45,
+            access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "cudnn::softmax_fw_kernel<float>",
+            "softmax", f32, blocks_per_sm=4, bw_eff=0.50,
+            access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_pointwise_vectorized_kernel_v2",
+            "pointwise", f16, blocks_per_sm=6, bw_eff=0.80,
+            access_granularity_bytes=128,
+        ),
+        KernelSpec(
+            "cuda_pointwise_kernel",
+            "pointwise", f32, blocks_per_sm=4, bw_eff=0.60,
+            access_granularity_bytes=64,
+        ),
+        KernelSpec(
+            "trt_reformat_copy_kernel_nhwc8",
+            "copy", f16, blocks_per_sm=6, bw_eff=0.85,
+            access_granularity_bytes=128,
+        ),
+        KernelSpec(
+            "cuda_copy_kernel",
+            "copy", f32, blocks_per_sm=4, bw_eff=0.65,
+            access_granularity_bytes=64,
+        ),
+    ]
+
+
+def _detection() -> List[KernelSpec]:
+    """Detection post-processing: decode + segmented sort + NMS gather.
+
+    Detection layers bind to a *sequence* of these (the mobilenet trace
+    in the paper's Table XI shows two DeviceSegmentedRadixSortKernel
+    invocations per inference).
+    """
+    f32 = DataType.FP32
+    return [
+        KernelSpec(
+            "trt_decode_boxes_kernel", "detection", f32,
+            blocks_per_sm=4, bw_eff=0.55,
+        ),
+        KernelSpec(
+            "cub::DeviceSegmentedRadixSortKernel1", "detection", f32,
+            blocks_per_sm=2, bw_eff=0.45, access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "cub::DeviceSegmentedRadixSortKernel2", "detection", f32,
+            blocks_per_sm=2, bw_eff=0.45, access_granularity_bytes=32,
+        ),
+        KernelSpec(
+            "nms::gatherTopDetections", "detection", f32,
+            blocks_per_sm=4, bw_eff=0.50,
+        ),
+    ]
+
+
+class KernelCatalog:
+    """The engine's library of pre-implemented kernels.
+
+    ``candidates(category, gemm_k, precisions)`` returns every kernel
+    that could execute a layer; the tactic selector then times them.
+    """
+
+    def __init__(self, extra: Sequence[KernelSpec] = ()):
+        self._kernels: List[KernelSpec] = (
+            _conv_fp16() + _conv_fp32() + _conv_int8() + _gemm()
+            + _special() + _detection() + list(extra)
+        )
+        self._by_name: Dict[str, KernelSpec] = {
+            k.name: k for k in self._kernels
+        }
+        if len(self._by_name) != len(self._kernels):
+            raise ValueError("duplicate kernel names in catalog")
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __iter__(self):
+        return iter(self._kernels)
+
+    def by_name(self, name: str) -> KernelSpec:
+        return self._by_name[name]
+
+    def candidates(
+        self,
+        category: str,
+        gemm_k: int,
+        precisions: Sequence[DataType],
+    ) -> List[KernelSpec]:
+        """All kernels able to run a workload at any allowed precision."""
+        allowed = set(precisions)
+        out = [
+            k
+            for k in self._kernels
+            if k.supports(category, gemm_k) and k.precision in allowed
+        ]
+        if not out and DataType.FP32 not in allowed:
+            # The library always has an FP32 fallback (TensorRT falls
+            # back when no kernel implements the requested precision).
+            out = [
+                k
+                for k in self._kernels
+                if k.supports(category, gemm_k)
+                and k.precision is DataType.FP32
+            ]
+        return out
+
+    def detection_sequence(self) -> List[KernelSpec]:
+        """The fixed kernel pipeline bound to a detection-output layer."""
+        return [k for k in self._kernels if k.category == "detection"]
+
+
+#: Default shared catalog instance.
+DEFAULT_CATALOG = KernelCatalog()

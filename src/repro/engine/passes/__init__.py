@@ -1,0 +1,36 @@
+"""Graph optimization passes (paper Figure 2, steps 1-4).
+
+Each pass transforms a :class:`repro.graph.ir.Graph` in place and
+returns a :class:`PassReport` describing what it did.  The
+:class:`PassManager` runs them in the canonical order:
+
+1. :func:`remove_dead_layers`   — unused NN layers are removed
+2. :func:`fuse_vertically`      — consecutive layers fused into one op
+3. :func:`merge_horizontally`   — parallel sibling branches merged
+4. :func:`plan_quantization`    — FP32 weights quantized to FP16/INT8
+"""
+
+from repro.engine.passes.base import PassManager, PassReport
+from repro.engine.passes.dead_layer import remove_dead_layers
+from repro.engine.passes.vertical_fusion import fuse_vertically
+from repro.engine.passes.horizontal_merge import (
+    find_mergeable_groups,
+    merge_horizontally,
+)
+from repro.engine.passes.quantization import (
+    CalibrationCache,
+    calibrate_int8,
+    plan_quantization,
+)
+
+__all__ = [
+    "CalibrationCache",
+    "PassManager",
+    "PassReport",
+    "calibrate_int8",
+    "find_mergeable_groups",
+    "fuse_vertically",
+    "merge_horizontally",
+    "plan_quantization",
+    "remove_dead_layers",
+]

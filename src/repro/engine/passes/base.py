@@ -1,0 +1,48 @@
+"""Pass infrastructure: reports and the ordered pass manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.graph.ir import Graph
+
+
+@dataclass
+class PassReport:
+    """What one optimization pass did to a graph."""
+
+    pass_name: str
+    changed: int = 0
+    details: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.changed += 1
+        self.details.append(message)
+
+    def __str__(self) -> str:
+        head = f"[{self.pass_name}] {self.changed} change(s)"
+        if not self.details:
+            return head
+        return head + "\n  " + "\n  ".join(self.details)
+
+
+PassFn = Callable[[Graph], PassReport]
+
+
+class PassManager:
+    """Runs passes in order, validating the graph after each one."""
+
+    def __init__(self, passes: List[PassFn]):
+        self._passes = list(passes)
+
+    def run(self, graph: Graph) -> List[PassReport]:
+        reports = []
+        for fn in self._passes:
+            report = fn(graph)
+            # Dead-layer removal restores the strict no-dead invariant;
+            # before it runs we must tolerate dead tensors.
+            strict = any(r.pass_name == "dead_layer_removal" for r in reports + [report])
+            graph.validate(allow_dead=not strict)
+            reports.append(report)
+        return reports

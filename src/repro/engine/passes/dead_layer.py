@@ -1,0 +1,72 @@
+"""Dead-layer removal (paper Figure 2, step 1).
+
+Two kinds of layers die here:
+
+* layers whose outputs cannot reach any declared graph output —
+  typically training-only branches (auxiliary classifier heads, loss
+  layers) that frontends import but inference never uses;
+* inert layers (dropout, identity) that are inference no-ops; they are
+  *bypassed*, rewiring their consumers to their input tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.graph.ir import Graph, INERT_KINDS, Layer
+
+from repro.engine.passes.base import PassReport
+
+
+def _reachable_layers(graph: Graph) -> Set[str]:
+    """Names of layers whose outputs (transitively) feed graph outputs."""
+    producer: Dict[str, Layer] = {}
+    for layer in graph.layers:
+        for out in layer.outputs:
+            producer[out] = layer
+    needed_tensors = list(graph.output_names)
+    reachable: Set[str] = set()
+    while needed_tensors:
+        tensor = needed_tensors.pop()
+        layer = producer.get(tensor)
+        if layer is None or layer.name in reachable:
+            continue
+        reachable.add(layer.name)
+        needed_tensors.extend(layer.inputs)
+    return reachable
+
+
+def remove_dead_layers(graph: Graph) -> PassReport:
+    """Prune unreachable layers and bypass inert ones, in place."""
+    report = PassReport("dead_layer_removal")
+
+    # 1. Bypass inert layers that are still live (dropout etc.).
+    reachable = _reachable_layers(graph)
+    for layer in list(graph.layers):
+        if layer.kind not in INERT_KINDS or layer.name not in reachable:
+            continue
+        source = layer.inputs[0]
+        alias = layer.outputs[0]
+        if alias in graph.output_names:
+            # Keep the layer: removing it would orphan a declared
+            # output name.  (Real engines insert a no-op copy here.)
+            continue
+        for consumer in graph.consumers_of(alias):
+            consumer.inputs = [
+                source if t == alias else t for t in consumer.inputs
+            ]
+        graph.remove_layer(layer.name)
+        report.note(f"bypassed inert layer {layer.name!r} ({layer.kind.value})")
+
+    # 2. Drop everything that cannot reach an output.  Iterate to a
+    # fixpoint: removing one dead layer can orphan its producers.
+    while True:
+        reachable = _reachable_layers(graph)
+        dead = [l for l in graph.layers if l.name not in reachable]
+        if not dead:
+            break
+        for layer in dead:
+            graph.remove_layer(layer.name)
+            report.note(f"removed dead layer {layer.name!r} ({layer.kind.value})")
+
+    return report

@@ -1,0 +1,115 @@
+"""Horizontal layer merging (paper Figure 2, step 3).
+
+Sibling convolutions that read the *same* input tensor with identical
+geometry (kernel/stride/pad) and identical fused activation can execute
+as one wider convolution whose output is split channel-wise — the
+classic Inception-module optimization (many parallel 1x1 convs on one
+input).
+
+Whether merging *pays* is a timing question: one big GEMM has better
+tile efficiency than several small ones, unless the merged width
+crosses a tile boundary that the split kernels avoided.  TensorRT
+decides by measurement, so the decision is delegated to a caller-
+supplied ``decide`` function that the engine builder wires to its noisy
+kernel timer.  This is one of the two places engine builds diverge
+structurally from each other (paper Table XIII: the same model's three
+engines invoke a given kernel 9, 8, and 6 times).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import Graph, Layer, LayerKind
+
+from repro.engine.passes.base import PassReport
+
+#: Decision callback: given the graph and a candidate sibling group,
+#: return True to merge the group into one kernel.
+DecideFn = Callable[[Graph, Sequence[Layer]], bool]
+
+_MERGEABLE = (LayerKind.CONVOLUTION, LayerKind.FUSED_CONV_BLOCK)
+
+
+def _merge_key(layer: Layer) -> Tuple:
+    """Two siblings merge only if these properties all agree."""
+    return (
+        layer.inputs[0],
+        int(layer.attrs.get("kernel", 3)),
+        int(layer.attrs.get("stride", 1)),
+        int(layer.attrs.get("pad", 0)),
+        layer.attrs.get("activation"),
+        "bias" in layer.weights,
+    )
+
+
+def find_mergeable_groups(graph: Graph) -> List[List[Layer]]:
+    """Groups of >= 2 sibling convolutions eligible for merging."""
+    groups: Dict[Tuple, List[Layer]] = defaultdict(list)
+    for layer in graph.layers:
+        if layer.kind in _MERGEABLE and len(layer.inputs) == 1:
+            groups[_merge_key(layer)].append(layer)
+    return [g for g in groups.values() if len(g) >= 2]
+
+
+def _merge_group(graph: Graph, group: Sequence[Layer]) -> Layer:
+    """Replace ``group`` with one MERGED_CONV layer; returns it."""
+    first = group[0]
+    splits = []
+    kernels = []
+    biases = []
+    for layer in group:
+        out_c = int(layer.attrs["out_channels"])
+        splits.append(out_c)
+        kernels.append(layer.weights["kernel"])
+        biases.append(
+            layer.weights.get("bias", np.zeros(out_c, dtype=np.float32))
+        )
+    merged = Layer(
+        name="+".join(l.name for l in group),
+        kind=LayerKind.MERGED_CONV,
+        inputs=[first.inputs[0]],
+        outputs=[l.outputs[0] for l in group],
+        attrs={
+            "kernel": int(first.attrs.get("kernel", 3)),
+            "stride": int(first.attrs.get("stride", 1)),
+            "pad": int(first.attrs.get("pad", 0)),
+            "splits": splits,
+        },
+        weights={
+            "kernel": np.concatenate(kernels, axis=0),
+            "bias": np.concatenate(biases, axis=0),
+        },
+    )
+    activation = first.attrs.get("activation")
+    if activation:
+        merged.attrs["activation"] = activation
+        merged.attrs["slope"] = float(first.attrs.get("slope", 0.1))
+    graph.replace_layers([l.name for l in group], merged)
+    return merged
+
+
+def merge_horizontally(
+    graph: Graph, decide: DecideFn = lambda g, grp: True
+) -> PassReport:
+    """Merge sibling convolutions in place where ``decide`` approves."""
+    report = PassReport("horizontal_merge")
+    for group in find_mergeable_groups(graph):
+        if not all(graph.has_layer(l.name) for l in group):
+            continue
+        if not decide(graph, group):
+            report.details.append(
+                "declined merge of "
+                + ", ".join(l.name for l in group)
+                + " (timing)"
+            )
+            continue
+        merged = _merge_group(graph, group)
+        report.note(
+            f"merged {len(group)} siblings into {merged.name!r} "
+            f"(splits={merged.attrs['splits']})"
+        )
+    return report

@@ -1,0 +1,155 @@
+"""Quantization planning and INT8 calibration (paper Figure 2, step 4).
+
+FP16 needs no data: every conv/fc/depthwise layer simply becomes
+eligible for half-precision kernels.
+
+INT8 needs *calibration*: representative inputs are run through the
+FP32 network while per-layer input magnitudes are recorded; symmetric
+activation scales are derived from a clipped percentile of each
+quantizable layer's input distribution (entropy-calibration style),
+and weights are quantized per output channel at execution time.  A
+layer without calibration data stays at FP16/FP32 — exactly TensorRT's
+behaviour when the calibrator does not cover a tensor — and the final
+classifier layer is always excluded (standard first/last-layer
+precision practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.ir import DataType, Graph, Layer, LayerKind
+from repro.runtime.executor import GraphExecutor
+
+from repro.engine.passes.base import PassReport
+
+#: Layer kinds whose kernels exist in quantized precisions.
+QUANTIZABLE = frozenset(
+    {
+        LayerKind.CONVOLUTION,
+        LayerKind.FUSED_CONV_BLOCK,
+        LayerKind.MERGED_CONV,
+        LayerKind.DEPTHWISE_CONVOLUTION,
+        LayerKind.FULLY_CONNECTED,
+        LayerKind.FUSED_FC_BLOCK,
+        LayerKind.DECONVOLUTION,
+    }
+)
+
+
+@dataclass
+class CalibrationCache:
+    """Per-layer symmetric INT8 scales, keyed by layer name.
+
+    Mirrors TensorRT's calibration cache files: computed once from a
+    calibration set, reusable across builds of the same network.
+    """
+
+    input_scales: Dict[str, float] = field(default_factory=dict)
+    weight_scales: Dict[str, float] = field(default_factory=dict)
+
+    def covers(self, layer_name: str) -> bool:
+        return (
+            layer_name in self.input_scales
+            and layer_name in self.weight_scales
+        )
+
+
+def calibrate_int8(
+    graph: Graph, calibration_batch: np.ndarray, input_name: str = "data"
+) -> CalibrationCache:
+    """Derive INT8 scales by observing FP32 activations.
+
+    ``calibration_batch`` is an (N, C, H, W) array of representative
+    inputs (a handful of images suffices, as in TensorRT's entropy
+    calibrator).
+    """
+    executor = GraphExecutor(graph, keep_intermediates=True)
+    result = executor.run(**{input_name: calibration_batch})
+    cache = CalibrationCache()
+    for layer in graph.layers:
+        if layer.kind not in QUANTIZABLE or "kernel" not in layer.weights:
+            continue
+        src = layer.inputs[0]
+        acts = result.tensors.get(src)
+        if acts is None:
+            continue
+        # Entropy-style calibration: clip the activation tail rather
+        # than covering the absolute max — TensorRT's KL calibrator
+        # does the same, and it is what keeps INT8 accuracy usable
+        # when activations are long-tailed.
+        clip_in = float(np.percentile(np.abs(acts), 99.5))
+        absmax_w = float(np.abs(layer.weights["kernel"]).max())
+        if clip_in <= 0 or absmax_w <= 0:
+            continue
+        cache.input_scales[layer.name] = clip_in / 127.0
+        cache.weight_scales[layer.name] = absmax_w / 127.0
+    return cache
+
+
+@dataclass
+class QuantizationPlan:
+    """Allowed precisions per layer, plus INT8 scales where available."""
+
+    allowed: Dict[str, List[DataType]] = field(default_factory=dict)
+    calibration: Optional[CalibrationCache] = None
+
+    def precisions_for(self, layer: Layer) -> List[DataType]:
+        return self.allowed.get(layer.name, [DataType.FP32])
+
+
+def plan_quantization(
+    graph: Graph,
+    enabled: Sequence[DataType],
+    calibration: Optional[CalibrationCache] = None,
+) -> QuantizationPlan:
+    """Compute the per-layer precision menu for tactic selection.
+
+    ``enabled`` is the builder's precision allowance (e.g. [FP16, FP32]
+    for an FP16 build, [INT8, FP16, FP32] for a BEST build).  INT8 is
+    dropped for layers the calibration cache does not cover.
+    """
+    report = PassReport("quantization_planning")  # kept for symmetry/logging
+    plan = QuantizationPlan(calibration=calibration)
+    enabled = list(enabled)
+    if DataType.FP32 not in enabled:
+        enabled.append(DataType.FP32)  # always a legal fallback
+    # Standard INT8 practice (and TensorRT's): the network's last
+    # compute layer — the classifier producing the output logits — is
+    # too precision-sensitive to quantize; keep it at FP16/FP32.
+    softmax_feeders = {
+        layer.inputs[0]
+        for layer in graph.layers
+        if layer.kind is LayerKind.SOFTMAX
+    }
+    sensitive = set()
+    for layer in graph.layers:
+        if any(
+            out in graph.output_names or out in softmax_feeders
+            for out in layer.outputs
+        ):
+            sensitive.add(layer.name)
+    for layer in graph.layers:
+        if layer.kind in QUANTIZABLE:
+            menu = [p for p in enabled]
+            if DataType.INT8 in menu and (
+                calibration is None
+                or not calibration.covers(layer.name)
+                or layer.name in sensitive
+            ):
+                menu = [p for p in menu if p is not DataType.INT8]
+            plan.allowed[layer.name] = menu
+            report.note(
+                f"{layer.name}: {'/'.join(p.value for p in menu)}"
+            )
+        else:
+            # Non-GEMM layers run FP16 pointwise/pooling kernels when
+            # halves are enabled (activation traffic shrinks), FP32
+            # otherwise.
+            menu = [DataType.FP16, DataType.FP32] if DataType.FP16 in enabled \
+                else [DataType.FP32]
+            plan.allowed[layer.name] = menu
+    return plan

@@ -1,0 +1,131 @@
+"""Vertical fusion (paper Figure 2, step 2).
+
+Chains of ``conv -> batchnorm/scale -> activation`` collapse into a
+single :data:`~repro.graph.ir.LayerKind.FUSED_CONV_BLOCK`.  Batch-norm
+and channel-scale parameters are *folded into the convolution weights*
+(the standard inference-time algebra), so fusion is numerically a
+re-parameterization, not an approximation:
+
+    bn(conv(x, W, b)) = conv(x, W * g/s, (b - mu) * g/s + beta)
+
+with ``s = sqrt(var + eps)``.  The activation simply becomes an
+attribute of the fused kernel (every conv kernel in the catalog has a
+``_relu_`` variant — fusing it is free on the GPU).
+
+``fc -> activation`` fuses into ``FUSED_FC_BLOCK`` the same way, and
+``depthwise-conv -> bn -> activation`` folds into the depthwise layer
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.ir import Graph, Layer, LayerKind
+
+from repro.engine.passes.base import PassReport
+
+_FUSABLE_HEADS = (
+    LayerKind.CONVOLUTION,
+    LayerKind.DEPTHWISE_CONVOLUTION,
+    LayerKind.FULLY_CONNECTED,
+)
+_FOLDABLE = (LayerKind.BATCHNORM, LayerKind.SCALE)
+
+
+def _sole_consumer(graph: Graph, tensor: str) -> Optional[Layer]:
+    """The unique consumer of ``tensor``, or None if 0 or >1 or if the
+    tensor is itself a graph output (must stay materialized)."""
+    if tensor in graph.output_names:
+        return None
+    consumers = graph.consumers_of(tensor)
+    if len(consumers) != 1:
+        return None
+    return consumers[0]
+
+
+def _fold_norm_into(head: Layer, norm: Layer) -> None:
+    """Fold a batchnorm or scale layer's affine transform into the
+    head layer's kernel and bias, in place."""
+    if norm.kind is LayerKind.BATCHNORM:
+        eps = float(norm.attrs.get("epsilon", 1e-5))
+        inv_std = 1.0 / np.sqrt(norm.weights["var"] + eps)
+        gain = norm.weights["gamma"] * inv_std
+        shift = norm.weights["beta"] - norm.weights["mean"] * gain
+    else:  # SCALE
+        gain = norm.weights["gamma"]
+        shift = norm.weights["beta"]
+    kernel = head.weights["kernel"]
+    if head.kind is LayerKind.FULLY_CONNECTED:
+        head.weights["kernel"] = (kernel * gain[:, None]).astype(np.float32)
+    else:
+        head.weights["kernel"] = (
+            kernel * gain[:, None, None, None]
+        ).astype(np.float32)
+    bias = head.weights.get("bias")
+    if bias is None:
+        bias = np.zeros(len(gain), dtype=np.float32)
+    head.weights["bias"] = (bias * gain + shift).astype(np.float32)
+
+
+def _chain_from(graph: Graph, head: Layer) -> List[Layer]:
+    """The maximal fusable chain starting at ``head`` (inclusive)."""
+    chain = [head]
+    current = head
+    saw_activation = False
+    while True:
+        nxt = _sole_consumer(graph, current.outputs[0])
+        if nxt is None:
+            break
+        if nxt.kind in _FOLDABLE and not saw_activation:
+            chain.append(nxt)
+        elif nxt.kind is LayerKind.ACTIVATION and not saw_activation:
+            chain.append(nxt)
+            saw_activation = True
+        else:
+            break
+        current = nxt
+    return chain
+
+
+def fuse_vertically(graph: Graph) -> PassReport:
+    """Fuse conv/fc chains in place."""
+    report = PassReport("vertical_fusion")
+    for head in list(graph.layers):
+        if not graph.has_layer(head.name):
+            continue  # already consumed by an earlier fusion
+        if head.kind not in _FUSABLE_HEADS:
+            continue
+        chain = _chain_from(graph, head)
+        if len(chain) == 1:
+            continue
+
+        fused = head.copy()
+        activation: Optional[str] = None
+        slope = 0.1
+        for follower in chain[1:]:
+            if follower.kind in _FOLDABLE:
+                _fold_norm_into(fused, follower)
+            else:  # activation
+                activation = str(follower.attrs["function"])
+                slope = float(follower.attrs.get("slope", 0.1))
+
+        if head.kind is LayerKind.CONVOLUTION:
+            fused.kind = LayerKind.FUSED_CONV_BLOCK
+        elif head.kind is LayerKind.FULLY_CONNECTED:
+            fused.kind = LayerKind.FUSED_FC_BLOCK
+        # Depthwise keeps its kind; activation becomes an attribute.
+        if activation:
+            fused.attrs["activation"] = activation
+            fused.attrs["slope"] = slope
+        fused.outputs = [chain[-1].outputs[0]]
+        fused.name = head.name
+
+        graph.replace_layers([l.name for l in chain], fused)
+        report.note(
+            f"fused {' + '.join(l.name for l in chain)} -> "
+            f"{fused.name!r} ({fused.kind.value})"
+        )
+    return report

@@ -1,0 +1,136 @@
+"""Engine plan serialization.
+
+A built engine can be saved as a single ``.plan`` file and reloaded —
+possibly on another device, which is exactly the configuration the
+paper studies in its cross-platform cases (an engine file compiled on
+NX copied to and executed on AGX).  The plan records the optimized
+graph, every kernel binding (by catalog name), the per-layer math
+configuration, and the build metadata.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.serialization import load_graph, save_graph
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+from repro.runtime.math_config import LayerMath, MathConfig
+
+from repro.engine.builder import PrecisionMode
+from repro.engine.engine import Engine, LayerBinding
+from repro.engine.kernels import DEFAULT_CATALOG
+from repro.graph.ir import DataType
+from repro.graph.shapes import infer_shapes
+from repro.hardware.workload import layer_workload
+
+_PLAN_VERSION = 1
+
+_DEVICES = {spec.name: spec for spec in (XAVIER_NX, XAVIER_AGX)}
+
+
+def save_plan(engine: Engine, path: Union[str, Path]) -> None:
+    """Serialize ``engine`` to a directory-free single file."""
+    path = Path(path)
+    graph_buf = io.BytesIO()
+    save_graph(engine.graph, graph_buf)
+    doc = {
+        "plan_version": _PLAN_VERSION,
+        "name": engine.name,
+        "source_network": engine.source_network,
+        "device": engine.device.name,
+        "precision_mode": engine.precision_mode.value,
+        "build_seed": engine.build_seed,
+        "size_bytes": engine.size_bytes,
+        "weight_chunks": list(engine.weight_chunks),
+        "input_name": engine.input_name,
+        "build_time_us": engine.build_time_us,
+        "bindings": [
+            {
+                "layer": b.layer_name,
+                "kernels": [k.name for k in b.kernels],
+            }
+            for b in engine.bindings
+        ],
+        "math": {
+            name: {
+                "precision": m.precision.value,
+                "split_k": m.split_k,
+                "int8_scale_in": m.int8_scale_in,
+                "int8_scale_w": m.int8_scale_w,
+            }
+            for name, m in engine.math_config.per_layer.items()
+        },
+    }
+    with open(path, "wb") as f:
+        np.savez_compressed(
+            f,
+            __plan__=np.frombuffer(
+                json.dumps(doc).encode("utf-8"), dtype=np.uint8
+            ),
+            __graph__=np.frombuffer(graph_buf.getvalue(), dtype=np.uint8),
+        )
+
+
+def load_plan(path: Union[str, Path]) -> Engine:
+    """Reload an engine plan saved by :func:`save_plan`."""
+    with np.load(path, allow_pickle=False) as archive:
+        doc = json.loads(bytes(archive["__plan__"]).decode("utf-8"))
+        graph = load_graph(io.BytesIO(bytes(archive["__graph__"])))
+    if doc.get("plan_version") != _PLAN_VERSION:
+        raise ValueError(
+            f"unsupported plan version {doc.get('plan_version')}"
+        )
+    try:
+        device = _DEVICES[doc["device"]]
+    except KeyError:
+        raise ValueError(f"unknown plan device {doc['device']!r}") from None
+
+    math_config = MathConfig()
+    for layer_name, m in doc["math"].items():
+        math_config.per_layer[layer_name] = LayerMath(
+            precision=DataType(m["precision"]),
+            split_k=int(m["split_k"]),
+            int8_scale_in=m["int8_scale_in"],
+            int8_scale_w=m["int8_scale_w"],
+        )
+
+    shapes = infer_shapes(graph)
+    act_dtype = (
+        DataType.FP16
+        if doc["precision_mode"] != "fp32"
+        else DataType.FP32
+    )
+    bindings = []
+    layer_by_name = {layer.name: layer for layer in graph.layers}
+    for entry in doc["bindings"]:
+        layer = layer_by_name[entry["layer"]]
+        bindings.append(
+            LayerBinding(
+                layer_name=entry["layer"],
+                kernels=[
+                    DEFAULT_CATALOG.by_name(k) for k in entry["kernels"]
+                ],
+                workload=layer_workload(layer, shapes, act_dtype),
+                tactic=None,
+            )
+        )
+
+    return Engine(
+        name=doc["name"],
+        source_network=doc["source_network"],
+        device=device,
+        graph=graph,
+        bindings=bindings,
+        math_config=math_config,
+        size_bytes=int(doc["size_bytes"]),
+        weight_chunks=[int(c) for c in doc["weight_chunks"]],
+        input_name=doc["input_name"],
+        build_seed=int(doc["build_seed"]),
+        precision_mode=PrecisionMode(doc["precision_mode"]),
+        build_time_us=float(doc["build_time_us"]),
+    )

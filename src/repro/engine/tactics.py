@@ -1,0 +1,176 @@
+"""Timing-based kernel tactic selection (paper Figure 2, step 5).
+
+For every optimized layer the builder asks: *which kernel from the
+catalog runs this fastest on this device?*  Like TensorRT, it answers
+by **timing the candidates on the target hardware** and keeping the
+winner.  Timing a kernel on a live board is noisy (DVFS, DRAM refresh,
+background work), so when two candidates are within a few percent of
+each other, *which one wins varies from build to build*.
+
+That single mechanism produces every "unpredictable" finding in the
+paper: different builds bind different kernels (Table XIII), therefore
+have different latencies (Table XII), different accumulation orders and
+hence occasionally different outputs (Tables V/VI), and a build tuned
+on one platform can be pessimal on another (Table VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType
+from repro.hardware.cost import CostModel
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.workload import LayerWorkload
+
+from repro.engine.kernels import KernelCatalog, KernelSpec
+from repro.engine.timing_cache import TimingCache
+
+
+@dataclass(frozen=True)
+class TacticChoice:
+    """Result of one auction: the kernel bound to a layer."""
+
+    layer_name: str
+    kernel: KernelSpec
+    measured_us: float  # the (noisy) timing that won the auction
+    true_us: float  # noiseless model time, kept for analysis
+    candidates_timed: int
+
+
+class TacticSelector:
+    """Runs the per-layer kernel auctions for one engine build.
+
+    Args:
+        device: the build target (tactics are device-specific).
+        clock_mhz: GPU clock during the build's timing runs.
+        rng: the build's random stream — one stream per build, so a
+            different seed yields a different engine.
+        timing_noise: relative std-dev of one timing measurement
+            (~5-10% matches jitter on a busy Jetson).
+        timing_repeats: measurements averaged per candidate (TensorRT's
+            ``avgTiming``); more repeats => more deterministic builds.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        clock_mhz: float,
+        rng: np.random.Generator,
+        timing_noise: float = 0.08,
+        timing_repeats: int = 1,
+        timing_cache: "TimingCache | None" = None,
+        workspace_limit_bytes: "int | None" = None,
+    ):
+        if timing_noise < 0:
+            raise ValueError("timing_noise must be >= 0")
+        if timing_repeats < 1:
+            raise ValueError("timing_repeats must be >= 1")
+        self.device = device
+        self.clock_mhz = clock_mhz
+        self.cost = CostModel(device)
+        self._rng = rng
+        self.timing_noise = timing_noise
+        self.timing_repeats = timing_repeats
+        if timing_cache is not None:
+            timing_cache.check_device(device)
+        self.timing_cache = timing_cache
+        self.workspace_limit_bytes = workspace_limit_bytes
+
+    # ------------------------------------------------------------------
+    def measure_kernel(
+        self, kernel: KernelSpec, workload: LayerWorkload
+    ) -> Tuple[float, float]:
+        """(noisy measured time, true model time) in microseconds.
+
+        With a timing cache attached, a previously measured
+        (kernel, shape) pair is returned verbatim — no new measurement,
+        no new noise — which is what makes cached rebuilds
+        deterministic.
+        """
+        true_us = self.cost.kernel_time_us(kernel, workload, self.clock_mhz)
+        if self.timing_cache is not None:
+            cached = self.timing_cache.lookup(kernel.name, workload)
+            if cached is not None:
+                return cached, true_us
+        samples = true_us * (
+            1.0
+            + self.timing_noise
+            * self._rng.standard_normal(self.timing_repeats)
+        )
+        measured = float(np.clip(samples, true_us * 0.5, None).mean())
+        if self.timing_cache is not None:
+            self.timing_cache.store(kernel.name, workload, measured)
+        return measured, true_us
+
+    def choose(
+        self,
+        layer_name: str,
+        workload: LayerWorkload,
+        precisions: Sequence[DataType],
+        catalog: KernelCatalog,
+    ) -> TacticChoice:
+        """Auction all eligible kernels for one layer; keep the winner."""
+        candidates = catalog.candidates(
+            workload.category, workload.gemm_k, precisions
+        )
+        if self.workspace_limit_bytes is not None:
+            fitting = [
+                k for k in candidates
+                if k.workspace_bytes(workload) <= self.workspace_limit_bytes
+            ]
+            # TensorRT keeps at least one fallback even under a tight
+            # workspace: the smallest-scratch candidate.
+            candidates = fitting or [
+                min(candidates,
+                    key=lambda k: k.workspace_bytes(workload))
+            ] if candidates else []
+        if not candidates:
+            raise LookupError(
+                f"no kernel in catalog for category {workload.category!r} "
+                f"(layer {layer_name!r})"
+            )
+        best: TacticChoice | None = None
+        for kernel in candidates:
+            measured, true_us = self.measure_kernel(kernel, workload)
+            if best is None or measured < best.measured_us:
+                best = TacticChoice(
+                    layer_name=layer_name,
+                    kernel=kernel,
+                    measured_us=measured,
+                    true_us=true_us,
+                    candidates_timed=len(candidates),
+                )
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    def merge_is_faster(
+        self,
+        group_workloads: List[LayerWorkload],
+        merged_workload: LayerWorkload,
+        precisions: Sequence[DataType],
+        catalog: KernelCatalog,
+    ) -> bool:
+        """Timing-based horizontal-merge decision.
+
+        Compares the (noisy) best time of the merged kernel against the
+        sum of the (noisy) best times of the separate kernels — the
+        same auction TensorRT runs when considering a merge.  Because
+        both sides are measured, the decision itself is build-dependent
+        when the margin is small.
+        """
+        def best_time(workload: LayerWorkload) -> float:
+            cands = catalog.candidates(
+                workload.category, workload.gemm_k, precisions
+            )
+            if not cands:
+                return float("inf")
+            return min(self.measure_kernel(k, workload)[0] for k in cands)
+
+        merged_time = best_time(merged_workload)
+        split_time = sum(best_time(w) for w in group_workloads)
+        return merged_time < split_time

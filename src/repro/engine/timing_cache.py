@@ -1,0 +1,101 @@
+"""Timing cache: reuse tactic measurements across builds.
+
+TensorRT's timing cache stores the measured time of every (kernel,
+layer-shape) pair from one build and reuses it in later builds, which
+(a) makes rebuilds much faster and (b) makes them *deterministic* —
+the same cached measurements produce the same auction winners.  This is
+the deployment-side mitigation for the paper's Findings 2 and 6: ship
+one cache alongside the model and every rebuild binds the same kernels.
+
+The cache is serializable so it can be committed next to a model, and
+it is device-specific (timings from one board do not transfer), which
+the implementation enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.workload import LayerWorkload
+
+#: Cache key: kernel identity + the workload dimensions that determine
+#: its runtime (GEMM shape + byte counts).
+_Key = Tuple[str, int, int, int, int, int, int]
+
+
+def _key_for(kernel_name: str, workload: LayerWorkload) -> _Key:
+    return (
+        kernel_name,
+        workload.gemm_m,
+        workload.gemm_n,
+        workload.gemm_k,
+        workload.bytes_in,
+        workload.bytes_w,
+        workload.bytes_out,
+    )
+
+
+@dataclass
+class TimingCache:
+    """Measured kernel timings, keyed by (kernel, workload shape)."""
+
+    device_name: str
+    entries: Dict[_Key, float] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, kernel_name: str, workload: LayerWorkload
+    ) -> Optional[float]:
+        """Cached measured time (us), or None on a miss."""
+        value = self.entries.get(_key_for(kernel_name, workload))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(
+        self, kernel_name: str, workload: LayerWorkload, measured_us: float
+    ) -> None:
+        self.entries[_key_for(kernel_name, workload)] = float(measured_us)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def check_device(self, device: DeviceSpec) -> None:
+        """Caches are device-specific; refuse cross-device reuse."""
+        if device.name != self.device_name:
+            raise ValueError(
+                f"timing cache was recorded on {self.device_name!r}; "
+                f"refusing to reuse it on {device.name!r} "
+                "(kernel timings do not transfer across boards)"
+            )
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the cache to a JSON file (shippable artifact)."""
+        doc = {
+            "device": self.device_name,
+            "entries": [
+                {"key": list(key), "us": value}
+                for key, value in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=1))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TimingCache":
+        doc = json.loads(Path(path).read_text())
+        cache = cls(device_name=doc["device"])
+        for entry in doc["entries"]:
+            key = entry["key"]
+            cache.entries[(str(key[0]), *map(int, key[1:]))] = float(
+                entry["us"]
+            )
+        return cache

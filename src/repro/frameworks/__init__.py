@@ -1,0 +1,28 @@
+"""Framework frontends (paper Figure 1, level 4 / Figure 2 left edge).
+
+TensorRT's defining breadth is that it ingests models from many
+training frameworks; the paper's 13 networks arrive as Caffe,
+TensorFlow, Darknet and PyTorch artifacts (Table II).  Each module here
+parses a faithful rendition of that framework's model format and lowers
+it to the shared graph IR:
+
+* :mod:`repro.frameworks.caffe` — prototxt text + caffemodel-style
+  weight dict;
+* :mod:`repro.frameworks.darknet` — .cfg INI sections + flat weight
+  list;
+* :mod:`repro.frameworks.tensorflow` — GraphDef-style node list with
+  Const weight nodes;
+* :mod:`repro.frameworks.pytorch` — an nn.Module-like tracing API.
+"""
+
+from repro.frameworks.caffe import parse_prototxt
+from repro.frameworks.darknet import parse_darknet_cfg
+from repro.frameworks.tensorflow import import_graphdef
+from repro.frameworks.pytorch import trace_module
+
+__all__ = [
+    "import_graphdef",
+    "parse_darknet_cfg",
+    "parse_prototxt",
+    "trace_module",
+]

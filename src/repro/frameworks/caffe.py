@@ -1,0 +1,355 @@
+"""Caffe frontend: prototxt parser + caffemodel-style weights.
+
+Nine of the paper's thirteen networks are Caffe models (Table II).  A
+Caffe deployment consists of a ``deploy.prototxt`` describing the layer
+DAG in protobuf text format and a binary ``.caffemodel`` with the
+learned blobs; here the prototxt is parsed for real (a small recursive
+protobuf-text parser) and the weights arrive as a ``{layer: {blob:
+array}}`` dict.
+
+Supported layer types cover everything the paper's Caffe models use:
+Convolution, Deconvolution, InnerProduct, Pooling, ReLU, PReLU, Sigmoid,
+LRN, BatchNorm, Scale, Concat, Eltwise, Dropout, Softmax, Flatten.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graph.ir import Graph, GraphError, Layer, LayerKind, TensorSpec
+
+WeightDict = Dict[str, Dict[str, np.ndarray]]
+
+
+class PrototxtError(ValueError):
+    """Raised on malformed prototxt input."""
+
+
+# ----------------------------------------------------------------------
+# protobuf text-format parsing
+# ----------------------------------------------------------------------
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "{}:":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = text.index('"', i + 1)
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in " \t\r\n{}:#":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+Message = Dict[str, List[Union[str, "Message"]]]
+
+
+def _parse_message(tokens: List[str], pos: int) -> Tuple[Message, int]:
+    """Parse fields until a closing '}' or end of input."""
+    message: Message = {}
+    while pos < len(tokens):
+        tok = tokens[pos]
+        if tok == "}":
+            return message, pos + 1
+        key = tok
+        pos += 1
+        if pos >= len(tokens):
+            raise PrototxtError(f"dangling field {key!r}")
+        if tokens[pos] == ":":
+            pos += 1
+            if pos >= len(tokens):
+                raise PrototxtError(f"missing value for {key!r}")
+            value: Union[str, Message] = tokens[pos]
+            pos += 1
+        elif tokens[pos] == "{":
+            value, pos = _parse_message(tokens, pos + 1)
+        else:
+            raise PrototxtError(
+                f"expected ':' or '{{' after {key!r}, got {tokens[pos]!r}"
+            )
+        message.setdefault(key, []).append(value)
+    return message, pos
+
+
+def parse_text_message(text: str) -> Message:
+    """Parse a protobuf text-format document into nested dicts."""
+    tokens = _tokenize(text)
+    message, pos = _parse_message(tokens, 0)
+    if pos < len(tokens):
+        raise PrototxtError(f"unexpected token {tokens[pos]!r}")
+    return message
+
+
+def _scalar(message: Message, key: str, default=None):
+    values = message.get(key)
+    if not values:
+        return default
+    value = values[0]
+    if isinstance(value, dict):
+        raise PrototxtError(f"field {key!r} is a message, not a scalar")
+    return value.strip('"')
+
+
+def _int(message: Message, key: str, default: int = 0) -> int:
+    return int(_scalar(message, key, default))
+
+
+def _sub(message: Message, key: str) -> Message:
+    values = message.get(key)
+    if not values:
+        return {}
+    if not isinstance(values[0], dict):
+        raise PrototxtError(f"field {key!r} is a scalar, not a message")
+    return values[0]
+
+
+# ----------------------------------------------------------------------
+# layer lowering
+# ----------------------------------------------------------------------
+def _lower_layer(
+    spec: Message, weights: WeightDict
+) -> Layer:
+    name = _scalar(spec, "name")
+    ltype = _scalar(spec, "type")
+    bottoms = [str(v).strip('"') for v in spec.get("bottom", [])]
+    tops = [str(v).strip('"') for v in spec.get("top", [])]
+    if name is None or ltype is None:
+        raise PrototxtError("layer missing name or type")
+    blobs = weights.get(name, {})
+
+    def make(kind: LayerKind, attrs=None, lw=None, outputs=None) -> Layer:
+        return Layer(
+            name=name,
+            kind=kind,
+            inputs=bottoms,
+            outputs=outputs or tops,
+            attrs=attrs or {},
+            weights=lw or {},
+        )
+
+    if ltype == "Convolution":
+        p = _sub(spec, "convolution_param")
+        lw = {"kernel": blobs["kernel"]}
+        if "bias" in blobs:
+            lw["bias"] = blobs["bias"]
+        return make(
+            LayerKind.CONVOLUTION,
+            attrs={
+                "out_channels": _int(p, "num_output"),
+                "kernel": _int(p, "kernel_size", 3),
+                "stride": _int(p, "stride", 1),
+                "pad": _int(p, "pad", 0),
+            },
+            lw=lw,
+        )
+    if ltype == "Deconvolution":
+        p = _sub(spec, "convolution_param")
+        lw = {"kernel": blobs["kernel"]}
+        if "bias" in blobs:
+            lw["bias"] = blobs["bias"]
+        return make(
+            LayerKind.DECONVOLUTION,
+            attrs={
+                "out_channels": _int(p, "num_output"),
+                "kernel": _int(p, "kernel_size", 2),
+                "stride": _int(p, "stride", 2),
+                "pad": _int(p, "pad", 0),
+            },
+            lw=lw,
+        )
+    if ltype == "InnerProduct":
+        p = _sub(spec, "inner_product_param")
+        lw = {"kernel": blobs["kernel"]}
+        if "bias" in blobs:
+            lw["bias"] = blobs["bias"]
+        return make(
+            LayerKind.FULLY_CONNECTED,
+            attrs={"out_units": _int(p, "num_output")},
+            lw=lw,
+        )
+    if ltype == "Pooling":
+        p = _sub(spec, "pooling_param")
+        mode = str(_scalar(p, "pool", "MAX")).upper()
+        if _scalar(p, "global_pooling", "false") == "true":
+            return make(
+                LayerKind.POOLING,
+                attrs={"pool": "avg" if mode == "AVE" else "max",
+                       "global": True},
+            )
+        return make(
+            LayerKind.POOLING,
+            attrs={
+                "pool": "avg" if mode == "AVE" else "max",
+                "kernel": _int(p, "kernel_size", 2),
+                "stride": _int(p, "stride", 2),
+                "pad": _int(p, "pad", 0),
+            },
+        )
+    if ltype in ("ReLU", "Sigmoid", "TanH", "PReLU"):
+        function = {
+            "ReLU": "relu",
+            "Sigmoid": "sigmoid",
+            "TanH": "tanh",
+            "PReLU": "leaky_relu",
+        }[ltype]
+        attrs = {"function": function}
+        if ltype == "PReLU":
+            attrs["slope"] = 0.25
+        return make(LayerKind.ACTIVATION, attrs=attrs)
+    if ltype == "LRN":
+        p = _sub(spec, "lrn_param")
+        return make(
+            LayerKind.LRN,
+            attrs={
+                "size": _int(p, "local_size", 5),
+                "alpha": float(_scalar(p, "alpha", 1e-4)),
+                "beta": float(_scalar(p, "beta", 0.75)),
+                "k": float(_scalar(p, "k", 2.0)),
+            },
+        )
+    if ltype == "BatchNorm":
+        return make(
+            LayerKind.BATCHNORM,
+            attrs={"epsilon": 1e-5},
+            lw={
+                "gamma": blobs.get(
+                    "gamma", np.ones_like(blobs["mean"])
+                ),
+                "beta": blobs.get(
+                    "beta", np.zeros_like(blobs["mean"])
+                ),
+                "mean": blobs["mean"],
+                "var": blobs["var"],
+            },
+        )
+    if ltype == "Scale":
+        return make(
+            LayerKind.SCALE,
+            lw={"gamma": blobs["gamma"], "beta": blobs["beta"]},
+        )
+    if ltype == "Concat":
+        p = _sub(spec, "concat_param")
+        # Caffe axis 1 is channels; IR shapes omit the batch dim.
+        return make(
+            LayerKind.CONCAT, attrs={"axis": _int(p, "axis", 1) - 1}
+        )
+    if ltype == "Eltwise":
+        p = _sub(spec, "eltwise_param")
+        op = str(_scalar(p, "operation", "SUM")).upper()
+        return make(
+            LayerKind.ELEMENTWISE,
+            attrs={"op": {"SUM": "add", "PROD": "mul", "MAX": "max"}[op]},
+        )
+    if ltype == "Dropout":
+        p = _sub(spec, "dropout_param")
+        return make(
+            LayerKind.DROPOUT,
+            attrs={"ratio": float(_scalar(p, "dropout_ratio", 0.5))},
+        )
+    if ltype == "Softmax":
+        return make(LayerKind.SOFTMAX)
+    if ltype == "Flatten":
+        return make(LayerKind.FLATTEN)
+    if ltype == "DetectionOutput":
+        # Caffe-SSD fork layer: decodes box/conf grids + NMS.
+        p = _sub(spec, "detection_output_param")
+        nms = _sub(p, "nms_param")
+        return make(
+            LayerKind.DETECTION_OUTPUT,
+            attrs={
+                "num_classes": _int(p, "num_classes", 2),
+                "max_boxes": _int(p, "keep_top_k", 100),
+                "score_threshold": float(
+                    _scalar(p, "confidence_threshold", 0.3)
+                ),
+                "nms_iou": float(_scalar(nms, "nms_threshold", 0.5)),
+            },
+        )
+    raise PrototxtError(f"unsupported Caffe layer type {ltype!r}")
+
+
+def parse_prototxt(
+    text: str,
+    weights: WeightDict,
+    input_shape: Optional[Tuple[int, int, int]] = None,
+    outputs: Optional[List[str]] = None,
+) -> Graph:
+    """Parse a deploy prototxt + weights into an IR graph.
+
+    The input shape comes from the prototxt's ``input_dim`` fields
+    unless overridden.  ``outputs`` names the inference outputs; when
+    omitted, every top tensor nobody consumes becomes an output
+    (Caffe's implicit convention) — note that for models with
+    training-only heads this marks those heads live, so callers
+    importing such models should name the real outputs explicitly.
+    """
+    doc = parse_text_message(text)
+    net_name = _scalar(doc, "name", "caffe_net")
+    input_name = _scalar(doc, "input", "data")
+    if input_shape is None:
+        dims = [int(str(v)) for v in doc.get("input_dim", [])]
+        if len(dims) == 4:
+            input_shape = (dims[1], dims[2], dims[3])
+        else:
+            raise PrototxtError(
+                "prototxt has no input_dim; pass input_shape explicitly"
+            )
+
+    graph = Graph(net_name, [TensorSpec(input_name, input_shape)])
+    layer_specs = [v for v in doc.get("layer", []) if isinstance(v, dict)]
+    if not layer_specs:
+        raise PrototxtError("prototxt defines no layers")
+
+    for spec in layer_specs:
+        layer = _lower_layer(spec, weights)
+        # Caffe allows in-place layers (top == bottom) and tensor
+        # re-definition; the IR needs SSA-form tensors, so re-defining
+        # tops are renamed and an alias map (below) rewires consumers.
+        renamed = []
+        for top in layer.outputs:
+            if (
+                top in layer.inputs
+                or graph.producer_of(top) is not None
+                or top in graph.input_specs
+            ):
+                renamed.append(f"{top}/{layer.name}")
+            else:
+                renamed.append(top)
+        layer.outputs = renamed
+        graph.add_layer(layer)
+
+    # Resolve aliases in prototxt order: a bottom referring to tensor T
+    # binds to the most recent layer that (re-)defined T.
+    alias: Dict[str, str] = {}
+    for layer in graph.layers:
+        layer.inputs = [alias.get(t, t) for t in layer.inputs]
+        for out in layer.outputs:
+            if "/" in out:
+                alias[out.split("/", 1)[0]] = out
+
+    if outputs:
+        for out in outputs:
+            graph.mark_output(alias.get(out, out))
+    else:
+        consumed = {t for layer in graph.layers for t in layer.inputs}
+        for layer in graph.layers:
+            for out in layer.outputs:
+                if out not in consumed:
+                    graph.mark_output(out)
+    graph.validate(allow_dead=True)
+    return graph

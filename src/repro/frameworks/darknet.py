@@ -1,0 +1,262 @@
+"""Darknet frontend: .cfg section parser + sequential weight blobs.
+
+Tiny-YOLOv3 arrives as a Darknet model (paper Table II).  A Darknet
+model is an INI-like ``.cfg`` whose sections are layers in order, plus
+a flat binary weight file consumed sequentially; here the weights come
+as an ordered list of per-layer dicts.
+
+Supported sections: ``[net]``, ``[convolutional]``, ``[maxpool]``,
+``[avgpool]``, ``[route]``, ``[shortcut]``, ``[upsample]``, ``[yolo]``.
+Darknet layers are index-addressed (``route`` refers to absolute or
+relative layer indices), which the parser resolves to IR tensor names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+
+
+class DarknetCfgError(ValueError):
+    """Raised on malformed .cfg input."""
+
+
+Section = Tuple[str, Dict[str, str]]
+
+
+def parse_cfg_sections(text: str) -> List[Section]:
+    """Split a .cfg document into (section_name, options) pairs."""
+    sections: List[Section] = []
+    current: Dict[str, str] = {}
+    name = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise DarknetCfgError(f"malformed section header {line!r}")
+            if name is not None:
+                sections.append((name, current))
+            name = line[1:-1].strip()
+            current = {}
+        else:
+            if "=" not in line:
+                raise DarknetCfgError(f"malformed option line {line!r}")
+            key, value = line.split("=", 1)
+            current[key.strip()] = value.strip()
+    if name is not None:
+        sections.append((name, current))
+    return sections
+
+
+def _activation_layers(
+    graph: Graph, base: str, tensor: str, activation: str
+) -> str:
+    """Append the darknet activation (if any) and return the out tensor."""
+    if activation in ("linear", ""):
+        return tensor
+    function = {"leaky": "leaky_relu", "relu": "relu", "logistic": "sigmoid"}
+    if activation not in function:
+        raise DarknetCfgError(f"unsupported activation {activation!r}")
+    out = f"{base}_act"
+    layer = Layer(
+        name=f"{base}/act",
+        kind=LayerKind.ACTIVATION,
+        inputs=[tensor],
+        outputs=[out],
+        attrs={"function": function[activation], "slope": 0.1},
+    )
+    graph.add_layer(layer)
+    return out
+
+
+def parse_darknet_cfg(
+    text: str,
+    weights: Sequence[Dict[str, np.ndarray]],
+    name: str = "darknet",
+) -> Graph:
+    """Lower a .cfg + ordered weight blobs into an IR graph.
+
+    ``weights[i]`` holds the arrays of the i-th *weighted* section, in
+    file order — matching how Darknet reads its flat weight file.
+    """
+    sections = parse_cfg_sections(text)
+    if not sections or sections[0][0] != "net":
+        raise DarknetCfgError("first section must be [net]")
+    net_opts = sections[0][1]
+    channels = int(net_opts.get("channels", 3))
+    height = int(net_opts.get("height", 64))
+    width = int(net_opts.get("width", 64))
+
+    graph = Graph(name, [TensorSpec("data", (channels, height, width))])
+    # Per darknet convention, layer index i's output tensor:
+    outputs: List[str] = []  # index -> tensor name
+    out_channels: List[int] = []  # index -> channel count (for route)
+    current = "data"
+    current_c = channels
+    weight_cursor = 0
+
+    for idx, (section, opts) in enumerate(sections[1:]):
+        lname = f"{section}_{idx}"
+        if section == "convolutional":
+            filters = int(opts.get("filters", 1))
+            size = int(opts.get("size", 3))
+            stride = int(opts.get("stride", 1))
+            pad = int(opts.get("pad", 0))
+            pad_px = size // 2 if pad else 0
+            use_bn = opts.get("batch_normalize", "0") == "1"
+            blobs = weights[weight_cursor]
+            weight_cursor += 1
+            conv_out = f"{lname}_conv"
+            conv_weights = {"kernel": blobs["kernel"]}
+            if not use_bn:
+                conv_weights["bias"] = blobs["bias"]
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.CONVOLUTION,
+                    inputs=[current],
+                    outputs=[conv_out],
+                    attrs={
+                        "out_channels": filters,
+                        "kernel": size,
+                        "stride": stride,
+                        "pad": pad_px,
+                    },
+                    weights=conv_weights,
+                )
+            )
+            tensor = conv_out
+            if use_bn:
+                bn_out = f"{lname}_bn"
+                graph.add_layer(
+                    Layer(
+                        name=f"{lname}/bn",
+                        kind=LayerKind.BATCHNORM,
+                        inputs=[tensor],
+                        outputs=[bn_out],
+                        attrs={"epsilon": 1e-5},
+                        weights={
+                            "gamma": blobs["gamma"],
+                            "beta": blobs["beta"],
+                            "mean": blobs["mean"],
+                            "var": blobs["var"],
+                        },
+                    )
+                )
+                tensor = bn_out
+            tensor = _activation_layers(
+                graph, lname, tensor, opts.get("activation", "linear")
+            )
+            current, current_c = tensor, filters
+        elif section == "maxpool":
+            size = int(opts.get("size", 2))
+            stride = int(opts.get("stride", size))
+            attrs = {"pool": "max", "kernel": size, "stride": stride,
+                     "pad": 0}
+            if stride != size:
+                # Darknet pads asymmetrically so output = ceil(h/stride)
+                # (the classic stride-1 maxpool before the last conv).
+                attrs["pad_mode"] = "same"
+            out = f"{lname}_out"
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.POOLING,
+                    inputs=[current],
+                    outputs=[out],
+                    attrs=attrs,
+                )
+            )
+            current = out
+        elif section == "avgpool":
+            out = f"{lname}_out"
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.POOLING,
+                    inputs=[current],
+                    outputs=[out],
+                    attrs={"pool": "avg", "global": True},
+                )
+            )
+            current = out
+        elif section == "route":
+            refs = [int(v) for v in opts["layers"].split(",")]
+            resolved = [r if r >= 0 else idx + r for r in refs]
+            tensors = [outputs[r] for r in resolved]
+            if len(tensors) == 1:
+                current = tensors[0]
+                current_c = out_channels[resolved[0]]
+            else:
+                out = f"{lname}_out"
+                graph.add_layer(
+                    Layer(
+                        name=lname,
+                        kind=LayerKind.CONCAT,
+                        inputs=tensors,
+                        outputs=[out],
+                        attrs={"axis": 0},
+                    )
+                )
+                current = out
+                current_c = sum(out_channels[r] for r in resolved)
+        elif section == "shortcut":
+            ref = int(opts["from"])
+            other = outputs[ref if ref >= 0 else idx + ref]
+            out = f"{lname}_out"
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.ELEMENTWISE,
+                    inputs=[current, other],
+                    outputs=[out],
+                    attrs={"op": "add"},
+                )
+            )
+            current = _activation_layers(
+                graph, lname, out, opts.get("activation", "linear")
+            )
+        elif section == "upsample":
+            factor = int(opts.get("stride", 2))
+            out = f"{lname}_out"
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.UPSAMPLE,
+                    inputs=[current],
+                    outputs=[out],
+                    attrs={"factor": factor},
+                )
+            )
+            current = out
+        elif section == "yolo":
+            classes = int(opts.get("classes", 4))
+            anchors = [
+                float(a) for a in opts.get("anchors", "10,14").split(",")
+            ]
+            out = f"{lname}_out"
+            graph.add_layer(
+                Layer(
+                    name=lname,
+                    kind=LayerKind.REGION,
+                    inputs=[current],
+                    outputs=[out],
+                    attrs={"num_classes": classes, "anchors": anchors},
+                )
+            )
+            current = out
+            graph.mark_output(out)
+        else:
+            raise DarknetCfgError(f"unsupported section [{section}]")
+        outputs.append(current)
+        out_channels.append(current_c)
+
+    if not graph.output_names:
+        graph.mark_output(current)
+    graph.validate(allow_dead=True)
+    return graph

@@ -1,0 +1,267 @@
+"""PyTorch frontend: an nn.Module-like API traced into the IR.
+
+fcn-resnet18-cityscapes arrives as a PyTorch model (paper Table II).
+PyTorch models are Python code over tensors, so the natural frontend is
+a *tracer*: the model is written against a tiny ``nn``-style module
+vocabulary, and calling it with a :class:`TraceTensor` records every
+operation into the IR graph — the same mechanism torch.jit.trace /
+torch2trt use.
+
+Example::
+
+    class Block(Module):
+        def __init__(self, ctx, c):
+            self.conv = Conv2d(ctx, c, c, 3, padding=1)
+            self.bn = BatchNorm2d(ctx, c)
+        def forward(self, x):
+            return relu(self.bn(self.conv(x)))
+
+    graph = trace_module(Block(ctx, 16), ctx, input_shape=(16, 32, 32))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.builder import WeightInitializer
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+
+
+class TraceContext:
+    """Holds the graph being traced plus name/weight generators."""
+
+    def __init__(self, name: str, seed: int = 0, weight_scale: float = 1.0):
+        self.name = name
+        self.init = WeightInitializer(seed, scale=weight_scale)
+        self._counter = itertools.count(1)
+        self.graph: Optional[Graph] = None
+
+    def fresh(self, base: str) -> str:
+        return f"{base}_{next(self._counter)}"
+
+    def emit(
+        self,
+        base: str,
+        kind: LayerKind,
+        inputs: Sequence[str],
+        attrs=None,
+        weights=None,
+    ) -> "TraceTensor":
+        if self.graph is None:
+            raise RuntimeError("emit() outside of trace_module()")
+        lname = self.fresh(base)
+        out = f"{lname}:out"
+        self.graph.add_layer(
+            Layer(
+                name=lname,
+                kind=kind,
+                inputs=list(inputs),
+                outputs=[out],
+                attrs=attrs or {},
+                weights=weights or {},
+            )
+        )
+        return TraceTensor(self, out)
+
+
+@dataclass
+class TraceTensor:
+    """Symbolic tensor flowing through traced modules."""
+
+    ctx: TraceContext
+    name: str
+
+    def __add__(self, other: "TraceTensor") -> "TraceTensor":
+        return self.ctx.emit(
+            "add",
+            LayerKind.ELEMENTWISE,
+            [self.name, other.name],
+            attrs={"op": "add"},
+        )
+
+
+class Module:
+    """Base class; subclasses implement ``forward``."""
+
+    def forward(self, x: TraceTensor) -> TraceTensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: TraceTensor) -> TraceTensor:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    def __init__(
+        self,
+        ctx: TraceContext,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        self.ctx = ctx
+        self.attrs = {
+            "out_channels": out_channels,
+            "kernel": kernel_size,
+            "stride": stride,
+            "pad": padding,
+        }
+        self.weights = {
+            "kernel": ctx.init.conv(out_channels, in_channels, kernel_size)
+        }
+        if bias:
+            self.weights["bias"] = ctx.init.bias(out_channels)
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        return self.ctx.emit(
+            "conv", LayerKind.CONVOLUTION, [x.name],
+            attrs=dict(self.attrs), weights=dict(self.weights),
+        )
+
+
+class ConvTranspose2d(Module):
+    def __init__(
+        self,
+        ctx: TraceContext,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 2,
+    ):
+        self.ctx = ctx
+        self.attrs = {
+            "out_channels": out_channels,
+            "kernel": kernel_size,
+            "stride": stride,
+            "pad": 0,
+        }
+        self.weights = {
+            "kernel": ctx.init.conv(out_channels, in_channels, kernel_size),
+            "bias": ctx.init.bias(out_channels),
+        }
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        return self.ctx.emit(
+            "deconv", LayerKind.DECONVOLUTION, [x.name],
+            attrs=dict(self.attrs), weights=dict(self.weights),
+        )
+
+
+class BatchNorm2d(Module):
+    def __init__(self, ctx: TraceContext, channels: int):
+        self.ctx = ctx
+        gamma, beta, mean, var = ctx.init.bn(channels)
+        self.weights = {"gamma": gamma, "beta": beta, "mean": mean, "var": var}
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        return self.ctx.emit(
+            "bn", LayerKind.BATCHNORM, [x.name],
+            attrs={"epsilon": 1e-5}, weights=dict(self.weights),
+        )
+
+
+class Linear(Module):
+    def __init__(self, ctx: TraceContext, in_features: int, out_features: int):
+        self.ctx = ctx
+        self.attrs = {"out_units": out_features}
+        self.weights = {
+            "kernel": ctx.init.dense(out_features, in_features),
+            "bias": ctx.init.bias(out_features),
+        }
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        return self.ctx.emit(
+            "linear", LayerKind.FULLY_CONNECTED, [x.name],
+            attrs=dict(self.attrs), weights=dict(self.weights),
+        )
+
+
+class MaxPool2d(Module):
+    def __init__(self, ctx: TraceContext, kernel_size: int,
+                 stride: Optional[int] = None, padding: int = 0):
+        self.ctx = ctx
+        self.attrs = {
+            "pool": "max",
+            "kernel": kernel_size,
+            "stride": stride or kernel_size,
+            "pad": padding,
+        }
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        return self.ctx.emit(
+            "maxpool", LayerKind.POOLING, [x.name], attrs=dict(self.attrs)
+        )
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+# Functional forms ------------------------------------------------------
+def relu(x: TraceTensor) -> TraceTensor:
+    return x.ctx.emit(
+        "relu", LayerKind.ACTIVATION, [x.name], attrs={"function": "relu"}
+    )
+
+
+def sigmoid(x: TraceTensor) -> TraceTensor:
+    return x.ctx.emit(
+        "sigmoid", LayerKind.ACTIVATION, [x.name],
+        attrs={"function": "sigmoid"},
+    )
+
+
+def softmax(x: TraceTensor) -> TraceTensor:
+    return x.ctx.emit("softmax", LayerKind.SOFTMAX, [x.name])
+
+
+def adaptive_avg_pool(x: TraceTensor) -> TraceTensor:
+    return x.ctx.emit(
+        "gap", LayerKind.POOLING, [x.name],
+        attrs={"pool": "avg", "global": True},
+    )
+
+
+def flatten(x: TraceTensor) -> TraceTensor:
+    return x.ctx.emit("flatten", LayerKind.FLATTEN, [x.name])
+
+
+def upsample(x: TraceTensor, factor: int = 2) -> TraceTensor:
+    return x.ctx.emit(
+        "upsample", LayerKind.UPSAMPLE, [x.name], attrs={"factor": factor}
+    )
+
+
+def cat(tensors: List[TraceTensor]) -> TraceTensor:
+    ctx = tensors[0].ctx
+    return ctx.emit(
+        "cat", LayerKind.CONCAT, [t.name for t in tensors], attrs={"axis": 0}
+    )
+
+
+def trace_module(
+    module: Module,
+    ctx: TraceContext,
+    input_shape: Tuple[int, int, int],
+    input_name: str = "data",
+) -> Graph:
+    """Trace ``module`` once and return the recorded IR graph."""
+    ctx.graph = Graph(ctx.name, [TensorSpec(input_name, input_shape)])
+    out = module(TraceTensor(ctx, input_name))
+    ctx.graph.mark_output(out.name)
+    ctx.graph.validate(allow_dead=True)
+    graph = ctx.graph
+    ctx.graph = None
+    return graph

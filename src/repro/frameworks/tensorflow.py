@@ -1,0 +1,327 @@
+"""TensorFlow frontend: GraphDef-style node list -> IR.
+
+SSD-Inception-v2 and MobileNetv1 arrive as TensorFlow models (paper
+Table II).  A frozen TF model is a GraphDef: a flat list of nodes, each
+with an op type, input edges, and attributes; constants (weights) are
+``Const`` nodes referenced by name.  This frontend consumes the same
+structure as plain Python dicts::
+
+    {
+      "node": [
+        {"name": "conv1/weights", "op": "Const", "value": <ndarray>},
+        {"name": "conv1", "op": "Conv2D",
+         "input": ["image", "conv1/weights"],
+         "attr": {"strides": 2, "padding": "SAME"}},
+        ...
+      ]
+    }
+
+Supported ops: Conv2D, DepthwiseConv2dNative, Conv2DBackpropInput,
+BiasAdd, MatMul, Relu, Relu6, Sigmoid, FusedBatchNorm, MaxPool,
+AvgPool, Mean (global pool), ConcatV2, Add/AddV2, Placeholder, Const,
+Identity, Reshape, Squeeze, Softmax, TFLite_Detection_PostProcess.
+
+TF convolution weights are HWIO; they are transposed to the IR's OIHW
+here, exactly as a real importer must.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+
+
+class GraphDefError(ValueError):
+    """Raised on malformed or unsupported GraphDef structures."""
+
+
+def _same_pad(kernel: int) -> int:
+    """Padding for TF's SAME scheme at stride 1 (odd kernels)."""
+    return kernel // 2
+
+
+def import_graphdef(
+    graphdef: Dict,
+    input_shape: Tuple[int, int, int],
+    name: str = "tf_net",
+    outputs: Optional[List[str]] = None,
+) -> Graph:
+    """Lower a GraphDef-style dict into an IR graph."""
+    nodes = graphdef.get("node")
+    if not nodes:
+        raise GraphDefError("GraphDef has no nodes")
+
+    consts: Dict[str, np.ndarray] = {}
+    placeholder: Optional[str] = None
+    graph: Optional[Graph] = None
+    # TF node names double as output tensor names.
+    produced: Dict[str, str] = {}  # tf name -> IR tensor name
+    channel_count: Dict[str, int] = {}
+
+    def tensor_of(tf_name: str) -> str:
+        if tf_name in consts:
+            raise GraphDefError(
+                f"node input {tf_name!r} is a Const used as activation"
+            )
+        try:
+            return produced[tf_name]
+        except KeyError:
+            raise GraphDefError(f"node input {tf_name!r} undefined") from None
+
+    for node in nodes:
+        op = node.get("op")
+        nname = node.get("name")
+        if op is None or nname is None:
+            raise GraphDefError(f"node missing op or name: {node!r}")
+        attr = node.get("attr", {})
+        inputs = list(node.get("input", []))
+
+        if op == "Const":
+            consts[nname] = np.asarray(node["value"], dtype=np.float32)
+            continue
+        if op == "Placeholder":
+            graph = Graph(name, [TensorSpec(nname, input_shape)])
+            produced[nname] = nname
+            channel_count[nname] = input_shape[0]
+            placeholder = nname
+            continue
+        if graph is None:
+            raise GraphDefError("first non-Const node must be a Placeholder")
+
+        if op in ("Conv2D", "DepthwiseConv2dNative"):
+            src = tensor_of(inputs[0])
+            hwio = consts[inputs[1]]
+            stride = int(attr.get("strides", 1))
+            kernel = hwio.shape[0]
+            padding = attr.get("padding", "SAME")
+            pad = _same_pad(kernel) if padding == "SAME" else 0
+            if op == "Conv2D":
+                # HWIO -> OIHW
+                oihw = np.ascontiguousarray(hwio.transpose(3, 2, 0, 1))
+                out_c = oihw.shape[0]
+                layer = Layer(
+                    name=nname,
+                    kind=LayerKind.CONVOLUTION,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={
+                        "out_channels": out_c,
+                        "kernel": kernel,
+                        "stride": stride,
+                        "pad": pad,
+                    },
+                    weights={"kernel": oihw},
+                )
+            else:
+                # HWC1 -> C1HW (depth multiplier 1 supported)
+                if hwio.shape[3] != 1:
+                    raise GraphDefError(
+                        "depth multiplier != 1 is not supported"
+                    )
+                c1hw = np.ascontiguousarray(hwio.transpose(2, 3, 0, 1))
+                out_c = c1hw.shape[0]
+                layer = Layer(
+                    name=nname,
+                    kind=LayerKind.DEPTHWISE_CONVOLUTION,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={"kernel": kernel, "stride": stride, "pad": pad},
+                    weights={"kernel": c1hw},
+                )
+            graph.add_layer(layer)
+            produced[nname] = nname
+            channel_count[nname] = out_c
+        elif op == "BiasAdd":
+            src = tensor_of(inputs[0])
+            bias = consts[inputs[1]]
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.SCALE,
+                    inputs=[src],
+                    outputs=[nname],
+                    weights={
+                        "gamma": np.ones_like(bias),
+                        "beta": bias,
+                    },
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count.get(src, 0) or len(bias)
+        elif op == "FusedBatchNorm":
+            src = tensor_of(inputs[0])
+            gamma, beta, mean, var = (consts[i] for i in inputs[1:5])
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.BATCHNORM,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={"epsilon": float(attr.get("epsilon", 1e-3))},
+                    weights={
+                        "gamma": gamma, "beta": beta,
+                        "mean": mean, "var": var,
+                    },
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count[src]
+        elif op in ("Relu", "Relu6", "Sigmoid"):
+            src = tensor_of(inputs[0])
+            function = {
+                "Relu": "relu", "Relu6": "relu6", "Sigmoid": "sigmoid"
+            }[op]
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.ACTIVATION,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={"function": function},
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count[src]
+        elif op in ("MaxPool", "AvgPool"):
+            src = tensor_of(inputs[0])
+            kernel = int(attr.get("ksize", 2))
+            stride = int(attr.get("strides", kernel))
+            padding = attr.get("padding", "VALID")
+            pad = _same_pad(kernel) if padding == "SAME" else 0
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.POOLING,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={
+                        "pool": "max" if op == "MaxPool" else "avg",
+                        "kernel": kernel,
+                        "stride": stride,
+                        "pad": pad,
+                    },
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count[src]
+        elif op == "Mean":
+            # Global spatial mean == global average pool.
+            src = tensor_of(inputs[0])
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.POOLING,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={"pool": "avg", "global": True},
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count[src]
+        elif op == "ConcatV2":
+            srcs = [tensor_of(i) for i in inputs]
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.CONCAT,
+                    inputs=srcs,
+                    outputs=[nname],
+                    attrs={"axis": 0},
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = sum(channel_count[s] for s in srcs)
+        elif op in ("Add", "AddV2"):
+            srcs = [tensor_of(i) for i in inputs]
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.ELEMENTWISE,
+                    inputs=srcs,
+                    outputs=[nname],
+                    attrs={"op": "add"},
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count[srcs[0]]
+        elif op == "MatMul":
+            src = tensor_of(inputs[0])
+            w = consts[inputs[1]]  # TF: (in, out)
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.FULLY_CONNECTED,
+                    inputs=[src],
+                    outputs=[nname],
+                    attrs={"out_units": w.shape[1]},
+                    weights={"kernel": np.ascontiguousarray(w.T)},
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = w.shape[1]
+        elif op in ("Identity", "Reshape", "Squeeze"):
+            src = tensor_of(inputs[0])
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=(
+                        LayerKind.FLATTEN
+                        if op in ("Reshape", "Squeeze")
+                        else LayerKind.IDENTITY
+                    ),
+                    inputs=[src],
+                    outputs=[nname],
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count.get(src, 0)
+        elif op == "Softmax":
+            src = tensor_of(inputs[0])
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.SOFTMAX,
+                    inputs=[src],
+                    outputs=[nname],
+                )
+            )
+            produced[nname] = nname
+            channel_count[nname] = channel_count.get(src, 0)
+        elif op == "TFLite_Detection_PostProcess":
+            srcs = [tensor_of(i) for i in inputs]
+            graph.add_layer(
+                Layer(
+                    name=nname,
+                    kind=LayerKind.DETECTION_OUTPUT,
+                    inputs=srcs,
+                    outputs=[nname],
+                    attrs={
+                        "num_classes": int(attr.get("num_classes", 2)),
+                        "max_boxes": int(attr.get("max_detections", 100)),
+                        "score_threshold": float(
+                            attr.get("score_threshold", 0.3)
+                        ),
+                        "nms_iou": float(attr.get("nms_iou_threshold", 0.5)),
+                    },
+                )
+            )
+            produced[nname] = nname
+        else:
+            raise GraphDefError(f"unsupported TF op {op!r}")
+
+    if graph is None or placeholder is None:
+        raise GraphDefError("GraphDef has no Placeholder input")
+    if outputs:
+        for out in outputs:
+            graph.mark_output(out)
+    else:
+        consumed = {t for layer in graph.layers for t in layer.inputs}
+        for layer in graph.layers:
+            for out in layer.outputs:
+                if out not in consumed:
+                    graph.mark_output(out)
+    graph.validate(allow_dead=True)
+    return graph

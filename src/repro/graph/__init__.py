@@ -1,0 +1,32 @@
+"""Neural-network graph intermediate representation (IR).
+
+Every frontend (Caffe, TensorFlow, Darknet, PyTorch — see
+:mod:`repro.frameworks`) lowers its model description into this IR, and
+every downstream component (the engine optimizer, the numeric runtime,
+the hardware cost model) consumes it.  The IR is deliberately close to
+what real inference engines use internally: a flat, topologically-ordered
+list of layers connected by named tensors, with per-layer weight arrays.
+"""
+
+from repro.graph.ir import (
+    DataType,
+    Graph,
+    GraphError,
+    Layer,
+    LayerKind,
+    TensorSpec,
+)
+from repro.graph.shapes import infer_shapes
+from repro.graph.serialization import load_graph, save_graph
+
+__all__ = [
+    "DataType",
+    "Graph",
+    "GraphError",
+    "Layer",
+    "LayerKind",
+    "TensorSpec",
+    "infer_shapes",
+    "load_graph",
+    "save_graph",
+]

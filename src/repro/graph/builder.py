@@ -1,0 +1,403 @@
+"""Fluent construction API over the graph IR.
+
+The model zoo and the framework frontends use :class:`GraphBuilder` to
+assemble networks without repeating tensor-plumbing boilerplate.  Weights
+are initialized through a caller-supplied :class:`WeightInitializer`, so
+"pretrained" deterministic weights and random test weights share one code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType, Graph, Layer, LayerKind, TensorSpec
+
+
+class WeightInitializer:
+    """Deterministic weight generator.
+
+    Weights are drawn from a seeded generator so that two constructions
+    of the same model are bit-identical — the stand-in for downloading a
+    fixed pretrained checkpoint from the model zoo.
+    """
+
+    def __init__(self, seed: int, scale: float = 1.0):
+        self._rng = np.random.default_rng(seed)
+        self._scale = scale
+
+    def conv(self, out_c: int, in_c: int, kernel: int) -> np.ndarray:
+        """He-style initialization for a conv kernel tensor."""
+        fan_in = in_c * kernel * kernel
+        std = self._scale * np.sqrt(2.0 / fan_in)
+        return self._rng.normal(0.0, std, (out_c, in_c, kernel, kernel)).astype(
+            np.float32
+        )
+
+    def dense(self, out_units: int, in_units: int) -> np.ndarray:
+        std = self._scale * np.sqrt(2.0 / in_units)
+        return self._rng.normal(0.0, std, (out_units, in_units)).astype(
+            np.float32
+        )
+
+    def bias(self, units: int) -> np.ndarray:
+        return np.zeros(units, dtype=np.float32)
+
+    def bn(self, channels: int) -> Tuple[np.ndarray, ...]:
+        """(gamma, beta, running_mean, running_var) for batchnorm."""
+        gamma = self._rng.normal(1.0, 0.05, channels).astype(np.float32)
+        beta = self._rng.normal(0.0, 0.05, channels).astype(np.float32)
+        mean = self._rng.normal(0.0, 0.1, channels).astype(np.float32)
+        var = np.abs(self._rng.normal(1.0, 0.1, channels)).astype(np.float32)
+        return gamma, beta, mean, var
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` layer by layer.
+
+    Methods return the *output tensor name* of the layer they add, so
+    calls chain naturally::
+
+        b = GraphBuilder("net", input_shape=(3, 32, 32), seed=7)
+        t = b.conv("conv1", b.input_name, out_channels=16, kernel=3, pad=1)
+        t = b.relu("relu1", t)
+        t = b.max_pool("pool1", t, kernel=2)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, ...],
+        seed: int = 0,
+        input_name: str = "data",
+        weight_scale: float = 1.0,
+    ):
+        self.input_name = input_name
+        self.graph = Graph(name, [TensorSpec(input_name, input_shape)])
+        self.init = WeightInitializer(seed, scale=weight_scale)
+        self._shapes = {input_name: input_shape}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # shape tracking
+    # ------------------------------------------------------------------
+    def shape_of(self, tensor: str) -> Tuple[int, ...]:
+        """Currently known shape of ``tensor``."""
+        return self._shapes[tensor]
+
+    def channels_of(self, tensor: str) -> int:
+        return self._shapes[tensor][0]
+
+    def _fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}:{self._counter}"
+
+    def _add(
+        self,
+        name: str,
+        kind: LayerKind,
+        inputs: Sequence[str],
+        out_shape: Tuple[int, ...],
+        attrs: Optional[dict] = None,
+        weights: Optional[dict] = None,
+    ) -> str:
+        out = self._fresh(name)
+        self.graph.add_layer(
+            Layer(
+                name=name,
+                kind=kind,
+                inputs=list(inputs),
+                outputs=[out],
+                attrs=attrs or {},
+                weights=weights or {},
+            )
+        )
+        self._shapes[out] = out_shape
+        return out
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        src: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        out_h = (h + 2 * pad - kernel) // stride + 1
+        out_w = (w + 2 * pad - kernel) // stride + 1
+        weights = {"kernel": self.init.conv(out_channels, c, kernel)}
+        if bias:
+            weights["bias"] = self.init.bias(out_channels)
+        return self._add(
+            name,
+            LayerKind.CONVOLUTION,
+            [src],
+            (out_channels, out_h, out_w),
+            attrs={
+                "out_channels": out_channels,
+                "kernel": kernel,
+                "stride": stride,
+                "pad": pad,
+            },
+            weights=weights,
+        )
+
+    def depthwise_conv(
+        self,
+        name: str,
+        src: str,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int = 1,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        out_h = (h + 2 * pad - kernel) // stride + 1
+        out_w = (w + 2 * pad - kernel) // stride + 1
+        weights = {
+            "kernel": self.init.conv(c, 1, kernel),
+            "bias": self.init.bias(c),
+        }
+        return self._add(
+            name,
+            LayerKind.DEPTHWISE_CONVOLUTION,
+            [src],
+            (c, out_h, out_w),
+            attrs={"kernel": kernel, "stride": stride, "pad": pad},
+            weights=weights,
+        )
+
+    def deconv(
+        self,
+        name: str,
+        src: str,
+        out_channels: int,
+        kernel: int = 2,
+        stride: int = 2,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        out_h = (h - 1) * stride + kernel
+        out_w = (w - 1) * stride + kernel
+        weights = {
+            "kernel": self.init.conv(out_channels, c, kernel),
+            "bias": self.init.bias(out_channels),
+        }
+        return self._add(
+            name,
+            LayerKind.DECONVOLUTION,
+            [src],
+            (out_channels, out_h, out_w),
+            attrs={
+                "out_channels": out_channels,
+                "kernel": kernel,
+                "stride": stride,
+                "pad": 0,
+            },
+            weights=weights,
+        )
+
+    def fc(self, name: str, src: str, out_units: int, bias: bool = True) -> str:
+        in_units = int(np.prod(self._shapes[src]))
+        weights = {"kernel": self.init.dense(out_units, in_units)}
+        if bias:
+            weights["bias"] = self.init.bias(out_units)
+        return self._add(
+            name,
+            LayerKind.FULLY_CONNECTED,
+            [src],
+            (out_units,),
+            attrs={"out_units": out_units},
+            weights=weights,
+        )
+
+    def _pool(
+        self, name: str, src: str, mode: str, kernel: int, stride: int, pad: int
+    ) -> str:
+        c, h, w = self._shapes[src]
+        out_h = -(-(h + 2 * pad - kernel) // stride) + 1
+        out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+        return self._add(
+            name,
+            LayerKind.POOLING,
+            [src],
+            (c, out_h, out_w),
+            attrs={"pool": mode, "kernel": kernel, "stride": stride, "pad": pad},
+        )
+
+    def max_pool(
+        self, name: str, src: str, kernel: int = 2,
+        stride: Optional[int] = None, pad: int = 0,
+    ) -> str:
+        return self._pool(name, src, "max", kernel, stride or kernel, pad)
+
+    def avg_pool(
+        self, name: str, src: str, kernel: int = 2,
+        stride: Optional[int] = None, pad: int = 0,
+    ) -> str:
+        return self._pool(name, src, "avg", kernel, stride or kernel, pad)
+
+    def global_avg_pool(self, name: str, src: str) -> str:
+        c, _h, _w = self._shapes[src]
+        return self._add(
+            name,
+            LayerKind.POOLING,
+            [src],
+            (c, 1, 1),
+            attrs={"pool": "avg", "global": True},
+        )
+
+    def activation(self, name: str, src: str, function: str = "relu") -> str:
+        return self._add(
+            name,
+            LayerKind.ACTIVATION,
+            [src],
+            self._shapes[src],
+            attrs={"function": function},
+        )
+
+    def relu(self, name: str, src: str) -> str:
+        return self.activation(name, src, "relu")
+
+    def leaky_relu(self, name: str, src: str, slope: float = 0.1) -> str:
+        out = self._add(
+            name,
+            LayerKind.ACTIVATION,
+            [src],
+            self._shapes[src],
+            attrs={"function": "leaky_relu", "slope": slope},
+        )
+        return out
+
+    def sigmoid(self, name: str, src: str) -> str:
+        return self.activation(name, src, "sigmoid")
+
+    def batchnorm(self, name: str, src: str) -> str:
+        c = self._shapes[src][0]
+        gamma, beta, mean, var = self.init.bn(c)
+        return self._add(
+            name,
+            LayerKind.BATCHNORM,
+            [src],
+            self._shapes[src],
+            attrs={"epsilon": 1e-5},
+            weights={"gamma": gamma, "beta": beta, "mean": mean, "var": var},
+        )
+
+    def scale(self, name: str, src: str) -> str:
+        c = self._shapes[src][0]
+        gamma, beta, _m, _v = self.init.bn(c)
+        return self._add(
+            name,
+            LayerKind.SCALE,
+            [src],
+            self._shapes[src],
+            weights={"gamma": gamma, "beta": beta},
+        )
+
+    def lrn(self, name: str, src: str, size: int = 5) -> str:
+        return self._add(
+            name,
+            LayerKind.LRN,
+            [src],
+            self._shapes[src],
+            attrs={"size": size, "alpha": 1e-4, "beta": 0.75, "k": 2.0},
+        )
+
+    def softmax(self, name: str, src: str) -> str:
+        return self._add(name, LayerKind.SOFTMAX, [src], self._shapes[src])
+
+    def dropout(self, name: str, src: str, ratio: float = 0.5) -> str:
+        return self._add(
+            name,
+            LayerKind.DROPOUT,
+            [src],
+            self._shapes[src],
+            attrs={"ratio": ratio},
+        )
+
+    def identity(self, name: str, src: str) -> str:
+        return self._add(name, LayerKind.IDENTITY, [src], self._shapes[src])
+
+    def concat(self, name: str, srcs: Sequence[str], axis: int = 0) -> str:
+        base = list(self._shapes[srcs[0]])
+        base[axis] = sum(self._shapes[s][axis] for s in srcs)
+        return self._add(
+            name, LayerKind.CONCAT, srcs, tuple(base), attrs={"axis": axis}
+        )
+
+    def add(self, name: str, lhs: str, rhs: str) -> str:
+        return self._add(
+            name,
+            LayerKind.ELEMENTWISE,
+            [lhs, rhs],
+            self._shapes[lhs],
+            attrs={"op": "add"},
+        )
+
+    def flatten(self, name: str, src: str) -> str:
+        volume = int(np.prod(self._shapes[src]))
+        return self._add(name, LayerKind.FLATTEN, [src], (volume,))
+
+    def upsample(self, name: str, src: str, factor: int = 2) -> str:
+        c, h, w = self._shapes[src]
+        return self._add(
+            name,
+            LayerKind.UPSAMPLE,
+            [src],
+            (c, h * factor, w * factor),
+            attrs={"factor": factor},
+        )
+
+    def detection_output(
+        self,
+        name: str,
+        srcs: Sequence[str],
+        num_classes: int,
+        max_boxes: int = 100,
+        score_threshold: float = 0.3,
+        nms_iou: float = 0.5,
+    ) -> str:
+        return self._add(
+            name,
+            LayerKind.DETECTION_OUTPUT,
+            srcs,
+            (max_boxes, 6),
+            attrs={
+                "num_classes": num_classes,
+                "max_boxes": max_boxes,
+                "score_threshold": score_threshold,
+                "nms_iou": nms_iou,
+            },
+        )
+
+    def region(
+        self, name: str, src: str, num_classes: int, anchors: List[float]
+    ) -> str:
+        return self._add(
+            name,
+            LayerKind.REGION,
+            [src],
+            self._shapes[src],
+            attrs={"num_classes": num_classes, "anchors": anchors},
+        )
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def finish(self, *outputs: str, allow_dead: bool = False) -> Graph:
+        """Mark outputs, validate, and return the completed graph.
+
+        ``allow_dead=True`` is for models that intentionally contain
+        training-only layers (the dead-layer-removal pass prunes them).
+        """
+        for out in outputs:
+            self.graph.mark_output(out)
+        self.graph.validate(allow_dead=allow_dead)
+        return self.graph

@@ -1,0 +1,209 @@
+"""Static shape inference over the graph IR.
+
+``infer_shapes`` walks a graph in topological order and computes the
+``(C, H, W)`` (or ``(C,)``) shape of every tensor.  Both the numeric
+runtime (buffer allocation) and the hardware cost model (FLOP / byte
+counts) depend on these shapes, so inference failures are hard errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.ir import Graph, GraphError, Layer, LayerKind
+
+Shape = Tuple[int, ...]
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pooling window."""
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise GraphError(
+            f"window (k={kernel}, s={stride}, p={pad}) collapses "
+            f"a {h}x{w} input to {out_h}x{out_w}"
+        )
+    return out_h, out_w
+
+
+def pool_output_hw(
+    h: int, w: int, kernel: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Pooling uses ceil division (Caffe convention) so edge windows
+    that only partially overlap the input still produce an output."""
+    out_h = -(-(h + 2 * pad - kernel) // stride) + 1
+    out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+    if out_h <= 0 or out_w <= 0:
+        raise GraphError(
+            f"pool (k={kernel}, s={stride}, p={pad}) collapses "
+            f"a {h}x{w} input"
+        )
+    return out_h, out_w
+
+
+def _require_chw(shape: Shape, layer: Layer) -> Tuple[int, int, int]:
+    if len(shape) != 3:
+        raise GraphError(
+            f"layer {layer.name!r} ({layer.kind.value}) needs a CHW input, "
+            f"got shape {shape}"
+        )
+    return shape  # type: ignore[return-value]
+
+
+def _infer_layer(layer: Layer, in_shapes: Dict[str, Shape]) -> Dict[str, Shape]:
+    """Output shapes for one layer given its input shapes."""
+    kind = layer.kind
+    shapes = [in_shapes[t] for t in layer.inputs]
+
+    if kind is LayerKind.MERGED_CONV:
+        c, h, w = _require_chw(shapes[0], layer)
+        kernel = int(layer.attrs.get("kernel", 3))
+        stride = int(layer.attrs.get("stride", 1))
+        pad = int(layer.attrs.get("pad", 0))
+        out_h, out_w = conv_output_hw(h, w, kernel, stride, pad)
+        splits = [int(s) for s in layer.attrs["splits"]]
+        if len(splits) != len(layer.outputs):
+            raise GraphError(
+                f"merged conv {layer.name!r}: {len(splits)} splits but "
+                f"{len(layer.outputs)} outputs"
+            )
+        return {
+            out: (split, out_h, out_w)
+            for out, split in zip(layer.outputs, splits)
+        }
+
+    if kind in (
+        LayerKind.CONVOLUTION,
+        LayerKind.FUSED_CONV_BLOCK,
+        LayerKind.DEPTHWISE_CONVOLUTION,
+    ):
+        c, h, w = _require_chw(shapes[0], layer)
+        kernel = int(layer.attrs.get("kernel", 3))
+        stride = int(layer.attrs.get("stride", 1))
+        pad = int(layer.attrs.get("pad", 0))
+        if kind is LayerKind.DEPTHWISE_CONVOLUTION:
+            out_c = c
+        else:
+            out_c = int(layer.attrs["out_channels"])
+        out_h, out_w = conv_output_hw(h, w, kernel, stride, pad)
+        return {layer.outputs[0]: (out_c, out_h, out_w)}
+
+    if kind is LayerKind.DECONVOLUTION:
+        c, h, w = _require_chw(shapes[0], layer)
+        kernel = int(layer.attrs.get("kernel", 2))
+        stride = int(layer.attrs.get("stride", 2))
+        pad = int(layer.attrs.get("pad", 0))
+        out_c = int(layer.attrs["out_channels"])
+        out_h = (h - 1) * stride + kernel - 2 * pad
+        out_w = (w - 1) * stride + kernel - 2 * pad
+        return {layer.outputs[0]: (out_c, out_h, out_w)}
+
+    if kind is LayerKind.POOLING:
+        c, h, w = _require_chw(shapes[0], layer)
+        if layer.attrs.get("global"):
+            return {layer.outputs[0]: (c, 1, 1)}
+        kernel = int(layer.attrs.get("kernel", 2))
+        stride = int(layer.attrs.get("stride", kernel))
+        if layer.attrs.get("pad_mode") == "same":
+            # Darknet/TF SAME pooling: output = ceil(input / stride).
+            return {
+                layer.outputs[0]: (c, -(-h // stride), -(-w // stride))
+            }
+        pad = int(layer.attrs.get("pad", 0))
+        out_h, out_w = pool_output_hw(h, w, kernel, stride, pad)
+        return {layer.outputs[0]: (c, out_h, out_w)}
+
+    if kind in (LayerKind.FULLY_CONNECTED, LayerKind.FUSED_FC_BLOCK):
+        out_units = int(layer.attrs["out_units"])
+        return {layer.outputs[0]: (out_units,)}
+
+    if kind is LayerKind.CONCAT:
+        base = shapes[0]
+        axis = int(layer.attrs.get("axis", 0))
+        total = 0
+        for s in shapes:
+            if len(s) != len(base) or s[:axis] + s[axis + 1:] != (
+                base[:axis] + base[axis + 1:]
+            ):
+                raise GraphError(
+                    f"concat {layer.name!r}: incompatible shapes {shapes}"
+                )
+            total += s[axis]
+        out = list(base)
+        out[axis] = total
+        return {layer.outputs[0]: tuple(out)}
+
+    if kind is LayerKind.ELEMENTWISE:
+        base = shapes[0]
+        for s in shapes[1:]:
+            if s != base:
+                raise GraphError(
+                    f"elementwise {layer.name!r}: shape mismatch {shapes}"
+                )
+        return {layer.outputs[0]: base}
+
+    if kind is LayerKind.FLATTEN:
+        volume = 1
+        for dim in shapes[0]:
+            volume *= dim
+        return {layer.outputs[0]: (volume,)}
+
+    if kind is LayerKind.UPSAMPLE:
+        c, h, w = _require_chw(shapes[0], layer)
+        factor = int(layer.attrs.get("factor", 2))
+        return {layer.outputs[0]: (c, h * factor, w * factor)}
+
+    if kind is LayerKind.PERMUTE:
+        order = tuple(layer.attrs.get("order", (0, 1, 2)))
+        src = shapes[0]
+        return {layer.outputs[0]: tuple(src[i] for i in order)}
+
+    if kind is LayerKind.RESHAPE:
+        target = tuple(int(d) for d in layer.attrs["shape"])
+        src_vol = 1
+        for dim in shapes[0]:
+            src_vol *= dim
+        tgt_vol = 1
+        for dim in target:
+            tgt_vol *= dim
+        if src_vol != tgt_vol:
+            raise GraphError(
+                f"reshape {layer.name!r}: {shapes[0]} has {src_vol} elements,"
+                f" target {target} has {tgt_vol}"
+            )
+        return {layer.outputs[0]: target}
+
+    if kind is LayerKind.DETECTION_OUTPUT:
+        max_boxes = int(layer.attrs.get("max_boxes", 100))
+        # Each detection row: [class, score, x1, y1, x2, y2]
+        return {layer.outputs[0]: (max_boxes, 6)}
+
+    if kind is LayerKind.REGION:
+        c, h, w = _require_chw(shapes[0], layer)
+        return {layer.outputs[0]: (c, h, w)}
+
+    if kind in (
+        LayerKind.ACTIVATION,
+        LayerKind.BATCHNORM,
+        LayerKind.SCALE,
+        LayerKind.LRN,
+        LayerKind.SOFTMAX,
+        LayerKind.DROPOUT,
+        LayerKind.IDENTITY,
+    ):
+        return {layer.outputs[0]: shapes[0]}
+
+    raise GraphError(f"no shape rule for layer kind {kind.value!r}")
+
+
+def infer_shapes(graph: Graph) -> Dict[str, Shape]:
+    """Shapes of every tensor in ``graph``, keyed by tensor name."""
+    shapes: Dict[str, Shape] = {
+        name: spec.shape for name, spec in graph.input_specs.items()
+    }
+    for layer in graph.toposort():
+        shapes.update(_infer_layer(layer, shapes))
+    return shapes

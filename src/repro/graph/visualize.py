@@ -1,0 +1,136 @@
+"""Graph visualization: Graphviz DOT export.
+
+``to_dot`` renders a network (or an optimized engine graph) as a DOT
+document for inspection — the fastest way to *see* what dead-layer
+removal, fusion, and merging did to a model.  No Graphviz dependency:
+the output is plain text; render it with any dot tool or viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.ir import Graph, LayerKind
+from repro.graph.shapes import infer_shapes
+
+#: Fill colors by layer family (Graphviz X11 names).
+_COLORS: Dict[LayerKind, str] = {
+    LayerKind.CONVOLUTION: "lightblue",
+    LayerKind.DEPTHWISE_CONVOLUTION: "lightblue",
+    LayerKind.DECONVOLUTION: "lightblue",
+    LayerKind.FUSED_CONV_BLOCK: "steelblue",
+    LayerKind.MERGED_CONV: "royalblue",
+    LayerKind.FULLY_CONNECTED: "plum",
+    LayerKind.FUSED_FC_BLOCK: "mediumpurple",
+    LayerKind.POOLING: "palegreen",
+    LayerKind.ACTIVATION: "khaki",
+    LayerKind.BATCHNORM: "lightsalmon",
+    LayerKind.SCALE: "lightsalmon",
+    LayerKind.LRN: "lightsalmon",
+    LayerKind.SOFTMAX: "gold",
+    LayerKind.CONCAT: "lightgrey",
+    LayerKind.ELEMENTWISE: "lightgrey",
+    LayerKind.DETECTION_OUTPUT: "tomato",
+    LayerKind.REGION: "tomato",
+    LayerKind.DROPOUT: "white",
+    LayerKind.IDENTITY: "white",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def to_dot(
+    graph: Graph,
+    include_shapes: bool = True,
+    rankdir: str = "TB",
+) -> str:
+    """Render ``graph`` as a Graphviz DOT document.
+
+    Node labels carry the layer kind (and output shape when
+    ``include_shapes``); tensor edges are labeled with their names.
+    """
+    shapes = infer_shapes(graph) if include_shapes else {}
+    lines = [
+        f'digraph "{_escape(graph.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=box, style="rounded,filled", '
+        'fontname="Helvetica", fontsize=10];',
+    ]
+    # Graph inputs as ellipses.
+    for name, spec in graph.input_specs.items():
+        label = name
+        if include_shapes:
+            label += f"\\n{spec.shape}"
+        lines.append(
+            f'  "t:{_escape(name)}" [label="{label}", shape=ellipse, '
+            'fillcolor=white];'
+        )
+    producer: Dict[str, str] = dict.fromkeys(graph.input_specs, "")
+    for layer in graph.toposort():
+        color = _COLORS.get(layer.kind, "white")
+        label = f"{layer.name}\\n{layer.kind.value}"
+        if include_shapes and layer.outputs[0] in shapes:
+            label += f"\\n{shapes[layer.outputs[0]]}"
+        lines.append(
+            f'  "l:{_escape(layer.name)}" [label="{_escape(label)}", '
+            f"fillcolor={color}];"
+        )
+        for tensor in layer.inputs:
+            src = producer.get(tensor)
+            origin = (
+                f"t:{tensor}" if src == "" else f"l:{src}"
+            )
+            lines.append(
+                f'  "{_escape(origin)}" -> "l:{_escape(layer.name)}" '
+                f'[label="{_escape(tensor)}", fontsize=8];'
+            )
+        for out in layer.outputs:
+            producer[out] = layer.name
+    # Mark declared outputs.
+    for out in graph.output_names:
+        src = producer.get(out)
+        if src:
+            lines.append(
+                f'  "out:{_escape(out)}" [label="{_escape(out)}", '
+                "shape=ellipse, fillcolor=lightyellow];"
+            )
+            lines.append(f'  "l:{_escape(src)}" -> "out:{_escape(out)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: Graph, path, **kwargs) -> None:
+    """Write the DOT document to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(to_dot(graph, **kwargs))
+
+
+def diff_summary(before: Graph, after: Graph) -> str:
+    """Human-readable before/after comparison of an optimization run."""
+    def census(graph: Graph) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for layer in graph.layers:
+            counts[layer.kind.value] = counts.get(layer.kind.value, 0) + 1
+        return counts
+
+    b, a = census(before), census(after)
+    kinds = sorted(set(b) | set(a))
+    lines = [
+        f"{'layer kind':<24}{'before':>8}{'after':>8}{'delta':>8}",
+        "-" * 48,
+    ]
+    for kind in kinds:
+        delta = a.get(kind, 0) - b.get(kind, 0)
+        lines.append(
+            f"{kind:<24}{b.get(kind, 0):>8}{a.get(kind, 0):>8}"
+            f"{delta:>+8}"
+        )
+    lines.append("-" * 48)
+    lines.append(
+        f"{'total':<24}{len(before):>8}{len(after):>8}"
+        f"{len(after) - len(before):>+8}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Edge-GPU hardware model: Jetson Xavier NX and AGX.
+
+This package is the *temporal* half of the simulator.  It knows nothing
+about numerics; given a compiled engine (a sequence of kernel bindings)
+it produces latencies, kernel traces, memcpy costs, and multi-stream
+schedules, all derived from the platform parameters of the paper's
+Table I.
+"""
+
+from repro.hardware.specs import DeviceSpec, XAVIER_AGX, XAVIER_NX, device_query
+from repro.hardware.clocks import ClockDomain, nearest_supported_clock
+from repro.hardware.cost import CostModel
+from repro.hardware.memory import MemcpyModel
+from repro.hardware.workload import LayerWorkload, layer_workload
+
+__all__ = [
+    "ClockDomain",
+    "CostModel",
+    "DeviceSpec",
+    "LayerWorkload",
+    "MemcpyModel",
+    "XAVIER_AGX",
+    "XAVIER_NX",
+    "device_query",
+    "layer_workload",
+    "nearest_supported_clock",
+]

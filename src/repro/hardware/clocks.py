@@ -1,0 +1,67 @@
+"""GPU clock (DVFS) handling.
+
+Jetson boards expose a discrete ladder of supported GPU frequencies
+(`/sys/devices/gpu.0/devfreq`), and the paper pins clocks for a fair
+comparison: 599 MHz on NX vs 624.75 MHz on AGX for the latency study
+("there is no GPU frequency value that is common in both platforms...
+we chose the values that are nearest to each other"), and the maximum
+clocks (1109.25 / 1377 MHz) for the concurrency study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import DeviceSpec
+
+
+class ClockError(ValueError):
+    """Raised when a requested frequency is not on the device ladder."""
+
+
+def nearest_supported_clock(spec: DeviceSpec, target_mhz: float) -> float:
+    """The supported frequency closest to ``target_mhz``."""
+    return min(
+        spec.supported_gpu_clocks_mhz, key=lambda f: abs(f - target_mhz)
+    )
+
+
+@dataclass
+class ClockDomain:
+    """Mutable clock state of one device, as `jetson_clocks` would set it."""
+
+    spec: DeviceSpec
+    gpu_clock_mhz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.gpu_clock_mhz:
+            self.gpu_clock_mhz = self.spec.max_gpu_clock_mhz
+        self._check(self.gpu_clock_mhz)
+
+    def _check(self, mhz: float) -> None:
+        if mhz not in self.spec.supported_gpu_clocks_mhz:
+            raise ClockError(
+                f"{mhz} MHz is not a supported GPU clock on "
+                f"{self.spec.name}; ladder: "
+                f"{self.spec.supported_gpu_clocks_mhz}"
+            )
+
+    def set_gpu_clock(self, mhz: float) -> None:
+        """Pin the GPU clock to an exact ladder frequency."""
+        self._check(mhz)
+        self.gpu_clock_mhz = mhz
+
+    def set_nearest(self, target_mhz: float) -> float:
+        """Pin to the ladder frequency nearest ``target_mhz``; returns it."""
+        chosen = nearest_supported_clock(self.spec, target_mhz)
+        self.gpu_clock_mhz = chosen
+        return chosen
+
+    def max_clocks(self) -> None:
+        """Equivalent of running `jetson_clocks`: pin to maximum."""
+        self.gpu_clock_mhz = self.spec.max_gpu_clock_mhz
+
+
+#: The paper's latency-study clock settings (Section II-F).
+PAPER_LATENCY_CLOCK_NX_MHZ = 599.0
+PAPER_LATENCY_CLOCK_AGX_MHZ = 624.75

@@ -1,0 +1,174 @@
+"""Single-stream inference timeline simulation.
+
+Given an engine's kernel bindings, produce the timeline a profiler
+would record: the engine-upload and input HtoD memcpys followed by each
+kernel invocation.  Run-to-run jitter (DVFS, DRAM refresh, background
+interrupts) is modeled as multiplicative noise per kernel, which is why
+repeated timings of the *same* engine show the standard deviations the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.hardware.cost import CostModel
+from repro.hardware.memory import MemcpyModel
+from repro.hardware.specs import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.engine import LayerBinding
+    from repro.profiling.nvprof import Nvprof
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One kernel invocation on the timeline."""
+
+    kernel_name: str
+    layer_name: str
+    start_us: float
+    duration_us: float
+
+
+@dataclass(frozen=True)
+class MemcpyEvent:
+    """One HtoD transfer on the timeline."""
+
+    label: str
+    bytes: int
+    calls: int
+    start_us: float
+    duration_us: float
+
+
+@dataclass
+class InferenceTiming:
+    """Complete timeline of one inference."""
+
+    device_name: str
+    clock_mhz: float
+    kernel_events: List[KernelEvent] = field(default_factory=list)
+    memcpy_events: List[MemcpyEvent] = field(default_factory=list)
+
+    @property
+    def kernel_us(self) -> float:
+        return sum(e.duration_us for e in self.kernel_events)
+
+    @property
+    def memcpy_us(self) -> float:
+        return sum(e.duration_us for e in self.memcpy_events)
+
+    @property
+    def total_us(self) -> float:
+        return self.kernel_us + self.memcpy_us
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1e3
+
+    def without_memcpy_us(self) -> float:
+        """Latency with CUDA memcpy excluded (paper Table X)."""
+        return self.kernel_us
+
+
+def simulate_inference(
+    bindings: Sequence["LayerBinding"],
+    device: DeviceSpec,
+    clock_mhz: float,
+    weight_chunks: Sequence[int],
+    input_bytes: int,
+    include_engine_upload: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.05,
+    sm_fraction: float = 1.0,
+    profiler: Optional["Nvprof"] = None,
+) -> InferenceTiming:
+    """Simulate one inference and return its timeline.
+
+    ``profiler`` (an :class:`repro.profiling.nvprof.Nvprof`) both
+    records the events and *perturbs* them — profiling is not free, and
+    the paper's Tables VIII vs IX quantify exactly that overhead.
+    """
+    cost_model = CostModel(device)
+    memcpy = MemcpyModel(device)
+    timing = InferenceTiming(device_name=device.name, clock_mhz=clock_mhz)
+    cursor = 0.0
+
+    def noisy(value: float) -> float:
+        if rng is None or jitter <= 0:
+            return value
+        return float(value * max(0.5, 1.0 + jitter * rng.standard_normal()))
+
+    overhead = profiler.kernel_overhead_factor if profiler is not None else 1.0
+    memcpy_overhead = (
+        profiler.memcpy_overhead_factor if profiler is not None else 1.0
+    )
+
+    if include_engine_upload and weight_chunks:
+        upload = memcpy.transfer(list(weight_chunks))
+        dur = noisy(upload.total_us) * memcpy_overhead
+        timing.memcpy_events.append(
+            MemcpyEvent(
+                label="[CUDA memcpy HtoD] engine",
+                bytes=upload.bytes,
+                calls=upload.calls,
+                start_us=cursor,
+                duration_us=dur,
+            )
+        )
+        cursor += dur
+
+    if input_bytes:
+        inp = memcpy.single(input_bytes)
+        dur = noisy(inp.total_us) * memcpy_overhead
+        timing.memcpy_events.append(
+            MemcpyEvent(
+                label="[CUDA memcpy HtoD] input",
+                bytes=inp.bytes,
+                calls=1,
+                start_us=cursor,
+                duration_us=dur,
+            )
+        )
+        cursor += dur
+
+    for binding in bindings:
+        n_kernels = len(binding.kernels)
+        for kernel in binding.kernels:
+            cost = cost_model.kernel_cost(
+                kernel,
+                binding.workload,
+                clock_mhz,
+                sm_fraction=sm_fraction,
+            )
+            # A multi-kernel binding (detection pipeline) splits the
+            # layer's *work* across its kernels; each invocation still
+            # pays its own launch overhead and dependent-load latency
+            # chains (a sort pass's pointer chasing does not shrink
+            # because other passes exist).
+            if n_kernels > 1:
+                base = (
+                    cost.launch_us
+                    + max(cost.compute_us, cost.bandwidth_us) / n_kernels
+                    + cost.latency_us
+                )
+            else:
+                base = cost.total_us
+            dur = noisy(base) * overhead
+            timing.kernel_events.append(
+                KernelEvent(
+                    kernel_name=kernel.name,
+                    layer_name=binding.layer_name,
+                    start_us=cursor,
+                    duration_us=dur,
+                )
+            )
+            cursor += dur
+
+    if profiler is not None:
+        profiler.record(timing)
+    return timing

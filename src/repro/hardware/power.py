@@ -1,0 +1,126 @@
+"""Board power model (the tegrastats power rails).
+
+Real tegrastats lines include instantaneous rail power (VDD_IN,
+VDD_CPU_GPU_CV, VDD_SOC).  The model here is the standard CMOS
+decomposition: idle floor + dynamic GPU power scaling with utilization
+and the square of voltage-tracked frequency + memory power scaling
+with DRAM traffic.  Budgets follow the boards' nvpmodel envelopes
+(NX: 15 W mode, AGX: 30 W mode).
+
+The scheduler uses this to annotate concurrency sweeps: thread
+saturation shows up as a power plateau just like the GPU-utilization
+plateau in the paper's Figures 3/4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import DeviceSpec, XAVIER_AGX, XAVIER_NX
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Per-board power parameters (watts)."""
+
+    idle_w: float
+    gpu_max_dynamic_w: float
+    mem_max_dynamic_w: float
+    cpu_max_dynamic_w: float
+    budget_w: float  # nvpmodel power-mode cap
+
+
+_ENVELOPES = {
+    XAVIER_NX.name: PowerEnvelope(
+        idle_w=3.0,
+        gpu_max_dynamic_w=7.5,
+        mem_max_dynamic_w=2.5,
+        cpu_max_dynamic_w=3.0,
+        budget_w=15.0,
+    ),
+    XAVIER_AGX.name: PowerEnvelope(
+        idle_w=5.5,
+        gpu_max_dynamic_w=14.0,
+        mem_max_dynamic_w=5.0,
+        cpu_max_dynamic_w=6.0,
+        budget_w=30.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Instantaneous rail breakdown (watts)."""
+
+    gpu_w: float
+    mem_w: float
+    cpu_w: float
+    soc_idle_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.gpu_w + self.mem_w + self.cpu_w + self.soc_idle_w
+
+    def render(self) -> str:
+        """tegrastats-style rail segment."""
+        return (
+            f"VDD_GPU {self.gpu_w * 1000:.0f}mW "
+            f"VDD_DDR {self.mem_w * 1000:.0f}mW "
+            f"VDD_CPU {self.cpu_w * 1000:.0f}mW "
+            f"VDD_SOC {self.soc_idle_w * 1000:.0f}mW"
+        )
+
+
+class PowerModel:
+    """Estimates board power from utilization state."""
+
+    def __init__(self, device: DeviceSpec):
+        try:
+            self.envelope = _ENVELOPES[device.name]
+        except KeyError:
+            raise ValueError(
+                f"no power envelope for device {device.name!r}"
+            ) from None
+        self.device = device
+
+    def sample(
+        self,
+        gpu_utilization: float,
+        clock_mhz: float,
+        mem_bw_utilization: float,
+        cpu_utilization: float = 0.2,
+    ) -> PowerSample:
+        """Rail powers for a board state (utilizations in [0, 1])."""
+        for name, value in (
+            ("gpu_utilization", gpu_utilization),
+            ("mem_bw_utilization", mem_bw_utilization),
+            ("cpu_utilization", cpu_utilization),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        env = self.envelope
+        # Dynamic power ~ f * V^2; Jetson DVFS tracks voltage roughly
+        # linearly with frequency, so dynamic power ~ (f/fmax)^3 at the
+        # rail; utilization gates how much of the GPU switches.
+        f_ratio = clock_mhz / self.device.max_gpu_clock_mhz
+        gpu_w = env.gpu_max_dynamic_w * gpu_utilization * f_ratio ** 3
+        mem_w = env.mem_max_dynamic_w * mem_bw_utilization
+        cpu_w = env.cpu_max_dynamic_w * cpu_utilization
+        return PowerSample(
+            gpu_w=gpu_w,
+            mem_w=mem_w,
+            cpu_w=cpu_w,
+            soc_idle_w=env.idle_w,
+        )
+
+    def within_budget(self, sample: PowerSample) -> bool:
+        """Whether the state fits the board's nvpmodel power mode."""
+        return sample.total_w <= self.envelope.budget_w
+
+    def efficiency_fps_per_watt(
+        self, fps: float, sample: PowerSample
+    ) -> float:
+        """Inference energy efficiency at a given throughput."""
+        if fps < 0:
+            raise ValueError("fps must be non-negative")
+        return fps / sample.total_w

@@ -1,0 +1,221 @@
+"""Multi-stream concurrency simulation (paper Section IV-B, Figs 3/4).
+
+Models the paper's concurrency setup: one CUDA context, N streams, each
+stream running the same engine on its own camera feed.  Steady-state
+throughput is limited by whichever saturates first:
+
+* **SM capacity** — aggregate kernel compute demand across streams;
+* **DRAM bandwidth** — aggregate activation + weight traffic (Eq. 1 of
+  the paper: the supportable thread count is bounded by memory
+  bandwidth over per-thread bandwidth demand);
+* **RAM capacity** — each stream needs its own activation buffers.
+
+The scheduler reports per-thread FPS and GPU utilization for each
+thread count, reproducing the saturation shape of Figures 3 and 4, and
+feeds :class:`repro.profiling.tegrastats.Tegrastats` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.graph.shapes import infer_shapes
+from repro.hardware.power import PowerModel, PowerSample
+from repro.hardware.specs import DeviceSpec
+from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.engine import Engine
+
+#: GPU utilization never reaches 100%: scheduling gaps between kernels
+#: and memcpy serialization leave ~15% idle even at saturation, matching
+#: the 82-86% plateaus in the paper's Figures 3 and 4.
+UTILIZATION_CEILING = 0.862
+
+#: Fraction of board RAM available to inference work (OS + desktop +
+#: CUDA context overhead excluded).
+USABLE_RAM_FRACTION = 0.70
+
+#: Host CPU time to submit one kernel launch into a stream (us, on the
+#: NX's 6-core Carmel; scales inversely with core count).  With many
+#: streams the ARM cores become the submission bottleneck for
+#: many-kernel engines — why a heavier model saturates at *fewer*
+#: threads (paper Figs 3 vs 4: 28/36 threads for Tiny-YOLOv3 but only
+#: 16/24 for GoogLeNet).
+KERNEL_SUBMIT_US = 0.30
+
+
+@dataclass(frozen=True)
+class ConcurrencyPoint:
+    """Steady-state statistics at one thread count."""
+
+    threads: int
+    fps_per_thread: float
+    aggregate_fps: float
+    gpu_utilization_pct: float
+    ram_used_mb: int
+    bandwidth_limited: bool
+    power: "PowerSample | None" = None
+
+    @property
+    def fps_per_watt(self) -> float:
+        if self.power is None:
+            return 0.0
+        return self.aggregate_fps / self.power.total_w
+
+
+@dataclass
+class ConcurrencyResult:
+    """Sweep over thread counts for one engine on one device."""
+
+    device_name: str
+    engine_name: str
+    clock_mhz: float
+    points: List[ConcurrencyPoint]
+    max_threads: int
+
+    def point(self, threads: int) -> ConcurrencyPoint:
+        for p in self.points:
+            if p.threads == threads:
+                return p
+        raise KeyError(f"no sweep point at {threads} threads")
+
+
+class StreamScheduler:
+    """Simulates N concurrent inference streams of one engine."""
+
+    def __init__(self, engine: "Engine", device: Optional[DeviceSpec] = None):
+        self.engine = engine
+        self.device = device or engine.device
+
+    # ------------------------------------------------------------------
+    def _per_stream_memory_mb(self) -> float:
+        """Activation + engine working set of one stream (MB)."""
+        shapes = infer_shapes(self.engine.graph)
+        act_bytes = sum(
+            int(np.prod(s)) * 2 for s in shapes.values()
+        )  # FP16 activations
+        # Each stream keeps double-buffered activations plus per-context
+        # scratch; the engine weights are shared across streams.
+        working = act_bytes * 2 + 24 * 1024 * 1024
+        return working / (1024.0 * 1024.0)
+
+    def _single_stream_compute_us(self, clock_mhz: float) -> float:
+        """Kernel-only latency of one inference at full SM share."""
+        context = self.engine.create_execution_context(self.device)
+        timing = context.time_inference(
+            clock_mhz=clock_mhz,
+            include_engine_upload=False,  # weights stay resident
+            jitter=0.0,
+        )
+        return timing.kernel_us
+
+    def _per_inference_traffic_bytes(self) -> float:
+        """DRAM bytes moved per inference (activations + weights)."""
+        return float(
+            sum(
+                b.workload.total_bytes
+                for b in self.engine.bindings
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def max_supported_threads(self, clock_mhz: Optional[float] = None) -> int:
+        """The thread count at which the board saturates (the paper's
+        'maximum number of threads that are supported')."""
+        clock = clock_mhz or self.device.max_gpu_clock_mhz
+        latency_us = self._single_stream_compute_us(clock)
+        traffic = self._per_inference_traffic_bytes()
+        # Eq. 1: N = O(Fmem * Bwid / Bth). Per-thread demand at full
+        # speed is traffic / latency; the usable share of peak DRAM
+        # bandwidth caps the total.
+        per_thread_bw = traffic / latency_us * 1e6  # bytes/s
+        usable_bw = self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+        n_bw = int(usable_bw / per_thread_bw)
+        ram_mb = self.device.ram_gb * 1024 * USABLE_RAM_FRACTION
+        n_ram = int(ram_mb / self._per_stream_memory_mb())
+        # Host submission bound: each stream issues num_kernels launches
+        # per inference; the ARM cores sustain a finite submit rate.
+        submit_us = KERNEL_SUBMIT_US * 6.0 / self.device.cpu_cores
+        n_host = int(latency_us / (self.engine.num_kernels * submit_us))
+        return max(1, min(n_bw, n_ram, n_host))
+
+    def sweep(
+        self,
+        max_threads: Optional[int] = None,
+        clock_mhz: Optional[float] = None,
+        step: int = 4,
+        tegrastats: Optional[Tegrastats] = None,
+    ) -> ConcurrencyResult:
+        """FPS / GPU-utilization sweep over thread counts."""
+        clock = clock_mhz or self.device.max_gpu_clock_mhz
+        supported = self.max_supported_threads(clock)
+        limit = max_threads or supported
+        limit = min(limit, supported)
+        latency_us = self._single_stream_compute_us(clock)
+        traffic = self._per_inference_traffic_bytes()
+        usable_bw = self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+        fps_bw_cap = usable_bw / traffic
+        # Aggregate throughput also stops growing at the binding cap —
+        # host submission rate or DRAM bandwidth, whichever is lower.
+        fps_host_cap = supported * 1e6 / latency_us
+        fps_cap = min(fps_bw_cap, fps_host_cap)
+        per_stream_mb = self._per_stream_memory_mb()
+
+        counts = [1] + list(range(step, limit + 1, step))
+        if counts[-1] != limit:
+            counts.append(limit)
+        points = []
+        for n in counts:
+            # Demand: n streams each want 1/latency inferences/sec.
+            demand_fps = n * 1e6 / latency_us
+            agg = min(demand_fps, fps_cap)
+            # Kernel-gap inefficiency leaves a few percent on the table
+            # even pre-saturation; saturation approaches the ceiling.
+            utilization = UTILIZATION_CEILING * (
+                demand_fps / (demand_fps + 0.35 * fps_cap)
+            ) * (1.35)
+            utilization = min(utilization, UTILIZATION_CEILING)
+            gpu_pct = utilization * 100.0
+            ram_used = int(
+                per_stream_mb * n + 1536
+            )  # plus OS/desktop baseline
+            mem_util = min(1.0, agg * traffic / (
+                self.device.mem_bandwidth_gbps * 1e9))
+            power = PowerModel(self.device).sample(
+                gpu_utilization=utilization,
+                clock_mhz=clock,
+                mem_bw_utilization=mem_util,
+                cpu_utilization=min(0.95, 0.08 * n),
+            )
+            point = ConcurrencyPoint(
+                threads=n,
+                fps_per_thread=agg / n,
+                aggregate_fps=agg,
+                gpu_utilization_pct=gpu_pct,
+                ram_used_mb=ram_used,
+                bandwidth_limited=demand_fps > fps_cap,
+                power=power,
+            )
+            points.append(point)
+            if tegrastats is not None:
+                tegrastats.record(
+                    TegrastatsSample(
+                        timestamp_s=float(n),
+                        ram_used_mb=ram_used,
+                        ram_total_mb=self.device.ram_gb * 1024,
+                        gpu_util_pct=gpu_pct,
+                        gpu_freq_mhz=clock,
+                        cpu_util_pct=min(95.0, 8.0 * n),
+                    )
+                )
+        return ConcurrencyResult(
+            device_name=self.device.name,
+            engine_name=self.engine.name,
+            clock_mhz=clock,
+            points=points,
+            max_threads=supported,
+        )

@@ -1,0 +1,145 @@
+"""Device specifications for the two evaluation platforms (paper Table I).
+
+Both boards use the Volta GV10B GPU so the instruction set and SM
+micro-architecture are identical; they differ in SM count, tensor-core
+count, memory system, and clocks — exactly the variables the paper holds
+against each other.
+
+The latency/overhead fields below are not in Table I (the paper's boards
+expose them only through measurement); they are set to publicly
+plausible values for LPDDR4x-based Jetson modules and, importantly,
+capture the *asymmetry* the paper measures: the AGX's wider (256-bit)
+memory system has higher peak bandwidth and a lower base access
+latency, but a larger minimum useful burst (``min_burst_bytes``) and a
+higher per-transfer driver overhead.  Kernels with narrow, strided
+access patterns waste most of each 128-byte burst and pay serialized
+latency trips, and engines made of many small weight tensors pay the
+per-call memcpy overhead — the mechanisms behind the AGX's slower
+engine uploads and slower small-kernel behaviour (paper Tables VIII,
+X, XI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of one Jetson platform."""
+
+    name: str
+    cpu_description: str
+    cpu_cores: int
+    gpu_cores: int
+    sms: int
+    tensor_cores: int
+    l1_kb_per_sm: int
+    l2_kb: int
+    ram_gb: int
+    mem_bus_bits: int
+    mem_bandwidth_gbps: float
+    max_gpu_clock_mhz: float
+    supported_gpu_clocks_mhz: Tuple[float, ...]
+    technology_nm: int
+    # Measured-behaviour parameters (see module docstring).
+    dram_latency_ns: float
+    memcpy_call_overhead_us: float
+    memcpy_bandwidth_eff: float
+    kernel_launch_overhead_us: float
+    #: Minimum useful DRAM burst. The AGX's 256-bit controller moves
+    #: 128B per burst; kernels whose access pattern only consumes a
+    #: fraction of each burst pay proportionally more latency trips.
+    min_burst_bytes: int = 64
+
+    @property
+    def cores_per_sm(self) -> int:
+        return self.gpu_cores // self.sms
+
+    @property
+    def tensor_cores_per_sm(self) -> int:
+        return self.tensor_cores // self.sms
+
+    def peak_fp32_gflops(self, clock_mhz: float) -> float:
+        """CUDA-core FMA throughput at the given clock."""
+        return self.gpu_cores * 2 * clock_mhz / 1e3
+
+    def peak_fp16_tc_gflops(self, clock_mhz: float) -> float:
+        """Tensor-core HMMA throughput (Volta: 64 FMA/clock/TC)."""
+        return self.tensor_cores * 128 * clock_mhz / 1e3
+
+    def peak_int8_tc_gops(self, clock_mhz: float) -> float:
+        """Tensor-core IMMA throughput (2x the HMMA rate)."""
+        return self.tensor_cores * 256 * clock_mhz / 1e3
+
+
+#: Jetson Xavier NX — paper Table I, left column.
+XAVIER_NX = DeviceSpec(
+    name="Xavier NX",
+    cpu_description="6-core NVIDIA Carmel ARMv8.2 64-bit, 6MB L2 + 4MB L3",
+    cpu_cores=6,
+    gpu_cores=384,
+    sms=6,
+    tensor_cores=48,
+    l1_kb_per_sm=128,
+    l2_kb=512,
+    ram_gb=8,
+    mem_bus_bits=128,
+    mem_bandwidth_gbps=51.2,
+    max_gpu_clock_mhz=1109.25,
+    supported_gpu_clocks_mhz=(114.75, 204.0, 306.0, 408.0, 510.0, 599.0,
+                              714.0, 803.25, 854.25, 918.0, 1109.25),
+    technology_nm=12,
+    dram_latency_ns=125.0,
+    memcpy_call_overhead_us=7.0,
+    memcpy_bandwidth_eff=0.72,
+    kernel_launch_overhead_us=6.5,
+    min_burst_bytes=64,
+)
+
+#: Jetson Xavier AGX — paper Table I, right column.
+XAVIER_AGX = DeviceSpec(
+    name="Xavier AGX",
+    cpu_description="8-core ARMv8.2 64-bit, 8MB L2 + 4MB L3",
+    cpu_cores=8,
+    gpu_cores=512,
+    sms=8,
+    tensor_cores=64,
+    l1_kb_per_sm=128,
+    l2_kb=512,
+    ram_gb=32,
+    mem_bus_bits=256,
+    mem_bandwidth_gbps=137.0,
+    max_gpu_clock_mhz=1377.0,
+    supported_gpu_clocks_mhz=(114.75, 216.75, 318.75, 420.75, 522.75, 624.75,
+                              675.75, 828.75, 905.25, 1032.75, 1198.5, 1236.75,
+                              1338.75, 1377.0),
+    technology_nm=12,
+    dram_latency_ns=105.0,
+    memcpy_call_overhead_us=7.5,
+    memcpy_bandwidth_eff=0.62,
+    kernel_launch_overhead_us=6.1,
+    min_burst_bytes=128,
+)
+
+
+def device_query(spec: DeviceSpec) -> str:
+    """deviceQuery-style textual report (paper Section II-A uses the
+    CUDA deviceQuery utility to obtain Table I)."""
+    lines = [
+        f"Device: {spec.name} (GV10B, Volta)",
+        f"  CPU                         : {spec.cpu_description}",
+        f"  CUDA cores                  : {spec.gpu_cores} "
+        f"({spec.cores_per_sm} per SM)",
+        f"  Multiprocessors (SMs)       : {spec.sms}",
+        f"  Tensor cores                : {spec.tensor_cores} "
+        f"({spec.tensor_cores_per_sm} per SM)",
+        f"  L1 cache / SM               : {spec.l1_kb_per_sm} KB",
+        f"  L2 cache                    : {spec.l2_kb} KB",
+        f"  Memory                      : {spec.ram_gb} GB "
+        f"{spec.mem_bus_bits}-bit LPDDR4x {spec.mem_bandwidth_gbps} GB/s",
+        f"  GPU max clock               : {spec.max_gpu_clock_mhz} MHz",
+        f"  Technology                  : {spec.technology_nm} nm",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Per-layer workload characterization: FLOPs, bytes, GEMM dimensions.
+
+The cost model prices a kernel from (a) the kernel's own properties
+(tile size, precision, prefetch depth) and (b) the *workload* of the
+layer it executes.  This module derives the workload from the IR layer
+and the inferred tensor shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType, Layer, LayerKind
+
+Shape = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Work performed by one layer for a single image (batch 1).
+
+    GEMM view (for conv/fc kernels): output is an (M x N) matrix reduced
+    over K.  Non-GEMM layers set M=N=1, K=0 and are priced purely on
+    bytes + a small per-element cost.
+    """
+
+    flops: float
+    bytes_in: int
+    bytes_w: int
+    bytes_out: int
+    gemm_m: int  # output channels / units
+    gemm_n: int  # output pixels
+    gemm_k: int  # reduction length
+    elements_out: int
+    category: str  # kernel-catalog category key
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_w + self.bytes_out
+
+
+#: Map from layer kind to kernel-catalog category.
+_CATEGORY: Dict[LayerKind, str] = {
+    LayerKind.CONVOLUTION: "conv",
+    LayerKind.FUSED_CONV_BLOCK: "conv",
+    LayerKind.MERGED_CONV: "conv",
+    LayerKind.DEPTHWISE_CONVOLUTION: "depthwise",
+    LayerKind.DECONVOLUTION: "deconv",
+    LayerKind.FULLY_CONNECTED: "gemm",
+    LayerKind.FUSED_FC_BLOCK: "gemm",
+    LayerKind.POOLING: "pooling",
+    LayerKind.ACTIVATION: "pointwise",
+    LayerKind.BATCHNORM: "pointwise",
+    LayerKind.SCALE: "pointwise",
+    LayerKind.LRN: "lrn",
+    LayerKind.SOFTMAX: "softmax",
+    LayerKind.CONCAT: "copy",
+    LayerKind.ELEMENTWISE: "pointwise",
+    LayerKind.FLATTEN: "copy",
+    LayerKind.DROPOUT: "copy",
+    LayerKind.IDENTITY: "copy",
+    LayerKind.UPSAMPLE: "copy",
+    LayerKind.PERMUTE: "copy",
+    LayerKind.RESHAPE: "copy",
+    LayerKind.DETECTION_OUTPUT: "detection",
+    LayerKind.REGION: "pointwise",
+    LayerKind.INPUT: "copy",
+}
+
+
+def _vol(shape: Shape) -> int:
+    return int(np.prod(shape)) if shape else 1
+
+
+def layer_workload(
+    layer: Layer,
+    tensor_shapes: Dict[str, Shape],
+    act_dtype: DataType = DataType.FP32,
+) -> LayerWorkload:
+    """Characterize ``layer`` given the graph's tensor shapes.
+
+    ``act_dtype`` prices activation traffic (engines moving FP16
+    activations halve their DRAM bytes — part of the optimized path's
+    throughput win).
+    """
+    in_shapes = [tensor_shapes[t] for t in layer.inputs]
+    out_shapes = [tensor_shapes[t] for t in layer.outputs]
+    act_size = act_dtype.itemsize
+    bytes_in = sum(_vol(s) for s in in_shapes) * act_size
+    bytes_out = sum(_vol(s) for s in out_shapes) * act_size
+    bytes_w = layer.weight_bytes()
+    elements_out = sum(_vol(s) for s in out_shapes)
+    category = _CATEGORY[layer.kind]
+
+    kind = layer.kind
+    if kind in (
+        LayerKind.CONVOLUTION,
+        LayerKind.FUSED_CONV_BLOCK,
+        LayerKind.MERGED_CONV,
+    ):
+        in_c = in_shapes[0][0]
+        k = int(layer.attrs.get("kernel", 3))
+        if kind is LayerKind.MERGED_CONV:
+            out_c = sum(int(s) for s in layer.attrs["splits"])
+        else:
+            out_c = int(layer.attrs["out_channels"])
+        out_pixels = out_shapes[0][1] * out_shapes[0][2]
+        gemm_k = in_c * k * k
+        flops = 2.0 * out_c * out_pixels * gemm_k
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            out_c, out_pixels, gemm_k, elements_out, category,
+        )
+
+    if kind is LayerKind.DEPTHWISE_CONVOLUTION:
+        c, out_h, out_w = out_shapes[0]
+        k = int(layer.attrs.get("kernel", 3))
+        flops = 2.0 * c * out_h * out_w * k * k
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            c, out_h * out_w, k * k, elements_out, category,
+        )
+
+    if kind is LayerKind.DECONVOLUTION:
+        in_c = in_shapes[0][0]
+        in_pixels = in_shapes[0][1] * in_shapes[0][2]
+        k = int(layer.attrs.get("kernel", 2))
+        out_c = int(layer.attrs["out_channels"])
+        flops = 2.0 * out_c * in_pixels * in_c * k * k
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            out_c * k * k, in_pixels, in_c, elements_out, category,
+        )
+
+    if kind in (LayerKind.FULLY_CONNECTED, LayerKind.FUSED_FC_BLOCK):
+        in_units = _vol(in_shapes[0])
+        out_units = int(layer.attrs["out_units"])
+        flops = 2.0 * out_units * in_units
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            out_units, 1, in_units, elements_out, category,
+        )
+
+    if kind is LayerKind.POOLING:
+        if layer.attrs.get("global"):
+            window = in_shapes[0][1] * in_shapes[0][2]
+        else:
+            window = int(layer.attrs.get("kernel", 2)) ** 2
+        flops = float(elements_out * window)
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            1, 1, 0, elements_out, category,
+        )
+
+    if kind is LayerKind.LRN:
+        size = int(layer.attrs.get("size", 5))
+        flops = float(elements_out * (size + 4))
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            1, 1, 0, elements_out, category,
+        )
+
+    if kind is LayerKind.DETECTION_OUTPUT:
+        cells = _vol(in_shapes[0]) // 4 if in_shapes else 1
+        # decode + sort + NMS: ~O(cells log cells)
+        flops = float(cells * (20 + int(np.log2(max(cells, 2)))))
+        return LayerWorkload(
+            flops, bytes_in, bytes_w, bytes_out,
+            1, 1, 0, elements_out, category,
+        )
+
+    # Pointwise / copy-ish layers.
+    flops = float(2 * elements_out)
+    return LayerWorkload(
+        flops, bytes_in, bytes_w, bytes_out,
+        1, 1, 0, elements_out, category,
+    )

@@ -1,0 +1,46 @@
+"""Classification accuracy metrics: top-1 error and output consistency.
+
+Top-1 error is "the percentage of test images on which the model fails
+to output the correct class label" (paper II-E).  Output consistency —
+how many predictions *differ between two engines* on identical inputs —
+is the paper's Tables V and VI metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_predictions(scores: np.ndarray) -> np.ndarray:
+    """Argmax class per row of an (N, num_classes) score array."""
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        scores = scores.reshape(scores.shape[0], -1)
+    return scores.argmax(axis=1)
+
+
+def top1_error(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 error percentage in [0, 100]."""
+    labels = np.asarray(labels)
+    preds = top1_predictions(scores)
+    if len(preds) != len(labels):
+        raise ValueError(
+            f"{len(preds)} predictions vs {len(labels)} labels"
+        )
+    if len(labels) == 0:
+        raise ValueError("empty evaluation set")
+    return float((preds != labels).mean() * 100.0)
+
+
+def prediction_mismatches(
+    preds_a: np.ndarray, preds_b: np.ndarray
+) -> int:
+    """Count of positions where two prediction vectors disagree
+    (paper Tables V/VI: 'number of different prediction output')."""
+    preds_a = np.asarray(preds_a)
+    preds_b = np.asarray(preds_b)
+    if preds_a.shape != preds_b.shape:
+        raise ValueError(
+            f"shape mismatch {preds_a.shape} vs {preds_b.shape}"
+        )
+    return int((preds_a != preds_b).sum())

@@ -1,0 +1,81 @@
+"""Object-detection metrics: IoU-thresholded precision and recall.
+
+The paper reports precision and recall at IoU 0.75 (II-E): a predicted
+box matches a ground-truth box of the same class when their IoU clears
+the threshold; each ground truth can be claimed once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.traffic import GroundTruthBox
+from repro.runtime.ops import box_iou
+
+
+@dataclass
+class DetectionScores:
+    """Aggregate precision/recall over a scene set."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    def merge(self, other: "DetectionScores") -> "DetectionScores":
+        return DetectionScores(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def score_detections(
+    detections: np.ndarray,
+    ground_truth: Sequence[GroundTruthBox],
+    iou_threshold: float = 0.75,
+    class_agnostic: bool = False,
+) -> DetectionScores:
+    """Match one image's detections against its ground truth.
+
+    ``detections`` is the (max_boxes, 6) array produced by the
+    detection-output layer: rows [class, score, x1, y1, x2, y2] with
+    class = -1 marking unused slots.
+    """
+    valid = detections[detections[:, 0] >= 0]
+    order = np.argsort(-valid[:, 1])
+    claimed = [False] * len(ground_truth)
+    scores = DetectionScores()
+    for row in valid[order]:
+        cls = int(row[0])
+        box = row[2:6]
+        best_iou, best_idx = 0.0, -1
+        for idx, gt in enumerate(ground_truth):
+            if claimed[idx]:
+                continue
+            if not class_agnostic and gt.class_id != cls:
+                continue
+            iou = float(
+                box_iou(box[None, :], np.asarray(gt.box)[None, :])[0]
+            )
+            if iou > best_iou:
+                best_iou, best_idx = iou, idx
+        if best_iou >= iou_threshold and best_idx >= 0:
+            claimed[best_idx] = True
+            scores.true_positives += 1
+        else:
+            scores.false_positives += 1
+    scores.false_negatives += claimed.count(False)
+    return scores

@@ -1,0 +1,23 @@
+"""Model zoo: the paper's 13 evaluated networks (Table II).
+
+Every model is generated through its *original framework's* format —
+Caffe prototxt, TensorFlow GraphDef, Darknet cfg, or PyTorch tracing —
+and lowered by the matching frontend, mirroring how the paper obtains
+its workloads from the jetson-inference model zoo.  Layer counts (conv
+and max-pool) match Table II exactly and are asserted by the test
+suite.  Channel widths and input resolutions are scaled down so the
+numeric runtime stays laptop-feasible (see DESIGN.md §5).
+
+Classification models are "pretrained" by construction: a class-mean
+linear readout over the (fixed, seeded) convolutional features of the
+synthetic dataset — see :mod:`repro.models.training`.
+"""
+
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    ModelInfo,
+    build_model,
+    list_models,
+)
+
+__all__ = ["MODEL_REGISTRY", "ModelInfo", "build_model", "list_models"]

@@ -1,0 +1,288 @@
+"""Helper that authors Caffe models: prototxt text + caffemodel weights.
+
+The zoo's Caffe networks are written against this spec builder, which
+emits genuine prototxt (parsed back by :mod:`repro.frameworks.caffe`)
+and the matching weight blobs, while tracking tensor shapes so weight
+dimensions always agree with the text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.builder import WeightInitializer
+
+
+class CaffeNetSpec:
+    """Accumulates prototxt layers and their weights."""
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, int, int],
+        seed: int,
+        input_name: str = "data",
+    ):
+        c, h, w = input_shape
+        self.name = name
+        self.input_name = input_name
+        self._lines: List[str] = [
+            f'name: "{name}"',
+            f'input: "{input_name}"',
+            "input_dim: 1",
+            f"input_dim: {c}",
+            f"input_dim: {h}",
+            f"input_dim: {w}",
+        ]
+        self.weights: Dict[str, Dict[str, np.ndarray]] = {}
+        self.init = WeightInitializer(seed)
+        self._shapes: Dict[str, Tuple[int, ...]] = {input_name: input_shape}
+        self.conv_count = 0
+        self.max_pool_count = 0
+
+    # ------------------------------------------------------------------
+    def shape_of(self, tensor: str) -> Tuple[int, ...]:
+        return self._shapes[tensor]
+
+    def _emit(
+        self,
+        name: str,
+        ltype: str,
+        bottoms: Sequence[str],
+        top: str,
+        params: str = "",
+    ) -> None:
+        bottom_lines = "\n".join(f'  bottom: "{b}"' for b in bottoms)
+        self._lines.append(
+            "layer {\n"
+            f'  name: "{name}"\n'
+            f'  type: "{ltype}"\n'
+            f"{bottom_lines}\n"
+            f'  top: "{top}"\n'
+            f"{params}"
+            "}"
+        )
+
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        bottom: str,
+        num_output: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> str:
+        c, h, w = self._shapes[bottom]
+        out_h = (h + 2 * pad - kernel) // stride + 1
+        out_w = (w + 2 * pad - kernel) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"conv {name}: window collapses {h}x{w} input"
+            )
+        self._emit(
+            name,
+            "Convolution",
+            [bottom],
+            name,
+            "  convolution_param {\n"
+            f"    num_output: {num_output}\n"
+            f"    kernel_size: {kernel}\n"
+            f"    stride: {stride}\n"
+            f"    pad: {pad}\n"
+            "  }\n",
+        )
+        self.weights[name] = {
+            "kernel": self.init.conv(num_output, c, kernel),
+            "bias": self.init.bias(num_output),
+        }
+        self._shapes[name] = (num_output, out_h, out_w)
+        self.conv_count += 1
+        return name
+
+    def deconv(
+        self, name: str, bottom: str, num_output: int,
+        kernel: int = 2, stride: int = 2,
+    ) -> str:
+        c, h, w = self._shapes[bottom]
+        self._emit(
+            name,
+            "Deconvolution",
+            [bottom],
+            name,
+            "  convolution_param {\n"
+            f"    num_output: {num_output}\n"
+            f"    kernel_size: {kernel}\n"
+            f"    stride: {stride}\n"
+            "  }\n",
+        )
+        self.weights[name] = {
+            "kernel": self.init.conv(num_output, c, kernel),
+            "bias": self.init.bias(num_output),
+        }
+        self._shapes[name] = (
+            num_output, (h - 1) * stride + kernel, (w - 1) * stride + kernel
+        )
+        return name
+
+    def fc(self, name: str, bottom: str, num_output: int) -> str:
+        in_units = int(np.prod(self._shapes[bottom]))
+        self._emit(
+            name,
+            "InnerProduct",
+            [bottom],
+            name,
+            f"  inner_product_param {{ num_output: {num_output} }}\n",
+        )
+        self.weights[name] = {
+            "kernel": self.init.dense(num_output, in_units),
+            "bias": self.init.bias(num_output),
+        }
+        self._shapes[name] = (num_output,)
+        return name
+
+    def _pool(
+        self,
+        name: str,
+        bottom: str,
+        mode: str,
+        kernel: int,
+        stride: int,
+        pad: int,
+        global_pool: bool,
+    ) -> str:
+        c, h, w = self._shapes[bottom]
+        params = "  pooling_param {\n" f"    pool: {mode}\n"
+        if global_pool:
+            params += "    global_pooling: true\n  }\n"
+            self._shapes[name] = (c, 1, 1)
+        else:
+            out_h = -(-(h + 2 * pad - kernel) // stride) + 1
+            out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+            params += (
+                f"    kernel_size: {kernel}\n"
+                f"    stride: {stride}\n"
+                f"    pad: {pad}\n  }}\n"
+            )
+            self._shapes[name] = (c, out_h, out_w)
+        self._emit(name, "Pooling", [bottom], name, params)
+        if mode == "MAX":
+            self.max_pool_count += 1
+        return name
+
+    def max_pool(
+        self, name: str, bottom: str, kernel: int = 2,
+        stride: Optional[int] = None, pad: int = 0,
+    ) -> str:
+        return self._pool(
+            name, bottom, "MAX", kernel, stride or kernel, pad, False
+        )
+
+    def avg_pool(
+        self, name: str, bottom: str, kernel: int = 2,
+        stride: Optional[int] = None, pad: int = 0,
+    ) -> str:
+        return self._pool(
+            name, bottom, "AVE", kernel, stride or kernel, pad, False
+        )
+
+    def global_max_pool(self, name: str, bottom: str) -> str:
+        return self._pool(name, bottom, "MAX", 0, 0, 0, True)
+
+    def global_avg_pool(self, name: str, bottom: str) -> str:
+        return self._pool(name, bottom, "AVE", 0, 0, 0, True)
+
+    def relu(self, name: str, bottom: str) -> str:
+        """In-place ReLU, the Caffe idiom (top == bottom)."""
+        self._emit(name, "ReLU", [bottom], bottom)
+        return bottom
+
+    def prelu(self, name: str, bottom: str) -> str:
+        self._emit(name, "PReLU", [bottom], bottom)
+        return bottom
+
+    def lrn(self, name: str, bottom: str, local_size: int = 5) -> str:
+        self._emit(
+            name,
+            "LRN",
+            [bottom],
+            name,
+            f"  lrn_param {{ local_size: {local_size} alpha: 0.0001 "
+            "beta: 0.75 }\n",
+        )
+        self._shapes[name] = self._shapes[bottom]
+        return name
+
+    def batchnorm_scale(self, name: str, bottom: str) -> str:
+        """The Caffe BatchNorm + Scale pair (always used together)."""
+        c = self._shapes[bottom][0]
+        gamma, beta, mean, var = self.init.bn(c)
+        self._emit(f"{name}_bn", "BatchNorm", [bottom], f"{name}_bn")
+        self.weights[f"{name}_bn"] = {
+            "gamma": np.ones(c, dtype=np.float32),
+            "beta": np.zeros(c, dtype=np.float32),
+            "mean": mean,
+            "var": var,
+        }
+        self._shapes[f"{name}_bn"] = self._shapes[bottom]
+        self._emit(f"{name}_scale", "Scale", [f"{name}_bn"], f"{name}_scale")
+        self.weights[f"{name}_scale"] = {"gamma": gamma, "beta": beta}
+        self._shapes[f"{name}_scale"] = self._shapes[bottom]
+        return f"{name}_scale"
+
+    def concat(self, name: str, bottoms: Sequence[str]) -> str:
+        self._emit(name, "Concat", bottoms, name,
+                   "  concat_param { axis: 1 }\n")
+        c = sum(self._shapes[b][0] for b in bottoms)
+        self._shapes[name] = (c,) + self._shapes[bottoms[0]][1:]
+        return name
+
+    def eltwise_sum(self, name: str, lhs: str, rhs: str) -> str:
+        self._emit(name, "Eltwise", [lhs, rhs], name,
+                   "  eltwise_param { operation: SUM }\n")
+        self._shapes[name] = self._shapes[lhs]
+        return name
+
+    def dropout(self, name: str, bottom: str, ratio: float = 0.5) -> str:
+        """In-place Dropout, the Caffe idiom."""
+        self._emit(
+            name, "Dropout", [bottom], bottom,
+            f"  dropout_param {{ dropout_ratio: {ratio} }}\n",
+        )
+        return bottom
+
+    def softmax(self, name: str, bottom: str) -> str:
+        self._emit(name, "Softmax", [bottom], name)
+        self._shapes[name] = self._shapes[bottom]
+        return name
+
+    def detection_output(
+        self,
+        name: str,
+        loc: str,
+        conf: str,
+        num_classes: int,
+        max_boxes: int = 32,
+        confidence: float = 0.35,
+        nms: float = 0.5,
+    ) -> str:
+        self._emit(
+            name,
+            "DetectionOutput",
+            [loc, conf],
+            name,
+            "  detection_output_param {\n"
+            f"    num_classes: {num_classes}\n"
+            f"    keep_top_k: {max_boxes}\n"
+            f"    confidence_threshold: {confidence}\n"
+            f"    nms_param {{ nms_threshold: {nms} }}\n"
+            "  }\n",
+        )
+        self._shapes[name] = (max_boxes, 6)
+        return name
+
+    # ------------------------------------------------------------------
+    def prototxt(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,445 @@
+"""Caffe-framework models of the zoo (9 of the paper's 13 networks).
+
+Each builder authors a genuine prototxt + caffemodel-style weights via
+:class:`repro.models.caffe_helper.CaffeNetSpec` and lowers it through
+the Caffe frontend.  Conv / max-pool layer counts match the paper's
+Table II exactly (asserted in tests); channel widths and input sizes
+are scaled down per DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frameworks.caffe import parse_prototxt
+from repro.graph.ir import Graph
+
+from repro.models.caffe_helper import CaffeNetSpec
+
+CLASSIFICATION_INPUT = (3, 32, 32)
+DETECTION_INPUT = (3, 64, 64)
+
+
+def _finish(spec: CaffeNetSpec, outputs: List[str],
+            expect_convs: int, expect_pools: int) -> Graph:
+    if spec.conv_count != expect_convs:
+        raise AssertionError(
+            f"{spec.name}: built {spec.conv_count} convs, "
+            f"Table II expects {expect_convs}"
+        )
+    if spec.max_pool_count != expect_pools:
+        raise AssertionError(
+            f"{spec.name}: built {spec.max_pool_count} max pools, "
+            f"Table II expects {expect_pools}"
+        )
+    return parse_prototxt(
+        spec.prototxt(), spec.weights, outputs=outputs
+    )
+
+
+# ----------------------------------------------------------------------
+# AlexNet — 5 conv, 3 max pool
+# ----------------------------------------------------------------------
+def build_alexnet(seed: int = 31, num_classes: int = 100) -> Graph:
+    s = CaffeNetSpec("AlexNet", CLASSIFICATION_INPUT, seed)
+    t = s.conv("conv1", "data", 24, kernel=3, pad=1)
+    t = s.relu("relu1", t)
+    t = s.lrn("norm1", t)
+    t = s.max_pool("pool1", t, kernel=2)
+    t = s.conv("conv2", t, 32, kernel=3, pad=1)
+    t = s.relu("relu2", t)
+    t = s.lrn("norm2", t)
+    t = s.max_pool("pool2", t, kernel=2)
+    t = s.conv("conv3", t, 48, kernel=3, pad=1)
+    t = s.relu("relu3", t)
+    t = s.conv("conv4", t, 48, kernel=3, pad=1)
+    t = s.relu("relu4", t)
+    t = s.conv("conv5", t, 32, kernel=3, pad=1)
+    t = s.relu("relu5", t)
+    t = s.max_pool("pool5", t, kernel=2)
+    t = s.fc("fc6", t, 256)
+    t = s.relu("relu6", t)
+    t = s.dropout("drop6", t)
+    t = s.fc("fc7", t, 128)
+    t = s.relu("relu7", t)
+    t = s.dropout("drop7", t)
+    t = s.fc("fc8", t, num_classes)
+    out = s.softmax("prob", t)
+    return _finish(s, [out], expect_convs=5, expect_pools=3)
+
+
+# ----------------------------------------------------------------------
+# ResNet-18 — 21 conv, 2 max pool
+# ----------------------------------------------------------------------
+def _basic_block(
+    s: CaffeNetSpec, name: str, bottom: str, channels: int, stride: int,
+    project: bool,
+) -> str:
+    t = s.conv(f"{name}_conv1", bottom, channels, kernel=3,
+               stride=stride, pad=1)
+    t = s.batchnorm_scale(f"{name}_1", t)
+    t = s.relu(f"{name}_relu1", t)
+    t = s.conv(f"{name}_conv2", t, channels, kernel=3, pad=1)
+    t = s.batchnorm_scale(f"{name}_2", t)
+    if project:
+        shortcut = s.conv(
+            f"{name}_proj", bottom, channels, kernel=1, stride=stride
+        )
+        shortcut = s.batchnorm_scale(f"{name}_proj", shortcut)
+    else:
+        shortcut = bottom
+    t = s.eltwise_sum(f"{name}_sum", t, shortcut)
+    return s.relu(f"{name}_relu2", t)
+
+
+def build_resnet18(seed: int = 37, num_classes: int = 100) -> Graph:
+    s = CaffeNetSpec("ResNet-18", CLASSIFICATION_INPUT, seed)
+    t = s.conv("conv1", "data", 24, kernel=3, pad=1)
+    t = s.batchnorm_scale("conv1", t)
+    t = s.relu("conv1_relu", t)
+    t = s.max_pool("pool1", t, kernel=2)
+    for stage, (channels, stride) in enumerate(
+        [(24, 1), (40, 2), (64, 2), (128, 2)], start=1
+    ):
+        t = _basic_block(s, f"res{stage}a", t, channels, stride, project=True)
+        t = _basic_block(s, f"res{stage}b", t, channels, 1, project=False)
+    t = s.max_pool("pool5", t, kernel=2)
+    t = s.fc("fc", t, num_classes)
+    out = s.softmax("prob", t)
+    return _finish(s, [out], expect_convs=21, expect_pools=2)
+
+
+# ----------------------------------------------------------------------
+# VGG-16 — 13 conv, 5 max pool
+# ----------------------------------------------------------------------
+def build_vgg16(seed: int = 41, num_classes: int = 100) -> Graph:
+    s = CaffeNetSpec("vgg-16", CLASSIFICATION_INPUT, seed)
+    t = "data"
+    blocks = [(2, 24), (2, 40), (3, 64), (3, 96), (3, 160)]
+    for bidx, (repeats, channels) in enumerate(blocks, start=1):
+        for cidx in range(1, repeats + 1):
+            t = s.conv(f"conv{bidx}_{cidx}", t, channels, kernel=3, pad=1)
+            t = s.relu(f"relu{bidx}_{cidx}", t)
+        # The last two pools keep stride 1 so the scaled 32x32 input
+        # still reaches fc6 with spatial detail (DESIGN.md §5).
+        stride = 2 if bidx <= 3 else 1
+        t = s.max_pool(f"pool{bidx}", t, kernel=2, stride=stride)
+    t = s.fc("fc6", t, 768)
+    t = s.relu("relu6", t)
+    t = s.dropout("drop6", t)
+    t = s.fc("fc7", t, 256)
+    t = s.relu("relu7", t)
+    t = s.dropout("drop7", t)
+    t = s.fc("fc8", t, num_classes)
+    out = s.softmax("prob", t)
+    return _finish(s, [out], expect_convs=13, expect_pools=5)
+
+
+# ----------------------------------------------------------------------
+# GoogLeNet — 57 conv, 14 max pool (plus 2 dead auxiliary heads)
+# ----------------------------------------------------------------------
+def _inception_module(
+    s: CaffeNetSpec, name: str, bottom: str,
+    c1: int, cr3: int, c3: int, cr5: int, c5: int, cpool: int,
+) -> str:
+    b1 = s.conv(f"{name}_1x1", bottom, c1, kernel=1)
+    b1 = s.relu(f"{name}_relu_1x1", b1)
+    b2 = s.conv(f"{name}_3x3_reduce", bottom, cr3, kernel=1)
+    b2 = s.relu(f"{name}_relu_3x3_reduce", b2)
+    b2 = s.conv(f"{name}_3x3", b2, c3, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_relu_3x3", b2)
+    b3 = s.conv(f"{name}_5x5_reduce", bottom, cr5, kernel=1)
+    b3 = s.relu(f"{name}_relu_5x5_reduce", b3)
+    b3 = s.conv(f"{name}_5x5", b3, c5, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_relu_5x5", b3)
+    b4 = s.max_pool(f"{name}_pool", bottom, kernel=3, stride=1, pad=1)
+    b4 = s.conv(f"{name}_pool_proj", b4, cpool, kernel=1)
+    b4 = s.relu(f"{name}_relu_pool_proj", b4)
+    return s.concat(f"{name}_output", [b1, b2, b3, b4])
+
+
+def _googlenet_trunk(s: CaffeNetSpec) -> Tuple[str, str, str, str]:
+    """Shared GoogLeNet trunk; returns (inception_4a, inception_4d,
+    last inception output, post-pool3 tensor)."""
+    t = s.conv("conv1", "data", 16, kernel=3, pad=1)
+    t = s.relu("conv1_relu", t)
+    t = s.max_pool("pool1", t, kernel=2)
+    t = s.conv("conv2_reduce", t, 16, kernel=1)
+    t = s.relu("conv2_reduce_relu", t)
+    t = s.conv("conv2", t, 24, kernel=3, pad=1)
+    t = s.relu("conv2_relu", t)
+    t = s.max_pool("pool2", t, kernel=2)
+    t = _inception_module(s, "inception_3a", t, 8, 8, 12, 4, 6, 6)
+    t = _inception_module(s, "inception_3b", t, 10, 10, 14, 4, 8, 8)
+    t = s.max_pool("pool3", t, kernel=2)
+    t4a = _inception_module(s, "inception_4a", t, 12, 8, 14, 4, 8, 8)
+    t = _inception_module(s, "inception_4b", t4a, 12, 8, 14, 4, 8, 8)
+    t = _inception_module(s, "inception_4c", t, 12, 8, 14, 4, 8, 8)
+    t4d = _inception_module(s, "inception_4d", t, 12, 8, 16, 4, 8, 8)
+    t = _inception_module(s, "inception_4e", t4d, 14, 10, 16, 6, 10, 10)
+    return t4a, t4d, t, t
+
+
+def build_googlenet(seed: int = 43, num_classes: int = 100) -> Graph:
+    s = CaffeNetSpec("Googlenet", CLASSIFICATION_INPUT, seed)
+    t4a, t4d, t, _ = _googlenet_trunk(s)
+    t = s.max_pool("pool4", t, kernel=2)
+    t = _inception_module(s, "inception_5a", t, 14, 10, 18, 6, 10, 10)
+    t = _inception_module(s, "inception_5b", t, 16, 10, 20, 6, 10, 12)
+    t = s.global_max_pool("pool5", t)
+    t = s.dropout("pool5_drop", t, ratio=0.4)
+    t = s.fc("loss3_classifier", t, num_classes)
+    out = s.softmax("prob", t)
+    # Training-only auxiliary heads: present in the imported model,
+    # removed by the engine's dead-layer pass.
+    for idx, src in ((1, t4a), (2, t4d)):
+        a = s.avg_pool(f"loss{idx}_pool", src, kernel=2)
+        a = s.fc(f"loss{idx}_fc", a, 32)
+        a = s.relu(f"loss{idx}_relu", a)
+        a = s.fc(f"loss{idx}_classifier", a, num_classes)
+        s.softmax(f"loss{idx}_prob", a)
+    return _finish(s, [out], expect_convs=57, expect_pools=14)
+
+
+# ----------------------------------------------------------------------
+# Inception-v4 — 149 conv, 19 max pool
+# ----------------------------------------------------------------------
+def _stem_v4(s: CaffeNetSpec) -> str:
+    t = s.conv("stem_conv1", "data", 12, kernel=3, pad=1)
+    t = s.relu("stem_relu1", t)
+    t = s.conv("stem_conv2", t, 12, kernel=3, pad=1)
+    t = s.relu("stem_relu2", t)
+    t = s.conv("stem_conv3", t, 16, kernel=3, pad=1)
+    t = s.relu("stem_relu3", t)
+    pool_a = s.max_pool("stem_pool1", t, kernel=2)
+    conv_a = s.conv("stem_conv4", t, 16, kernel=3, stride=2, pad=1)
+    conv_a = s.relu("stem_relu4", conv_a)
+    t = s.concat("stem_cat1", [pool_a, conv_a])
+    b1 = s.conv("stem_b1_1x1", t, 12, kernel=1)
+    b1 = s.relu("stem_b1_relu1", b1)
+    b1 = s.conv("stem_b1_3x3", b1, 16, kernel=3, pad=1)
+    b1 = s.relu("stem_b1_relu2", b1)
+    b2 = s.conv("stem_b2_1x1", t, 12, kernel=1)
+    b2 = s.relu("stem_b2_relu1", b2)
+    b2 = s.conv("stem_b2_3x3a", b2, 12, kernel=3, pad=1)
+    b2 = s.relu("stem_b2_relu2", b2)
+    b2 = s.conv("stem_b2_3x3b", b2, 12, kernel=3, pad=1)
+    b2 = s.relu("stem_b2_relu3", b2)
+    b2 = s.conv("stem_b2_3x3c", b2, 16, kernel=3, pad=1)
+    b2 = s.relu("stem_b2_relu4", b2)
+    t = s.concat("stem_cat2", [b1, b2])
+    conv_b = s.conv("stem_conv5", t, 32, kernel=3, stride=2, pad=1)
+    conv_b = s.relu("stem_relu5", conv_b)
+    pool_b = s.max_pool("stem_pool2", t, kernel=2)
+    return s.concat("stem_cat3", [conv_b, pool_b])
+
+
+def _inception_a(s: CaffeNetSpec, name: str, bottom: str) -> str:
+    b1 = s.conv(f"{name}_1x1", bottom, 16, kernel=1)
+    b1 = s.relu(f"{name}_r1", b1)
+    b2 = s.conv(f"{name}_b2_1x1", bottom, 12, kernel=1)
+    b2 = s.relu(f"{name}_r2a", b2)
+    b2 = s.conv(f"{name}_b2_3x3", b2, 16, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2b", b2)
+    b3 = s.conv(f"{name}_b3_1x1", bottom, 12, kernel=1)
+    b3 = s.relu(f"{name}_r3a", b3)
+    b3 = s.conv(f"{name}_b3_3x3a", b3, 14, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3b", b3)
+    b3 = s.conv(f"{name}_b3_3x3b", b3, 16, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3c", b3)
+    b4 = s.max_pool(f"{name}_pool", bottom, kernel=3, stride=1, pad=1)
+    b4 = s.conv(f"{name}_pool_proj", b4, 16, kernel=1)
+    b4 = s.relu(f"{name}_r4", b4)
+    return s.concat(f"{name}_out", [b1, b2, b3, b4])
+
+
+def _reduction_a(s: CaffeNetSpec, name: str, bottom: str) -> str:
+    b1 = s.conv(f"{name}_3x3", bottom, 24, kernel=3, stride=2, pad=1)
+    b1 = s.relu(f"{name}_r1", b1)
+    b2 = s.conv(f"{name}_b2_1x1", bottom, 12, kernel=1)
+    b2 = s.relu(f"{name}_r2a", b2)
+    b2 = s.conv(f"{name}_b2_3x3a", b2, 14, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2b", b2)
+    b2 = s.conv(f"{name}_b2_3x3b", b2, 16, kernel=3, stride=2, pad=1)
+    b2 = s.relu(f"{name}_r2c", b2)
+    b3 = s.max_pool(f"{name}_pool", bottom, kernel=2)
+    return s.concat(f"{name}_out", [b1, b2, b3])
+
+
+def _inception_b(s: CaffeNetSpec, name: str, bottom: str) -> str:
+    b1 = s.conv(f"{name}_1x1", bottom, 24, kernel=1)
+    b1 = s.relu(f"{name}_r1", b1)
+    b2 = s.conv(f"{name}_b2_1x1", bottom, 12, kernel=1)
+    b2 = s.relu(f"{name}_r2a", b2)
+    b2 = s.conv(f"{name}_b2_c1", b2, 14, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2b", b2)
+    b2 = s.conv(f"{name}_b2_c2", b2, 16, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2c", b2)
+    b3 = s.conv(f"{name}_b3_1x1", bottom, 12, kernel=1)
+    b3 = s.relu(f"{name}_r3a", b3)
+    b3 = s.conv(f"{name}_b3_c1", b3, 12, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3b", b3)
+    b3 = s.conv(f"{name}_b3_c2", b3, 12, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3c", b3)
+    b3 = s.conv(f"{name}_b3_c3", b3, 14, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3d", b3)
+    b3 = s.conv(f"{name}_b3_c4", b3, 16, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3e", b3)
+    b4 = s.max_pool(f"{name}_pool", bottom, kernel=3, stride=1, pad=1)
+    b4 = s.conv(f"{name}_pool_proj", b4, 24, kernel=1)
+    b4 = s.relu(f"{name}_r4", b4)
+    return s.concat(f"{name}_out", [b1, b2, b3, b4])
+
+
+def _reduction_b(s: CaffeNetSpec, name: str, bottom: str) -> str:
+    b1 = s.conv(f"{name}_b1_1x1", bottom, 12, kernel=1)
+    b1 = s.relu(f"{name}_r1a", b1)
+    b1 = s.conv(f"{name}_b1_3x3", b1, 16, kernel=3, stride=2, pad=1)
+    b1 = s.relu(f"{name}_r1b", b1)
+    b2 = s.conv(f"{name}_b2_1x1", bottom, 12, kernel=1)
+    b2 = s.relu(f"{name}_r2a", b2)
+    b2 = s.conv(f"{name}_b2_c1", b2, 12, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2b", b2)
+    b2 = s.conv(f"{name}_b2_c2", b2, 14, kernel=3, pad=1)
+    b2 = s.relu(f"{name}_r2c", b2)
+    b2 = s.conv(f"{name}_b2_3x3", b2, 16, kernel=3, stride=2, pad=1)
+    b2 = s.relu(f"{name}_r2d", b2)
+    b3 = s.max_pool(f"{name}_pool", bottom, kernel=2)
+    return s.concat(f"{name}_out", [b1, b2, b3])
+
+
+def _inception_c(s: CaffeNetSpec, name: str, bottom: str) -> str:
+    b1 = s.conv(f"{name}_1x1", bottom, 16, kernel=1)
+    b1 = s.relu(f"{name}_r1", b1)
+    b2 = s.conv(f"{name}_b2_1x1", bottom, 12, kernel=1)
+    b2 = s.relu(f"{name}_r2a", b2)
+    b2a = s.conv(f"{name}_b2_s1", b2, 8, kernel=1)
+    b2a = s.relu(f"{name}_r2b", b2a)
+    b2b = s.conv(f"{name}_b2_s2", b2, 8, kernel=3, pad=1)
+    b2b = s.relu(f"{name}_r2c", b2b)
+    b3 = s.conv(f"{name}_b3_1x1", bottom, 12, kernel=1)
+    b3 = s.relu(f"{name}_r3a", b3)
+    b3 = s.conv(f"{name}_b3_3x3a", b3, 12, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3b", b3)
+    b3 = s.conv(f"{name}_b3_3x3b", b3, 12, kernel=3, pad=1)
+    b3 = s.relu(f"{name}_r3b2", b3)
+    b3a = s.conv(f"{name}_b3_s1", b3, 8, kernel=1)
+    b3a = s.relu(f"{name}_r3c", b3a)
+    b3b = s.conv(f"{name}_b3_s2", b3, 8, kernel=3, pad=1)
+    b3b = s.relu(f"{name}_r3d", b3b)
+    b4 = s.max_pool(f"{name}_pool", bottom, kernel=3, stride=1, pad=1)
+    b4 = s.conv(f"{name}_pool_proj", b4, 16, kernel=1)
+    b4 = s.relu(f"{name}_r4", b4)
+    return s.concat(f"{name}_out", [b1, b2a, b2b, b3a, b3b, b4])
+
+
+def build_inception_v4(seed: int = 47, num_classes: int = 100) -> Graph:
+    s = CaffeNetSpec("inception-v4", CLASSIFICATION_INPUT, seed)
+    t = _stem_v4(s)
+    for i in range(4):
+        t = _inception_a(s, f"mixed_a{i + 1}", t)
+    t = _reduction_a(s, "reduction_a", t)
+    for i in range(7):
+        t = _inception_b(s, f"mixed_b{i + 1}", t)
+    t = _reduction_b(s, "reduction_b", t)
+    for i in range(3):
+        t = _inception_c(s, f"mixed_c{i + 1}", t)
+    t = s.global_max_pool("pool_final", t)
+    t = s.dropout("drop_final", t, ratio=0.2)
+    t = s.fc("classifier", t, num_classes)
+    out = s.softmax("prob", t)
+    return _finish(s, [out], expect_convs=149, expect_pools=19)
+
+
+# ----------------------------------------------------------------------
+# DetectNet family — 59 conv, 12 max pool (GoogLeNet-FCN + DetectionOutput)
+# ----------------------------------------------------------------------
+def _build_detectnet_family(
+    name: str, seed: int, num_classes: int
+) -> Graph:
+    s = CaffeNetSpec(name, DETECTION_INPUT, seed)
+    t = s.conv("conv1", "data", 16, kernel=3, pad=1)
+    t = s.relu("conv1_relu", t)
+    t = s.max_pool("pool1", t, kernel=2)
+    t = s.conv("conv2_reduce", t, 16, kernel=1)
+    t = s.relu("conv2_reduce_relu", t)
+    t = s.conv("conv2", t, 24, kernel=3, pad=1)
+    t = s.relu("conv2_relu", t)
+    t = s.max_pool("pool2", t, kernel=2)
+    t = _inception_module(s, "inception_3a", t, 8, 8, 12, 4, 6, 6)
+    t = _inception_module(s, "inception_3b", t, 10, 10, 14, 4, 8, 8)
+    t = s.max_pool("pool3", t, kernel=2)
+    for mod in ("4a", "4b", "4c", "4d", "4e"):
+        t = _inception_module(s, f"inception_{mod}", t, 12, 8, 14, 4, 8, 8)
+    t = _inception_module(s, "inception_5a", t, 14, 10, 18, 6, 10, 10)
+    t = _inception_module(s, "inception_5b", t, 16, 10, 20, 6, 10, 12)
+    bbox = s.conv("bbox_head", t, 4, kernel=1)
+    coverage = s.conv("coverage_head", t, num_classes + 1, kernel=1)
+    out = s.detection_output(
+        "detections", bbox, coverage, num_classes=num_classes + 1
+    )
+    return _finish(s, [out], expect_convs=59, expect_pools=12)
+
+
+def build_detectnet_coco_dog(seed: int = 53) -> Graph:
+    return _build_detectnet_family("Detectnet-Coco-Dog", seed, num_classes=1)
+
+
+def build_pednet(seed: int = 59) -> Graph:
+    return _build_detectnet_family("pednet", seed, num_classes=2)
+
+
+def build_facenet(seed: int = 61) -> Graph:
+    return _build_detectnet_family("facenet", seed, num_classes=1)
+
+
+# ----------------------------------------------------------------------
+# MTCNN — 12 conv, 6 max pool (P/R/O cascade merged into one graph)
+# ----------------------------------------------------------------------
+def build_mtcnn(seed: int = 67) -> Graph:
+    s = CaffeNetSpec("MTCNN", CLASSIFICATION_INPUT, seed)
+    # PNet: fully convolutional proposal net.
+    t = s.conv("pnet_conv1", "data", 8, kernel=3, pad=1)
+    t = s.prelu("pnet_prelu1", t)
+    t = s.max_pool("pnet_pool1", t, kernel=2)
+    t = s.conv("pnet_conv2", t, 12, kernel=3, pad=1)
+    t = s.prelu("pnet_prelu2", t)
+    t = s.conv("pnet_conv3", t, 16, kernel=3, pad=1)
+    t = s.prelu("pnet_prelu3", t)
+    pnet_cls = s.conv("pnet_cls", t, 2, kernel=1)
+    pnet_box = s.conv("pnet_box", t, 4, kernel=1)
+    # RNet: refinement net.
+    t = s.conv("rnet_conv1", "data", 8, kernel=3, pad=1)
+    t = s.prelu("rnet_prelu1", t)
+    t = s.max_pool("rnet_pool1", t, kernel=2)
+    t = s.conv("rnet_conv2", t, 12, kernel=3, pad=1)
+    t = s.prelu("rnet_prelu2", t)
+    t = s.max_pool("rnet_pool2", t, kernel=2)
+    t = s.conv("rnet_conv3", t, 16, kernel=3, pad=1)
+    t = s.prelu("rnet_prelu3", t)
+    t = s.fc("rnet_fc", t, 32)
+    t = s.prelu("rnet_prelu4", t)
+    rnet_cls = s.fc("rnet_cls", t, 2)
+    rnet_prob = s.softmax("rnet_prob", rnet_cls)
+    # ONet: output net.
+    t = s.conv("onet_conv1", "data", 8, kernel=3, pad=1)
+    t = s.prelu("onet_prelu1", t)
+    t = s.max_pool("onet_pool1", t, kernel=2)
+    t = s.conv("onet_conv2", t, 12, kernel=3, pad=1)
+    t = s.prelu("onet_prelu2", t)
+    t = s.max_pool("onet_pool2", t, kernel=2)
+    t = s.conv("onet_conv3", t, 16, kernel=3, pad=1)
+    t = s.prelu("onet_prelu3", t)
+    t = s.max_pool("onet_pool3", t, kernel=2)
+    t = s.conv("onet_conv4", t, 24, kernel=3, pad=1)
+    t = s.prelu("onet_prelu4", t)
+    t = s.fc("onet_fc", t, 48)
+    t = s.prelu("onet_prelu5", t)
+    onet_cls = s.fc("onet_cls", t, 2)
+    onet_prob = s.softmax("onet_prob", onet_cls)
+    return _finish(
+        s,
+        [pnet_cls, pnet_box, rnet_prob, onet_prob],
+        expect_convs=12,
+        expect_pools=6,
+    )

@@ -1,0 +1,219 @@
+"""Darknet-framework model: Tiny-YOLOv3 — 13 conv, 6 max pool.
+
+Authored as a real ``.cfg`` document (the standard tiny-yolov3 layout
+with scaled channels) plus the ordered weight blobs Darknet's flat
+weight file would supply, then lowered by the Darknet frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.frameworks.darknet import parse_darknet_cfg
+from repro.graph.builder import WeightInitializer
+from repro.graph.ir import Graph, LayerKind
+
+TINY_YOLOV3_CFG = """
+[net]
+# scaled tiny-yolov3 (see DESIGN.md §5)
+height=64
+width=64
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=12
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=16
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=24
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=32
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=48
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=1
+
+[convolutional]
+batch_normalize=1
+filters=64
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+batch_normalize=1
+filters=32
+size=1
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+batch_normalize=1
+filters=48
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+size=1
+stride=1
+pad=1
+filters=27
+activation=linear
+
+[yolo]
+classes=4
+anchors=10,14, 23,27, 37,58
+
+[route]
+layers=-4
+
+[convolutional]
+batch_normalize=1
+filters=16
+size=1
+stride=1
+pad=1
+activation=leaky
+
+[upsample]
+stride=2
+
+[route]
+layers=-1,8
+
+[convolutional]
+batch_normalize=1
+filters=24
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+size=1
+stride=1
+pad=1
+filters=27
+activation=linear
+
+[yolo]
+classes=4
+anchors=10,14, 23,27, 37,58
+"""
+
+
+def _weights_for_cfg(cfg: str, seed: int) -> List[Dict[str, np.ndarray]]:
+    """Generate the ordered weight blobs a darknet weight file holds."""
+    from repro.frameworks.darknet import parse_cfg_sections
+
+    init = WeightInitializer(seed)
+    blobs: List[Dict[str, np.ndarray]] = []
+    in_channels = None
+    channel_stack: List[int] = []  # per layer section, output channels
+    sections = parse_cfg_sections(cfg)
+    in_channels = int(sections[0][1].get("channels", 3))
+    current_c = in_channels
+    for idx, (section, opts) in enumerate(sections[1:]):
+        if section == "convolutional":
+            filters = int(opts.get("filters", 1))
+            size = int(opts.get("size", 3))
+            entry = {"kernel": init.conv(filters, current_c, size)}
+            if opts.get("batch_normalize", "0") == "1":
+                gamma, beta, mean, var = init.bn(filters)
+                entry.update(
+                    {"gamma": gamma, "beta": beta, "mean": mean, "var": var}
+                )
+            else:
+                entry["bias"] = init.bias(filters)
+            blobs.append(entry)
+            current_c = filters
+        elif section == "route":
+            refs = [int(v) for v in opts["layers"].split(",")]
+            resolved = [r if r >= 0 else idx + r for r in refs]
+            current_c = sum(channel_stack[r] for r in resolved)
+        # maxpool/upsample/yolo/shortcut keep channel count.
+        channel_stack.append(current_c)
+    return blobs
+
+
+def build_tiny_yolov3(seed: int = 79) -> Graph:
+    """Tiny-YOLOv3 via the Darknet frontend."""
+    weights = _weights_for_cfg(TINY_YOLOV3_CFG, seed)
+    graph = parse_darknet_cfg(TINY_YOLOV3_CFG, weights, name="Tiny-Yolov3")
+    convs = graph.count_kind(LayerKind.CONVOLUTION)
+    pools = sum(
+        1
+        for layer in graph.layers
+        if layer.kind is LayerKind.POOLING and layer.attrs.get("pool") == "max"
+    )
+    if convs != 13 or pools != 6:
+        raise AssertionError(
+            f"Tiny-Yolov3: {convs} convs / {pools} max pools, "
+            "Table II expects 13 / 6"
+        )
+    return graph

@@ -1,0 +1,221 @@
+"""Helper that authors TensorFlow models: GraphDef node lists + Consts.
+
+Mirrors :mod:`repro.models.caffe_helper` for the TF frontend: tracks
+shapes, generates weights as ``Const`` nodes, and counts conv/max-pool
+layers for the Table II assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.builder import WeightInitializer
+
+
+class TFGraphSpec:
+    """Accumulates GraphDef-style nodes."""
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, int, int],
+        seed: int,
+        input_name: str = "image_tensor",
+    ):
+        self.name = name
+        self.input_name = input_name
+        self.init = WeightInitializer(seed)
+        self.nodes: List[Dict] = [
+            {"name": input_name, "op": "Placeholder"}
+        ]
+        self._shapes: Dict[str, Tuple[int, ...]] = {input_name: input_shape}
+        self.conv_count = 0
+        self.max_pool_count = 0
+
+    def shape_of(self, tensor: str) -> Tuple[int, ...]:
+        return self._shapes[tensor]
+
+    def _const(self, name: str, value: np.ndarray) -> str:
+        self.nodes.append({"name": name, "op": "Const", "value": value})
+        return name
+
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        src: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: str = "SAME",
+        relu: bool = True,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        oihw = self.init.conv(out_channels, c, kernel)
+        hwio = np.ascontiguousarray(oihw.transpose(2, 3, 1, 0))
+        wname = self._const(f"{name}/weights", hwio)
+        self.nodes.append(
+            {
+                "name": name,
+                "op": "Conv2D",
+                "input": [src, wname],
+                "attr": {"strides": stride, "padding": padding},
+            }
+        )
+        pad = kernel // 2 if padding == "SAME" else 0
+        out_h = (h + 2 * pad - kernel) // stride + 1
+        out_w = (w + 2 * pad - kernel) // stride + 1
+        self._shapes[name] = (out_channels, out_h, out_w)
+        self.conv_count += 1
+        out = name
+        bias = self._const(
+            f"{name}/biases", self.init.bias(out_channels)
+        )
+        self.nodes.append(
+            {
+                "name": f"{name}/BiasAdd",
+                "op": "BiasAdd",
+                "input": [out, bias],
+            }
+        )
+        self._shapes[f"{name}/BiasAdd"] = self._shapes[name]
+        out = f"{name}/BiasAdd"
+        if relu:
+            self.nodes.append(
+                {"name": f"{name}/Relu6", "op": "Relu6", "input": [out]}
+            )
+            self._shapes[f"{name}/Relu6"] = self._shapes[name]
+            out = f"{name}/Relu6"
+        return out
+
+    def depthwise(
+        self,
+        name: str,
+        src: str,
+        kernel: int = 3,
+        stride: int = 1,
+        relu: bool = True,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        c1hw = self.init.conv(c, 1, kernel)
+        hwc1 = np.ascontiguousarray(c1hw.transpose(2, 3, 0, 1))
+        wname = self._const(f"{name}/depthwise_weights", hwc1)
+        self.nodes.append(
+            {
+                "name": name,
+                "op": "DepthwiseConv2dNative",
+                "input": [src, wname],
+                "attr": {"strides": stride, "padding": "SAME"},
+            }
+        )
+        pad = kernel // 2
+        out_h = (h + 2 * pad - kernel) // stride + 1
+        out_w = (w + 2 * pad - kernel) // stride + 1
+        self._shapes[name] = (c, out_h, out_w)
+        self.conv_count += 1  # Table II counts depthwise as conv layers
+        out = name
+        if relu:
+            self.nodes.append(
+                {"name": f"{name}/Relu6", "op": "Relu6", "input": [out]}
+            )
+            self._shapes[f"{name}/Relu6"] = self._shapes[name]
+            out = f"{name}/Relu6"
+        return out
+
+    def batchnorm(self, name: str, src: str) -> str:
+        c = self._shapes[src][0]
+        gamma, beta, mean, var = self.init.bn(c)
+        inputs = [
+            src,
+            self._const(f"{name}/gamma", gamma),
+            self._const(f"{name}/beta", beta),
+            self._const(f"{name}/moving_mean", mean),
+            self._const(f"{name}/moving_variance", var),
+        ]
+        self.nodes.append(
+            {"name": name, "op": "FusedBatchNorm", "input": inputs}
+        )
+        self._shapes[name] = self._shapes[src]
+        return name
+
+    def max_pool(
+        self, name: str, src: str, kernel: int = 2,
+        stride: Optional[int] = None, padding: str = "VALID",
+    ) -> str:
+        c, h, w = self._shapes[src]
+        stride = stride or kernel
+        self.nodes.append(
+            {
+                "name": name,
+                "op": "MaxPool",
+                "input": [src],
+                "attr": {
+                    "ksize": kernel, "strides": stride, "padding": padding
+                },
+            }
+        )
+        pad = kernel // 2 if padding == "SAME" else 0
+        out_h = -(-(h + 2 * pad - kernel) // stride) + 1
+        out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+        self._shapes[name] = (c, out_h, out_w)
+        self.max_pool_count += 1
+        return name
+
+    def avg_pool(
+        self, name: str, src: str, kernel: int = 2,
+        stride: Optional[int] = None,
+    ) -> str:
+        c, h, w = self._shapes[src]
+        stride = stride or kernel
+        self.nodes.append(
+            {
+                "name": name,
+                "op": "AvgPool",
+                "input": [src],
+                "attr": {
+                    "ksize": kernel, "strides": stride, "padding": "VALID"
+                },
+            }
+        )
+        out_h = -(-(h - kernel) // stride) + 1
+        out_w = -(-(w - kernel) // stride) + 1
+        self._shapes[name] = (c, out_h, out_w)
+        return name
+
+    def concat(self, name: str, srcs: List[str]) -> str:
+        self.nodes.append(
+            {"name": name, "op": "ConcatV2", "input": list(srcs)}
+        )
+        c = sum(self._shapes[s][0] for s in srcs)
+        self._shapes[name] = (c,) + self._shapes[srcs[0]][1:]
+        return name
+
+    def detection_postprocess(
+        self,
+        name: str,
+        loc: str,
+        conf: str,
+        num_classes: int,
+        max_detections: int = 32,
+        score_threshold: float = 0.35,
+    ) -> str:
+        self.nodes.append(
+            {
+                "name": name,
+                "op": "TFLite_Detection_PostProcess",
+                "input": [loc, conf],
+                "attr": {
+                    "num_classes": num_classes,
+                    "max_detections": max_detections,
+                    "score_threshold": score_threshold,
+                    "nms_iou_threshold": 0.5,
+                },
+            }
+        )
+        self._shapes[name] = (max_detections, 6)
+        return name
+
+    def graphdef(self) -> Dict:
+        return {"node": list(self.nodes)}

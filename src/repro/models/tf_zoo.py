@@ -1,0 +1,95 @@
+"""TensorFlow-framework models: SSD-Inception-v2 and MobileNetv1.
+
+Both are detection networks in the paper (Table II): 90 conv / 12 max
+pool and 28 conv / 1 max pool respectively (depthwise convolutions
+count as convs, following the table's convention).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.tensorflow import import_graphdef
+from repro.graph.ir import Graph
+
+from repro.models.tf_helper import TFGraphSpec
+
+DETECTION_INPUT = (3, 64, 64)
+
+
+def _finish(
+    spec: TFGraphSpec, outputs, expect_convs: int, expect_pools: int
+) -> Graph:
+    if spec.conv_count != expect_convs:
+        raise AssertionError(
+            f"{spec.name}: built {spec.conv_count} convs, "
+            f"Table II expects {expect_convs}"
+        )
+    if spec.max_pool_count != expect_pools:
+        raise AssertionError(
+            f"{spec.name}: built {spec.max_pool_count} max pools, "
+            f"Table II expects {expect_pools}"
+        )
+    return import_graphdef(
+        spec.graphdef(), DETECTION_INPUT, name=spec.name, outputs=outputs
+    )
+
+
+def _inception_v2_module(s: TFGraphSpec, name: str, src: str) -> str:
+    """Inception-v2 style module: 8 convs + 1 max-pool branch."""
+    b1 = s.conv(f"{name}/b1_1x1", src, 12, kernel=1)
+    b2 = s.conv(f"{name}/b2_1x1", src, 8, kernel=1)
+    b2 = s.conv(f"{name}/b2_3x3", b2, 12, kernel=3)
+    b3 = s.conv(f"{name}/b3_1x1", src, 8, kernel=1)
+    b3 = s.conv(f"{name}/b3_3x3a", b3, 10, kernel=3)
+    b3 = s.conv(f"{name}/b3_3x3b", b3, 12, kernel=3)
+    b3 = s.conv(f"{name}/b3_3x3c", b3, 12, kernel=3)
+    b4 = s.max_pool(f"{name}/pool", src, kernel=3, stride=1, padding="SAME")
+    b4 = s.conv(f"{name}/b4_proj", b4, 12, kernel=1)
+    return s.concat(f"{name}/concat", [b1, b2, b3, b4])
+
+
+def build_ssd_inception_v2(seed: int = 71, num_classes: int = 4) -> Graph:
+    """SSD-Inception-v2 — 90 conv, 12 max pool."""
+    s = TFGraphSpec("ssd-inception-v2", DETECTION_INPUT, seed)
+    t = s.conv("Conv2d_1a_3x3", s.input_name, 16, kernel=3, stride=2)
+    t = s.conv("Conv2d_2a_1x1", t, 16, kernel=1)
+    t = s.conv("Conv2d_2b_3x3", t, 20, kernel=3)
+    t = s.conv("Conv2d_2c_3x3", t, 24, kernel=3)
+    t = s.max_pool("MaxPool_3a", t, kernel=2)
+    t = s.conv("Conv2d_3b_1x1", t, 32, kernel=1)
+    t = s.max_pool("MaxPool_4a", t, kernel=2)
+    for i in range(10):
+        t = _inception_v2_module(s, f"Mixed_{i + 1}", t)
+    # SSD extra feature layers + heads at the 8x8 scale.
+    t = s.conv("Extra_1x1", t, 16, kernel=1)
+    t = s.conv("Extra_3x3", t, 24, kernel=3)
+    t = s.conv("Extra_proj", t, 24, kernel=1)
+    loc = s.conv("BoxPredictor_loc", t, 4, kernel=1, relu=False)
+    conf = s.conv(
+        "BoxPredictor_conf", t, num_classes + 1, kernel=1, relu=False
+    )
+    out = s.detection_postprocess(
+        "detections", loc, conf, num_classes=num_classes + 1
+    )
+    return _finish(s, [out], expect_convs=90, expect_pools=12)
+
+
+def build_mobilenet_v1(seed: int = 73, num_classes: int = 4) -> Graph:
+    """MobileNetv1 (SSD-style head) — 28 conv, 1 max pool."""
+    s = TFGraphSpec("Mobilenetv1", DETECTION_INPUT, seed)
+    t = s.conv("Conv2d_0", s.input_name, 16, kernel=3, stride=2)
+    channels = [16, 24, 24, 32, 32, 48, 48, 48, 48, 64, 64, 64]
+    strides = [1, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1]
+    for i, (c, stride) in enumerate(zip(channels, strides), start=1):
+        t = s.depthwise(f"Conv2d_{i}_depthwise", t, kernel=3, stride=stride)
+        t = s.conv(f"Conv2d_{i}_pointwise", t, c, kernel=1)
+        if i == 6:
+            t = s.max_pool("MaxPool_6", t, kernel=2)
+    t = s.conv("Conv2d_13_extra", t, 64, kernel=1)
+    loc = s.conv("BoxPredictor_loc", t, 4, kernel=1, relu=False)
+    conf = s.conv(
+        "BoxPredictor_conf", t, num_classes + 1, kernel=1, relu=False
+    )
+    out = s.detection_postprocess(
+        "detections", loc, conf, num_classes=num_classes + 1
+    )
+    return _finish(s, [out], expect_convs=28, expect_pools=1)

@@ -1,0 +1,79 @@
+"""PyTorch-framework model: fcn-resnet18-cityscapes — 22 conv, 1 max pool.
+
+A ResNet-18 backbone with an FCN segmentation head, written against the
+PyTorch-like module API and traced into the IR — the torch2trt path.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks import pytorch as nn
+from repro.graph.ir import Graph, LayerKind
+
+SEGMENTATION_INPUT = (3, 64, 64)
+CITYSCAPES_CLASSES = 8  # scaled from the 19 cityscapes classes
+
+
+class _BasicBlock(nn.Module):
+    def __init__(self, ctx: nn.TraceContext, in_c: int, out_c: int,
+                 stride: int):
+        self.conv1 = nn.Conv2d(ctx, in_c, out_c, 3, stride=stride, padding=1)
+        self.bn1 = nn.BatchNorm2d(ctx, out_c)
+        self.conv2 = nn.Conv2d(ctx, out_c, out_c, 3, padding=1)
+        self.bn2 = nn.BatchNorm2d(ctx, out_c)
+        if stride != 1 or in_c != out_c:
+            self.proj = nn.Conv2d(ctx, in_c, out_c, 1, stride=stride)
+        else:
+            self.proj = None
+
+    def forward(self, x: nn.TraceTensor) -> nn.TraceTensor:
+        out = nn.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        shortcut = self.proj(x) if self.proj is not None else x
+        return nn.relu(out + shortcut)
+
+
+class _FCNResNet18(nn.Module):
+    def __init__(self, ctx: nn.TraceContext, num_classes: int):
+        self.conv1 = nn.Conv2d(ctx, 3, 16, 3, stride=2, padding=1)
+        self.bn1 = nn.BatchNorm2d(ctx, 16)
+        self.pool = nn.MaxPool2d(ctx, 2)
+        widths = [16, 24, 32, 48]
+        strides = [1, 2, 2, 2]
+        self.stages = []
+        in_c = 16
+        for width, stride in zip(widths, strides):
+            self.stages.append(_BasicBlock(ctx, in_c, width, stride))
+            self.stages.append(_BasicBlock(ctx, width, width, 1))
+            in_c = width
+        self.score1 = nn.Conv2d(ctx, in_c, 32, 1)
+        self.score2 = nn.Conv2d(ctx, 32, num_classes, 1)
+        self.up = nn.ConvTranspose2d(ctx, num_classes, num_classes, 2,
+                                     stride=2)
+
+    def forward(self, x: nn.TraceTensor) -> nn.TraceTensor:
+        x = self.pool(nn.relu(self.bn1(self.conv1(x))))
+        for stage in self.stages:
+            x = stage(x)
+        x = nn.relu(self.score1(x))
+        x = self.score2(x)
+        x = self.up(x)  # 2 -> 4
+        return nn.upsample(x, 16)  # 4 -> 64: full-resolution map
+
+
+def build_fcn_resnet18_cityscapes(seed: int = 83) -> Graph:
+    ctx = nn.TraceContext("fcn-resnet18-cityscapes", seed=seed)
+    graph = nn.trace_module(
+        _FCNResNet18(ctx, CITYSCAPES_CLASSES), ctx, SEGMENTATION_INPUT
+    )
+    convs = graph.count_kind(LayerKind.CONVOLUTION)
+    pools = sum(
+        1
+        for layer in graph.layers
+        if layer.kind is LayerKind.POOLING and layer.attrs.get("pool") == "max"
+    )
+    if convs != 22 or pools != 1:
+        raise AssertionError(
+            f"fcn-resnet18: {convs} convs / {pools} max pools, "
+            "Table II expects 22 / 1"
+        )
+    return graph

@@ -1,0 +1,233 @@
+"""Model 'pretraining' by linear readout construction.
+
+The paper uses pretrained checkpoints from the jetson-inference model
+zoo; those cannot ship here.  Instead each classification model gets an
+honestly *functional* readout: the (fixed, seeded) convolutional stack
+is treated as a random feature extractor, class-mean feature vectors
+are computed on a small training draw of the synthetic dataset, and the
+final fully-connected layer is set to the nearest-class-mean linear
+classifier over those features.
+
+This is real (if shallow) learning: accuracy degrades with corruption
+severity, improves with cleaner inputs, and responds to precision
+changes — everything the paper's accuracy experiments measure.
+Detection models get the analogous treatment for their convolutional
+heads (a linear probe separating vehicle cells from background cells).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageNet
+from repro.data.traffic import TrafficSceneDataset
+from repro.graph.ir import Graph, GraphError
+from repro.runtime.executor import GraphExecutor
+
+
+def _features_at(
+    graph: Graph, tensor_name: str, images: np.ndarray,
+    input_name: str = "data", batch: int = 64,
+) -> np.ndarray:
+    """Activations of ``tensor_name`` for a batch of images (flattened)."""
+    executor = GraphExecutor(graph, keep_intermediates=True)
+    chunks = []
+    for start in range(0, len(images), batch):
+        result = executor.run(
+            **{input_name: images[start : start + batch]}
+        )
+        acts = result.tensors.get(tensor_name)
+        if acts is None:
+            raise GraphError(f"tensor {tensor_name!r} not found in graph")
+        chunks.append(acts.reshape(acts.shape[0], -1))
+    return np.concatenate(chunks, axis=0)
+
+
+def pretrain_classifier(
+    graph: Graph,
+    dataset: SyntheticImageNet,
+    final_fc: str,
+    images_per_class: int = 30,
+    train_seed: int = 99,
+    input_name: str = "data",
+) -> None:
+    """Fit the final FC layer of ``graph`` as a class-mean classifier.
+
+    Modifies the layer's weights in place.  ``final_fc`` is the name of
+    the classifier's last fully-connected layer (e.g. ``"fc8"``).
+    """
+    fc = graph.layer(final_fc)
+    feature_tensor = fc.inputs[0]
+    train = dataset.batch(images_per_class, seed=train_seed)
+    feats = _features_at(graph, feature_tensor, train.images, input_name)
+    # Scale features so no single dimension dominates.  Deliberately
+    # *not* mean-centered: folding a mean shift into the weights would
+    # create a large kernel@mu term cancelled by the bias — a
+    # catastrophic-cancellation pathology that INT8 weight quantization
+    # (paper Fig. 2 step 4) would then amplify.  An explicit intercept
+    # column plays the bias role instead.
+    # Floor the per-dimension scale: near-constant features would
+    # otherwise blow up their folded-back weights by orders of
+    # magnitude, which INT8 weight quantization cannot represent.
+    raw_sigma = feats.std(axis=0)
+    sigma = np.maximum(raw_sigma, 0.1 * float(raw_sigma.mean()) + 1e-6)
+    normed = feats / sigma
+    num_classes = dataset.num_classes
+    # Ridge-regression linear probe (one-vs-all) with intercept:
+    #   [W b] = Y^T X' (X'^T X' + lambda n I)^{-1},  X' = [X 1]
+    n, dim = normed.shape
+    targets = -np.ones((n, num_classes), dtype=np.float64)
+    targets[np.arange(n), train.labels] = 1.0
+    design = np.concatenate(
+        [normed.astype(np.float64), np.ones((n, 1))], axis=1
+    )
+    gram = design.T @ design
+    lam = 1e-2 * n
+    gram[np.diag_indices_from(gram)] += lam
+    solution = np.linalg.solve(gram, design.T @ targets).T
+    w_z, intercept = solution[:, :dim], solution[:, dim]
+    kernel = (w_z / sigma[None, :]).astype(np.float32)
+    bias = intercept.astype(np.float32)
+    expected = fc.weights["kernel"].shape
+    if kernel.shape != expected:
+        raise GraphError(
+            f"classifier shape mismatch: fitted {kernel.shape}, "
+            f"layer expects {expected}"
+        )
+    fc.weights["kernel"] = kernel
+    fc.weights["bias"] = bias
+
+
+def fit_detection_head(
+    graph: Graph,
+    conf_layer: str,
+    loc_layer: str,
+    dataset: Optional[TrafficSceneDataset] = None,
+    scenes: int = 48,
+    input_name: str = "data",
+) -> None:
+    """Fit a detection model's 1x1 conf/loc conv heads in place.
+
+    The conf head becomes a linear probe over backbone features:
+    class-conditional mean feature of cells containing a vehicle of
+    that class, minus the background mean.  The loc head is set to
+    predict a typical vehicle box per cell (zero weights, tuned bias).
+    """
+    dataset = dataset or TrafficSceneDataset()
+    conf = graph.layer(conf_layer)
+    loc = graph.layer(loc_layer)
+    feature_tensor = conf.inputs[0]
+    num_out = conf.weights["kernel"].shape[0]  # classes + background
+
+    images = []
+    cell_labels = []  # (scene, gy, gx, class)
+    for i in range(scenes):
+        scene = dataset.scene(50_000 + i)
+        images.append(scene.image)
+        cell_labels.append(scene.boxes)
+    batch = np.stack(images)
+
+    executor = GraphExecutor(graph, keep_intermediates=True)
+    result = executor.run(**{input_name: batch})
+    feats = result.tensors[feature_tensor]  # (N, C, gh, gw)
+    _n, c, gh, gw = feats.shape
+
+    # Assemble a per-cell training set: every grid cell of every scene
+    # becomes one sample, labeled with the vehicle class whose center
+    # falls in it (0 = background).
+    cell_feats = []
+    cell_classes = []
+    for i, boxes in enumerate(cell_labels):
+        occupied = {}
+        for gt in boxes:
+            cx = (gt.box[0] + gt.box[2]) / 2
+            cy = (gt.box[1] + gt.box[3]) / 2
+            gx = min(int(cx * gw), gw - 1)
+            gy = min(int(cy * gh), gh - 1)
+            if gt.class_id < num_out:
+                occupied[(gy, gx)] = gt.class_id
+        for gy in range(gh):
+            for gx in range(gw):
+                cell_feats.append(feats[i, :, gy, gx])
+                cell_classes.append(occupied.get((gy, gx), 0))
+    design = np.asarray(cell_feats, dtype=np.float64)
+    labels = np.asarray(cell_classes)
+
+    # Weighted ridge probe per vehicle class (one-vs-rest over cells).
+    # Vehicle cells are rare (a few per scene vs a whole grid of
+    # background), so positives are up-weighted to balance the classes.
+    n_cells, _ = design.shape
+    sigma = design.std(axis=0)
+    sigma = np.maximum(sigma, 0.1 * float(sigma.mean()) + 1e-6)
+    normed = design / sigma
+    bg_mask = labels == 0
+    kernel = np.zeros_like(conf.weights["kernel"])
+    bias = np.zeros(num_out, dtype=np.float32)
+    logit_gain = 6.0
+    for cls in range(1, num_out):
+        positive = labels == cls
+        n_pos = int(positive.sum())
+        if n_pos == 0:
+            continue
+        pos_weight = min(50.0, (n_cells - n_pos) / n_pos)
+        weights = np.where(positive, pos_weight, 1.0)
+        targets = np.where(positive, 1.0, -1.0)
+        weighted = normed * weights[:, None]
+        gram = normed.T @ weighted
+        gram[np.diag_indices_from(gram)] += 1e-2 * n_cells
+        w_z = np.linalg.solve(gram, weighted.T @ targets)
+        direction = (w_z / sigma) * logit_gain
+        raw = design @ direction
+        # Operating point: above nearly all background cells but below
+        # the typical vehicle response, so recall survives.
+        bg_hi = float(np.percentile(raw[bg_mask], 97.0))
+        veh_med = float(np.median(raw[positive]))
+        threshold = min(bg_hi, 0.5 * (bg_hi + veh_med))
+        kernel[cls, :, 0, 0] = direction.astype(np.float32)
+        bias[cls] = -threshold
+    conf.weights["kernel"] = kernel.astype(np.float32)
+    conf.weights["bias"] = bias
+
+    # Loc head: ridge-regress the decoder's inverse targets at vehicle
+    # cells.  The detection-output layer decodes
+    #   cx = cell_cx + tanh(l0) * 0.5 / gw,   bw = exp(l2) * 2 / gw
+    # so the regression targets are atanh/log transforms of the ground
+    # truth relative to each cell.
+    loc_rows = []
+    loc_targets = []
+    for i, boxes in enumerate(cell_labels):
+        for gt in boxes:
+            cx = (gt.box[0] + gt.box[2]) / 2
+            cy = (gt.box[1] + gt.box[3]) / 2
+            bw = gt.box[2] - gt.box[0]
+            bh = gt.box[3] - gt.box[1]
+            gx = min(int(cx * gw), gw - 1)
+            gy = min(int(cy * gh), gh - 1)
+            cell_cx = (gx + 0.5) / gw
+            cell_cy = (gy + 0.5) / gh
+            t0 = np.arctanh(np.clip((cx - cell_cx) * gw / 0.5, -0.99, 0.99))
+            t1 = np.arctanh(np.clip((cy - cell_cy) * gh / 0.5, -0.99, 0.99))
+            t2 = np.log(max(bw * gw / 2.0, 1e-3))
+            t3 = np.log(max(bh * gh / 2.0, 1e-3))
+            loc_rows.append(feats[i, :, gy, gx])
+            loc_targets.append((t0, t1, t2, t3))
+    loc_kernel = np.zeros_like(loc.weights["kernel"])
+    loc_bias = np.zeros(4, dtype=np.float32)
+    if loc_rows:
+        lx = np.asarray(loc_rows, dtype=np.float64) / sigma
+        ly = np.asarray(loc_targets, dtype=np.float64)
+        mean_t = ly.mean(axis=0)
+        gram = lx.T @ lx
+        gram[np.diag_indices_from(gram)] += 0.1 * len(lx)
+        w_loc = np.linalg.solve(gram, lx.T @ (ly - mean_t)).T  # (4, c)
+        loc_kernel[:, :, 0, 0] = (w_loc / sigma[None, :]).astype(np.float32)
+        loc_bias[:] = mean_t.astype(np.float32)
+    else:
+        # No training boxes: fall back to a typical fixed-size box.
+        typical = 14.0 / dataset.image_size
+        loc_bias[2] = float(np.log(typical * gw / 2.0))
+        loc_bias[3] = float(np.log(typical * gh / 2.0))
+    loc.weights["kernel"] = loc_kernel
+    loc.weights["bias"] = loc_bias

@@ -1,0 +1,14 @@
+"""Profiling tools mirroring the paper's measurement setup (Sec. II-C).
+
+* :class:`~repro.profiling.nvprof.Nvprof` — CUDA activity profiler with
+  summary and GPU-trace modes.  Attaching it perturbs timings (compare
+  the paper's Table VIII, measured under nvprof, with Table IX,
+  measured without).
+* :class:`~repro.profiling.tegrastats.Tegrastats` — the Jetson
+  board-level sampler for RAM usage and GPU utilization.
+"""
+
+from repro.profiling.nvprof import KernelStats, Nvprof
+from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+
+__all__ = ["KernelStats", "Nvprof", "Tegrastats", "TegrastatsSample"]

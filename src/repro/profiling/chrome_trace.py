@@ -1,0 +1,106 @@
+"""Chrome-trace export of inference timelines.
+
+Converts :class:`repro.hardware.gpu.InferenceTiming` objects into the
+Trace Event Format consumed by ``chrome://tracing`` / Perfetto — the
+standard way to eyeball GPU timelines.  memcpy and kernel events land
+on separate tracks, multiple inferences on separate rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.hardware.gpu import InferenceTiming
+
+#: Trace Event Format process/thread ids for the two activity tracks.
+_PID = 1
+_TID_MEMCPY = 1
+_TID_KERNELS = 2
+
+
+def to_chrome_trace(
+    timings: Union[InferenceTiming, Iterable[InferenceTiming]],
+) -> dict:
+    """Build a Trace Event Format document from one or more timelines.
+
+    Successive timelines are laid out back-to-back on the time axis so
+    repeated runs render as consecutive inferences.
+    """
+    if isinstance(timings, InferenceTiming):
+        timings = [timings]
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "trtsim GPU"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_MEMCPY,
+            "args": {"name": "memcpy (HtoD)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_KERNELS,
+            "args": {"name": "kernels"},
+        },
+    ]
+    offset_us = 0.0
+    for run_index, timing in enumerate(timings):
+        for event in timing.memcpy_events:
+            events.append(
+                {
+                    "name": event.label,
+                    "cat": "memcpy",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _TID_MEMCPY,
+                    "ts": offset_us + event.start_us,
+                    "dur": event.duration_us,
+                    "args": {
+                        "bytes": event.bytes,
+                        "calls": event.calls,
+                        "run": run_index,
+                    },
+                }
+            )
+        for event in timing.kernel_events:
+            events.append(
+                {
+                    "name": event.kernel_name,
+                    "cat": "kernel",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _TID_KERNELS,
+                    "ts": offset_us + event.start_us,
+                    "dur": event.duration_us,
+                    "args": {
+                        "layer": event.layer_name,
+                        "run": run_index,
+                    },
+                }
+            )
+        offset_us += timing.total_us
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "device": timings[0].device_name if timings else "",
+            "clock_mhz": timings[0].clock_mhz if timings else 0.0,
+        },
+    }
+
+
+def save_chrome_trace(
+    timings: Union[InferenceTiming, Iterable[InferenceTiming]],
+    path: Union[str, Path],
+) -> None:
+    """Write a ``.json`` trace loadable in chrome://tracing."""
+    Path(path).write_text(json.dumps(to_chrome_trace(timings)))

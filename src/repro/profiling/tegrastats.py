@@ -1,0 +1,59 @@
+"""tegrastats-style board sampler.
+
+On a Jetson, ``tegrastats`` periodically prints RAM usage, per-core CPU
+load, the GPU (GR3D) utilization and frequency, and thermal/power rails.
+Here the samples are produced by the concurrency scheduler
+(:mod:`repro.hardware.scheduler`) while it simulates multi-stream
+inference; this module stores them and renders the familiar line format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TegrastatsSample:
+    """One sampling interval's board state."""
+
+    timestamp_s: float
+    ram_used_mb: int
+    ram_total_mb: int
+    gpu_util_pct: float
+    gpu_freq_mhz: float
+    cpu_util_pct: float = 0.0
+
+    def render(self) -> str:
+        """The classic tegrastats line format."""
+        return (
+            f"RAM {self.ram_used_mb}/{self.ram_total_mb}MB "
+            f"CPU [{self.cpu_util_pct:.0f}%] "
+            f"GR3D_FREQ {self.gpu_util_pct:.0f}%@{self.gpu_freq_mhz:.0f}"
+        )
+
+
+class Tegrastats:
+    """Collects :class:`TegrastatsSample` records during a simulation."""
+
+    def __init__(self, interval_ms: int = 1000):
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.interval_ms = interval_ms
+        self.samples: List[TegrastatsSample] = []
+
+    def record(self, sample: TegrastatsSample) -> None:
+        self.samples.append(sample)
+
+    def mean_gpu_util(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.gpu_util_pct for s in self.samples) / len(self.samples)
+
+    def peak_ram_mb(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.ram_used_mb for s in self.samples)
+
+    def log(self) -> str:
+        return "\n".join(s.render() for s in self.samples)

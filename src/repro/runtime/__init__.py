@@ -1,0 +1,16 @@
+"""Numeric execution of IR graphs on the host CPU (numpy).
+
+This package is the *functional* half of the simulator: given a graph
+(or a compiled engine plan) and input images, it computes real outputs.
+Precision effects are honest — FP16 paths round partial accumulations to
+half precision, INT8 paths quantize through calibrated scales — so
+accuracy experiments measure genuine numeric behaviour.
+
+The *temporal* half (how long each kernel takes on a Jetson) lives in
+:mod:`repro.hardware`.
+"""
+
+from repro.runtime.executor import ExecutionResult, GraphExecutor
+from repro.runtime.math_config import LayerMath, MathConfig
+
+__all__ = ["ExecutionResult", "GraphExecutor", "LayerMath", "MathConfig"]

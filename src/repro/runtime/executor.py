@@ -1,0 +1,255 @@
+"""Graph executor: runs an IR graph numerically on numpy arrays.
+
+The executor is shared by the unoptimized baseline (plain FP32, one op
+per layer) and by compiled engines (fused layers, per-layer
+:class:`LayerMath` from the chosen kernel tactics).  The *functional*
+output of an engine execution is produced here; the *latency* of the same
+execution is produced by :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.ir import Graph, GraphError, Layer, LayerKind
+from repro.runtime import ops
+from repro.runtime.math_config import LayerMath, MathConfig
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs of one forward pass plus bookkeeping."""
+
+    outputs: Dict[str, np.ndarray]
+    tensors: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def primary(self) -> np.ndarray:
+        """The first declared graph output."""
+        return next(iter(self.outputs.values()))
+
+
+class GraphExecutor:
+    """Executes a graph; one instance is reusable across calls.
+
+    Args:
+        graph: the (optimized or raw) network to run.
+        math: numeric configuration; defaults to unoptimized FP32.
+        keep_intermediates: retain every tensor for inspection (tests
+            and debugging; costs memory).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        math: Optional[MathConfig] = None,
+        keep_intermediates: bool = False,
+    ):
+        self.graph = graph
+        self.math = math or MathConfig.unoptimized()
+        self.keep_intermediates = keep_intermediates
+        self._order = graph.toposort()
+
+    # ------------------------------------------------------------------
+    def run(self, **inputs: np.ndarray) -> ExecutionResult:
+        """Forward pass. Inputs are keyed by graph-input tensor name and
+        must carry a leading batch dimension."""
+        tensors: Dict[str, np.ndarray] = {}
+        for name, spec in self.graph.input_specs.items():
+            if name not in inputs:
+                raise GraphError(f"missing input tensor {name!r}")
+            arr = np.asarray(inputs[name], dtype=np.float32)
+            if arr.shape[1:] != spec.shape:
+                raise GraphError(
+                    f"input {name!r}: expected per-sample shape {spec.shape},"
+                    f" got {arr.shape[1:]}"
+                )
+            tensors[name] = arr
+
+        refcount: Dict[str, int] = {}
+        for layer in self._order:
+            for t in layer.inputs:
+                refcount[t] = refcount.get(t, 0) + 1
+        for out in self.graph.output_names:
+            refcount[out] = refcount.get(out, 0) + 1
+
+        for layer in self._order:
+            results = self._run_layer(layer, tensors)
+            tensors.update(results)
+            if not self.keep_intermediates:
+                for t in layer.inputs:
+                    refcount[t] -= 1
+                    if refcount.get(t, 0) <= 0 and t not in self.graph.output_names:
+                        tensors.pop(t, None)
+
+        outputs = {name: tensors[name] for name in self.graph.output_names}
+        return ExecutionResult(
+            outputs=outputs,
+            tensors=tensors if self.keep_intermediates else {},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_layer(
+        self, layer: Layer, tensors: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        xs = [tensors[t] for t in layer.inputs]
+        math = self.math.for_layer(layer.name)
+        kind = layer.kind
+        attrs = layer.attrs
+
+        if kind is LayerKind.CONVOLUTION:
+            out = ops.conv2d(
+                xs[0],
+                layer.weights["kernel"],
+                layer.weights.get("bias"),
+                int(attrs.get("stride", 1)),
+                int(attrs.get("pad", 0)),
+                math,
+            )
+        elif kind is LayerKind.DEPTHWISE_CONVOLUTION:
+            out = ops.depthwise_conv2d(
+                xs[0],
+                layer.weights["kernel"],
+                layer.weights.get("bias"),
+                int(attrs.get("stride", 1)),
+                int(attrs.get("pad", 0)),
+                math,
+            )
+            fn = attrs.get("activation")
+            if fn:
+                out = ops.activation(out, fn, float(attrs.get("slope", 0.1)))
+        elif kind is LayerKind.DECONVOLUTION:
+            out = ops.deconv2d(
+                xs[0],
+                layer.weights["kernel"],
+                layer.weights.get("bias"),
+                int(attrs.get("stride", 2)),
+                math,
+            )
+        elif kind is LayerKind.FULLY_CONNECTED:
+            out = ops.fully_connected(
+                xs[0], layer.weights["kernel"], layer.weights.get("bias"), math
+            )
+        elif kind is LayerKind.POOLING:
+            if attrs.get("global"):
+                if attrs.get("pool") == "max":
+                    out = ops.global_max_pool(xs[0])
+                else:
+                    out = ops.global_avg_pool(xs[0])
+            elif attrs.get("pool") == "max":
+                out = ops.max_pool(
+                    xs[0],
+                    int(attrs["kernel"]),
+                    int(attrs.get("stride", attrs["kernel"])),
+                    int(attrs.get("pad", 0)),
+                    same=attrs.get("pad_mode") == "same",
+                )
+            else:
+                out = ops.avg_pool(
+                    xs[0],
+                    int(attrs["kernel"]),
+                    int(attrs.get("stride", attrs["kernel"])),
+                    int(attrs.get("pad", 0)),
+                )
+        elif kind is LayerKind.ACTIVATION:
+            out = ops.activation(
+                xs[0], attrs["function"], float(attrs.get("slope", 0.1))
+            )
+        elif kind is LayerKind.BATCHNORM:
+            out = ops.batchnorm(
+                xs[0],
+                layer.weights["gamma"],
+                layer.weights["beta"],
+                layer.weights["mean"],
+                layer.weights["var"],
+                float(attrs.get("epsilon", 1e-5)),
+            )
+        elif kind is LayerKind.SCALE:
+            out = ops.channel_scale(
+                xs[0], layer.weights["gamma"], layer.weights["beta"]
+            )
+        elif kind is LayerKind.LRN:
+            out = ops.lrn(
+                xs[0],
+                int(attrs.get("size", 5)),
+                float(attrs.get("alpha", 1e-4)),
+                float(attrs.get("beta", 0.75)),
+                float(attrs.get("k", 2.0)),
+            )
+        elif kind is LayerKind.SOFTMAX:
+            out = ops.softmax(xs[0])
+        elif kind is LayerKind.CONCAT:
+            out = ops.concat(xs, int(attrs.get("axis", 0)))
+        elif kind is LayerKind.ELEMENTWISE:
+            out = ops.elementwise(xs, attrs.get("op", "add"))
+        elif kind is LayerKind.FLATTEN:
+            out = xs[0].reshape(xs[0].shape[0], -1)
+        elif kind in (LayerKind.DROPOUT, LayerKind.IDENTITY):
+            out = xs[0]
+        elif kind is LayerKind.UPSAMPLE:
+            out = ops.upsample_nearest(xs[0], int(attrs.get("factor", 2)))
+        elif kind is LayerKind.PERMUTE:
+            order = tuple(attrs.get("order", (0, 1, 2)))
+            out = xs[0].transpose((0,) + tuple(i + 1 for i in order))
+        elif kind is LayerKind.RESHAPE:
+            target = tuple(int(d) for d in attrs["shape"])
+            out = xs[0].reshape((xs[0].shape[0],) + target)
+        elif kind is LayerKind.DETECTION_OUTPUT:
+            out = ops.detection_output(
+                xs[0],
+                xs[1],
+                int(attrs["num_classes"]),
+                int(attrs.get("max_boxes", 100)),
+                float(attrs.get("score_threshold", 0.3)),
+                float(attrs.get("nms_iou", 0.5)),
+            )
+        elif kind is LayerKind.REGION:
+            out = ops.region_head(xs[0])
+        elif kind is LayerKind.FUSED_CONV_BLOCK:
+            out = ops.conv2d(
+                xs[0],
+                layer.weights["kernel"],
+                layer.weights.get("bias"),
+                int(attrs.get("stride", 1)),
+                int(attrs.get("pad", 0)),
+                math,
+            )
+            fn = attrs.get("activation")
+            if fn:
+                out = ops.activation(out, fn, float(attrs.get("slope", 0.1)))
+        elif kind is LayerKind.FUSED_FC_BLOCK:
+            out = ops.fully_connected(
+                xs[0], layer.weights["kernel"], layer.weights.get("bias"), math
+            )
+            fn = attrs.get("activation")
+            if fn:
+                out = ops.activation(out, fn, float(attrs.get("slope", 0.1)))
+        elif kind is LayerKind.MERGED_CONV:
+            merged = ops.conv2d(
+                xs[0],
+                layer.weights["kernel"],
+                layer.weights.get("bias"),
+                int(attrs.get("stride", 1)),
+                int(attrs.get("pad", 0)),
+                math,
+            )
+            fn = attrs.get("activation")
+            if fn:
+                merged = ops.activation(
+                    merged, fn, float(attrs.get("slope", 0.1))
+                )
+            splits = [int(s) for s in attrs["splits"]]
+            pieces: Dict[str, np.ndarray] = {}
+            offset = 0
+            for out_name, width in zip(layer.outputs, splits):
+                pieces[out_name] = np.ascontiguousarray(
+                    merged[:, offset : offset + width]
+                )
+                offset += width
+            return pieces
+        else:
+            raise GraphError(f"executor has no rule for {kind.value!r}")
+
+        return {layer.outputs[0]: out}

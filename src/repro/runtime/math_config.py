@@ -1,0 +1,58 @@
+"""Per-layer numeric configuration handed from an engine plan to the
+executor.
+
+A compiled engine does not merely run the original graph faster: each
+layer is bound to a concrete kernel *tactic* whose precision and
+reduction split genuinely change the arithmetic.  ``LayerMath`` captures
+exactly the properties that matter numerically; the kernel catalog in
+:mod:`repro.engine.kernels` maps tactics onto these values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.graph.ir import DataType
+
+
+@dataclass(frozen=True)
+class LayerMath:
+    """Numeric behaviour of the kernel executing one layer.
+
+    Attributes:
+        precision: compute precision of the kernel.
+        split_k: number of chunks the reduction axis is split into.
+            FP16 kernels round each partial sum to half precision, so
+            different splits give bit-different (all individually valid)
+            results — the mechanical root of TensorRT's run-to-run
+            output differences.
+        int8_scale_in / int8_scale_w: quantization scales when
+            ``precision`` is INT8 (set during calibration).
+    """
+
+    precision: DataType = DataType.FP32
+    split_k: int = 1
+    int8_scale_in: Optional[float] = None
+    int8_scale_w: Optional[float] = None
+
+
+@dataclass
+class MathConfig:
+    """Numeric configuration for a whole graph execution.
+
+    ``per_layer`` overrides win over ``default``.  An unoptimized run
+    uses the default FP32/split-1 everywhere; an engine run installs one
+    entry per layer from its chosen tactics.
+    """
+
+    default: LayerMath = field(default_factory=LayerMath)
+    per_layer: Dict[str, LayerMath] = field(default_factory=dict)
+
+    def for_layer(self, layer_name: str) -> LayerMath:
+        return self.per_layer.get(layer_name, self.default)
+
+    @classmethod
+    def unoptimized(cls) -> "MathConfig":
+        """The baseline configuration: plain FP32 everywhere."""
+        return cls()

@@ -1,0 +1,491 @@
+"""Numpy implementations of every IR operation.
+
+All feature maps are ``(N, C, H, W)`` float arrays; flattened vectors are
+``(N, C)``.  Convolutions go through im2col + matmul.  The precision
+semantics are the point of this module:
+
+* **FP32** — straight float32 math.
+* **FP16** — inputs/weights cast to float16; the reduction axis is split
+  into ``split_k`` chunks, each partial product is computed and *rounded
+  to float16* before the chunks are summed in float16.  Two kernels with
+  different ``split_k`` therefore produce genuinely different roundings,
+  exactly like differently-tiled cuDNN/cuBLAS kernels.
+* **INT8** — symmetric per-tensor quantization with calibrated scales;
+  accumulation is exact in int32, then dequantized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType
+from repro.runtime.math_config import LayerMath
+
+
+# ----------------------------------------------------------------------
+# precision-aware matmul core
+# ----------------------------------------------------------------------
+def _matmul_fp16_split(
+    a: np.ndarray, b: np.ndarray, split_k: int
+) -> np.ndarray:
+    """``a @ b`` with FP16 storage and ``split_k``-chunked reduction.
+
+    ``a`` is (M, K), ``b`` is (K, N).  Each chunk's product is computed
+    in float32 (tensor cores accumulate wider than they store), rounded
+    to float16, and the chunk partials are summed in float16.
+    """
+    a16 = a.astype(np.float16)
+    b16 = b.astype(np.float16)
+    k = a16.shape[1]
+    split_k = max(1, min(split_k, k))
+    bounds = np.linspace(0, k, split_k + 1, dtype=int)
+    acc = np.zeros((a16.shape[0], b16.shape[1]), dtype=np.float16)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        partial = (
+            a16[:, lo:hi].astype(np.float32) @ b16[lo:hi, :].astype(np.float32)
+        ).astype(np.float16)
+        acc = (acc + partial).astype(np.float16)
+    return acc.astype(np.float32)
+
+
+def _quantize_sym(x: np.ndarray, scale: float) -> np.ndarray:
+    """Symmetric int8 quantization: round(x/scale) clipped to [-127,127]."""
+    if scale <= 0:
+        raise ValueError(f"int8 scale must be positive, got {scale}")
+    return np.clip(np.rint(x / scale), -127, 127)
+
+
+def _matmul_int8(
+    a: np.ndarray,
+    b: np.ndarray,
+    scale_a: float,
+    scale_b: float,
+) -> np.ndarray:
+    """``a @ b`` through int8 quantization with exact int32 accumulation.
+
+    Activations (``a``) use the per-tensor scale from calibration;
+    weights (``b``) are quantized **per output channel** (per column),
+    as TensorRT does — per-tensor weight scales would let one large
+    channel destroy the resolution of all the others.  ``scale_b``
+    caps the per-channel scales (channels without weights fall back to
+    it).
+    """
+    qa = _quantize_sym(a, scale_a)
+    col_absmax = np.abs(b).max(axis=0)
+    col_scales = np.where(col_absmax > 0, col_absmax / 127.0, scale_b)
+    qb = np.clip(np.rint(b / col_scales[None, :]), -127, 127)
+    # float64 holds int32-range products exactly.
+    acc = qa.astype(np.float64) @ qb.astype(np.float64)
+    return (acc * (scale_a * col_scales[None, :])).astype(np.float32)
+
+
+def precision_matmul(
+    a: np.ndarray, b: np.ndarray, math: LayerMath
+) -> np.ndarray:
+    """Dispatch ``a @ b`` according to a :class:`LayerMath`."""
+    if math.precision is DataType.FP32:
+        return (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float32)
+    if math.precision is DataType.FP16:
+        return _matmul_fp16_split(a, b, math.split_k)
+    if math.precision is DataType.INT8:
+        if math.int8_scale_in is None or math.int8_scale_w is None:
+            raise ValueError("INT8 math requires calibrated scales")
+        return _matmul_int8(a, b, math.int8_scale_in, math.int8_scale_w)
+    raise ValueError(f"unsupported precision {math.precision}")
+
+
+# ----------------------------------------------------------------------
+# spatial helpers
+# ----------------------------------------------------------------------
+def _pad_nchw(x: np.ndarray, pad: int, value: float = 0.0) -> np.ndarray:
+    if pad == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N,C,H,W) into (N*OH*OW, C*k*k) patch rows."""
+    x = _pad_nchw(x, pad)
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride, :, :]
+    # windows: (N, C, OH, OW, k, k) -> (N, OH, OW, C, k, k)
+    patches = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+# ----------------------------------------------------------------------
+# layer ops
+# ----------------------------------------------------------------------
+def conv2d(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    pad: int,
+    math: LayerMath,
+) -> np.ndarray:
+    """Standard convolution. ``kernel`` is (OutC, InC, k, k)."""
+    n = x.shape[0]
+    out_c, in_c, k, _ = kernel.shape
+    if x.shape[1] != in_c:
+        raise ValueError(
+            f"conv expects {in_c} input channels, got {x.shape[1]}"
+        )
+    cols, out_h, out_w = im2col(x, k, stride, pad)
+    w2d = kernel.reshape(out_c, in_c * k * k).T  # (C*k*k, OutC)
+    out = precision_matmul(cols, w2d, math)
+    out = out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1).astype(np.float32)
+    return np.ascontiguousarray(out.astype(np.float32))
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    pad: int,
+    math: LayerMath,
+) -> np.ndarray:
+    """Depthwise convolution. ``kernel`` is (C, 1, k, k)."""
+    n, c, _h, _w = x.shape
+    k = kernel.shape[2]
+    xp = _pad_nchw(x, pad)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        xp, (k, k), axis=(2, 3)
+    )[:, :, ::stride, ::stride, :, :]
+    # windows: (N, C, OH, OW, k, k); weights: (C, k, k)
+    w = kernel[:, 0]
+    if math.precision is DataType.FP16:
+        prod = (
+            windows.astype(np.float16).astype(np.float32)
+            * w[None, :, None, None].astype(np.float16).astype(np.float32)
+        )
+        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1).astype(np.float16)
+        out = out.astype(np.float32)
+    elif math.precision is DataType.INT8:
+        qx = _quantize_sym(windows, math.int8_scale_in)
+        # Per-channel weight scales (TensorRT convention).
+        ch_absmax = np.abs(w).max(axis=(1, 2))
+        ch_scales = np.where(
+            ch_absmax > 0, ch_absmax / 127.0, math.int8_scale_w
+        )
+        qw = np.clip(
+            np.rint(w / ch_scales[:, None, None]), -127, 127
+        )
+        prod = qx * qw[None, :, None, None]
+        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1)
+        out = (
+            out * (math.int8_scale_in * ch_scales[None, :, None, None])
+        ).astype(np.float32)
+    else:
+        prod = windows * w[None, :, None, None]
+        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1).astype(np.float32)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return np.ascontiguousarray(out.astype(np.float32))
+
+
+def deconv2d(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    math: LayerMath,
+) -> np.ndarray:
+    """Transposed convolution (used by the FCN segmentation head)."""
+    n, in_c, h, w = x.shape
+    out_c, _, k, _ = kernel.shape
+    out_h = (h - 1) * stride + k
+    out_w = (w - 1) * stride + k
+    # As a matmul: for each input pixel, scatter its k*k*out_c stamp.
+    w2d = kernel.reshape(out_c, in_c, k * k)
+    cols = x.transpose(0, 2, 3, 1).reshape(n * h * w, in_c)
+    stamp = precision_matmul(
+        cols, w2d.transpose(1, 0, 2).reshape(in_c, out_c * k * k), math
+    ).reshape(n, h, w, out_c, k, k)
+    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float32)
+    for i in range(k):
+        for j in range(k):
+            out[:, :, i : i + h * stride : stride, j : j + w * stride : stride] += (
+                stamp[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+def fully_connected(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    bias: Optional[np.ndarray],
+    math: LayerMath,
+) -> np.ndarray:
+    """Dense layer. ``kernel`` is (OutUnits, InUnits); x is flattened."""
+    flat = x.reshape(x.shape[0], -1)
+    out = precision_matmul(flat, kernel.T, math)
+    if bias is not None:
+        out = out + bias.reshape(1, -1).astype(np.float32)
+    return out.astype(np.float32)
+
+
+def max_pool(
+    x: np.ndarray, kernel: int, stride: int, pad: int, same: bool = False
+) -> np.ndarray:
+    xp = _pad_nchw(x, pad, value=-np.inf)
+    n, c, h, w = xp.shape
+    if same:
+        out_h = -(-h // stride)
+        out_w = -(-w // stride)
+    else:
+        out_h = -(-(h - kernel) // stride) + 1
+        out_w = -(-(w - kernel) // stride) + 1
+    # Pad on the right so ceil-mode windows are complete.
+    need_h = (out_h - 1) * stride + kernel
+    need_w = (out_w - 1) * stride + kernel
+    if need_h > h or need_w > w:
+        xp = np.pad(
+            xp,
+            ((0, 0), (0, 0), (0, max(0, need_h - h)), (0, max(0, need_w - w))),
+            mode="constant",
+            constant_values=-np.inf,
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        xp, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride, :, :]
+    return windows.reshape(*windows.shape[:4], -1).max(axis=-1)[
+        :, :, :out_h, :out_w
+    ].astype(np.float32)
+
+
+def avg_pool(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    xp = _pad_nchw(x, pad, value=0.0)
+    n, c, h, w = xp.shape
+    out_h = -(-(h - kernel) // stride) + 1
+    out_w = -(-(w - kernel) // stride) + 1
+    need_h = (out_h - 1) * stride + kernel
+    need_w = (out_w - 1) * stride + kernel
+    if need_h > h or need_w > w:
+        xp = np.pad(
+            xp,
+            ((0, 0), (0, 0), (0, max(0, need_h - h)), (0, max(0, need_w - w))),
+            mode="constant",
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        xp, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride, :, :]
+    return windows.reshape(*windows.shape[:4], -1).mean(axis=-1)[
+        :, :, :out_h, :out_w
+    ].astype(np.float32)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    return x.mean(axis=(2, 3), keepdims=True).astype(np.float32)
+
+
+def global_max_pool(x: np.ndarray) -> np.ndarray:
+    return x.max(axis=(2, 3), keepdims=True).astype(np.float32)
+
+
+def activation(
+    x: np.ndarray, function: str, slope: float = 0.1
+) -> np.ndarray:
+    if function == "relu":
+        return np.maximum(x, 0.0)
+    if function == "relu6":
+        return np.clip(x, 0.0, 6.0)
+    if function == "leaky_relu":
+        return np.where(x > 0.0, x, slope * x).astype(np.float32)
+    if function == "sigmoid":
+        return (1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))).astype(np.float32)
+    if function == "tanh":
+        return np.tanh(x).astype(np.float32)
+    raise ValueError(f"unknown activation {function!r}")
+
+
+def batchnorm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    epsilon: float,
+) -> np.ndarray:
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    inv = gamma / np.sqrt(var + epsilon)
+    return ((x - mean.reshape(shape)) * inv.reshape(shape)
+            + beta.reshape(shape)).astype(np.float32)
+
+
+def channel_scale(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray
+) -> np.ndarray:
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    return (x * gamma.reshape(shape) + beta.reshape(shape)).astype(np.float32)
+
+
+def lrn(
+    x: np.ndarray, size: int, alpha: float, beta: float, k: float
+) -> np.ndarray:
+    """Local response normalization across channels (AlexNet-era)."""
+    sq = x ** 2
+    n, c, h, w = x.shape
+    half = size // 2
+    padded = np.zeros((n, c + 2 * half, h, w), dtype=np.float32)
+    padded[:, half : half + c] = sq
+    window_sum = np.zeros_like(x)
+    for offset in range(size):
+        window_sum += padded[:, offset : offset + c]
+    denom = (k + alpha * window_sum / size) ** beta
+    return (x / denom).astype(np.float32)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    flat = x.reshape(x.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=1, keepdims=True)
+    return out.reshape(x.shape).astype(np.float32)
+
+
+def concat(parts: Sequence[np.ndarray], axis: int) -> np.ndarray:
+    # +1: arrays carry a leading batch dim the IR shape omits.
+    return np.concatenate(parts, axis=axis + 1)
+
+
+def elementwise(parts: Sequence[np.ndarray], op: str) -> np.ndarray:
+    out = parts[0]
+    for other in parts[1:]:
+        if op == "add":
+            out = out + other
+        elif op == "mul":
+            out = out * other
+        elif op == "max":
+            out = np.maximum(out, other)
+        else:
+            raise ValueError(f"unknown elementwise op {op!r}")
+    return out.astype(np.float32)
+
+
+def upsample_nearest(x: np.ndarray, factor: int) -> np.ndarray:
+    return x.repeat(factor, axis=2).repeat(factor, axis=3)
+
+
+# ----------------------------------------------------------------------
+# detection heads
+# ----------------------------------------------------------------------
+def box_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between two (..., 4) box arrays [x1,y1,x2,y2]."""
+    ax1, ay1, ax2, ay2 = a[..., 0], a[..., 1], a[..., 2], a[..., 3]
+    bx1, by1, bx2, by2 = b[..., 0], b[..., 1], b[..., 2], b[..., 3]
+    ix1 = np.maximum(ax1, bx1)
+    iy1 = np.maximum(ay1, by1)
+    ix2 = np.minimum(ax2, bx2)
+    iy2 = np.minimum(ay2, by2)
+    inter = np.clip(ix2 - ix1, 0, None) * np.clip(iy2 - iy1, 0, None)
+    area_a = np.clip(ax2 - ax1, 0, None) * np.clip(ay2 - ay1, 0, None)
+    area_b = np.clip(bx2 - bx1, 0, None) * np.clip(by2 - by1, 0, None)
+    union = area_a + area_b - inter
+    return np.where(union > 0, inter / np.maximum(union, 1e-9), 0.0)
+
+
+def nms(
+    boxes: np.ndarray, scores: np.ndarray, iou_threshold: float
+) -> List[int]:
+    """Greedy non-maximum suppression; returns kept indices."""
+    order = np.argsort(-scores)
+    keep: List[int] = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        ious = box_iou(boxes[idx][None, :], boxes).reshape(-1)
+        suppressed |= ious >= iou_threshold
+        suppressed[idx] = True
+    return keep
+
+
+def detection_output(
+    loc: np.ndarray,
+    conf: np.ndarray,
+    num_classes: int,
+    max_boxes: int,
+    score_threshold: float,
+    nms_iou: float,
+) -> np.ndarray:
+    """SSD-style decoding of a grid of box predictions.
+
+    ``loc``  is (N, 4, H, W)  — box offsets per cell, in [0,1] units.
+    ``conf`` is (N, num_classes, H, W) — class logits per cell.
+    Returns (N, max_boxes, 6) rows of [class, score, x1, y1, x2, y2];
+    unused rows have class = -1.
+    """
+    n, _four, h, w = loc.shape
+    out = np.full((n, max_boxes, 6), -1.0, dtype=np.float32)
+    ys, xs = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    cell_cx = (xs + 0.5) / w
+    cell_cy = (ys + 0.5) / h
+    for i in range(n):
+        # Decode center-size offsets relative to the cell.
+        cx = cell_cx + np.tanh(loc[i, 0]) * 0.5 / w
+        cy = cell_cy + np.tanh(loc[i, 1]) * 0.5 / h
+        bw = np.clip(np.exp(np.clip(loc[i, 2], -4, 2)) / w * 2.0, 1e-3, 1.0)
+        bh = np.clip(np.exp(np.clip(loc[i, 3], -4, 2)) / h * 2.0, 1e-3, 1.0)
+        boxes = np.stack(
+            [cx - bw / 2, cy - bh / 2, cx + bw / 2, cy + bh / 2], axis=-1
+        ).reshape(-1, 4)
+        logits = conf[i].reshape(num_classes, -1).T  # (cells, classes)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        # Class 0 is background.
+        cls = probs[:, 1:].argmax(axis=1) + 1
+        score = probs[np.arange(len(cls)), cls]
+        mask = score >= score_threshold
+        if not mask.any():
+            continue
+        kept = nms(boxes[mask], score[mask], nms_iou)
+        sel = np.flatnonzero(mask)[kept][:max_boxes]
+        rows = np.stack(
+            [
+                cls[sel].astype(np.float32),
+                score[sel].astype(np.float32),
+                boxes[sel, 0],
+                boxes[sel, 1],
+                boxes[sel, 2],
+                boxes[sel, 3],
+            ],
+            axis=-1,
+        )
+        out[i, : len(rows)] = rows
+    return out
+
+
+def region_head(x: np.ndarray) -> np.ndarray:
+    """YOLO region layer: sigmoid objectness/coords, raw class logits.
+
+    Keeps the tensor shape; channel layout is (4 coords + 1 obj +
+    classes) and only the first five channels are squashed.
+    """
+    out = x.copy()
+    out[:, :5] = 1.0 / (1.0 + np.exp(-np.clip(x[:, :5], -60, 60)))
+    return out.astype(np.float32)

@@ -1,0 +1,68 @@
+"""Unit tests for the BSP performance model internals."""
+
+import pytest
+
+from repro.analysis.bsp import BSPPrediction, KernelLambda, bsp_predicted_us
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+from repro.hardware.workload import LayerWorkload
+
+
+def _workload(flops=1e6, total=60_000):
+    third = total // 3
+    return LayerWorkload(
+        flops=flops, bytes_in=third, bytes_w=third,
+        bytes_out=total - 2 * third, gemm_m=64, gemm_n=256, gemm_k=64,
+        elements_out=64 * 256, category="conv",
+    )
+
+
+class TestBSPFormula:
+    def test_positive(self):
+        assert bsp_predicted_us(_workload(), XAVIER_NX, 599.0) > 0
+
+    def test_scales_with_work(self):
+        small = bsp_predicted_us(_workload(flops=1e5), XAVIER_NX, 599.0)
+        big = bsp_predicted_us(_workload(flops=1e7), XAVIER_NX, 599.0)
+        assert big > small
+
+    def test_inverse_in_clock(self):
+        slow = bsp_predicted_us(_workload(), XAVIER_NX, 599.0)
+        fast = bsp_predicted_us(_workload(), XAVIER_NX, 1109.25)
+        assert fast == pytest.approx(slow * 599.0 / 1109.25, rel=1e-6)
+
+    def test_inverse_in_cores(self):
+        """The BSP model divides by core count — the very assumption
+        the paper shows fails (it predicts AGX always faster)."""
+        nx = bsp_predicted_us(_workload(), XAVIER_NX, 599.0)
+        agx = bsp_predicted_us(_workload(), XAVIER_AGX, 599.0)
+        assert agx == pytest.approx(nx * 384 / 512, rel=1e-6)
+
+
+class TestPredictionContainer:
+    def test_error_pct(self):
+        pred = BSPPrediction(
+            engine_name="e",
+            lambdas=[KernelLambda("k", 1.0, 3, 5.0)],
+            predicted_target_ms=0.9,
+            measured_target_ms=1.0,
+        )
+        assert pred.error_pct == pytest.approx(10.0)
+
+    def test_error_symmetric_in_sign(self):
+        over = BSPPrediction("e", [], 1.1, 1.0)
+        under = BSPPrediction("e", [], 0.9, 1.0)
+        assert over.error_pct == pytest.approx(under.error_pct)
+
+
+class TestEndToEnd:
+    def test_predict_engine_structure(self, farm):
+        from repro.analysis.bsp import predict_engine
+
+        engine = farm.engine("mtcnn", "NX", 0)
+        prediction = predict_engine(engine)
+        assert prediction.lambdas
+        for lam in prediction.lambdas:
+            assert lam.lam > 0
+            assert lam.calls >= 1
+        assert prediction.predicted_target_ms > 0
+        assert prediction.measured_target_ms > 0

@@ -1,0 +1,61 @@
+"""Focused tests for the consistency-harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.consistency import (
+    consistency_eval_images,
+    consistency_report,
+    engine_predictions,
+)
+from repro.data.synthetic import SyntheticImageNet
+
+
+class TestEvalImages:
+    def test_deterministic(self):
+        dataset = SyntheticImageNet(num_classes=10, image_size=16, seed=4)
+        a = consistency_eval_images(dataset, total=40)
+        b = consistency_eval_images(dataset, total=40)
+        np.testing.assert_array_equal(a, b)
+
+    def test_total_respected(self):
+        dataset = SyntheticImageNet(num_classes=10, image_size=16, seed=4)
+        assert len(consistency_eval_images(dataset, total=36)) == 36
+
+    def test_mixes_benign_and_corrupted(self):
+        dataset = SyntheticImageNet(num_classes=10, image_size=16, seed=4)
+        images = consistency_eval_images(dataset, total=40)
+        # First half is the benign draw, second half its noisy twin:
+        # same underlying content, different pixels.
+        base = images[:10]
+        noisy = images[20:30]
+        assert not np.array_equal(base, noisy)
+        corr = np.corrcoef(base.ravel(), noisy.ravel())[0, 1]
+        assert corr > 0.5
+
+
+class TestReportStructure:
+    @pytest.fixture(scope="class")
+    def report(self, farm):
+        images = np.random.default_rng(0).normal(
+            size=(30, 3, 32, 32)
+        ).astype(np.float32)
+        return consistency_report(
+            "alexnet", farm, images, engines_per_platform=2
+        )
+
+    def test_pair_coverage(self, report):
+        assert set(report.cross_platform) == {
+            "NX1-AGX1", "NX1-AGX2", "NX2-AGX1", "NX2-AGX2"
+        }
+        assert set(report.same_platform["NX"]) == {"1-2"}
+
+    def test_counts_bounded(self, report):
+        for count in report.cross_platform.values():
+            assert 0 <= count <= report.total_predictions
+
+    def test_engine_predictions_deterministic(self, farm):
+        images = np.zeros((5, 3, 32, 32), dtype=np.float32)
+        a = engine_predictions(farm, "alexnet", "NX", 1, images)
+        b = engine_predictions(farm, "alexnet", "NX", 1, images)
+        np.testing.assert_array_equal(a[0], b[0])

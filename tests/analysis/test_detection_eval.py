@@ -1,0 +1,46 @@
+"""Tests for the detection-quality evaluation harness."""
+
+import pytest
+
+from repro.analysis.detection_eval import evaluate_detector
+
+
+class TestDetectionEval:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.analysis.engines import EngineFarm
+
+        farm = EngineFarm(pretrained=True)
+        return evaluate_detector(
+            "pednet", farm, scenes=24, iou_threshold=0.3
+        )
+
+    def test_three_runners(self, results):
+        assert [r.runner for r in results] == [
+            "unoptimized", "NX engine", "AGX engine"
+        ]
+
+    def test_detector_beats_chance(self, results):
+        """The probe-fitted head must genuinely detect: precision and
+        recall clearly above a random-box baseline."""
+        unopt = results[0]
+        assert unopt.recall > 0.25
+        assert unopt.precision > 0.10
+
+    def test_engines_track_unoptimized(self, results):
+        unopt, nx, agx = results
+        for engine_result in (nx, agx):
+            assert abs(engine_result.recall - unopt.recall) < 0.15
+            assert abs(engine_result.precision - unopt.precision) < 0.15
+
+    def test_stricter_iou_reduces_matches(self):
+        from repro.analysis.engines import EngineFarm
+
+        farm = EngineFarm(pretrained=True)
+        loose = evaluate_detector(
+            "pednet", farm, scenes=16, iou_threshold=0.3
+        )[0]
+        strict = evaluate_detector(
+            "pednet", farm, scenes=16, iou_threshold=0.75
+        )[0]
+        assert strict.scores.true_positives <= loose.scores.true_positives

@@ -1,0 +1,41 @@
+"""Tests for the DVFS clock-sweep extension."""
+
+import pytest
+
+from repro.analysis.dvfs import clock_sweep
+from repro.hardware.specs import XAVIER_NX
+
+
+class TestClockSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, farm):
+        return clock_sweep("mtcnn", "NX", farm)
+
+    def test_covers_full_ladder(self, sweep):
+        assert len(sweep.points) == len(XAVIER_NX.supported_gpu_clocks_mhz)
+        clocks = [p.clock_mhz for p in sweep.points]
+        assert clocks == sorted(clocks)
+
+    def test_latency_monotone_in_clock(self, sweep):
+        latencies = [p.latency_ms for p in sweep.points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_speedup_bounded(self, sweep):
+        """Latency is not pure compute: memcpy and launch overhead do
+        not scale with clock, so a ~10x clock range yields far less
+        than 10x speedup."""
+        assert 1.2 < sweep.speedup_max_vs_min < 6.0
+
+    def test_power_grows_with_clock(self, sweep):
+        powers = [p.power_w for p in sweep.points]
+        assert powers == sorted(powers)
+
+    def test_efficiency_peak_is_interior(self, sweep):
+        """Cubic power vs sub-linear FPS: the best FPS/W is neither the
+        lowest nor the highest clock."""
+        best = sweep.most_efficient()
+        clocks = [p.clock_mhz for p in sweep.points]
+        assert clocks[0] < best.clock_mhz < clocks[-1]
+
+    def test_fps_per_watt_positive(self, sweep):
+        assert all(p.fps_per_watt > 0 for p in sweep.points)

@@ -1,0 +1,88 @@
+"""Additional engine-behavior tests: detection kernel pipelines,
+repeated-timing summaries, and fallback paths."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder, time_repeated
+from repro.engine.kernels import DEFAULT_CATALOG
+from repro.hardware.specs import XAVIER_NX
+
+
+@pytest.fixture(scope="module")
+def detection_engine(farm):
+    return farm.engine("mobilenet_v1", "NX", 0)
+
+
+class TestDetectionBindings:
+    def test_detection_layer_binds_kernel_sequence(self, detection_engine):
+        binding = detection_engine.binding_for("detections")
+        names = [k.name for k in binding.kernels]
+        assert len(names) == 4
+        assert any("RadixSort" in n for n in names)
+        assert binding.tactic is None  # fixed sequence, not auctioned
+
+    def test_detection_kernels_in_timeline(self, detection_engine):
+        timing = detection_engine.create_execution_context().time_inference(
+            jitter=0.0
+        )
+        trace_names = [e.kernel_name for e in timing.kernel_events]
+        assert "cub::DeviceSegmentedRadixSortKernel1" in trace_names
+        assert "nms::gatherTopDetections" in trace_names
+
+    def test_multi_kernel_binding_costs_more_launches(self, detection_engine):
+        """Splitting a layer over four kernels pays extra launch
+        overhead versus a hypothetical single kernel."""
+        timing = detection_engine.create_execution_context().time_inference(
+            jitter=0.0
+        )
+        det_events = [
+            e for e in timing.kernel_events if e.layer_name == "detections"
+        ]
+        assert len(det_events) == 4
+        total = sum(e.duration_us for e in det_events)
+        assert total > 4 * 0.9 * XAVIER_NX.kernel_launch_overhead_us
+
+
+class TestTimeRepeated:
+    def test_summary_statistics(self, farm):
+        engine = farm.engine("mtcnn", "NX", 0)
+        context = engine.create_execution_context()
+        summary = time_repeated(context, runs=8, seed=3, clock_mhz=599.0)
+        assert summary.runs == 8
+        assert summary.mean_ms > 0
+        assert summary.std_ms >= 0
+        assert "(" in str(summary)
+
+    def test_seed_reproducible(self, farm):
+        engine = farm.engine("mtcnn", "NX", 0)
+        context = engine.create_execution_context()
+        a = time_repeated(context, runs=5, seed=9)
+        b = time_repeated(context, runs=5, seed=9)
+        assert a.mean_ms == b.mean_ms
+
+
+class TestCatalogFallbacks:
+    def test_lrn_runs_fp32_in_fp16_engine(self, farm):
+        """AlexNet's LRN has no FP16 kernel; the engine must fall back
+        to the FP32 implementation rather than fail (TensorRT's
+        automatic precision fallback)."""
+        engine = farm.engine("alexnet", "NX", 0)
+        lrn_bindings = [
+            b
+            for b in engine.bindings
+            if any("lrn" in k.name for k in b.kernels)
+        ]
+        assert lrn_bindings
+        for binding in lrn_bindings:
+            from repro.graph.ir import DataType
+
+            assert binding.kernels[0].precision is DataType.FP32
+
+    def test_deconv_kernels_exist_for_fcn(self, farm):
+        engine = farm.engine("fcn_resnet18_cityscapes", "NX", 0)
+        assert any(
+            "deconv" in k.name
+            for b in engine.bindings
+            for k in b.kernels
+        )

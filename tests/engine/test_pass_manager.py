@@ -1,0 +1,53 @@
+"""Tests for the pass-manager infrastructure."""
+
+import pytest
+
+from repro.engine.passes import (
+    PassManager,
+    PassReport,
+    fuse_vertically,
+    remove_dead_layers,
+)
+from repro.graph.ir import GraphError
+
+
+class TestPassReport:
+    def test_note_counts(self):
+        report = PassReport("p")
+        report.note("did a thing")
+        report.note("did another")
+        assert report.changed == 2
+        assert "did a thing" in str(report)
+
+    def test_str_without_details(self):
+        report = PassReport("p")
+        assert str(report) == "[p] 0 change(s)"
+
+
+class TestPassManager:
+    def test_runs_in_order(self, fresh_small_cnn):
+        manager = PassManager([remove_dead_layers, fuse_vertically])
+        reports = manager.run(fresh_small_cnn)
+        assert [r.pass_name for r in reports] == [
+            "dead_layer_removal",
+            "vertical_fusion",
+        ]
+        # Post-condition: strict validity after dead-layer removal.
+        fresh_small_cnn.validate()
+
+    def test_tolerates_dead_before_removal_pass(self, fresh_small_cnn):
+        # Fusion first (graph still has the dead branch): the manager
+        # must validate leniently until dead-layer removal has run.
+        manager = PassManager([fuse_vertically, remove_dead_layers])
+        manager.run(fresh_small_cnn)
+        fresh_small_cnn.validate()
+
+    def test_breaking_pass_is_caught(self, fresh_small_cnn):
+        def vandal(graph):
+            # Remove a layer without rewiring its consumers.
+            graph.remove_layer("conv1")
+            return PassReport("vandal")
+
+        manager = PassManager([remove_dead_layers, vandal])
+        with pytest.raises(GraphError):
+            manager.run(fresh_small_cnn)

@@ -1,0 +1,96 @@
+"""Tests for engine plan serialization (repro.engine.plan)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.engine.plan import load_plan, save_plan
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+
+
+@pytest.fixture()
+def engine(small_cnn):
+    return EngineBuilder(XAVIER_NX, BuilderConfig(seed=21)).build(small_cnn)
+
+
+class TestPlanRoundtrip:
+    def test_metadata_preserved(self, engine, tmp_path):
+        path = tmp_path / "e.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        assert loaded.name == engine.name
+        assert loaded.device is XAVIER_NX
+        assert loaded.size_bytes == engine.size_bytes
+        assert loaded.build_seed == engine.build_seed
+        assert loaded.precision_mode == engine.precision_mode
+        assert loaded.weight_chunks == engine.weight_chunks
+
+    def test_kernel_bindings_preserved(self, engine, tmp_path):
+        path = tmp_path / "e.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        assert loaded.kernel_names() == engine.kernel_names()
+
+    def test_numeric_equivalence(self, engine, tmp_path, images16):
+        path = tmp_path / "e.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        a = engine.create_execution_context().execute(
+            data=images16
+        ).primary()
+        b = loaded.create_execution_context().execute(
+            data=images16
+        ).primary()
+        np.testing.assert_array_equal(a, b)
+
+    def test_timing_equivalence(self, engine, tmp_path):
+        """The deployed plan must take the same simulated time as the
+        freshly built engine — same kernels, same workloads."""
+        path = tmp_path / "e.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        a = engine.create_execution_context().time_inference(jitter=0.0)
+        b = loaded.create_execution_context().time_inference(jitter=0.0)
+        assert a.total_us == pytest.approx(b.total_us, rel=1e-9)
+
+    def test_cross_platform_deployment(self, engine, tmp_path):
+        """The paper's case 2: an NX-built plan file executed on AGX."""
+        path = tmp_path / "e.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        ctx = loaded.create_execution_context(run_device=XAVIER_AGX)
+        timing = ctx.time_inference(jitter=0.0)
+        assert timing.device_name == "Xavier AGX"
+
+    def test_bad_version_rejected(self, engine, tmp_path):
+        import json
+
+        path = tmp_path / "bad.plan"
+        with open(path, "wb") as f:
+            np.savez_compressed(
+                f,
+                __plan__=np.frombuffer(
+                    json.dumps({"plan_version": 99}).encode(),
+                    dtype=np.uint8,
+                ),
+                __graph__=np.zeros(1, dtype=np.uint8),
+            )
+        with pytest.raises(Exception):
+            load_plan(path)
+
+
+class TestDetectionModelPlan:
+    def test_mobilenet_plan_roundtrip(self, farm, tmp_path):
+        """Plans with fixed kernel sequences (detection layers) and
+        depthwise convolutions must survive serialization."""
+        engine = farm.engine("mobilenet_v1", "NX", 0)
+        path = tmp_path / "det.plan"
+        save_plan(engine, path)
+        loaded = load_plan(path)
+        assert loaded.kernel_names() == engine.kernel_names()
+        det = loaded.binding_for("detections")
+        assert det.tactic is None
+        assert len(det.kernels) == 4
+        a = engine.create_execution_context().time_inference(jitter=0.0)
+        b = loaded.create_execution_context().time_inference(jitter=0.0)
+        assert abs(a.total_us - b.total_us) / a.total_us < 1e-9

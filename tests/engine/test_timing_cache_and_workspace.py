@@ -1,0 +1,149 @@
+"""Tests for the timing cache (deterministic rebuilds) and the
+workspace limit (kernel filtering)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.engine.kernels import DEFAULT_CATALOG
+from repro.engine.timing_cache import TimingCache
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+from repro.hardware.workload import LayerWorkload
+
+
+def _workload(m=64, n=256, k=144):
+    return LayerWorkload(
+        flops=2.0 * m * n * k, bytes_in=n * k * 2, bytes_w=m * k * 2,
+        bytes_out=m * n * 2, gemm_m=m, gemm_n=n, gemm_k=k,
+        elements_out=m * n, category="conv",
+    )
+
+
+class TestTimingCacheCore:
+    def test_miss_then_hit(self):
+        cache = TimingCache("Xavier NX")
+        w = _workload()
+        assert cache.lookup("k1", w) is None
+        cache.store("k1", w, 12.5)
+        assert cache.lookup("k1", w) == 12.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_distinct_shapes_distinct_entries(self):
+        cache = TimingCache("Xavier NX")
+        cache.store("k1", _workload(m=64), 1.0)
+        cache.store("k1", _workload(m=128), 2.0)
+        assert len(cache) == 2
+        assert cache.lookup("k1", _workload(m=64)) == 1.0
+
+    def test_device_check(self):
+        cache = TimingCache("Xavier NX")
+        cache.check_device(XAVIER_NX)
+        with pytest.raises(ValueError, match="refusing to reuse"):
+            cache.check_device(XAVIER_AGX)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = TimingCache("Xavier NX")
+        cache.store("k1", _workload(), 3.25)
+        cache.store("k2", _workload(m=8), 0.75)
+        path = tmp_path / "timings.json"
+        cache.save(path)
+        loaded = TimingCache.load(path)
+        assert loaded.device_name == "Xavier NX"
+        assert loaded.lookup("k1", _workload()) == 3.25
+        assert loaded.lookup("k2", _workload(m=8)) == 0.75
+
+
+class TestCachedBuilds:
+    def test_cache_makes_rebuilds_deterministic(self, small_cnn):
+        """The paper's mitigation: with a shared timing cache, builds
+        with different seeds produce identical engines."""
+        cache = TimingCache(XAVIER_NX.name)
+        engines = [
+            EngineBuilder(
+                XAVIER_NX,
+                BuilderConfig(seed=1000 + i, timing_cache=cache),
+            ).build(small_cnn)
+            for i in range(4)
+        ]
+        mappings = {tuple(e.kernel_names()) for e in engines}
+        assert len(mappings) == 1
+        assert cache.hits > 0
+
+    def test_without_cache_builds_diverge(self, small_cnn):
+        mappings = {
+            tuple(
+                EngineBuilder(
+                    XAVIER_NX, BuilderConfig(seed=1000 + i)
+                ).build(small_cnn).kernel_names()
+            )
+            for i in range(6)
+        }
+        assert len(mappings) > 1
+
+    def test_cache_persists_across_processes(self, small_cnn, tmp_path):
+        cache = TimingCache(XAVIER_NX.name)
+        first = EngineBuilder(
+            XAVIER_NX, BuilderConfig(seed=1, timing_cache=cache)
+        ).build(small_cnn)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        reloaded = TimingCache.load(path)
+        second = EngineBuilder(
+            XAVIER_NX, BuilderConfig(seed=999, timing_cache=reloaded)
+        ).build(small_cnn)
+        assert first.kernel_names() == second.kernel_names()
+
+    def test_cross_device_cache_rejected(self, small_cnn):
+        cache = TimingCache(XAVIER_NX.name)
+        with pytest.raises(ValueError, match="refusing"):
+            EngineBuilder(
+                XAVIER_AGX, BuilderConfig(seed=1, timing_cache=cache)
+            ).build(small_cnn)
+
+
+class TestWorkspaceLimit:
+    def test_workspace_bytes_properties(self):
+        w = _workload(m=256, n=4096, k=512)
+        split_k = DEFAULT_CATALOG.by_name(
+            "trt_volta_h884cudnn_128x128_ldg8_relu_exp_interior_nhwc_tn_v1"
+        )
+        plain = DEFAULT_CATALOG.by_name(
+            "trt_volta_h884cudnn_128x128_ldg8_relu_exp_medium_nhwc_tn_v1"
+        )
+        fp32 = DEFAULT_CATALOG.by_name(
+            "trt_volta_scudnn_128x32_relu_small_nn_v1"
+        )
+        assert split_k.workspace_bytes(w) > 0  # partial-sum buffers
+        assert plain.workspace_bytes(w) == 0  # fused tensor-core path
+        assert fp32.workspace_bytes(w) > 0  # im2col buffer
+
+    def test_tight_workspace_avoids_splitk_kernels(self, small_cnn):
+        engine = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(seed=2, timing_noise=0.0, workspace_mb=0.0),
+        ).build(small_cnn)
+        for binding in engine.bindings:
+            if binding.tactic is None:
+                continue
+            kernel = binding.tactic.kernel
+            # Only zero-scratch kernels (or the minimal fallback) allowed.
+            assert kernel.workspace_bytes(binding.workload) == min(
+                k.workspace_bytes(binding.workload)
+                for k in DEFAULT_CATALOG.candidates(
+                    binding.workload.category,
+                    binding.workload.gemm_k,
+                    [kernel.precision],
+                )
+            ) or kernel.workspace_bytes(binding.workload) == 0
+
+    def test_generous_workspace_changes_nothing(self, small_cnn):
+        tight = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(seed=3, timing_noise=0.0, workspace_mb=256.0),
+        ).build(small_cnn)
+        huge = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(seed=3, timing_noise=0.0, workspace_mb=4096.0),
+        ).build(small_cnn)
+        assert tight.kernel_names() == huge.kernel_names()

@@ -1,0 +1,236 @@
+"""Tests for the Caffe prototxt frontend."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.caffe import (
+    PrototxtError,
+    parse_prototxt,
+    parse_text_message,
+)
+from repro.graph.ir import LayerKind
+from repro.runtime.executor import GraphExecutor
+
+SIMPLE = """
+name: "mini"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 4 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "conv1"
+  top: "conv1"
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "fc1"
+  type: "InnerProduct"
+  bottom: "pool1"
+  top: "fc1"
+  inner_product_param { num_output: 5 }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "fc1"
+  top: "prob"
+}
+"""
+
+
+def _weights():
+    rng = np.random.default_rng(0)
+    return {
+        "conv1": {
+            "kernel": rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+            "bias": np.zeros(4, dtype=np.float32),
+        },
+        "fc1": {
+            "kernel": rng.normal(size=(5, 64)).astype(np.float32),
+            "bias": np.zeros(5, dtype=np.float32),
+        },
+    }
+
+
+class TestTextParser:
+    def test_scalar_fields(self):
+        doc = parse_text_message('name: "x"\nvalue: 3')
+        assert doc["name"] == ['"x"']
+        assert doc["value"] == ["3"]
+
+    def test_nested_messages(self):
+        doc = parse_text_message("outer { inner { k: 1 } }")
+        assert doc["outer"][0]["inner"][0]["k"] == ["1"]
+
+    def test_repeated_fields(self):
+        doc = parse_text_message("dim: 1\ndim: 2\ndim: 3")
+        assert doc["dim"] == ["1", "2", "3"]
+
+    def test_comments_ignored(self):
+        doc = parse_text_message("# comment\nk: 1 # trailing\n")
+        assert doc["k"] == ["1"]
+
+    def test_dangling_field_raises(self):
+        with pytest.raises(PrototxtError):
+            parse_text_message("name:")
+
+    def test_bad_syntax_raises(self):
+        with pytest.raises(PrototxtError):
+            parse_text_message("name 3")
+
+
+class TestLowering:
+    def test_parse_simple_network(self):
+        g = parse_prototxt(SIMPLE, _weights())
+        assert g.name == "mini"
+        assert len(g) == 5
+        assert g.count_kind(LayerKind.CONVOLUTION) == 1
+        assert g.output_names == ["prob"]
+
+    def test_input_dims_from_prototxt(self):
+        g = parse_prototxt(SIMPLE, _weights())
+        assert g.input_specs["data"].shape == (3, 8, 8)
+
+    def test_in_place_relu_is_ssa_renamed(self):
+        g = parse_prototxt(SIMPLE, _weights())
+        relu = g.layer("relu1")
+        assert relu.inputs == ["conv1"]
+        assert relu.outputs == ["conv1/relu1"]
+        # Downstream consumer rewired to the renamed tensor.
+        assert g.layer("pool1").inputs == ["conv1/relu1"]
+
+    def test_executes_numerically(self):
+        g = parse_prototxt(SIMPLE, _weights())
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8)).astype(
+            np.float32
+        )
+        out = GraphExecutor(g).run(data=x).primary()
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_explicit_outputs(self):
+        g = parse_prototxt(SIMPLE, _weights(), outputs=["fc1"])
+        assert g.output_names == ["fc1"]
+
+    def test_missing_input_dim_raises(self):
+        text = 'name: "x"\ninput: "data"\nlayer { name: "s" ' \
+               'type: "Softmax" bottom: "data" top: "s" }'
+        with pytest.raises(PrototxtError, match="input_dim"):
+            parse_prototxt(text, {})
+        # but an explicit shape works
+        g = parse_prototxt(text, {}, input_shape=(4,))
+        assert g.input_specs["data"].shape == (4,)
+
+    def test_unsupported_layer_type(self):
+        text = SIMPLE + (
+            'layer { name: "x" type: "Embed" bottom: "prob" top: "x" }'
+        )
+        with pytest.raises(PrototxtError, match="unsupported"):
+            parse_prototxt(text, _weights())
+
+    def test_no_layers_raises(self):
+        with pytest.raises(PrototxtError, match="no layers"):
+            parse_prototxt(
+                'name: "x"\ninput: "data"\ninput_dim: 1\ninput_dim: 1\n'
+                "input_dim: 1\ninput_dim: 1",
+                {},
+            )
+
+    def test_concat_axis_shift(self):
+        text = """
+name: "c"
+input: "data"
+input_dim: 1
+input_dim: 2
+input_dim: 4
+input_dim: 4
+layer { name: "a" type: "Pooling" bottom: "data" top: "a"
+        pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+layer { name: "b" type: "Pooling" bottom: "data" top: "b"
+        pooling_param { pool: AVE kernel_size: 2 stride: 2 } }
+layer { name: "cat" type: "Concat" bottom: "a" bottom: "b" top: "cat"
+        concat_param { axis: 1 } }
+"""
+        g = parse_prototxt(text, {})
+        # Caffe axis 1 (channels) maps to IR axis 0.
+        assert g.layer("cat").attrs["axis"] == 0
+
+    def test_eltwise_operations(self):
+        for op, expected in (("SUM", "add"), ("PROD", "mul"), ("MAX", "max")):
+            text = f"""
+name: "e"
+input: "data"
+input_dim: 1
+input_dim: 2
+input_dim: 4
+input_dim: 4
+layer {{ name: "i" type: "ReLU" bottom: "data" top: "i" }}
+layer {{ name: "e" type: "Eltwise" bottom: "data" bottom: "i" top: "e"
+        eltwise_param {{ operation: {op} }} }}
+"""
+            g = parse_prototxt(text, {})
+            assert g.layer("e").attrs["op"] == expected
+
+    def test_detection_output_layer(self):
+        text = """
+name: "d"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer { name: "loc" type: "Convolution" bottom: "data" top: "loc"
+        convolution_param { num_output: 4 kernel_size: 1 } }
+layer { name: "conf" type: "Convolution" bottom: "data" top: "conf"
+        convolution_param { num_output: 3 kernel_size: 1 } }
+layer { name: "det" type: "DetectionOutput" bottom: "loc" bottom: "conf"
+        top: "det"
+        detection_output_param { num_classes: 3 keep_top_k: 16
+          confidence_threshold: 0.4
+          nms_param { nms_threshold: 0.45 } } }
+"""
+        rng = np.random.default_rng(0)
+        weights = {
+            name: {
+                "kernel": rng.normal(size=(c, 3, 1, 1)).astype(np.float32),
+                "bias": np.zeros(c, dtype=np.float32),
+            }
+            for name, c in (("loc", 4), ("conf", 3))
+        }
+        g = parse_prototxt(text, weights)
+        det = g.layer("det")
+        assert det.kind is LayerKind.DETECTION_OUTPUT
+        assert det.attrs["num_classes"] == 3
+        assert det.attrs["max_boxes"] == 16
+        assert det.attrs["score_threshold"] == pytest.approx(0.4)
+        assert det.attrs["nms_iou"] == pytest.approx(0.45)
+
+    def test_global_pooling(self):
+        text = """
+name: "g"
+input: "data"
+input_dim: 1
+input_dim: 2
+input_dim: 4
+input_dim: 4
+layer { name: "p" type: "Pooling" bottom: "data" top: "p"
+        pooling_param { pool: AVE global_pooling: true } }
+"""
+        g = parse_prototxt(text, {})
+        assert g.layer("p").attrs.get("global") is True

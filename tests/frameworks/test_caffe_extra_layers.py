@@ -1,0 +1,129 @@
+"""Caffe frontend coverage for the less common layer types used by the
+zoo (PReLU, TanH, BatchNorm/Scale pairs, Deconvolution, Flatten)."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.caffe import parse_prototxt
+from repro.graph.ir import LayerKind
+from repro.runtime.executor import GraphExecutor
+
+RNG = np.random.default_rng(5)
+
+HEADER = """
+name: "extra"
+input: "data"
+input_dim: 1
+input_dim: 2
+input_dim: 4
+input_dim: 4
+"""
+
+
+class TestActivations:
+    def test_prelu_lowered_as_leaky(self):
+        text = HEADER + (
+            'layer { name: "p" type: "PReLU" bottom: "data" top: "p" }'
+        )
+        g = parse_prototxt(text, {})
+        layer = g.layer("p")
+        assert layer.kind is LayerKind.ACTIVATION
+        assert layer.attrs["function"] == "leaky_relu"
+        assert layer.attrs["slope"] == pytest.approx(0.25)
+
+    def test_tanh(self):
+        text = HEADER + (
+            'layer { name: "t" type: "TanH" bottom: "data" top: "t" }'
+        )
+        g = parse_prototxt(text, {})
+        assert g.layer("t").attrs["function"] == "tanh"
+        x = RNG.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        out = GraphExecutor(g).run(data=x).primary()
+        np.testing.assert_allclose(out, np.tanh(x), rtol=1e-5)
+
+    def test_sigmoid(self):
+        text = HEADER + (
+            'layer { name: "s" type: "Sigmoid" bottom: "data" top: "s" }'
+        )
+        g = parse_prototxt(text, {})
+        assert g.layer("s").attrs["function"] == "sigmoid"
+
+
+class TestNormalization:
+    def test_batchnorm_defaults_gamma_beta(self):
+        text = HEADER + (
+            'layer { name: "bn" type: "BatchNorm" bottom: "data" '
+            'top: "bn" }'
+        )
+        weights = {
+            "bn": {
+                "mean": np.zeros(2, dtype=np.float32),
+                "var": np.ones(2, dtype=np.float32),
+            }
+        }
+        g = parse_prototxt(text, weights)
+        layer = g.layer("bn")
+        np.testing.assert_array_equal(layer.weights["gamma"], [1, 1])
+        np.testing.assert_array_equal(layer.weights["beta"], [0, 0])
+
+    def test_scale_layer(self):
+        text = HEADER + (
+            'layer { name: "sc" type: "Scale" bottom: "data" top: "sc" }'
+        )
+        weights = {
+            "sc": {
+                "gamma": np.full(2, 2.0, dtype=np.float32),
+                "beta": np.full(2, 1.0, dtype=np.float32),
+            }
+        }
+        g = parse_prototxt(text, weights)
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        out = GraphExecutor(g).run(data=x).primary()
+        np.testing.assert_allclose(out, 3.0)
+
+
+class TestStructural:
+    def test_deconvolution(self):
+        text = HEADER + (
+            'layer { name: "up" type: "Deconvolution" bottom: "data" '
+            'top: "up" convolution_param { num_output: 3 kernel_size: 2 '
+            "stride: 2 } }"
+        )
+        weights = {
+            "up": {
+                "kernel": RNG.normal(size=(3, 2, 2, 2)).astype(np.float32),
+                "bias": np.zeros(3, dtype=np.float32),
+            }
+        }
+        g = parse_prototxt(text, weights)
+        x = RNG.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        out = GraphExecutor(g).run(data=x).primary()
+        assert out.shape == (1, 3, 8, 8)
+
+    def test_flatten(self):
+        text = HEADER + (
+            'layer { name: "f" type: "Flatten" bottom: "data" top: "f" }'
+        )
+        g = parse_prototxt(text, {})
+        x = np.zeros((2, 2, 4, 4), dtype=np.float32)
+        out = GraphExecutor(g).run(data=x).primary()
+        assert out.shape == (2, 32)
+
+    def test_dropout_param_parsed(self):
+        text = HEADER + (
+            'layer { name: "d" type: "Dropout" bottom: "data" top: "d" '
+            "dropout_param { dropout_ratio: 0.7 } }"
+        )
+        g = parse_prototxt(text, {})
+        assert g.layer("d").attrs["ratio"] == pytest.approx(0.7)
+
+    def test_lrn_params(self):
+        text = HEADER + (
+            'layer { name: "n" type: "LRN" bottom: "data" top: "n" '
+            "lrn_param { local_size: 3 alpha: 0.001 beta: 0.5 } }"
+        )
+        g = parse_prototxt(text, {})
+        layer = g.layer("n")
+        assert layer.attrs["size"] == 3
+        assert layer.attrs["alpha"] == pytest.approx(0.001)
+        assert layer.attrs["beta"] == pytest.approx(0.5)

@@ -1,0 +1,214 @@
+"""Tests for the Darknet .cfg frontend."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.darknet import (
+    DarknetCfgError,
+    parse_cfg_sections,
+    parse_darknet_cfg,
+)
+from repro.graph.ir import LayerKind
+from repro.graph.shapes import infer_shapes
+from repro.runtime.executor import GraphExecutor
+
+
+def _conv_weights(filters, in_c, size, bn=True, seed=0):
+    rng = np.random.default_rng(seed)
+    entry = {
+        "kernel": rng.normal(size=(filters, in_c, size, size)).astype(
+            np.float32
+        )
+    }
+    if bn:
+        entry.update(
+            gamma=np.ones(filters, dtype=np.float32),
+            beta=np.zeros(filters, dtype=np.float32),
+            mean=np.zeros(filters, dtype=np.float32),
+            var=np.ones(filters, dtype=np.float32),
+        )
+    else:
+        entry["bias"] = np.zeros(filters, dtype=np.float32)
+    return entry
+
+
+class TestSectionParser:
+    def test_basic_sections(self):
+        sections = parse_cfg_sections(
+            "[net]\nheight=8\n[convolutional]\nfilters=4\n"
+        )
+        assert sections[0] == ("net", {"height": "8"})
+        assert sections[1] == ("convolutional", {"filters": "4"})
+
+    def test_comments_stripped(self):
+        sections = parse_cfg_sections("[net]\n# c\nheight=8 # inline\n")
+        assert sections[0][1]["height"] == "8"
+
+    def test_malformed_header(self):
+        with pytest.raises(DarknetCfgError, match="malformed section"):
+            parse_cfg_sections("[net\nheight=8")
+
+    def test_malformed_option(self):
+        with pytest.raises(DarknetCfgError, match="malformed option"):
+            parse_cfg_sections("[net]\nheight 8")
+
+
+class TestLowering:
+    CFG = """
+[net]
+height=8
+width=8
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=2
+size=1
+stride=1
+pad=0
+activation=linear
+"""
+
+    def _weights(self):
+        return [
+            _conv_weights(4, 3, 3, bn=True),
+            _conv_weights(2, 4, 1, bn=False, seed=1),
+        ]
+
+    def test_structure(self):
+        g = parse_darknet_cfg(self.CFG, self._weights())
+        assert g.count_kind(LayerKind.CONVOLUTION) == 2
+        assert g.count_kind(LayerKind.BATCHNORM) == 1
+        assert g.count_kind(LayerKind.POOLING) == 1
+        assert g.count_kind(LayerKind.ACTIVATION) == 1  # leaky only
+
+    def test_requires_net_section(self):
+        with pytest.raises(DarknetCfgError, match="first section"):
+            parse_darknet_cfg("[convolutional]\nfilters=1", [])
+
+    def test_executes(self):
+        g = parse_darknet_cfg(self.CFG, self._weights())
+        x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        out = GraphExecutor(g).run(data=x).primary()
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_single_route_is_rewire_not_concat(self):
+        """A single-reference route just redirects the data flow."""
+        cfg = self.CFG + "\n[route]\nlayers=-1\n[convolutional]\n" \
+            "filters=3\nsize=1\nstride=1\npad=0\nactivation=linear\n"
+        weights = self._weights() + [_conv_weights(3, 2, 1, bn=False)]
+        g = parse_darknet_cfg(cfg, weights)
+        assert g.count_kind(LayerKind.CONCAT) == 0
+        assert infer_shapes(g)[g.output_names[0]] == (3, 4, 4)
+
+    def test_upsample_and_concat_route(self):
+        cfg = """
+[net]
+height=8
+width=8
+channels=2
+
+[convolutional]
+filters=2
+size=1
+stride=1
+pad=0
+activation=linear
+
+[maxpool]
+size=2
+stride=2
+
+[upsample]
+stride=2
+
+[route]
+layers=-1,0
+"""
+        g = parse_darknet_cfg(cfg, [_conv_weights(2, 2, 1, bn=False)])
+        out = g.output_names[0]
+        assert infer_shapes(g)[out] == (4, 8, 8)
+
+    def test_shortcut_addition(self):
+        cfg = """
+[net]
+height=8
+width=8
+channels=2
+
+[convolutional]
+filters=2
+size=3
+stride=1
+pad=1
+activation=linear
+
+[convolutional]
+filters=2
+size=3
+stride=1
+pad=1
+activation=linear
+
+[shortcut]
+from=-2
+"""
+        weights = [
+            _conv_weights(2, 2, 3, bn=False, seed=i) for i in range(2)
+        ]
+        g = parse_darknet_cfg(cfg, weights)
+        assert g.count_kind(LayerKind.ELEMENTWISE) == 1
+
+    def test_yolo_head_marks_output(self):
+        cfg = """
+[net]
+height=8
+width=8
+channels=3
+
+[convolutional]
+filters=9
+size=1
+stride=1
+pad=0
+activation=linear
+
+[yolo]
+classes=4
+anchors=10,14
+"""
+        g = parse_darknet_cfg(cfg, [_conv_weights(9, 3, 1, bn=False)])
+        assert g.count_kind(LayerKind.REGION) == 1
+        assert len(g.output_names) == 1
+
+    def test_stride1_maxpool_same(self):
+        cfg = """
+[net]
+height=4
+width=4
+channels=1
+
+[maxpool]
+size=2
+stride=1
+"""
+        g = parse_darknet_cfg(cfg, [])
+        out = g.output_names[0]
+        assert infer_shapes(g)[out] == (1, 4, 4)
+
+    def test_unsupported_section(self):
+        with pytest.raises(DarknetCfgError, match="unsupported section"):
+            parse_darknet_cfg(
+                "[net]\nheight=4\nwidth=4\nchannels=1\n[gru]\n", []
+            )

@@ -1,0 +1,98 @@
+"""Tests for the PyTorch-style tracing frontend."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import pytorch as nn
+from repro.graph.ir import LayerKind
+from repro.graph.shapes import infer_shapes
+from repro.runtime.executor import GraphExecutor
+
+
+class _TinyNet(nn.Module):
+    def __init__(self, ctx):
+        self.conv = nn.Conv2d(ctx, 3, 8, 3, padding=1)
+        self.bn = nn.BatchNorm2d(ctx, 8)
+        self.pool = nn.MaxPool2d(ctx, 2)
+        self.fc = nn.Linear(ctx, 8, 5)
+
+    def forward(self, x):
+        x = self.pool(nn.relu(self.bn(self.conv(x))))
+        x = nn.adaptive_avg_pool(x)
+        x = nn.flatten(x)
+        return nn.softmax(self.fc(x))
+
+
+class TestTracing:
+    def test_structure(self):
+        ctx = nn.TraceContext("tiny", seed=0)
+        g = nn.trace_module(_TinyNet(ctx), ctx, (3, 8, 8))
+        assert g.count_kind(LayerKind.CONVOLUTION) == 1
+        assert g.count_kind(LayerKind.BATCHNORM) == 1
+        assert g.count_kind(LayerKind.SOFTMAX) == 1
+        assert infer_shapes(g)[g.output_names[0]] == (5,)
+
+    def test_numeric_execution(self):
+        ctx = nn.TraceContext("tiny", seed=0)
+        g = nn.trace_module(_TinyNet(ctx), ctx, (3, 8, 8))
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(
+            np.float32
+        )
+        out = GraphExecutor(g).run(data=x).primary()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_residual_add_operator(self):
+        class Res(nn.Module):
+            def __init__(self, ctx):
+                self.conv = nn.Conv2d(ctx, 2, 2, 3, padding=1)
+
+            def forward(self, x):
+                return self.conv(x) + x
+
+        ctx = nn.TraceContext("res", seed=0)
+        g = nn.trace_module(Res(ctx), ctx, (2, 4, 4))
+        assert g.count_kind(LayerKind.ELEMENTWISE) == 1
+
+    def test_sequential(self):
+        ctx = nn.TraceContext("seq", seed=0)
+        model = nn.Sequential(
+            nn.Conv2d(ctx, 3, 4, 1),
+            nn.BatchNorm2d(ctx, 4),
+        )
+        g = nn.trace_module(model, ctx, (3, 4, 4))
+        assert len(g) == 2
+
+    def test_cat_and_upsample(self):
+        class Multi(nn.Module):
+            def __init__(self, ctx):
+                self.a = nn.Conv2d(ctx, 2, 3, 1)
+                self.b = nn.Conv2d(ctx, 2, 5, 1)
+
+            def forward(self, x):
+                return nn.upsample(nn.cat([self.a(x), self.b(x)]), 2)
+
+        ctx = nn.TraceContext("m", seed=0)
+        g = nn.trace_module(Multi(ctx), ctx, (2, 4, 4))
+        assert infer_shapes(g)[g.output_names[0]] == (8, 8, 8)
+
+    def test_conv_transpose(self):
+        class Up(nn.Module):
+            def __init__(self, ctx):
+                self.up = nn.ConvTranspose2d(ctx, 3, 2, 2, stride=2)
+
+            def forward(self, x):
+                return self.up(x)
+
+        ctx = nn.TraceContext("up", seed=0)
+        g = nn.trace_module(Up(ctx), ctx, (3, 4, 4))
+        assert infer_shapes(g)[g.output_names[0]] == (2, 8, 8)
+
+    def test_emit_outside_trace_raises(self):
+        ctx = nn.TraceContext("x", seed=0)
+        with pytest.raises(RuntimeError, match="outside"):
+            ctx.emit("relu", LayerKind.ACTIVATION, ["data"],
+                     attrs={"function": "relu"})
+
+    def test_fresh_names_unique(self):
+        ctx = nn.TraceContext("x", seed=0)
+        assert ctx.fresh("a") != ctx.fresh("a")

@@ -1,0 +1,196 @@
+"""Tests for the TensorFlow GraphDef frontend."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.tensorflow import GraphDefError, import_graphdef
+from repro.graph.ir import LayerKind
+from repro.graph.shapes import infer_shapes
+from repro.runtime.executor import GraphExecutor
+
+RNG = np.random.default_rng(0)
+
+
+def _mini_graphdef():
+    hwio = RNG.normal(size=(3, 3, 2, 4)).astype(np.float32)
+    bias = np.zeros(4, dtype=np.float32)
+    return {
+        "node": [
+            {"name": "image", "op": "Placeholder"},
+            {"name": "w", "op": "Const", "value": hwio},
+            {"name": "b", "op": "Const", "value": bias},
+            {
+                "name": "conv", "op": "Conv2D", "input": ["image", "w"],
+                "attr": {"strides": 1, "padding": "SAME"},
+            },
+            {"name": "bias", "op": "BiasAdd", "input": ["conv", "b"]},
+            {"name": "relu", "op": "Relu6", "input": ["bias"]},
+            {
+                "name": "pool", "op": "MaxPool", "input": ["relu"],
+                "attr": {"ksize": 2, "strides": 2, "padding": "VALID"},
+            },
+        ]
+    }, hwio
+
+
+class TestImport:
+    def test_structure(self):
+        gd, _ = _mini_graphdef()
+        g = import_graphdef(gd, (2, 8, 8))
+        assert g.count_kind(LayerKind.CONVOLUTION) == 1
+        assert g.count_kind(LayerKind.POOLING) == 1
+        assert g.output_names == ["pool"]
+        assert infer_shapes(g)["pool"] == (4, 4, 4)
+
+    def test_hwio_transposed_to_oihw(self):
+        gd, hwio = _mini_graphdef()
+        g = import_graphdef(gd, (2, 8, 8))
+        oihw = g.layer("conv").weights["kernel"]
+        assert oihw.shape == (4, 2, 3, 3)
+        np.testing.assert_array_equal(oihw[1, 0], hwio[:, :, 0, 1])
+
+    def test_numeric_execution(self):
+        gd, _ = _mini_graphdef()
+        g = import_graphdef(gd, (2, 8, 8))
+        x = RNG.normal(size=(1, 2, 8, 8)).astype(np.float32)
+        out = GraphExecutor(g).run(image=x).primary()
+        assert out.shape == (1, 4, 4, 4)
+        assert (out >= 0).all() and (out <= 6).all()  # Relu6 applied
+
+    def test_depthwise(self):
+        hwc1 = RNG.normal(size=(3, 3, 2, 1)).astype(np.float32)
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "w", "op": "Const", "value": hwc1},
+                {
+                    "name": "dw", "op": "DepthwiseConv2dNative",
+                    "input": ["image", "w"],
+                    "attr": {"strides": 1, "padding": "SAME"},
+                },
+            ]
+        }
+        g = import_graphdef(gd, (2, 8, 8))
+        assert g.count_kind(LayerKind.DEPTHWISE_CONVOLUTION) == 1
+        assert g.layer("dw").weights["kernel"].shape == (2, 1, 3, 3)
+
+    def test_depth_multiplier_rejected(self):
+        hwc2 = RNG.normal(size=(3, 3, 2, 2)).astype(np.float32)
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "w", "op": "Const", "value": hwc2},
+                {
+                    "name": "dw", "op": "DepthwiseConv2dNative",
+                    "input": ["image", "w"],
+                },
+            ]
+        }
+        with pytest.raises(GraphDefError, match="multiplier"):
+            import_graphdef(gd, (2, 8, 8))
+
+    def test_fused_batchnorm(self):
+        params = [np.ones(2, dtype=np.float32) for _ in range(4)]
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "g", "op": "Const", "value": params[0]},
+                {"name": "b", "op": "Const", "value": params[1]},
+                {"name": "m", "op": "Const", "value": params[2]},
+                {"name": "v", "op": "Const", "value": params[3]},
+                {
+                    "name": "bn", "op": "FusedBatchNorm",
+                    "input": ["image", "g", "b", "m", "v"],
+                },
+            ]
+        }
+        g = import_graphdef(gd, (2, 4, 4))
+        assert g.count_kind(LayerKind.BATCHNORM) == 1
+
+    def test_concat_and_add(self):
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "a", "op": "Relu", "input": ["image"]},
+                {"name": "b", "op": "Relu", "input": ["image"]},
+                {"name": "cat", "op": "ConcatV2", "input": ["a", "b"]},
+                {"name": "sum", "op": "AddV2", "input": ["a", "b"]},
+                {"name": "id1", "op": "Identity", "input": ["cat"]},
+                {"name": "id2", "op": "Identity", "input": ["sum"]},
+            ]
+        }
+        g = import_graphdef(gd, (2, 4, 4))
+        shapes = infer_shapes(g)
+        assert shapes["cat"] == (4, 4, 4)
+        assert shapes["sum"] == (2, 4, 4)
+
+    def test_mean_is_global_pool(self):
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "gap", "op": "Mean", "input": ["image"]},
+            ]
+        }
+        g = import_graphdef(gd, (3, 8, 8))
+        assert infer_shapes(g)["gap"] == (3, 1, 1)
+
+    def test_matmul(self):
+        w = RNG.normal(size=(12, 5)).astype(np.float32)  # TF (in, out)
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "flat", "op": "Reshape", "input": ["image"]},
+                {"name": "w", "op": "Const", "value": w},
+                {"name": "fc", "op": "MatMul", "input": ["flat", "w"]},
+            ]
+        }
+        g = import_graphdef(gd, (3, 2, 2))
+        assert g.layer("fc").weights["kernel"].shape == (5, 12)
+        assert infer_shapes(g)["fc"] == (5,)
+
+    def test_missing_placeholder_raises(self):
+        gd = {"node": [{"name": "a", "op": "Relu", "input": ["x"]}]}
+        with pytest.raises(GraphDefError):
+            import_graphdef(gd, (1, 4, 4))
+
+    def test_empty_graphdef_raises(self):
+        with pytest.raises(GraphDefError, match="no nodes"):
+            import_graphdef({"node": []}, (1, 4, 4))
+
+    def test_unsupported_op_raises(self):
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "x", "op": "Einsum", "input": ["image"]},
+            ]
+        }
+        with pytest.raises(GraphDefError, match="unsupported TF op"):
+            import_graphdef(gd, (1, 4, 4))
+
+    def test_undefined_input_raises(self):
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "x", "op": "Relu", "input": ["ghost"]},
+            ]
+        }
+        with pytest.raises(GraphDefError, match="undefined"):
+            import_graphdef(gd, (1, 4, 4))
+
+    def test_detection_postprocess(self):
+        gd = {
+            "node": [
+                {"name": "image", "op": "Placeholder"},
+                {"name": "loc", "op": "Relu", "input": ["image"]},
+                {"name": "conf", "op": "Relu", "input": ["image"]},
+                {
+                    "name": "det", "op": "TFLite_Detection_PostProcess",
+                    "input": ["loc", "conf"],
+                    "attr": {"num_classes": 3, "max_detections": 12},
+                },
+            ]
+        }
+        g = import_graphdef(gd, (4, 4, 4))
+        det = g.layer("det")
+        assert det.kind is LayerKind.DETECTION_OUTPUT
+        assert det.attrs["max_boxes"] == 12

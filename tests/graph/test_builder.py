@@ -1,0 +1,125 @@
+"""Unit tests for GraphBuilder and WeightInitializer."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, WeightInitializer
+from repro.graph.ir import GraphError, LayerKind
+from repro.graph.shapes import infer_shapes
+
+
+class TestWeightInitializer:
+    def test_deterministic_per_seed(self):
+        a = WeightInitializer(7).conv(4, 3, 3)
+        b = WeightInitializer(7).conv(4, 3, 3)
+        c = WeightInitializer(8).conv(4, 3, 3)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_conv_shape_and_scale(self):
+        w = WeightInitializer(1).conv(8, 4, 5)
+        assert w.shape == (8, 4, 5, 5)
+        # He init: std ~ sqrt(2 / fan_in)
+        expected = np.sqrt(2.0 / (4 * 25))
+        assert abs(w.std() - expected) / expected < 0.25
+
+    def test_dense_shape(self):
+        assert WeightInitializer(1).dense(10, 20).shape == (10, 20)
+
+    def test_bias_zero(self):
+        assert not WeightInitializer(1).bias(5).any()
+
+    def test_bn_shapes(self):
+        gamma, beta, mean, var = WeightInitializer(1).bn(6)
+        for arr in (gamma, beta, mean, var):
+            assert arr.shape == (6,)
+        assert (var > 0).all()
+
+
+class TestGraphBuilder:
+    def test_conv_tracks_shape(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        t = b.conv("c", b.input_name, out_channels=4, kernel=3, stride=2,
+                   pad=1)
+        assert b.shape_of(t) == (4, 4, 4)
+        assert b.channels_of(t) == 4
+
+    def test_conv_weights_match_attrs(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        b.conv("c", b.input_name, out_channels=4, kernel=3)
+        layer = b.graph.layer("c")
+        assert layer.weights["kernel"].shape == (4, 3, 3, 3)
+        assert "bias" in layer.weights
+
+    def test_conv_without_bias(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        b.conv("c", b.input_name, out_channels=4, kernel=1, bias=False)
+        assert "bias" not in b.graph.layer("c").weights
+
+    def test_unique_output_names(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        t1 = b.relu("r1", b.input_name)
+        t2 = b.relu("r2", b.input_name)
+        assert t1 != t2
+
+    def test_finish_validates(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        t = b.relu("r", b.input_name)
+        g = b.finish(t)
+        assert g.output_names == [t]
+
+    def test_finish_rejects_dead_by_default(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        t = b.relu("r", b.input_name)
+        b.relu("dead", b.input_name)
+        with pytest.raises(GraphError, match="dead"):
+            b.finish(t)
+        # and tolerates it when asked
+        b2 = GraphBuilder("t", (3, 8, 8), seed=0)
+        t = b2.relu("r", b2.input_name)
+        b2.relu("dead", b2.input_name)
+        b2.finish(t, allow_dead=True)
+
+    def test_shapes_agree_with_inference(self, small_cnn):
+        inferred = infer_shapes(small_cnn)
+        # builder-tracked output shape must match infer_shapes
+        assert inferred[small_cnn.output_names[0]] == (10,)
+
+    def test_concat_channels(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        a = b.conv("a", b.input_name, out_channels=2, kernel=1)
+        c = b.conv("c", b.input_name, out_channels=5, kernel=1)
+        out = b.concat("cat", [a, c])
+        assert b.shape_of(out) == (7, 8, 8)
+
+    def test_residual_add(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        a = b.conv("a", b.input_name, out_channels=3, kernel=3, pad=1)
+        out = b.add("sum", a, b.input_name)
+        assert b.shape_of(out) == (3, 8, 8)
+        assert b.graph.layer("sum").kind is LayerKind.ELEMENTWISE
+
+    def test_depthwise(self):
+        b = GraphBuilder("t", (4, 8, 8), seed=0)
+        t = b.depthwise_conv("dw", b.input_name, kernel=3, stride=2, pad=1)
+        assert b.shape_of(t) == (4, 4, 4)
+        assert b.graph.layer("dw").weights["kernel"].shape == (4, 1, 3, 3)
+
+    def test_fc_flattens_input(self):
+        b = GraphBuilder("t", (3, 4, 4), seed=0)
+        t = b.fc("fc", b.input_name, 7)
+        assert b.shape_of(t) == (7,)
+        assert b.graph.layer("fc").weights["kernel"].shape == (7, 48)
+
+    def test_deconv(self):
+        b = GraphBuilder("t", (3, 4, 4), seed=0)
+        t = b.deconv("up", b.input_name, out_channels=2, kernel=2, stride=2)
+        assert b.shape_of(t) == (2, 8, 8)
+
+    def test_detection_output(self):
+        b = GraphBuilder("t", (3, 8, 8), seed=0)
+        loc = b.conv("loc", b.input_name, out_channels=4, kernel=1)
+        conf = b.conv("conf", b.input_name, out_channels=3, kernel=1)
+        det = b.detection_output("det", [loc, conf], num_classes=3,
+                                 max_boxes=16)
+        assert b.shape_of(det) == (16, 6)

@@ -1,0 +1,56 @@
+"""Tests for the DOT exporter and optimization diff summary."""
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.graph.visualize import diff_summary, save_dot, to_dot
+from repro.hardware.specs import XAVIER_NX
+
+
+class TestToDot:
+    def test_valid_dot_structure(self, small_cnn):
+        dot = to_dot(small_cnn)
+        assert dot.startswith('digraph "small_cnn"')
+        assert dot.rstrip().endswith("}")
+        # Every layer appears as a node.
+        for layer in small_cnn.layers:
+            assert f'"l:{layer.name}"' in dot
+
+    def test_inputs_and_outputs_marked(self, small_cnn):
+        dot = to_dot(small_cnn)
+        assert '"t:data"' in dot
+        for out in small_cnn.output_names:
+            assert f'"out:{out}"' in dot
+
+    def test_shapes_toggle(self, small_cnn):
+        with_shapes = to_dot(small_cnn, include_shapes=True)
+        without = to_dot(small_cnn, include_shapes=False)
+        assert "(16, 8, 8)" in with_shapes
+        assert "(16, 8, 8)" not in without
+
+    def test_edges_follow_dataflow(self, small_cnn):
+        dot = to_dot(small_cnn)
+        assert '"t:data" -> "l:conv1"' in dot
+
+    def test_save(self, small_cnn, tmp_path):
+        path = tmp_path / "net.dot"
+        save_dot(small_cnn, path)
+        assert path.read_text().startswith("digraph")
+
+    def test_engine_graph_renders_fused_kinds(self, small_cnn):
+        engine = EngineBuilder(XAVIER_NX, BuilderConfig(seed=4)).build(
+            small_cnn
+        )
+        dot = to_dot(engine.graph)
+        assert "fused_conv_block" in dot
+
+
+class TestDiffSummary:
+    def test_reports_fusion_deltas(self, small_cnn):
+        engine = EngineBuilder(XAVIER_NX, BuilderConfig(seed=4)).build(
+            small_cnn
+        )
+        text = diff_summary(small_cnn, engine.graph)
+        assert "total" in text
+        # The engine graph has fewer layers than the imported model.
+        last = text.splitlines()[-1]
+        assert "-" in last.split()[-1]  # negative total delta
+        assert "batchnorm" in text

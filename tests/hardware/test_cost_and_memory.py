@@ -1,0 +1,152 @@
+"""Tests for the kernel cost model and memcpy model."""
+
+import pytest
+
+from repro.engine.kernels import DEFAULT_CATALOG
+from repro.hardware.cost import CostModel
+from repro.hardware.memory import MemcpyModel
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+from repro.hardware.workload import LayerWorkload
+
+
+def _conv_workload(m=64, n=1024, k=288, act_bytes=2):
+    return LayerWorkload(
+        flops=2.0 * m * n * k,
+        bytes_in=n * k * act_bytes,
+        bytes_w=m * k * act_bytes,
+        bytes_out=m * n * act_bytes,
+        gemm_m=m,
+        gemm_n=n,
+        gemm_k=k,
+        elements_out=m * n,
+        category="conv",
+    )
+
+
+FP16_MEDIUM = DEFAULT_CATALOG.by_name(
+    "trt_volta_h884cudnn_128x128_ldg8_relu_exp_medium_nhwc_tn_v1"
+)
+FP16_SLICED = DEFAULT_CATALOG.by_name(
+    "trt_volta_h884cudnn_64x32_sliced1x2_ldg8_relu_exp_small_nhwc_tn_v1"
+)
+FP32_SMALL = DEFAULT_CATALOG.by_name(
+    "trt_volta_scudnn_128x32_relu_small_nn_v1"
+)
+
+
+class TestCostModelProperties:
+    def test_total_includes_launch(self):
+        cost = CostModel(XAVIER_NX).kernel_cost(
+            FP16_MEDIUM, _conv_workload(), 1000.0
+        )
+        assert cost.total_us >= cost.launch_us
+        assert cost.launch_us == XAVIER_NX.kernel_launch_overhead_us
+
+    def test_higher_clock_is_faster(self):
+        model = CostModel(XAVIER_NX)
+        w = _conv_workload(m=512, n=4096, k=512)
+        slow = model.kernel_time_us(FP16_MEDIUM, w, 599.0)
+        fast = model.kernel_time_us(FP16_MEDIUM, w, 1109.25)
+        assert fast < slow
+
+    def test_more_work_takes_longer(self):
+        model = CostModel(XAVIER_NX)
+        small = model.kernel_time_us(FP16_MEDIUM, _conv_workload(m=64), 1000.0)
+        big = model.kernel_time_us(
+            FP16_MEDIUM, _conv_workload(m=2048), 1000.0
+        )
+        assert big > small
+
+    def test_fp32_slower_than_fp16_tc_for_big_gemm(self):
+        model = CostModel(XAVIER_NX)
+        w = _conv_workload(m=1024, n=4096, k=512)
+        fp16 = model.kernel_time_us(FP16_MEDIUM, w, 1000.0)
+        fp32 = model.kernel_time_us(FP32_SMALL, w, 1000.0)
+        assert fp32 > 2 * fp16
+
+    def test_agx_faster_for_large_vectorized_kernels(self):
+        """More SMs + more bandwidth win on big regular work."""
+        w = _conv_workload(m=2048, n=8192, k=512)
+        nx = CostModel(XAVIER_NX).kernel_time_us(FP16_MEDIUM, w, 1000.0)
+        agx = CostModel(XAVIER_AGX).kernel_time_us(FP16_MEDIUM, w, 1000.0)
+        assert agx < nx
+
+    def test_agx_slower_for_narrow_access_small_kernels(self):
+        """Burst-granularity mismatch: sliced kernels with 32B access
+        waste the AGX's 128B bursts (paper Table XI mechanism)."""
+        w = _conv_workload(m=32, n=32, k=576)  # deep, narrow, tiny I/O
+        nx = CostModel(XAVIER_NX).kernel_time_us(FP16_SLICED, w, 1000.0)
+        agx = CostModel(XAVIER_AGX).kernel_time_us(FP16_SLICED, w, 1000.0)
+        assert agx > nx
+
+    def test_wave_quantization_steps(self):
+        """Crossing a wave boundary produces a discrete compute jump."""
+        model = CostModel(XAVIER_NX)
+        # concurrent slots = 6 SMs * 2 blocks = 12; tile 128x128
+        just_fits = _conv_workload(m=128 * 3, n=128 * 4, k=256)  # 12 blocks
+        one_more = _conv_workload(m=128 * 13, n=128, k=256)  # 13 blocks
+        a = model.kernel_cost(FP16_MEDIUM, just_fits, 1000.0)
+        b = model.kernel_cost(FP16_MEDIUM, one_more, 1000.0)
+        assert b.compute_us > a.compute_us * 1.5
+
+    def test_sm_fraction_validation(self):
+        model = CostModel(XAVIER_NX)
+        with pytest.raises(ValueError, match="sm_fraction"):
+            model.kernel_cost(FP16_MEDIUM, _conv_workload(), 1000.0, 0.0)
+        with pytest.raises(ValueError, match="sm_fraction"):
+            model.kernel_cost(FP16_MEDIUM, _conv_workload(), 1000.0, 1.5)
+
+    def test_sm_fraction_slows_kernel(self):
+        model = CostModel(XAVIER_NX)
+        w = _conv_workload(m=1024, n=4096, k=512)
+        full = model.kernel_time_us(FP16_MEDIUM, w, 1000.0, 1.0)
+        half = model.kernel_time_us(FP16_MEDIUM, w, 1000.0, 0.5)
+        assert half > full
+
+    def test_pointwise_workload_priced(self):
+        pointwise = DEFAULT_CATALOG.by_name(
+            "trt_pointwise_vectorized_kernel_v2"
+        )
+        w = LayerWorkload(
+            flops=8192.0, bytes_in=8192, bytes_w=0, bytes_out=8192,
+            gemm_m=1, gemm_n=1, gemm_k=0, elements_out=4096,
+            category="pointwise",
+        )
+        cost = CostModel(XAVIER_NX).kernel_cost(pointwise, w, 1000.0)
+        assert cost.total_us > 0
+        assert cost.compute_us > 0
+
+
+class TestMemcpyModel:
+    def test_single_transfer_cost(self):
+        cost = MemcpyModel(XAVIER_NX).single(1024 * 1024)
+        assert cost.calls == 1
+        assert cost.bytes == 1024 * 1024
+        assert cost.overhead_us == XAVIER_NX.memcpy_call_overhead_us
+        assert cost.wire_us > 0
+
+    def test_many_small_chunks_cost_more_than_one_big(self):
+        model = MemcpyModel(XAVIER_NX)
+        total = 1024 * 1024
+        one = model.transfer([total])
+        many = model.transfer([total // 64] * 64)
+        assert many.total_us > one.total_us
+        assert many.bytes == one.bytes
+
+    def test_agx_worse_for_small_chunks_better_for_big(self):
+        """The Table X mechanism: per-call overhead dominates small
+        chunks (AGX loses); wire bandwidth dominates big ones (AGX
+        wins)."""
+        small = [8 * 1024] * 100
+        big = [16 * 1024 * 1024]
+        nx = MemcpyModel(XAVIER_NX)
+        agx = MemcpyModel(XAVIER_AGX)
+        assert agx.transfer(small).total_us > nx.transfer(small).total_us
+        assert agx.transfer(big).total_us < nx.transfer(big).total_us
+
+    def test_wire_time_scales_with_bytes(self):
+        model = MemcpyModel(XAVIER_NX)
+        assert (
+            model.single(2 * 1024 * 1024).wire_us
+            == pytest.approx(2 * model.single(1024 * 1024).wire_us)
+        )

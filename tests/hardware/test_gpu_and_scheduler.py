@@ -1,0 +1,136 @@
+"""Tests for the inference timeline simulator, baseline runtime, and
+multi-stream scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.hardware.baseline import UnoptimizedRuntime
+from repro.hardware.gpu import simulate_inference
+from repro.hardware.scheduler import StreamScheduler
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+from repro.profiling.nvprof import Nvprof
+from repro.profiling.tegrastats import Tegrastats
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from tests.conftest import make_small_cnn
+
+    return EngineBuilder(XAVIER_NX, BuilderConfig(seed=13)).build(
+        make_small_cnn()
+    )
+
+
+class TestSimulateInference:
+    def test_timeline_is_contiguous(self, engine):
+        timing = engine.create_execution_context().time_inference(jitter=0.0)
+        events = sorted(
+            timing.memcpy_events + timing.kernel_events,
+            key=lambda e: e.start_us,
+        )
+        cursor = 0.0
+        for event in events:
+            assert event.start_us == pytest.approx(cursor, abs=1e-6)
+            cursor += event.duration_us
+        assert timing.total_us == pytest.approx(cursor)
+
+    def test_one_event_per_bound_kernel(self, engine):
+        timing = engine.create_execution_context().time_inference(jitter=0.0)
+        assert len(timing.kernel_events) == engine.num_kernels
+
+    def test_memcpy_events(self, engine):
+        timing = engine.create_execution_context().time_inference(jitter=0.0)
+        labels = [e.label for e in timing.memcpy_events]
+        assert any("engine" in l for l in labels)
+        assert any("input" in l for l in labels)
+        no_upload = engine.create_execution_context().time_inference(
+            include_engine_upload=False, jitter=0.0
+        )
+        assert len(no_upload.memcpy_events) == 1  # input only
+
+    def test_profiler_inflates_and_records(self, engine):
+        ctx = engine.create_execution_context()
+        plain = ctx.time_inference(jitter=0.0)
+        profiler = Nvprof()
+        profiled = ctx.time_inference(jitter=0.0, profiler=profiler)
+        assert profiled.total_us > plain.total_us
+        assert profiler.num_inferences == 1
+
+    def test_without_memcpy_property(self, engine):
+        timing = engine.create_execution_context().time_inference(jitter=0.0)
+        assert timing.without_memcpy_us() == pytest.approx(timing.kernel_us)
+        assert timing.total_ms == pytest.approx(timing.total_us / 1e3)
+
+
+class TestUnoptimizedBaseline:
+    def test_slower_than_engine(self, engine, small_cnn):
+        unopt_us = UnoptimizedRuntime(XAVIER_NX).inference_time_us(small_cnn)
+        engine_us = engine.create_execution_context().time_inference(
+            include_engine_upload=False, jitter=0.0
+        ).total_us
+        assert unopt_us > 5 * engine_us
+
+    def test_agx_slightly_faster_baseline(self, small_cnn):
+        """More CPU cores dispatch framework ops faster (paper Table
+        VII: AGX unoptimized FPS is a bit higher)."""
+        nx = UnoptimizedRuntime(XAVIER_NX).fps(small_cnn)
+        agx = UnoptimizedRuntime(XAVIER_AGX).fps(small_cnn)
+        assert agx > nx
+
+    def test_jitter_changes_samples(self, small_cnn):
+        runtime = UnoptimizedRuntime(XAVIER_NX)
+        rng = np.random.default_rng(0)
+        samples = {
+            runtime.inference_time_us(small_cnn, rng=rng)
+            for _ in range(4)
+        }
+        assert len(samples) == 4
+
+
+class TestStreamScheduler:
+    def test_max_threads_positive(self, engine):
+        assert StreamScheduler(engine).max_supported_threads() >= 1
+
+    def test_sweep_shapes(self, engine):
+        stats = Tegrastats()
+        result = StreamScheduler(engine).sweep(step=2, tegrastats=stats)
+        assert result.points[0].threads == 1
+        assert result.points[-1].threads == result.max_threads
+        # Utilization grows monotonically with threads.
+        utils = [p.gpu_utilization_pct for p in result.points]
+        assert utils == sorted(utils)
+        assert utils[-1] <= 86.2
+        # tegrastats recorded one sample per sweep point
+        assert len(stats.samples) == len(result.points)
+
+    def test_fps_per_thread_flat_until_cap(self, engine):
+        result = StreamScheduler(engine).sweep(step=2)
+        unlimited = [
+            p for p in result.points if not p.bandwidth_limited
+        ]
+        if len(unlimited) >= 2:
+            assert unlimited[0].fps_per_thread == pytest.approx(
+                unlimited[-1].fps_per_thread, rel=0.01
+            )
+
+    def test_aggregate_fps_monotonic(self, engine):
+        result = StreamScheduler(engine).sweep(step=2)
+        aggs = [p.aggregate_fps for p in result.points]
+        assert all(b >= a * 0.999 for a, b in zip(aggs, aggs[1:]))
+
+    def test_ram_grows_with_threads(self, engine):
+        result = StreamScheduler(engine).sweep(step=2)
+        rams = [p.ram_used_mb for p in result.points]
+        assert rams == sorted(rams)
+
+    def test_point_lookup(self, engine):
+        result = StreamScheduler(engine).sweep(step=2)
+        assert result.point(1).threads == 1
+        with pytest.raises(KeyError):
+            result.point(10_000)
+
+    def test_run_device_override(self, engine):
+        sched = StreamScheduler(engine, XAVIER_AGX)
+        assert sched.device is XAVIER_AGX
+        assert sched.max_supported_threads() >= 1

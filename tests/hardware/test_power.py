@@ -1,0 +1,86 @@
+"""Tests for the board power model."""
+
+import pytest
+
+from repro.hardware.power import PowerModel, PowerSample
+from repro.hardware.scheduler import StreamScheduler
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        model = PowerModel(XAVIER_NX)
+        sample = model.sample(0.0, 1109.25, 0.0, 0.0)
+        assert sample.gpu_w == 0.0
+        assert sample.total_w == pytest.approx(model.envelope.idle_w)
+
+    def test_utilization_scales_gpu_power(self):
+        model = PowerModel(XAVIER_NX)
+        low = model.sample(0.2, 1109.25, 0.0)
+        high = model.sample(0.8, 1109.25, 0.0)
+        assert high.gpu_w == pytest.approx(4 * low.gpu_w)
+
+    def test_clock_cubed_scaling(self):
+        model = PowerModel(XAVIER_NX)
+        full = model.sample(1.0, 1109.25, 0.0)
+        half = model.sample(1.0, 1109.25 / 2, 0.0)
+        assert half.gpu_w == pytest.approx(full.gpu_w / 8, rel=1e-3)
+
+    def test_full_load_within_budget(self):
+        for spec in (XAVIER_NX, XAVIER_AGX):
+            model = PowerModel(spec)
+            sample = model.sample(
+                0.862, spec.max_gpu_clock_mhz, 0.9, 0.9
+            )
+            assert model.within_budget(sample), spec.name
+
+    def test_agx_draws_more_than_nx(self):
+        nx = PowerModel(XAVIER_NX).sample(0.8, 1109.25, 0.8, 0.5)
+        agx = PowerModel(XAVIER_AGX).sample(0.8, 1377.0, 0.8, 0.5)
+        assert agx.total_w > nx.total_w
+
+    def test_utilization_validation(self):
+        model = PowerModel(XAVIER_NX)
+        with pytest.raises(ValueError, match="gpu_utilization"):
+            model.sample(1.5, 1000.0, 0.0)
+        with pytest.raises(ValueError, match="mem_bw_utilization"):
+            model.sample(0.5, 1000.0, -0.1)
+
+    def test_render_format(self):
+        sample = PowerSample(gpu_w=5.0, mem_w=2.0, cpu_w=1.0,
+                             soc_idle_w=3.0)
+        line = sample.render()
+        assert "VDD_GPU 5000mW" in line
+        assert sample.total_w == pytest.approx(11.0)
+
+    def test_efficiency(self):
+        model = PowerModel(XAVIER_NX)
+        sample = model.sample(0.8, 1109.25, 0.5)
+        assert model.efficiency_fps_per_watt(100.0, sample) > 0
+        with pytest.raises(ValueError, match="non-negative"):
+            model.efficiency_fps_per_watt(-1.0, sample)
+
+    def test_unknown_device_rejected(self):
+        import dataclasses
+
+        fake = dataclasses.replace(XAVIER_NX, name="Orin")
+        with pytest.raises(ValueError, match="no power envelope"):
+            PowerModel(fake)
+
+
+class TestSchedulerPowerIntegration:
+    def test_sweep_points_carry_power(self, farm=None):
+        from repro.engine import BuilderConfig, EngineBuilder
+        from tests.conftest import make_small_cnn
+
+        engine = EngineBuilder(
+            XAVIER_NX, BuilderConfig(seed=5)
+        ).build(make_small_cnn())
+        result = StreamScheduler(engine).sweep(step=4)
+        powers = [p.power.total_w for p in result.points]
+        # Power grows with thread count and stays within budget.
+        assert powers == sorted(powers)
+        assert all(
+            w <= PowerModel(XAVIER_NX).envelope.budget_w for w in powers
+        )
+        assert result.points[-1].fps_per_watt > 0

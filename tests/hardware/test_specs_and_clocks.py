@@ -1,0 +1,105 @@
+"""Tests for device specs, deviceQuery, and DVFS clocks."""
+
+import pytest
+
+from repro.hardware.clocks import (
+    ClockDomain,
+    ClockError,
+    PAPER_LATENCY_CLOCK_AGX_MHZ,
+    PAPER_LATENCY_CLOCK_NX_MHZ,
+    nearest_supported_clock,
+)
+from repro.hardware.specs import XAVIER_AGX, XAVIER_NX, device_query
+
+
+class TestTable1Specs:
+    """The values the paper reports in Table I."""
+
+    def test_nx_core_counts(self):
+        assert XAVIER_NX.gpu_cores == 384
+        assert XAVIER_NX.sms == 6
+        assert XAVIER_NX.tensor_cores == 48
+        assert XAVIER_NX.cores_per_sm == 64
+        assert XAVIER_NX.tensor_cores_per_sm == 8
+
+    def test_agx_core_counts(self):
+        assert XAVIER_AGX.gpu_cores == 512
+        assert XAVIER_AGX.sms == 8
+        assert XAVIER_AGX.tensor_cores == 64
+        assert XAVIER_AGX.cores_per_sm == 64
+
+    def test_memory_systems(self):
+        assert XAVIER_NX.ram_gb == 8
+        assert XAVIER_NX.mem_bus_bits == 128
+        assert XAVIER_NX.mem_bandwidth_gbps == pytest.approx(51.2)
+        assert XAVIER_AGX.ram_gb == 32
+        assert XAVIER_AGX.mem_bus_bits == 256
+        assert XAVIER_AGX.mem_bandwidth_gbps == pytest.approx(137.0)
+
+    def test_caches_match(self):
+        assert XAVIER_NX.l1_kb_per_sm == XAVIER_AGX.l1_kb_per_sm == 128
+        assert XAVIER_NX.l2_kb == XAVIER_AGX.l2_kb == 512
+
+    def test_peak_throughput_ordering(self):
+        clock = 1000.0
+        assert (
+            XAVIER_AGX.peak_fp16_tc_gflops(clock)
+            > XAVIER_NX.peak_fp16_tc_gflops(clock)
+        )
+        # Tensor cores dominate CUDA cores.
+        assert (
+            XAVIER_NX.peak_fp16_tc_gflops(clock)
+            > XAVIER_NX.peak_fp32_gflops(clock)
+        )
+        # INT8 doubles FP16 tensor-core rate.
+        assert XAVIER_NX.peak_int8_tc_gops(clock) == pytest.approx(
+            2 * XAVIER_NX.peak_fp16_tc_gflops(clock)
+        )
+
+    def test_device_query_format(self):
+        report = device_query(XAVIER_NX)
+        assert "384" in report
+        assert "LPDDR4x" in report
+        assert "Volta" in report
+
+
+class TestClocks:
+    def test_default_is_max(self):
+        domain = ClockDomain(XAVIER_NX)
+        assert domain.gpu_clock_mhz == XAVIER_NX.max_gpu_clock_mhz
+
+    def test_set_valid_clock(self):
+        domain = ClockDomain(XAVIER_NX)
+        domain.set_gpu_clock(599.0)
+        assert domain.gpu_clock_mhz == 599.0
+
+    def test_set_invalid_clock_raises(self):
+        domain = ClockDomain(XAVIER_NX)
+        with pytest.raises(ClockError, match="not a supported"):
+            domain.set_gpu_clock(600.0)
+
+    def test_nearest_clock(self):
+        assert nearest_supported_clock(XAVIER_NX, 600.0) == 599.0
+        assert nearest_supported_clock(XAVIER_AGX, 600.0) == 624.75
+
+    def test_set_nearest(self):
+        domain = ClockDomain(XAVIER_AGX)
+        chosen = domain.set_nearest(600.0)
+        assert chosen == 624.75
+        assert domain.gpu_clock_mhz == 624.75
+
+    def test_max_clocks(self):
+        domain = ClockDomain(XAVIER_AGX, gpu_clock_mhz=624.75)
+        domain.max_clocks()
+        assert domain.gpu_clock_mhz == 1377.0
+
+    def test_paper_latency_clocks_supported(self):
+        """The paper pins 599 MHz (NX) and ~625 MHz (AGX) — 'the values
+        that are nearest to each other' on the two ladders."""
+        assert PAPER_LATENCY_CLOCK_NX_MHZ in XAVIER_NX.supported_gpu_clocks_mhz
+        assert (
+            PAPER_LATENCY_CLOCK_AGX_MHZ in XAVIER_AGX.supported_gpu_clocks_mhz
+        )
+        assert abs(
+            PAPER_LATENCY_CLOCK_NX_MHZ - PAPER_LATENCY_CLOCK_AGX_MHZ
+        ) < 30

@@ -1,0 +1,103 @@
+"""Tests for per-layer workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import DataType
+from repro.graph.shapes import infer_shapes
+from repro.hardware.workload import layer_workload
+
+
+def _graph():
+    b = GraphBuilder("w", (3, 16, 16), seed=0)
+    conv = b.conv("conv", b.input_name, out_channels=8, kernel=3, pad=1)
+    dw = b.depthwise_conv("dw", conv, kernel=3, pad=1)
+    pool = b.max_pool("pool", dw, kernel=2)
+    fc = b.fc("fc", pool, 10)
+    out = b.softmax("sm", fc)
+    return b.finish(out)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return _graph()
+
+
+@pytest.fixture(scope="module")
+def shapes(graph):
+    return infer_shapes(graph)
+
+
+class TestConvWorkload:
+    def test_gemm_dimensions(self, graph, shapes):
+        w = layer_workload(graph.layer("conv"), shapes)
+        assert w.gemm_m == 8  # output channels
+        assert w.gemm_n == 256  # 16x16 output pixels
+        assert w.gemm_k == 27  # 3 channels * 3x3 window
+        assert w.category == "conv"
+
+    def test_flops_formula(self, graph, shapes):
+        w = layer_workload(graph.layer("conv"), shapes)
+        assert w.flops == 2.0 * 8 * 256 * 27
+
+    def test_activation_dtype_prices_traffic(self, graph, shapes):
+        fp32 = layer_workload(graph.layer("conv"), shapes, DataType.FP32)
+        fp16 = layer_workload(graph.layer("conv"), shapes, DataType.FP16)
+        assert fp16.bytes_in == fp32.bytes_in // 2
+        assert fp16.bytes_out == fp32.bytes_out // 2
+        # Weight bytes follow the layer's stored precision, not the
+        # activation dtype.
+        assert fp16.bytes_w == fp32.bytes_w
+
+    def test_weight_bytes_follow_layer_precision(self, graph, shapes):
+        layer = graph.layer("conv").copy()
+        fp32_w = layer_workload(layer, shapes).bytes_w
+        layer.precision = DataType.FP16
+        fp16_w = layer_workload(layer, shapes).bytes_w
+        assert fp16_w == fp32_w // 2
+
+
+class TestOtherKinds:
+    def test_depthwise(self, graph, shapes):
+        w = layer_workload(graph.layer("dw"), shapes)
+        assert w.category == "depthwise"
+        assert w.gemm_m == 8  # channels
+        assert w.gemm_k == 9  # 3x3 window
+
+    def test_pooling_no_gemm(self, graph, shapes):
+        w = layer_workload(graph.layer("pool"), shapes)
+        assert w.category == "pooling"
+        assert w.gemm_k == 0
+        assert w.flops > 0
+
+    def test_fc(self, graph, shapes):
+        w = layer_workload(graph.layer("fc"), shapes)
+        assert w.category == "gemm"
+        assert w.gemm_m == 10
+        assert w.gemm_n == 1
+        assert w.gemm_k == 8 * 8 * 8  # flattened pool output
+
+    def test_softmax(self, graph, shapes):
+        w = layer_workload(graph.layer("sm"), shapes)
+        assert w.category == "softmax"
+        assert w.elements_out == 10
+
+    def test_total_bytes(self, graph, shapes):
+        w = layer_workload(graph.layer("conv"), shapes)
+        assert w.total_bytes == w.bytes_in + w.bytes_w + w.bytes_out
+
+    def test_merged_conv_sums_splits(self, shapes):
+        from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+
+        g = Graph("m", [TensorSpec("x", (4, 8, 8))])
+        merged = Layer(
+            "m", LayerKind.MERGED_CONV, ["x"], ["a", "b"],
+            attrs={"kernel": 1, "stride": 1, "pad": 0, "splits": [3, 5]},
+            weights={"kernel": np.zeros((8, 4, 1, 1), dtype=np.float32)},
+        )
+        g.add_layer(merged)
+        g.mark_output("a")
+        g.mark_output("b")
+        w = layer_workload(merged, infer_shapes(g))
+        assert w.gemm_m == 8  # 3 + 5 merged channels

@@ -1,0 +1,144 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.traffic import GroundTruthBox
+from repro.metrics.accuracy import (
+    prediction_mismatches,
+    top1_error,
+    top1_predictions,
+)
+from repro.metrics.detection import DetectionScores, score_detections
+from repro.metrics.performance import LatencyStats, fps_from_latency_us
+
+
+class TestTop1:
+    def test_predictions_argmax(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        np.testing.assert_array_equal(top1_predictions(scores), [1, 0])
+
+    def test_predictions_flatten_nd(self):
+        scores = np.zeros((2, 3, 1, 1))
+        scores[0, 2] = 1
+        scores[1, 0] = 1
+        np.testing.assert_array_equal(top1_predictions(scores), [2, 0])
+
+    def test_error_percentage(self):
+        scores = np.eye(4)
+        labels = np.array([0, 1, 2, 0])  # last one wrong
+        assert top1_error(scores, labels) == pytest.approx(25.0)
+
+    def test_error_perfect_and_total(self):
+        scores = np.eye(3)
+        assert top1_error(scores, np.array([0, 1, 2])) == 0.0
+        assert top1_error(scores, np.array([1, 2, 0])) == 100.0
+
+    def test_error_length_mismatch(self):
+        with pytest.raises(ValueError, match="predictions vs"):
+            top1_error(np.eye(3), np.array([0]))
+
+    def test_error_empty_set(self):
+        with pytest.raises(ValueError, match="empty"):
+            top1_error(np.zeros((0, 3)), np.zeros(0))
+
+    def test_mismatches(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([1, 0, 3, 0])
+        assert prediction_mismatches(a, b) == 2
+        assert prediction_mismatches(a, a) == 0
+
+    def test_mismatches_shape_check(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            prediction_mismatches(np.zeros(3), np.zeros(4))
+
+
+class TestDetectionScores:
+    def _det(self, cls, score, box):
+        return [float(cls), float(score), *box]
+
+    def test_perfect_match(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.array([self._det(1, 0.9, (0.1, 0.1, 0.3, 0.3))])
+        scores = score_detections(dets, gt, iou_threshold=0.75)
+        assert scores.true_positives == 1
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_wrong_class_is_fp(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.array([self._det(2, 0.9, (0.1, 0.1, 0.3, 0.3))])
+        scores = score_detections(dets, gt)
+        assert scores.true_positives == 0
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+
+    def test_class_agnostic_mode(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.array([self._det(2, 0.9, (0.1, 0.1, 0.3, 0.3))])
+        scores = score_detections(dets, gt, class_agnostic=True)
+        assert scores.true_positives == 1
+
+    def test_low_iou_is_fp(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.array([self._det(1, 0.9, (0.5, 0.5, 0.7, 0.7))])
+        scores = score_detections(dets, gt, iou_threshold=0.75)
+        assert scores.true_positives == 0
+        assert scores.false_positives == 1
+
+    def test_each_gt_claimed_once(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.array(
+            [
+                self._det(1, 0.9, (0.1, 0.1, 0.3, 0.3)),
+                self._det(1, 0.8, (0.1, 0.1, 0.3, 0.3)),
+            ]
+        )
+        scores = score_detections(dets, gt)
+        assert scores.true_positives == 1
+        assert scores.false_positives == 1
+
+    def test_padding_rows_ignored(self):
+        gt = [GroundTruthBox(1, (0.1, 0.1, 0.3, 0.3))]
+        dets = np.full((5, 6), -1.0)
+        scores = score_detections(dets, gt)
+        assert scores.false_positives == 0
+        assert scores.false_negatives == 1
+
+    def test_merge(self):
+        a = DetectionScores(1, 2, 3)
+        b = DetectionScores(4, 0, 1)
+        merged = a.merge(b)
+        assert (merged.true_positives, merged.false_positives,
+                merged.false_negatives) == (5, 2, 4)
+
+    def test_empty_denominators(self):
+        scores = DetectionScores()
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        stats = LatencyStats.from_us_samples([1000.0, 2000.0, 3000.0])
+        assert stats.mean_ms == pytest.approx(2.0)
+        assert stats.min_ms == pytest.approx(1.0)
+        assert stats.max_ms == pytest.approx(3.0)
+        assert stats.runs == 3
+
+    def test_paper_cell_format(self):
+        stats = LatencyStats.from_us_samples([44_470.0, 44_470.0])
+        assert str(stats) == "44.47(0.00)"
+
+    def test_fps(self):
+        stats = LatencyStats.from_us_samples([10_000.0])
+        assert stats.fps == pytest.approx(100.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="no latency"):
+            LatencyStats.from_us_samples([])
+
+    def test_fps_from_latency(self):
+        assert fps_from_latency_us(1e6) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="positive"):
+            fps_from_latency_us(0.0)

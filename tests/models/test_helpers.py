@@ -1,0 +1,95 @@
+"""Tests for the model-authoring helpers (CaffeNetSpec, TFGraphSpec)."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.caffe import parse_prototxt
+from repro.frameworks.tensorflow import import_graphdef
+from repro.models.caffe_helper import CaffeNetSpec
+from repro.models.tf_helper import TFGraphSpec
+from repro.runtime.executor import GraphExecutor
+
+
+class TestCaffeNetSpec:
+    def test_shape_tracking(self):
+        s = CaffeNetSpec("t", (3, 16, 16), seed=0)
+        conv = s.conv("c", "data", 8, kernel=3, pad=1)
+        assert s.shape_of(conv) == (8, 16, 16)
+        pool = s.max_pool("p", conv, kernel=2)
+        assert s.shape_of(pool) == (8, 8, 8)
+
+    def test_counts(self):
+        s = CaffeNetSpec("t", (3, 16, 16), seed=0)
+        s.conv("c1", "data", 4, kernel=1)
+        s.conv("c2", "data", 4, kernel=1)
+        s.max_pool("p1", "data", kernel=2)
+        s.avg_pool("p2", "data", kernel=2)
+        assert s.conv_count == 2
+        assert s.max_pool_count == 1  # avg pool not counted
+
+    def test_collapsing_conv_rejected(self):
+        s = CaffeNetSpec("t", (3, 4, 4), seed=0)
+        with pytest.raises(ValueError, match="collapses"):
+            s.conv("c", "data", 4, kernel=7)
+
+    def test_emitted_prototxt_parses_and_runs(self):
+        s = CaffeNetSpec("roundtrip", (3, 8, 8), seed=1)
+        t = s.conv("conv", "data", 4, kernel=3, pad=1)
+        t = s.relu("relu", t)
+        t = s.batchnorm_scale("norm", t)
+        t = s.global_avg_pool("gap", t)
+        t = s.fc("fc", t, 5)
+        out = s.softmax("prob", t)
+        graph = parse_prototxt(s.prototxt(), s.weights, outputs=[out])
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        probs = GraphExecutor(graph).run(data=x).primary()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_weights_match_declared_dims(self):
+        s = CaffeNetSpec("t", (3, 8, 8), seed=0)
+        s.conv("c", "data", 6, kernel=5, pad=2)
+        assert s.weights["c"]["kernel"].shape == (6, 3, 5, 5)
+        s.fc("f", "c", 7)
+        assert s.weights["f"]["kernel"].shape == (7, 6 * 8 * 8)
+
+    def test_eltwise_and_concat_shapes(self):
+        s = CaffeNetSpec("t", (3, 8, 8), seed=0)
+        a = s.conv("a", "data", 4, kernel=1)
+        b = s.conv("b", "data", 4, kernel=1)
+        cat = s.concat("cat", [a, b])
+        assert s.shape_of(cat) == (8, 8, 8)
+        summed = s.eltwise_sum("sum", a, b)
+        assert s.shape_of(summed) == (4, 8, 8)
+
+
+class TestTFGraphSpec:
+    def test_shape_tracking_same_padding(self):
+        s = TFGraphSpec("t", (3, 16, 16), seed=0)
+        conv = s.conv("c", s.input_name, 8, kernel=3, stride=2)
+        assert s.shape_of(conv) == (8, 8, 8)
+
+    def test_depthwise_counted_as_conv(self):
+        s = TFGraphSpec("t", (4, 8, 8), seed=0)
+        s.depthwise("dw", s.input_name)
+        s.conv("pw", "dw/Relu6", 8, kernel=1)
+        assert s.conv_count == 2
+
+    def test_emitted_graphdef_imports_and_runs(self):
+        s = TFGraphSpec("roundtrip", (3, 8, 8), seed=2)
+        t = s.conv("conv", s.input_name, 4, kernel=3)
+        t = s.batchnorm("bn", t)
+        t = s.max_pool("pool", t, kernel=2)
+        graph = import_graphdef(
+            s.graphdef(), (3, 8, 8), name="roundtrip", outputs=[t and "pool"]
+        )
+        x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        out = GraphExecutor(graph).run(image_tensor=x).primary()
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_detection_postprocess_shape(self):
+        s = TFGraphSpec("t", (3, 16, 16), seed=0)
+        loc = s.conv("loc", s.input_name, 4, kernel=1, relu=False)
+        conf = s.conv("conf", s.input_name, 3, kernel=1, relu=False)
+        det = s.detection_postprocess("det", loc, conf, num_classes=3,
+                                      max_detections=9)
+        assert s.shape_of(det) == (9, 6)

@@ -1,0 +1,150 @@
+"""Tests for the graph executor (repro.runtime.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import DataType, GraphError, Layer, LayerKind
+from repro.runtime.executor import GraphExecutor
+from repro.runtime.math_config import LayerMath, MathConfig
+
+
+class TestInputHandling:
+    def test_missing_input_raises(self, small_cnn):
+        with pytest.raises(GraphError, match="missing input"):
+            GraphExecutor(small_cnn).run()
+
+    def test_wrong_shape_raises(self, small_cnn):
+        bad = np.zeros((1, 3, 4, 4), dtype=np.float32)
+        with pytest.raises(GraphError, match="expected per-sample shape"):
+            GraphExecutor(small_cnn).run(data=bad)
+
+    def test_batch_dimension_passthrough(self, small_cnn):
+        for batch in (1, 3, 8):
+            x = np.zeros((batch, 3, 16, 16), dtype=np.float32)
+            out = GraphExecutor(small_cnn).run(data=x).primary()
+            assert out.shape == (batch, 10)
+
+
+class TestExecutionSemantics:
+    def test_deterministic(self, small_cnn, images16):
+        a = GraphExecutor(small_cnn).run(data=images16).primary()
+        b = GraphExecutor(small_cnn).run(data=images16).primary()
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_equals_per_image(self, small_cnn, images16):
+        """Running a batch must equal running each image separately."""
+        ex = GraphExecutor(small_cnn)
+        batched = ex.run(data=images16).primary()
+        singles = np.concatenate(
+            [ex.run(data=images16[i : i + 1]).primary() for i in range(4)]
+        )
+        np.testing.assert_allclose(batched[:4], singles, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_keep_intermediates(self, small_cnn, images16):
+        result = GraphExecutor(
+            small_cnn, keep_intermediates=True
+        ).run(data=images16)
+        conv1_out = small_cnn.layer("conv1").outputs[0]
+        assert conv1_out in result.tensors
+        assert result.tensors[conv1_out].shape == (8, 16, 16, 16)
+
+    def test_intermediates_freed_by_default(self, small_cnn, images16):
+        result = GraphExecutor(small_cnn).run(data=images16)
+        assert result.tensors == {}
+
+    def test_dropout_is_identity_at_inference(self, images16):
+        b = GraphBuilder("t", (3, 16, 16), seed=0)
+        t = b.dropout("d", b.input_name, ratio=0.9)
+        g = b.finish(t)
+        out = GraphExecutor(g).run(data=images16).primary()
+        np.testing.assert_array_equal(out, images16)
+
+    def test_softmax_output_is_distribution(self, small_cnn, images16):
+        out = GraphExecutor(small_cnn).run(data=images16).primary()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+
+
+class TestFusedKinds:
+    def test_fused_conv_block_with_activation(self, images16):
+        b = GraphBuilder("t", (3, 16, 16), seed=3)
+        t = b.conv("c", b.input_name, out_channels=4, kernel=3, pad=1)
+        g = b.finish(t)
+        layer = g.layer("c")
+        # Execute as plain conv, then as a fused block with relu.
+        plain = GraphExecutor(g).run(data=images16).primary()
+        layer.kind = LayerKind.FUSED_CONV_BLOCK
+        layer.attrs["activation"] = "relu"
+        fused = GraphExecutor(g).run(data=images16).primary()
+        np.testing.assert_allclose(fused, np.maximum(plain, 0), rtol=1e-6)
+
+    def test_fused_fc_block(self, images16):
+        b = GraphBuilder("t", (3, 16, 16), seed=3)
+        t = b.fc("f", b.input_name, 6)
+        g = b.finish(t)
+        plain = GraphExecutor(g).run(data=images16).primary()
+        layer = g.layer("f")
+        layer.kind = LayerKind.FUSED_FC_BLOCK
+        layer.attrs["activation"] = "relu"
+        fused = GraphExecutor(g).run(data=images16).primary()
+        np.testing.assert_allclose(fused, np.maximum(plain, 0), rtol=1e-6)
+
+    def test_merged_conv_splits_outputs(self, images16):
+        """A MERGED_CONV must produce exactly what the separate convs
+        would."""
+        b = GraphBuilder("t", (3, 16, 16), seed=5)
+        a = b.conv("ca", b.input_name, out_channels=3, kernel=1)
+        c = b.conv("cb", b.input_name, out_channels=5, kernel=1)
+        out = b.concat("cat", [a, c])
+        g = b.finish(out)
+        separate = GraphExecutor(g).run(data=images16).primary()
+
+        ka = g.layer("ca").weights
+        kb = g.layer("cb").weights
+        merged = Layer(
+            "m", LayerKind.MERGED_CONV, [list(g.input_specs)[0]],
+            [a, c],
+            attrs={"kernel": 1, "stride": 1, "pad": 0, "splits": [3, 5]},
+            weights={
+                "kernel": np.concatenate(
+                    [ka["kernel"], kb["kernel"]], axis=0
+                ),
+                "bias": np.concatenate([ka["bias"], kb["bias"]]),
+            },
+        )
+        g.replace_layers(["ca", "cb"], merged)
+        merged_out = GraphExecutor(g).run(data=images16).primary()
+        np.testing.assert_allclose(merged_out, separate, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_depthwise_activation_attr(self, images16):
+        b = GraphBuilder("t", (3, 16, 16), seed=3)
+        t = b.depthwise_conv("dw", b.input_name, kernel=3, pad=1)
+        g = b.finish(t)
+        plain = GraphExecutor(g).run(data=images16).primary()
+        g.layer("dw").attrs["activation"] = "relu"
+        fused = GraphExecutor(g).run(data=images16).primary()
+        np.testing.assert_allclose(fused, np.maximum(plain, 0), rtol=1e-6)
+
+
+class TestMathConfig:
+    def test_default_is_fp32(self):
+        config = MathConfig.unoptimized()
+        assert config.for_layer("anything").precision is DataType.FP32
+        assert config.for_layer("anything").split_k == 1
+
+    def test_per_layer_override(self):
+        config = MathConfig()
+        config.per_layer["c"] = LayerMath(precision=DataType.FP16, split_k=2)
+        assert config.for_layer("c").precision is DataType.FP16
+        assert config.for_layer("other").precision is DataType.FP32
+
+    def test_fp16_config_changes_output(self, small_cnn, images16):
+        ref = GraphExecutor(small_cnn).run(data=images16).primary()
+        half = GraphExecutor(
+            small_cnn,
+            MathConfig(default=LayerMath(precision=DataType.FP16)),
+        ).run(data=images16).primary()
+        assert not np.array_equal(ref, half)
+        assert np.abs(ref - half).max() < 0.02

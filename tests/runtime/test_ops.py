@@ -1,0 +1,385 @@
+"""Numeric unit tests for the op kernels (repro.runtime.ops).
+
+Convolution and pooling are checked against brute-force reference
+implementations; precision paths are checked for the exact properties
+the engine relies on (FP16 split-K divergence, INT8 exact integer
+accumulation).
+"""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.graph.ir import DataType
+from repro.runtime import ops
+from repro.runtime.math_config import LayerMath
+
+RNG = np.random.default_rng(42)
+FP32 = LayerMath()
+
+
+def _reference_conv(x, w, b, stride, pad):
+    """Brute-force conv via scipy.correlate2d, batch/channel loops."""
+    n, c_in, h, w_sz = x.shape
+    c_out = w.shape[0]
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    k = w.shape[2]
+    out_h = (h + 2 * pad - k) // stride + 1
+    out_w = (w_sz + 2 * pad - k) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float64)
+    for i in range(n):
+        for o in range(c_out):
+            acc = np.zeros((xp.shape[2] - k + 1, xp.shape[3] - k + 1))
+            for ci in range(c_in):
+                acc += signal.correlate2d(
+                    xp[i, ci].astype(np.float64),
+                    w[o, ci].astype(np.float64),
+                    mode="valid",
+                )
+            out[i, o] = acc[::stride, ::stride]
+            if b is not None:
+                out[i, o] += b[o]
+    return out.astype(np.float32)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad,kernel", [
+        (1, 0, 3), (1, 1, 3), (2, 1, 3), (1, 0, 1), (2, 0, 1), (1, 2, 5),
+    ])
+    def test_matches_reference(self, stride, pad, kernel):
+        x = RNG.normal(size=(2, 3, 9, 9)).astype(np.float32)
+        w = RNG.normal(size=(4, 3, kernel, kernel)).astype(np.float32)
+        b = RNG.normal(size=4).astype(np.float32)
+        got = ops.conv2d(x, w, b, stride, pad, FP32)
+        want = _reference_conv(x, w, b, stride, pad)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_no_bias(self):
+        x = RNG.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = RNG.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        got = ops.conv2d(x, w, None, 1, 1, FP32)
+        want = _reference_conv(x, w, None, 1, 1)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        x = RNG.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = RNG.normal(size=(3, 4, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="channels"):
+            ops.conv2d(x, w, None, 1, 0, FP32)
+
+    def test_fp16_close_to_fp32(self):
+        x = RNG.normal(size=(1, 4, 8, 8)).astype(np.float32)
+        w = RNG.normal(size=(4, 4, 3, 3)).astype(np.float32) * 0.2
+        ref = ops.conv2d(x, w, None, 1, 1, FP32)
+        half = ops.conv2d(
+            x, w, None, 1, 1, LayerMath(precision=DataType.FP16)
+        )
+        assert np.abs(ref - half).max() < 0.05
+        assert np.abs(ref - half).max() > 0  # but not identical
+
+    def test_fp16_split_k_changes_bits(self):
+        """Different reduction splits round differently — the root of
+        the paper's output non-determinism."""
+        x = RNG.normal(size=(1, 8, 8, 8)).astype(np.float32)
+        w = RNG.normal(size=(8, 8, 3, 3)).astype(np.float32) * 0.2
+        outs = [
+            ops.conv2d(
+                x, w, None, 1, 1,
+                LayerMath(precision=DataType.FP16, split_k=k),
+            )
+            for k in (1, 2, 4)
+        ]
+        assert not np.array_equal(outs[0], outs[1])
+        assert not np.array_equal(outs[1], outs[2])
+        # All remain valid approximations of the FP32 result.
+        ref = ops.conv2d(x, w, None, 1, 1, FP32)
+        for out in outs:
+            assert np.abs(out - ref).max() < 0.1
+
+    def test_int8_requires_scales(self):
+        x = RNG.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        w = RNG.normal(size=(2, 2, 1, 1)).astype(np.float32)
+        with pytest.raises(ValueError, match="scales"):
+            ops.conv2d(x, w, None, 1, 0, LayerMath(precision=DataType.INT8))
+
+    def test_int8_with_calibrated_scales(self):
+        x = RNG.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        w = RNG.normal(size=(4, 4, 3, 3)).astype(np.float32) * 0.3
+        math = LayerMath(
+            precision=DataType.INT8,
+            int8_scale_in=float(np.abs(x).max() / 127),
+            int8_scale_w=float(np.abs(w).max() / 127),
+        )
+        ref = ops.conv2d(x, w, None, 1, 1, FP32)
+        quant = ops.conv2d(x, w, None, 1, 1, math)
+        # INT8 is coarser than FP16 but must stay correlated.
+        corr = np.corrcoef(ref.ravel(), quant.ravel())[0, 1]
+        assert corr > 0.99
+
+
+class TestDepthwise:
+    def test_matches_grouped_reference(self):
+        x = RNG.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = RNG.normal(size=(3, 1, 3, 3)).astype(np.float32)
+        b = RNG.normal(size=3).astype(np.float32)
+        got = ops.depthwise_conv2d(x, w, b, 1, 1, FP32)
+        # Reference: per-channel conv
+        for ci in range(3):
+            want = _reference_conv(
+                x[:, ci : ci + 1], w[ci : ci + 1], b[ci : ci + 1], 1, 1
+            )
+            np.testing.assert_allclose(
+                got[:, ci : ci + 1], want, rtol=1e-4, atol=1e-4
+            )
+
+    def test_stride(self):
+        x = RNG.normal(size=(1, 2, 8, 8)).astype(np.float32)
+        w = RNG.normal(size=(2, 1, 3, 3)).astype(np.float32)
+        got = ops.depthwise_conv2d(x, w, None, 2, 1, FP32)
+        assert got.shape == (1, 2, 4, 4)
+
+
+class TestPooling:
+    def test_max_pool_basic(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        got = ops.max_pool(x, 2, 2, 0)
+        np.testing.assert_array_equal(
+            got[0, 0], [[5, 7], [13, 15]]
+        )
+
+    def test_avg_pool_basic(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        got = ops.avg_pool(x, 2, 2, 0)
+        np.testing.assert_allclose(got[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_ceil_mode_partial_window(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5)
+        got = ops.max_pool(x, 2, 2, 0)
+        assert got.shape == (1, 1, 3, 3)
+        assert got[0, 0, 2, 2] == 24  # bottom-right singleton window
+
+    def test_same_mode_preserves_size(self):
+        x = RNG.normal(size=(1, 2, 2, 2)).astype(np.float32)
+        got = ops.max_pool(x, 2, 1, 0, same=True)
+        assert got.shape == (1, 2, 2, 2)
+
+    def test_global_pools(self):
+        x = RNG.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            ops.global_avg_pool(x)[:, :, 0, 0], x.mean(axis=(2, 3)),
+            rtol=1e-6,
+        )
+        np.testing.assert_allclose(
+            ops.global_max_pool(x)[:, :, 0, 0], x.max(axis=(2, 3)),
+            rtol=1e-6,
+        )
+
+
+class TestPointwiseOps:
+    def test_activations(self):
+        x = np.array([[-2.0, 0.0, 3.0, 10.0]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            ops.activation(x, "relu"), [[0, 0, 3, 10]]
+        )
+        np.testing.assert_array_equal(
+            ops.activation(x, "relu6"), [[0, 0, 3, 6]]
+        )
+        np.testing.assert_allclose(
+            ops.activation(x, "leaky_relu", 0.1), [[-0.2, 0, 3, 10]],
+            rtol=1e-6,
+        )
+        sig = ops.activation(x, "sigmoid")
+        assert (sig > 0).all() and (sig < 1).all()
+        np.testing.assert_allclose(
+            ops.activation(x, "tanh"), np.tanh(x), rtol=1e-6
+        )
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            ops.activation(np.zeros(1), "swish")
+
+    def test_batchnorm_normalizes(self):
+        x = RNG.normal(2.0, 3.0, size=(64, 4, 5, 5)).astype(np.float32)
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        gamma = np.ones(4, dtype=np.float32)
+        beta = np.zeros(4, dtype=np.float32)
+        out = ops.batchnorm(x, gamma, beta, mean, var, 1e-5)
+        assert abs(out.mean()) < 1e-3
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_scale(self):
+        x = np.ones((1, 2, 2, 2), dtype=np.float32)
+        out = ops.channel_scale(
+            x,
+            np.array([2.0, 3.0], dtype=np.float32),
+            np.array([1.0, -1.0], dtype=np.float32),
+        )
+        assert out[0, 0, 0, 0] == 3.0
+        assert out[0, 1, 0, 0] == 2.0
+
+    def test_softmax_rows_sum_to_one(self):
+        x = RNG.normal(size=(5, 7)).astype(np.float32)
+        out = ops.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-5)
+        assert (out > 0).all()
+
+    def test_softmax_invariant_to_shift(self):
+        x = RNG.normal(size=(2, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            ops.softmax(x), ops.softmax(x + 100.0), rtol=1e-4, atol=1e-6
+        )
+
+    def test_lrn_reduces_magnitude(self):
+        x = RNG.normal(0, 2, size=(1, 8, 4, 4)).astype(np.float32)
+        out = ops.lrn(x, 5, 1e-4, 0.75, 2.0)
+        assert out.shape == x.shape
+        assert np.abs(out).sum() < np.abs(x).sum()
+
+    def test_elementwise_ops(self):
+        a = np.full((1, 2), 3.0, dtype=np.float32)
+        b = np.full((1, 2), 4.0, dtype=np.float32)
+        assert ops.elementwise([a, b], "add")[0, 0] == 7.0
+        assert ops.elementwise([a, b], "mul")[0, 0] == 12.0
+        assert ops.elementwise([a, b], "max")[0, 0] == 4.0
+        with pytest.raises(ValueError, match="unknown elementwise"):
+            ops.elementwise([a, b], "sub")
+
+    def test_concat_offsets_batch_dim(self):
+        a = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        b = np.zeros((2, 5, 4, 4), dtype=np.float32)
+        assert ops.concat([a, b], 0).shape == (2, 8, 4, 4)
+
+    def test_upsample_nearest(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = ops.upsample_nearest(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_array_equal(out[0, 0, :2, :2], [[1, 1], [1, 1]])
+
+
+class TestFullyConnected:
+    def test_matches_matmul(self):
+        x = RNG.normal(size=(3, 10)).astype(np.float32)
+        w = RNG.normal(size=(5, 10)).astype(np.float32)
+        b = RNG.normal(size=5).astype(np.float32)
+        got = ops.fully_connected(x, w, b, FP32)
+        np.testing.assert_allclose(got, x @ w.T + b, rtol=1e-5)
+
+    def test_flattens_spatial_input(self):
+        x = RNG.normal(size=(2, 2, 3, 3)).astype(np.float32)
+        w = RNG.normal(size=(4, 18)).astype(np.float32)
+        got = ops.fully_connected(x, w, None, FP32)
+        assert got.shape == (2, 4)
+
+
+class TestDetection:
+    def test_box_iou_identity(self):
+        box = np.array([0.1, 0.1, 0.5, 0.5])
+        assert ops.box_iou(box, box) == pytest.approx(1.0)
+
+    def test_box_iou_disjoint(self):
+        a = np.array([0.0, 0.0, 0.2, 0.2])
+        b = np.array([0.5, 0.5, 0.9, 0.9])
+        assert ops.box_iou(a, b) == pytest.approx(0.0)
+
+    def test_box_iou_half_overlap(self):
+        a = np.array([0.0, 0.0, 1.0, 1.0])
+        b = np.array([0.0, 0.0, 1.0, 0.5])
+        assert ops.box_iou(a, b) == pytest.approx(0.5)
+
+    def test_nms_suppresses_duplicates(self):
+        boxes = np.array(
+            [[0, 0, 1, 1], [0.01, 0, 1, 1], [2, 2, 3, 3]], dtype=np.float32
+        )
+        scores = np.array([0.9, 0.8, 0.7], dtype=np.float32)
+        kept = ops.nms(boxes, scores, 0.5)
+        assert kept == [0, 2]
+
+    def test_nms_keeps_all_when_disjoint(self):
+        boxes = np.array(
+            [[0, 0, 1, 1], [2, 2, 3, 3], [4, 4, 5, 5]], dtype=np.float32
+        )
+        scores = np.array([0.5, 0.9, 0.7], dtype=np.float32)
+        kept = ops.nms(boxes, scores, 0.5)
+        assert sorted(kept) == [0, 1, 2]
+        assert kept[0] == 1  # highest score first
+
+    def test_detection_output_shape_and_padding(self):
+        loc = RNG.normal(size=(2, 4, 4, 4)).astype(np.float32)
+        conf = RNG.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out = ops.detection_output(loc, conf, 3, 10, 0.3, 0.5)
+        assert out.shape == (2, 10, 6)
+        # Unused rows are marked class -1.
+        assert (out[:, :, 0] >= -1).all()
+
+    def test_detection_output_confidence_gate(self):
+        loc = np.zeros((1, 4, 2, 2), dtype=np.float32)
+        conf = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        conf[0, 0] = 50.0  # everything is background
+        out = ops.detection_output(loc, conf, 3, 5, 0.3, 0.5)
+        assert (out[0, :, 0] == -1).all()
+
+    def test_region_head_squashes_first_five(self):
+        x = RNG.normal(0, 5, size=(1, 9, 3, 3)).astype(np.float32)
+        out = ops.region_head(x)
+        assert (out[:, :5] >= 0).all() and (out[:, :5] <= 1).all()
+        np.testing.assert_array_equal(out[:, 5:], x[:, 5:])
+
+
+class TestPrecisionMatmul:
+    def test_fp32_exact(self):
+        a = RNG.normal(size=(4, 6)).astype(np.float32)
+        b = RNG.normal(size=(6, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            ops.precision_matmul(a, b, FP32), a @ b, rtol=1e-6
+        )
+
+    def test_int8_scale_validation(self):
+        a = np.ones((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="positive"):
+            ops._matmul_int8(a, a, -1.0, 1.0)
+
+    def test_unsupported_precision_message(self):
+        a = np.ones((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="scales"):
+            ops.precision_matmul(
+                a, a, LayerMath(precision=DataType.INT8)
+            )
+
+    def test_split_k_exceeding_k_is_clamped(self):
+        a = RNG.normal(size=(2, 3)).astype(np.float32)
+        b = RNG.normal(size=(3, 2)).astype(np.float32)
+        out = ops.precision_matmul(
+            a, b, LayerMath(precision=DataType.FP16, split_k=100)
+        )
+        assert out.shape == (2, 2)
+
+
+class TestDeconv:
+    def test_delta_input_stamps_kernel(self):
+        """Deconvolving a single unit impulse must paste the kernel."""
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        x[0, 0, 1, 1] = 1.0
+        w = RNG.normal(size=(2, 1, 2, 2)).astype(np.float32)
+        out = ops.deconv2d(x, w, None, 2, FP32)
+        assert out.shape == (1, 2, 6, 6)
+        np.testing.assert_allclose(out[0, :, 2:4, 2:4], w[:, 0],
+                                   rtol=1e-6)
+        # Everything outside the stamp is zero.
+        mask = np.ones_like(out, dtype=bool)
+        mask[0, :, 2:4, 2:4] = False
+        assert not out[mask].any()
+
+    def test_bias_added(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        w = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        b = np.array([0.5], dtype=np.float32)
+        out = ops.deconv2d(x, w, b, 2, FP32)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_overlapping_stride_one_sums(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        w = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = ops.deconv2d(x, w, None, 1, FP32)
+        # Center of a 3x3 output sees all four stamps overlap.
+        assert out[0, 0, 1, 1] == pytest.approx(4.0)

@@ -1,0 +1,92 @@
+"""Tests for the trtsim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_device_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "alexnet", "--device", "TX2"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Xavier NX" in out and "Xavier AGX" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-18" in out
+        assert "Tiny-Yolov3" in out
+
+    def test_build_and_save(self, capsys, tmp_path):
+        plan = tmp_path / "e.plan"
+        code = main(
+            ["build", "mtcnn", "--device", "NX", "--seed", "3",
+             "--no-pretrain", "-o", str(plan)]
+        )
+        assert code == 0
+        assert plan.exists()
+        out = capsys.readouterr().out
+        assert "Engine" in out
+        assert "dead_layer_removal" in out
+
+    def test_run_cross_platform(self, capsys):
+        code = main(
+            ["run", "mtcnn", "--device", "AGX",
+             "--compile-device", "NX", "--runs", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compiled on NX, run on AGX" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "mtcnn", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Calls" in out
+
+    def test_concurrency(self, capsys):
+        assert main(["concurrency", "mtcnn", "--device", "NX"]) == 0
+        out = capsys.readouterr().out
+        assert "saturates at" in out
+
+
+class TestExtensionCommands:
+    def test_exec(self, capsys):
+        assert main(["exec", "mtcnn", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine" in out
+        assert "per-kernel summary" in out
+
+    def test_clocks(self, capsys):
+        assert main(["clocks", "mtcnn", "--device", "AGX"]) == 0
+        out = capsys.readouterr().out
+        assert "DVFS ladder sweep" in out
+        assert "best efficiency" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "mtcnn"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel invocations" in out
+
+    def test_inspect_json(self, capsys):
+        import json
+
+        assert main(["inspect", "mtcnn", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_layers"] > 0
+
+    def test_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "t.json"
+        assert main(
+            ["trace", "mtcnn", "--runs", "2", "-o", str(out_file)]
+        ) == 0
+        assert out_file.exists()

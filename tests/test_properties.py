@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) on core data structures and
+numeric invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.graph.shapes import conv_output_hw, pool_output_hw
+from repro.metrics.accuracy import prediction_mismatches, top1_error
+from repro.runtime import ops
+from repro.runtime.math_config import LayerMath
+from repro.graph.ir import DataType
+
+# ----------------------------------------------------------------------
+# shape algebra
+# ----------------------------------------------------------------------
+conv_params = st.tuples(
+    st.integers(4, 64),  # h
+    st.integers(1, 7),   # kernel
+    st.integers(1, 3),   # stride
+    st.integers(0, 3),   # pad
+).filter(lambda p: p[0] + 2 * p[3] >= p[1])
+
+
+@given(conv_params)
+def test_conv_output_positive_and_bounded(params):
+    h, k, s, p = params
+    out_h, _ = conv_output_hw(h, h, k, s, p)
+    assert 1 <= out_h <= h + 2 * p
+
+
+@given(conv_params)
+def test_pool_output_at_least_conv_output(params):
+    """Ceil-mode pooling never yields fewer cells than floor-mode."""
+    h, k, s, p = params
+    conv_h, _ = conv_output_hw(h, h, k, s, p)
+    pool_h, _ = pool_output_hw(h, h, k, s, p)
+    assert pool_h >= conv_h
+
+
+@given(st.integers(1, 32), st.integers(1, 4))
+def test_stride_one_conv_preserves_size_with_same_pad(h, half_k):
+    k = 2 * half_k + 1
+    out_h, _ = conv_output_hw(h, h, k, 1, k // 2)
+    assert out_h == h
+
+
+# ----------------------------------------------------------------------
+# toposort invariance
+# ----------------------------------------------------------------------
+@given(st.permutations(list(range(5))))
+def test_toposort_invariant_to_insertion_order(order):
+    """A linear chain inserted in any order sorts identically."""
+    layers = [
+        Layer(
+            f"l{i}",
+            LayerKind.IDENTITY,
+            ["data" if i == 0 else f"t{i - 1}"],
+            [f"t{i}"],
+        )
+        for i in range(5)
+    ]
+    graph = Graph("t", [TensorSpec("data", (1,))])
+    for idx in order:
+        graph.add_layer(layers[idx].copy())
+    assert [l.name for l in graph.toposort()] == [f"l{i}" for i in range(5)]
+
+
+# ----------------------------------------------------------------------
+# numeric invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 4))
+def test_softmax_is_distribution(seed, batch):
+    x = np.random.default_rng(seed).normal(
+        0, 5, size=(batch, 7)
+    ).astype(np.float32)
+    out = ops.softmax(x)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+    assert (out >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_relu_idempotent(seed):
+    x = np.random.default_rng(seed).normal(size=(2, 8)).astype(np.float32)
+    once = ops.activation(x, "relu")
+    twice = ops.activation(once, "relu")
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 8))
+def test_fp16_split_k_stays_close_to_fp32(seed, split_k):
+    """Any reduction split is a valid FP16 evaluation: bounded error
+    against the FP32 reference."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(4, 32)).astype(np.float32)
+    b = rng.normal(size=(32, 4)).astype(np.float32)
+    ref = a @ b
+    half = ops.precision_matmul(
+        a, b, LayerMath(precision=DataType.FP16, split_k=split_k)
+    )
+    assert np.abs(ref - half).max() < 0.2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_nms_output_is_conflict_free(seed):
+    """After NMS, no two kept boxes overlap above the threshold."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1, 0.9, size=(12, 2))
+    sizes = rng.uniform(0.05, 0.3, size=(12, 2))
+    boxes = np.concatenate(
+        [centers - sizes / 2, centers + sizes / 2], axis=1
+    ).astype(np.float32)
+    scores = rng.uniform(size=12).astype(np.float32)
+    kept = ops.nms(boxes, scores, 0.5)
+    for i, a in enumerate(kept):
+        for b in kept[i + 1:]:
+            iou = float(
+                ops.box_iou(boxes[a][None], boxes[b][None]).reshape(-1)[0]
+            )
+            assert iou < 0.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(2, 20))
+def test_int8_quantization_bounded_error(seed, classes):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(8, classes)).astype(np.float32)
+    scale = float(np.abs(x).max() / 127) or 1e-6
+    q = ops._quantize_sym(x, scale)
+    assert (np.abs(q) <= 127).all()
+    dequant = q * scale
+    # Quantization error bounded by half a step.
+    assert np.abs(dequant - x).max() <= scale * 0.5 + 1e-6
+
+
+# ----------------------------------------------------------------------
+# metric invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 50))
+def test_top1_error_bounds(seed, n):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=(n, 5)).astype(np.float32)
+    labels = rng.integers(0, 5, size=n)
+    err = top1_error(scores, labels)
+    assert 0.0 <= err <= 100.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 50))
+def test_mismatches_metric_space(seed, n):
+    """Symmetry and triangle inequality of the mismatch count."""
+    rng = np.random.default_rng(seed)
+    a, b, c = (rng.integers(0, 4, size=n) for _ in range(3))
+    assert prediction_mismatches(a, b) == prediction_mismatches(b, a)
+    assert prediction_mismatches(a, a) == 0
+    assert (
+        prediction_mismatches(a, c)
+        <= prediction_mismatches(a, b) + prediction_mismatches(b, c)
+    )

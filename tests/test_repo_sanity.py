@@ -1,0 +1,83 @@
+"""Repository-level sanity: the deliverables the documentation promises
+actually exist and agree with the code."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDeliverables:
+    def test_documentation_files(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "pyproject.toml"):
+            assert (ROOT / name).is_file(), name
+
+    def test_benchmark_per_paper_artifact(self):
+        """One regenerating benchmark per paper table and figure."""
+        bench = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        required = {
+            "test_table01_platforms.py",
+            "test_table02_model_zoo.py",
+            "test_table03_benign_accuracy.py",
+            "test_table04_adversarial_accuracy.py",
+            "test_table05_cross_platform_consistency.py",
+            "test_table06_same_platform_consistency.py",
+            "test_table07_classification_fps.py",
+            "test_fig03_tinyyolo_concurrency.py",
+            "test_fig04_googlenet_concurrency.py",
+            "test_table08_latency_matrix.py",
+            "test_table09_latency_noprof.py",
+            "test_table10_memcpy_split.py",
+            "test_table11_kernel_latency.py",
+            "test_table12_engine_variance.py",
+            "test_table13_kernel_invocations.py",
+            "test_table14_findings_summary.py",
+            "test_table15_16_applications.py",
+            "test_table17_bsp_inception.py",
+            "test_table18_bsp_mobilenet.py",
+        }
+        missing = required - bench
+        assert not missing, missing
+
+    def test_experiments_md_references_every_benchmark(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for stem in (
+            "test_table03_benign_accuracy",
+            "test_table08_latency_matrix",
+            "test_table17_bsp_inception",
+            "test_fig03_tinyyolo_concurrency",
+        ):
+            assert stem in text, stem
+
+    def test_design_md_documents_substitutions(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for required in (
+            "TensorRT",
+            "Jetson Xavier NX",
+            "tactic",
+            "Experiment index",
+        ):
+            assert required in text, required
+
+    def test_examples_promised_by_readme(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in readme, example.name
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_cli_entry_point_declared(self):
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert 'trtsim = "repro.cli:main"' in pyproject
