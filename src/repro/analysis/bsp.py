@@ -21,7 +21,7 @@ varies by several percent across builds of the *same model*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.analysis.engines import EngineFarm, device_by_name
 from repro.analysis.latency import measure_case, paper_clock_for

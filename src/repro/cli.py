@@ -9,6 +9,8 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim profile pednet --device NX    # nvprof-style kernel summary
     trtsim concurrency tiny_yolov3 --device AGX   # Figs 3/4 sweep
     trtsim accuracy                      # Table III
+    trtsim lint resnet18 --precision int8         # static verifier
+    trtsim lint engine.plan --json       # audit a serialized plan
 """
 
 from __future__ import annotations
@@ -177,6 +179,9 @@ def _cmd_inspect(args) -> int:
     print(f"{report['engine']}: {report['num_layers']} layers, "
           f"{report['num_kernel_invocations']} kernel invocations, "
           f"predicted {report['predicted_kernel_us']:.1f} us")
+    lint = report["lint"]
+    print(f"lint: {lint['status'].upper()} ({lint['errors']} error(s), "
+          f"{lint['warnings']} warning(s))")
     print(f"{'layer':<30}{'kind':<20}{'kernel':<58}{'us':>8}")
     for entry in report["layers"]:
         for kernel in entry["kernels"]:
@@ -185,6 +190,47 @@ def _cmd_inspect(args) -> int:
                 f"{kernel['name'][:57]:<58}{kernel['predicted_us']:>8.2f}"
             )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Static verification (``repro.lint``): audit a zoo model's graph
+    and built engine, or a serialized ``.plan`` file."""
+    from pathlib import Path
+
+    from repro.lint import lint_engine, lint_graph, lint_plan
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+
+    target = Path(args.target)
+    if target.suffix == ".plan" or target.is_file():
+        report = lint_plan(target, select=select, ignore=ignore)
+    else:
+        from repro.analysis.engines import device_by_name
+        from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+        from repro.models import build_model
+
+        graph = build_model(args.target, pretrained=False)
+        report = lint_graph(graph, select=select, ignore=ignore)
+        report.subject = (
+            f"{args.target} ({args.precision} @ {args.device})"
+        )
+        if report.ok:
+            engine = EngineBuilder(
+                device_by_name(args.device),
+                BuilderConfig(
+                    precision=PrecisionMode(args.precision), seed=args.seed
+                ),
+            ).build(graph)
+            report.extend(
+                lint_engine(engine, select=select, ignore=ignore)
+            )
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.passed(strict=args.strict) else 1
 
 
 def _cmd_trace(args) -> int:
@@ -305,6 +351,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slot", type=int, default=0)
     p.add_argument("--json", action="store_true")
 
+    p = sub.add_parser(
+        "lint", help="static verifier: lint a model's graph+engine "
+        "or a .plan file"
+    )
+    p.add_argument(
+        "target", help="zoo model name, or path to a .plan file"
+    )
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--precision", default="fp16",
+        choices=["fp32", "fp16", "int8", "best"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors",
+    )
+    p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule-id prefixes to run (e.g. G,Q001)",
+    )
+    p.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule-id prefixes to skip",
+    )
+
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
     p.add_argument("--device", default="NX", choices=["NX", "AGX"])
@@ -326,6 +399,7 @@ _HANDLERS = {
     "clocks": _cmd_clocks,
     "warmup": _cmd_warmup,
     "inspect": _cmd_inspect,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
 }
 

@@ -15,7 +15,7 @@ fixed convolutional features, which is how the model zoo's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.graph.ir import DataType, Graph, Layer, LayerKind
+from repro.graph.ir import DataType, Graph, Layer
 from repro.graph.shapes import infer_shapes
 from repro.hardware.specs import DeviceSpec
 from repro.hardware.workload import LayerWorkload, layer_workload
@@ -40,6 +40,7 @@ from repro.engine.passes import (
 )
 from repro.engine.tactics import TacticChoice, TacticSelector
 from repro.engine.timing_cache import TimingCache
+from repro.lint.invariants import PassInvariantGuard
 
 #: Serialized-plan overhead: fixed header + per-binding kernel metadata.
 #: Sized to the repo's scaled-down models (DESIGN.md §5) so overhead
@@ -82,6 +83,12 @@ class BuilderConfig:
     #: Optional timing cache: reuse measured tactic timings across
     #: builds, making rebuilds deterministic (see engine.timing_cache).
     timing_cache: Optional["TimingCache"] = None
+    #: Run every optimizer pass under the lint pass-invariant guard:
+    #: a pass that renames/reshapes a graph output, alters the input
+    #: contract, or introduces new lint errors fails the build with a
+    #: named ``V``-rule diagnostic (``PassInvariantViolation``) instead
+    #: of miscompiling silently.
+    verify_passes: bool = True
 
 
 # Module-level build counter: distinguishes successive anonymous builds
@@ -161,17 +168,22 @@ class EngineBuilder:
         graph = network.copy()
         graph.name = f"{network.name}::engine"
         reports: List[PassReport] = []
+        guard = PassInvariantGuard() if cfg.verify_passes else None
+
+        def run_pass(pass_fn) -> PassReport:
+            if guard is not None:
+                return guard.run(graph, pass_fn)
+            return pass_fn(graph)
 
         # Steps 1-2: dead-layer removal, vertical fusion.
-        reports.append(remove_dead_layers(graph))
-        reports.append(fuse_vertically(graph))
+        reports.append(run_pass(remove_dead_layers))
+        reports.append(run_pass(fuse_vertically))
 
         # Step 3: horizontal merging, decided by noisy timing.
         if cfg.enable_horizontal_merge:
+            decider = self._make_merge_decider(selector, act_dtype, allowed)
             reports.append(
-                merge_horizontally(
-                    graph, decide=self._make_merge_decider(selector, act_dtype, allowed)
-                )
+                run_pass(lambda g: merge_horizontally(g, decide=decider))
             )
 
         # Step 4: quantization planning (+ calibration when supplied).

@@ -3,8 +3,10 @@
 Answers "what did the builder actually do to my network?" — per bound
 layer: the chosen kernel, its precision and tile configuration, the
 predicted cost breakdown on the build device, and the stored weight
-footprint.  Output is a plain dict (JSON-serializable) so it can feed
-dashboards or diffing tools.
+footprint.  The report also embeds the static verifier's verdict
+(``repro.lint``) so downstream tooling sees lint status alongside the
+layer/tactic info.  Output is a plain dict (JSON-serializable) so it
+can feed dashboards or diffing tools.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.hardware.specs import DeviceSpec
 
 from repro.engine.builder import _stored_weight_bytes
 from repro.engine.engine import Engine
+from repro.lint.plan_rules import lint_engine
 
 
 def inspect_engine(
@@ -77,6 +80,7 @@ def inspect_engine(
             }
         layers.append(entry)
 
+    lint_report = lint_engine(engine)
     return {
         "engine": engine.name,
         "built_for": engine.device.name,
@@ -87,6 +91,12 @@ def inspect_engine(
         "num_layers": len(layers),
         "num_kernel_invocations": engine.num_kernels,
         "predicted_kernel_us": round(total_us, 3),
+        "lint": {
+            "status": "ok" if lint_report.ok else "fail",
+            "errors": len(lint_report.errors),
+            "warnings": len(lint_report.warnings),
+            "diagnostics": [d.to_dict() for d in lint_report.diagnostics],
+        },
         "layers": layers,
     }
 

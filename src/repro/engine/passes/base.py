@@ -31,15 +31,28 @@ PassFn = Callable[[Graph], PassReport]
 
 
 class PassManager:
-    """Runs passes in order, validating the graph after each one."""
+    """Runs passes in order, validating the graph after each one.
 
-    def __init__(self, passes: List[PassFn]):
+    With ``verify=True`` (the default) every pass additionally runs
+    under the lint pass-invariant guard
+    (:class:`repro.lint.invariants.PassInvariantGuard`): output
+    names/shapes and the input contract must survive the pass, and the
+    pass may not introduce new lint errors.  A violating pass raises
+    :class:`repro.lint.invariants.PassInvariantViolation` (a
+    :class:`~repro.graph.ir.GraphError`).
+    """
+
+    def __init__(self, passes: List[PassFn], verify: bool = True):
         self._passes = list(passes)
+        self._verify = verify
 
     def run(self, graph: Graph) -> List[PassReport]:
+        from repro.lint.invariants import PassInvariantGuard
+
+        guard = PassInvariantGuard() if self._verify else None
         reports = []
         for fn in self._passes:
-            report = fn(graph)
+            report = guard.run(graph, fn) if guard else fn(graph)
             # Dead-layer removal restores the strict no-dead invariant;
             # before it runs we must tolerate dead tensors.
             strict = any(r.pass_name == "dead_layer_removal" for r in reports + [report])

@@ -13,10 +13,11 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
+from repro.graph.ir import Graph
 from repro.graph.serialization import load_graph, save_graph
 from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
 from repro.runtime.math_config import LayerMath, MathConfig
@@ -76,11 +77,22 @@ def save_plan(engine: Engine, path: Union[str, Path]) -> None:
         )
 
 
-def load_plan(path: Union[str, Path]) -> Engine:
-    """Reload an engine plan saved by :func:`save_plan`."""
+def read_plan(path: Union[str, Path]) -> Tuple[Dict, Graph]:
+    """Read a plan file's raw document and embedded graph.
+
+    Unlike :func:`load_plan` this performs *no* interpretation beyond
+    parsing — the linter uses it to audit a plan before trusting the
+    loader with it.
+    """
     with np.load(path, allow_pickle=False) as archive:
         doc = json.loads(bytes(archive["__plan__"]).decode("utf-8"))
         graph = load_graph(io.BytesIO(bytes(archive["__graph__"])))
+    return doc, graph
+
+
+def load_plan(path: Union[str, Path]) -> Engine:
+    """Reload an engine plan saved by :func:`save_plan`."""
+    doc, graph = read_plan(path)
     if doc.get("plan_version") != _PLAN_VERSION:
         raise ValueError(
             f"unsupported plan version {doc.get('plan_version')}"

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.graph.ir import Graph, GraphError, Layer, LayerKind, TensorSpec
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.lint import check_import
 
 WeightDict = Dict[str, Dict[str, np.ndarray]]
 
@@ -351,5 +352,5 @@ def parse_prototxt(
             for out in layer.outputs:
                 if out not in consumed:
                     graph.mark_output(out)
-    graph.validate(allow_dead=True)
+    check_import(graph, framework="caffe")
     return graph

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.lint import check_import
 
 
 class DarknetCfgError(ValueError):
@@ -258,5 +259,5 @@ def parse_darknet_cfg(
 
     if not graph.output_names:
         graph.mark_output(current)
-    graph.validate(allow_dead=True)
+    check_import(graph, framework="darknet")
     return graph

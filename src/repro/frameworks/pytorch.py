@@ -25,10 +25,9 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.graph.builder import WeightInitializer
 from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.lint import check_import
 
 
 class TraceContext:
@@ -261,7 +260,7 @@ def trace_module(
     ctx.graph = Graph(ctx.name, [TensorSpec(input_name, input_shape)])
     out = module(TraceTensor(ctx, input_name))
     ctx.graph.mark_output(out.name)
-    ctx.graph.validate(allow_dead=True)
+    check_import(ctx.graph, framework="pytorch")
     graph = ctx.graph
     ctx.graph = None
     return graph

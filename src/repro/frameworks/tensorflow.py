@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.lint import check_import
 
 
 class GraphDefError(ValueError):
@@ -323,5 +324,5 @@ def import_graphdef(
             for out in layer.outputs:
                 if out not in consumed:
                     graph.mark_output(out)
-    graph.validate(allow_dead=True)
+    check_import(graph, framework="tensorflow")
     return graph

@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.ir import DataType, Graph, Layer, LayerKind, TensorSpec
+from repro.graph.ir import Graph, Layer, LayerKind, TensorSpec
+from repro.graph.shapes import pool_output_hw
 
 
 class WeightInitializer:
@@ -221,8 +222,7 @@ class GraphBuilder:
         self, name: str, src: str, mode: str, kernel: int, stride: int, pad: int
     ) -> str:
         c, h, w = self._shapes[src]
-        out_h = -(-(h + 2 * pad - kernel) // stride) + 1
-        out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+        out_h, out_w = pool_output_hw(h, w, kernel, stride, pad)
         return self._add(
             name,
             LayerKind.POOLING,

@@ -33,9 +33,25 @@ def pool_output_hw(
     h: int, w: int, kernel: int, stride: int, pad: int
 ) -> Tuple[int, int]:
     """Pooling uses ceil division (Caffe convention) so edge windows
-    that only partially overlap the input still produce an output."""
+    that only partially overlap the input still produce an output.
+
+    Caffe additionally requires ``pad < kernel`` and *clamps* the last
+    window: ceil division alone can start the final window entirely
+    inside the padding region (e.g. h=3, k=2, s=2, p=1 gives 3 windows,
+    the last covering only padding), which would pool over nothing.
+    """
+    if pad >= kernel:
+        raise GraphError(
+            f"pool pad {pad} must be smaller than its kernel {kernel}"
+        )
     out_h = -(-(h + 2 * pad - kernel) // stride) + 1
     out_w = -(-(w + 2 * pad - kernel) // stride) + 1
+    if pad:
+        # Drop a final window that starts at or beyond the padded edge.
+        if (out_h - 1) * stride >= h + pad:
+            out_h -= 1
+        if (out_w - 1) * stride >= w + pad:
+            out_w -= 1
     if out_h <= 0 or out_w <= 0:
         raise GraphError(
             f"pool (k={kernel}, s={stride}, p={pad}) collapses "

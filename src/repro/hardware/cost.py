@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.graph.ir import DataType
 from repro.hardware.specs import DeviceSpec

@@ -1,0 +1,281 @@
+"""Rule framework of the static verifier.
+
+The linter is a set of small, independent *rules*, each with a stable
+identifier (``G001``, ``Q001``, ``P002``, ...), a severity, and a check
+function.  Running a rule set over a subject (a graph, an engine, or a
+serialized plan) produces a :class:`LintReport`: an ordered list of
+:class:`Diagnostic` records that can be rendered as text, serialized as
+JSON, or filtered by rule-id prefix (``--select`` / ``--ignore``).
+
+Rule identifiers are part of the public contract — tests, CI gates and
+downstream tooling key on them — so an ID is never reused or renamed;
+retired rules leave a hole in the numbering.
+
+Identifier families:
+
+====== =============================================================
+Prefix Domain
+====== =============================================================
+G      graph structure, shape and dtype flow
+Q      quantization sanity (INT8 scales, FP16 ranges)
+F      fusion legality (fused / merged layer well-formedness)
+P      serialized plan / engine integrity
+V      optimizer-pass invariants (checked during ``EngineBuilder.build``)
+====== =============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the artifact will miscompile or misexecute;
+    ``WARNING`` means it is suspicious but runnable; ``INFO`` is
+    advisory only.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}[
+            self
+        ]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule that fired at a location."""
+
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    message: str
+    layer: Optional[str] = None
+    tensor: Optional[str] = None
+
+    def format(self) -> str:
+        """Single-line human-readable rendering."""
+        loc = ""
+        if self.layer:
+            loc += f" [layer {self.layer}]"
+        if self.tensor:
+            loc += f" [tensor {self.tensor}]"
+        return (
+            f"{self.severity.value.upper():<7} {self.rule_id} "
+            f"{self.rule_name}{loc}: {self.message}"
+        )
+
+    def to_dict(self) -> Dict:
+        doc = {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.layer:
+            doc["layer"] = self.layer
+        if self.tensor:
+            doc["tensor"] = self.tensor
+        return doc
+
+
+#: A check function: receives the subject under lint and a ``report``
+#: callback (``report(message, layer=None, tensor=None)``) to emit
+#: findings.  Rules never raise on bad input — the whole point of the
+#: linter is to report what an exception would hide.
+CheckFn = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, severity, and its check."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    check: CheckFn
+
+    def run(self, subject) -> List[Diagnostic]:
+        """Apply the rule to ``subject`` and collect its diagnostics."""
+        found: List[Diagnostic] = []
+
+        def report(
+            message: str,
+            layer: Optional[str] = None,
+            tensor: Optional[str] = None,
+        ) -> None:
+            found.append(
+                Diagnostic(
+                    rule_id=self.rule_id,
+                    rule_name=self.name,
+                    severity=self.severity,
+                    message=message,
+                    layer=layer,
+                    tensor=tensor,
+                )
+            )
+
+        self.check(subject, report)
+        return found
+
+
+def register_rule(
+    registry: Dict[str, LintRule],
+    rule_id: str,
+    name: str,
+    severity: Severity = Severity.ERROR,
+    description: str = "",
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator: add the decorated check function to ``registry``."""
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        if rule_id in registry:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        registry[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            description=description or (fn.__doc__ or "").strip(),
+            check=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def _matches(rule_id: str, tokens: Sequence[str]) -> bool:
+    """Whether ``rule_id`` matches any selector token (prefix match, so
+    ``G`` selects every graph rule and ``G001`` exactly one)."""
+    return any(rule_id.startswith(token) for token in tokens)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over one subject."""
+
+    subject: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings allowed)."""
+        return not self.errors
+
+    def passed(self, strict: bool = False) -> bool:
+        """Gate verdict: strict mode fails on any finding at all."""
+        return not self.diagnostics if strict else self.ok
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule IDs that fired, in first-seen order."""
+        seen: List[str] = []
+        for d in self.diagnostics:
+            if d.rule_id not in seen:
+                seen.append(d.rule_id)
+        return seen
+
+    def extend(self, other: "LintReport") -> "LintReport":
+        """Merge another report's findings into this one, in place."""
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> "LintReport":
+        """A new report keeping only selected / non-ignored rule IDs.
+
+        Selectors are rule-id prefixes: ``["G", "Q001"]`` keeps every
+        graph rule plus exactly ``Q001``.
+        """
+        kept = self.diagnostics
+        if select is not None:
+            tokens = list(select)
+            kept = [d for d in kept if _matches(d.rule_id, tokens)]
+        if ignore is not None:
+            tokens = list(ignore)
+            kept = [d for d in kept if not _matches(d.rule_id, tokens)]
+        return LintReport(subject=self.subject, diagnostics=list(kept))
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        return (
+            f"{self.subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) — {verdict}"
+        )
+
+    def format_text(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def run_rules(
+    registry: Dict[str, LintRule],
+    subject,
+    subject_name: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run every rule of ``registry`` over ``subject``.
+
+    ``select`` / ``ignore`` prune *before* running, so disabled rules
+    cost nothing.
+    """
+    select = list(select) if select is not None else None
+    ignore = list(ignore) if ignore is not None else None
+    report = LintReport(subject=subject_name)
+    for rule_id in sorted(registry):
+        if select is not None and not _matches(rule_id, select):
+            continue
+        if ignore is not None and _matches(rule_id, ignore):
+            continue
+        report.diagnostics.extend(registry[rule_id].run(subject))
+    return report

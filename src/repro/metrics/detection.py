@@ -8,7 +8,7 @@ the threshold; each ground truth can be claimed once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.hardware.gpu import InferenceTiming, KernelEvent, MemcpyEvent
+    from repro.hardware.gpu import InferenceTiming
 
 
 @dataclass

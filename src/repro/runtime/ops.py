@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.ir import DataType
+from repro.graph.shapes import pool_output_hw
 from repro.runtime.math_config import LayerMath
 
 
@@ -250,14 +251,16 @@ def fully_connected(
 def max_pool(
     x: np.ndarray, kernel: int, stride: int, pad: int, same: bool = False
 ) -> np.ndarray:
+    in_h, in_w = x.shape[2], x.shape[3]
     xp = _pad_nchw(x, pad, value=-np.inf)
     n, c, h, w = xp.shape
     if same:
         out_h = -(-h // stride)
         out_w = -(-w // stride)
     else:
-        out_h = -(-(h - kernel) // stride) + 1
-        out_w = -(-(w - kernel) // stride) + 1
+        # Shared with static inference so executor buffers always
+        # match the declared shapes (includes the Caffe edge clamp).
+        out_h, out_w = pool_output_hw(in_h, in_w, kernel, stride, pad)
     # Pad on the right so ceil-mode windows are complete.
     need_h = (out_h - 1) * stride + kernel
     need_w = (out_w - 1) * stride + kernel
@@ -277,10 +280,10 @@ def max_pool(
 
 
 def avg_pool(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    in_h, in_w = x.shape[2], x.shape[3]
     xp = _pad_nchw(x, pad, value=0.0)
     n, c, h, w = xp.shape
-    out_h = -(-(h - kernel) // stride) + 1
-    out_w = -(-(w - kernel) // stride) + 1
+    out_h, out_w = pool_output_hw(in_h, in_w, kernel, stride, pad)
     need_h = (out_h - 1) * stride + kernel
     need_w = (out_w - 1) * stride + kernel
     if need_h > h or need_w > w:

@@ -1,0 +1,81 @@
+"""Regression tests for the Caffe ceil-mode pooling clamp.
+
+``pool_output_hw`` previously let the last ceil-mode window start
+entirely inside the padding region (pooling over nothing); Caffe clamps
+that window away and requires ``pad < kernel``.  The static formula,
+the fluent builder, and the numeric runtime must all agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import GraphError
+from repro.graph.shapes import infer_shapes, pool_output_hw
+from repro.runtime import ops
+
+
+def test_clamp_drops_padding_only_window():
+    # padded row starts: 0, 2, 4 — but the window at 4 sits entirely in
+    # padding (real rows occupy padded indices 1..3), so it is dropped
+    assert pool_output_hw(3, 3, kernel=2, stride=2, pad=1) == (2, 2)
+
+
+def test_no_clamp_when_window_touches_data():
+    # h=4: the last window (padded index 4) still covers real row 3
+    assert pool_output_hw(4, 4, kernel=2, stride=2, pad=1) == (3, 3)
+
+
+def test_unpadded_ceil_mode_unchanged():
+    assert pool_output_hw(8, 8, kernel=2, stride=2, pad=0) == (4, 4)
+    assert pool_output_hw(7, 7, kernel=2, stride=2, pad=0) == (4, 4)
+    assert pool_output_hw(5, 5, kernel=3, stride=2, pad=0) == (2, 2)
+
+
+def test_pad_must_be_smaller_than_kernel():
+    with pytest.raises(GraphError):
+        pool_output_hw(8, 8, kernel=2, stride=2, pad=2)
+    with pytest.raises(GraphError):
+        pool_output_hw(8, 8, kernel=3, stride=1, pad=5)
+
+
+def test_rectangular_inputs_clamp_independently():
+    out_h, out_w = pool_output_hw(3, 4, kernel=2, stride=2, pad=1)
+    assert (out_h, out_w) == (2, 3)
+
+
+@pytest.mark.parametrize("h", [3, 4, 5, 6, 7, 9])
+@pytest.mark.parametrize("kernel,stride,pad", [
+    (2, 2, 1), (3, 2, 1), (3, 3, 2), (3, 1, 1), (2, 2, 0),
+])
+def test_runtime_pools_match_static_inference(h, kernel, stride, pad):
+    """The executor allocates buffers from the static shapes, so the
+    numeric kernels must produce exactly those shapes."""
+    x = (
+        np.random.default_rng(0)
+        .normal(size=(2, 3, h, h))
+        .astype(np.float32)
+    )
+    expected = pool_output_hw(h, h, kernel, stride, pad)
+    for pool in (ops.max_pool, ops.avg_pool):
+        out = pool(x, kernel=kernel, stride=stride, pad=pad)
+        assert out.shape == (2, 3) + expected
+
+
+def test_clamped_window_never_pools_pure_padding():
+    """With the clamp, no max-pool output cell can be the padding value
+    alone: every window overlaps at least one real element."""
+    x = np.full((1, 1, 3, 3), 7.0, dtype=np.float32)
+    out = ops.max_pool(x, kernel=2, stride=2, pad=1)
+    assert out.shape == (1, 1, 2, 2)
+    assert np.isfinite(out).all() and (out == 7.0).all()
+
+
+def test_builder_and_inference_agree_on_padded_pool():
+    b = GraphBuilder("pools", (3, 3, 3), seed=0)
+    t = b.max_pool("pool", b.input_name, kernel=2, stride=2, pad=1)
+    graph = b.finish(t)
+    assert b.shape_of(t) == (3, 2, 2)
+    assert infer_shapes(graph)[t] == (3, 2, 2)

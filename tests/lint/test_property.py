@@ -1,0 +1,98 @@
+"""Property test: every graph the fluent builder produces lints clean.
+
+:class:`~repro.graph.builder.GraphBuilder` is the constructive path to
+a well-formed graph (the zoo and all frontends go through it), so the
+linter must report *nothing* — not even warnings — on anything it can
+generate.  A diagnostic here means either a rule with a false-positive
+or a builder method emitting malformed IR.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.lint import lint_graph
+
+_LAYER_MENU = (
+    "conv",
+    "conv_strided",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "pool_max",
+    "pool_avg",
+    "batchnorm",
+    "scale",
+    "depthwise",
+    "lrn",
+    "dropout",
+    "identity",
+    "branch_concat",
+    "residual",
+)
+
+
+@st.composite
+def random_graphs(draw):
+    seed = draw(st.integers(0, 2 ** 16))
+    n_body = draw(st.integers(0, 7))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(_LAYER_MENU), min_size=n_body, max_size=n_body
+        )
+    )
+    b = GraphBuilder("rand", (3, 16, 16), seed=seed)
+    t = b.conv("stem", b.input_name, out_channels=4, kernel=3, pad=1)
+    for i, kind in enumerate(kinds):
+        name = f"l{i}"
+        c, h, w = b.shape_of(t)
+        if kind == "conv":
+            t = b.conv(name, t, out_channels=draw(st.integers(1, 8)),
+                       kernel=1)
+        elif kind == "conv_strided":
+            if h >= 3:
+                t = b.conv(name, t, out_channels=c, kernel=3, stride=2,
+                           pad=1)
+        elif kind == "relu":
+            t = b.relu(name, t)
+        elif kind == "leaky_relu":
+            t = b.leaky_relu(name, t)
+        elif kind == "sigmoid":
+            t = b.sigmoid(name, t)
+        elif kind == "pool_max":
+            if h >= 2:
+                t = b.max_pool(name, t, kernel=2)
+        elif kind == "pool_avg":
+            if h >= 2:
+                t = b.avg_pool(name, t, kernel=2)
+        elif kind == "batchnorm":
+            t = b.batchnorm(name, t)
+        elif kind == "scale":
+            t = b.scale(name, t)
+        elif kind == "depthwise":
+            t = b.depthwise_conv(name, t)
+        elif kind == "lrn":
+            t = b.lrn(name, t)
+        elif kind == "dropout":
+            t = b.dropout(name, t)
+        elif kind == "identity":
+            t = b.identity(name, t)
+        elif kind == "branch_concat":
+            left = b.conv(f"{name}_a", t, out_channels=2, kernel=1)
+            right = b.conv(f"{name}_b", t, out_channels=2, kernel=1)
+            t = b.concat(name, [left, right])
+        elif kind == "residual":
+            side = b.conv(f"{name}_c", t, out_channels=c, kernel=3, pad=1)
+            t = b.add(name, t, side)
+    t = b.global_avg_pool("gap", t)
+    t = b.fc("head", t, draw(st.integers(2, 10)))
+    t = b.softmax("prob", t)
+    return b.finish(t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_builder_graphs_lint_clean(graph):
+    report = lint_graph(graph)
+    assert report.diagnostics == [], report.format_text()

@@ -81,3 +81,46 @@ class TestDeliverables:
     def test_cli_entry_point_declared(self):
         pyproject = (ROOT / "pyproject.toml").read_text()
         assert 'trtsim = "repro.cli:main"' in pyproject
+
+    def test_readme_documents_static_verification(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "trtsim lint" in readme
+        assert "Static verification" in readme
+
+
+class TestZooLintsClean:
+    """Every zoo model, at every builder precision, must produce an
+    engine with zero error-severity lint findings — the linter's rules
+    and the builder's output stay mutually consistent."""
+
+    @pytest.fixture(scope="class")
+    def zoo_graphs(self):
+        from repro.models import build_model, list_models
+
+        return {
+            name: build_model(name, pretrained=False)
+            for name in list_models()
+        }
+
+    @pytest.mark.parametrize("precision", ["fp32", "fp16", "int8"])
+    def test_zoo_engines_lint_clean(self, zoo_graphs, precision):
+        from repro.engine import (
+            BuilderConfig,
+            EngineBuilder,
+            PrecisionMode,
+        )
+        from repro.hardware.specs import XAVIER_NX
+        from repro.lint import lint_engine, lint_graph
+
+        assert len(zoo_graphs) >= 13
+        builder = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(precision=PrecisionMode(precision), seed=0),
+        )
+        for name, graph in zoo_graphs.items():
+            graph_report = lint_graph(graph)
+            assert graph_report.ok, (
+                f"{name}: {graph_report.format_text()}"
+            )
+            report = lint_engine(builder.build(graph))
+            assert report.ok, f"{name}: {report.format_text()}"
