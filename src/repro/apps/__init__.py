@@ -11,6 +11,10 @@ demonstrate the practical impact of the characterization findings:
   pipeline: obstacle detection feeding a braking controller with a
   hard real-time deadline (where engine latency non-determinism breaks
   WCET analysis).
+
+Both expose ``run_fault_scenario`` wrappers that replay the app's
+workload under an injected fault campaign (:mod:`repro.faults`) with
+and without the serving supervisor (:mod:`repro.serving`).
 """
 
 from repro.apps.traffic import IntersectionController, SignalPlan

@@ -152,3 +152,37 @@ class AdasPipeline:
                 samples.append(timing.total_us)
             per_build.append(LatencyStats.from_us_samples(samples))
         return WcetReport(per_build=per_build, deadline_ms=self.deadline_ms)
+
+
+# ----------------------------------------------------------------------
+# fault-injection scenario (repro.faults + repro.serving)
+# ----------------------------------------------------------------------
+def run_fault_scenario(
+    detector: Engine,
+    plan,
+    fallbacks: Sequence[Engine] = (),
+    deadline_ms: float = 33.0,
+    frames: int = 60,
+    seed: int = 0,
+):
+    """The ADAS frame loop under an injected fault campaign.
+
+    A single camera stream with the pipeline's hard frame deadline;
+    the fallback ladder holds progressively cheaper detectors the
+    supervisor degrades to when throttling makes the deadline
+    unmeetable.  Returns a :class:`repro.serving.ResilienceComparison`
+    pairing supervised against unsupervised service over the identical
+    fault world.
+    """
+    from repro.serving import StreamSpec, SupervisorConfig, run_fault_comparison
+
+    config = SupervisorConfig(deadline_ms=deadline_ms)
+    return run_fault_comparison(
+        detector,
+        plan,
+        streams=[StreamSpec("camera", priority=1)],
+        fallbacks=fallbacks,
+        config=config,
+        frames=frames,
+        seed=seed,
+    )

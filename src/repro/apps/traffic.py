@@ -219,3 +219,51 @@ class IntersectionController:
                 stats.total_wait += queues[approach] * plan.cycle_seconds
             stats.cycles += 1
         return stats
+
+
+# ----------------------------------------------------------------------
+# fault-injection scenario (repro.faults + repro.serving)
+# ----------------------------------------------------------------------
+def run_fault_scenario(
+    detector: Engine,
+    plan,
+    fallbacks: Sequence[Engine] = (),
+    approaches: Sequence[str] = ("north", "south", "east", "west"),
+    deadline_ms: Optional[float] = None,
+    frames: int = 60,
+    seed: int = 0,
+):
+    """The intersection's camera feeds under an injected fault campaign.
+
+    Each approach is one request stream; the arterial approaches
+    (listed first) get higher priority, so under injected RAM pressure
+    the side-street cameras are shed first.  ``deadline_ms`` defaults
+    to 1.4x the detector's healthy single-frame latency, floored at
+    the 30 fps frame period (a deadline tighter than one retry can
+    never be rescued, whatever the supervisor does).  Returns a
+    :class:`repro.serving.ResilienceComparison` pairing the supervised
+    run against the unsupervised baseline over the identical fault
+    world.
+    """
+    from repro.serving import StreamSpec, SupervisorConfig, run_fault_comparison
+
+    if deadline_ms is None:
+        context = detector.create_execution_context()
+        healthy = context.time_inference(
+            include_engine_upload=False, jitter=0.0
+        )
+        deadline_ms = max(healthy.total_ms * 1.4, 1000.0 / 30.0)
+    streams = [
+        StreamSpec(name=approach, priority=len(approaches) - i)
+        for i, approach in enumerate(approaches)
+    ]
+    config = SupervisorConfig(deadline_ms=deadline_ms)
+    return run_fault_comparison(
+        detector,
+        plan,
+        streams=streams,
+        fallbacks=fallbacks,
+        config=config,
+        frames=frames,
+        seed=seed,
+    )

@@ -11,6 +11,7 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim accuracy                      # Table III
     trtsim lint resnet18 --precision int8         # static verifier
     trtsim lint engine.plan --json       # audit a serialized plan
+    trtsim faults resnet18 --scenario thermal_oom # resilience SLOs
 """
 
 from __future__ import annotations
@@ -281,6 +282,64 @@ def _cmd_accuracy(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Run a fault-injection campaign against an app workload,
+    supervised vs unsupervised, and report SLO attainment."""
+    from repro.analysis.engines import EngineFarm
+    from repro.faults import FaultPlan, canned_plan
+
+    if args.scenario_file:
+        plan = FaultPlan.load(args.scenario_file)
+        if args.seed is not None:
+            plan.seed = args.seed
+    else:
+        plan = canned_plan(args.scenario, seed=args.seed or 0)
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, 0)
+    fallbacks = [
+        farm.engine(name, args.device, 0)
+        for name in (args.fallback or [])
+    ]
+
+    if args.app == "adas":
+        from repro.apps.adas import run_fault_scenario
+
+        comparison = run_fault_scenario(
+            engine,
+            plan,
+            fallbacks=fallbacks,
+            deadline_ms=args.deadline_ms or 33.0,
+            frames=args.frames,
+            seed=args.workload_seed,
+        )
+    else:
+        from repro.apps.traffic import run_fault_scenario
+
+        comparison = run_fault_scenario(
+            engine,
+            plan,
+            fallbacks=fallbacks,
+            deadline_ms=args.deadline_ms,
+            frames=args.frames,
+            seed=args.workload_seed,
+        )
+
+    print(comparison.slo_table())
+    log = comparison.supervised.fault_log
+    if args.events and log is not None and len(log):
+        print("\nfault events (supervised run):")
+        print(log.render())
+    if args.trace:
+        from repro.profiling.chrome_trace import save_chrome_trace
+
+        context = engine.create_execution_context()
+        timing = context.time_inference(jitter=0.0)
+        save_chrome_trace([timing], args.trace, fault_log=log)
+        print(f"\nfault-annotated trace written to {args.trace}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="trtsim",
@@ -378,6 +437,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule-id prefixes to skip",
     )
 
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: supervised vs unsupervised SLOs",
+    )
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--app", default="traffic", choices=["traffic", "adas"],
+        help="workload: intersection cameras or the ADAS frame loop",
+    )
+    p.add_argument(
+        "--scenario", default="thermal_oom",
+        help="canned fault plan name (see repro.faults.CANNED_PLANS)",
+    )
+    p.add_argument(
+        "--scenario-file", default=None,
+        help="JSON FaultPlan file (overrides --scenario)",
+    )
+    p.add_argument("--frames", type=int, default=60)
+    p.add_argument(
+        "--seed", type=int, default=None, help="fault plan seed"
+    )
+    p.add_argument(
+        "--workload-seed", type=int, default=0,
+        help="request/input stream seed",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request SLO (default: app-specific)",
+    )
+    p.add_argument(
+        "--fallback", action="append", default=None, metavar="MODEL",
+        help="fallback-ladder engine (repeatable, cheapest last)",
+    )
+    p.add_argument(
+        "--events", action="store_true",
+        help="print the typed fault-event log",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a fault-annotated chrome://tracing JSON",
+    )
+
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
     p.add_argument("--device", default="NX", choices=["NX", "AGX"])
@@ -401,6 +503,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
 }
 
 

@@ -26,8 +26,13 @@ def _sev(severity: int, values: List[float]) -> float:
 
 
 def _rng(image: np.ndarray, severity: int, tag: int) -> np.random.Generator:
-    """Deterministic per-image noise stream (image content + severity)."""
-    digest = int(np.abs(image[0]).sum() * 1000) & 0x7FFFFFFF
+    """Deterministic per-image noise stream (image content + severity).
+
+    The digest covers *all* channels: hashing only channel 0 gave
+    identical noise streams to any images sharing a first channel
+    (zero-padded or grayscale-stacked inputs).
+    """
+    digest = int(np.abs(image).sum() * 1000) & 0x7FFFFFFF
     return np.random.default_rng((digest, severity, tag))
 
 

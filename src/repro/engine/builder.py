@@ -83,6 +83,11 @@ class BuilderConfig:
     #: Optional timing cache: reuse measured tactic timings across
     #: builds, making rebuilds deterministic (see engine.timing_cache).
     timing_cache: Optional["TimingCache"] = None
+    #: Load the timing cache from this file instead (ignored when
+    #: ``timing_cache`` is set).  A missing/corrupt/cross-device file
+    #: degrades to a cold cache with a warning rather than failing the
+    #: build — rebuild-on-corruption must always make progress.
+    timing_cache_path: Optional[str] = None
     #: Run every optimizer pass under the lint pass-invariant guard:
     #: a pass that renames/reshapes a graph output, alters the input
     #: contract, or introduces new lint errors fails the build with a
@@ -149,13 +154,18 @@ class EngineBuilder:
         cfg = self.config
         seed = cfg.seed if cfg.seed is not None else _next_build_seed()
         rng = np.random.default_rng(seed)
+        timing_cache = cfg.timing_cache
+        if timing_cache is None and cfg.timing_cache_path is not None:
+            timing_cache = TimingCache.load_or_cold(
+                cfg.timing_cache_path, self.device
+            )
         selector = TacticSelector(
             self.device,
             clock_mhz=self.device.max_gpu_clock_mhz,  # builds run at max clock
             rng=rng,
             timing_noise=cfg.timing_noise,
             timing_repeats=cfg.timing_repeats,
-            timing_cache=cfg.timing_cache,
+            timing_cache=timing_cache,
             workspace_limit_bytes=int(cfg.workspace_mb * 1024 * 1024),
         )
         allowed = cfg.precision.allowed_datatypes()

@@ -93,11 +93,17 @@ class Engine:
         return spec.volume * 4  # host-side input is FP32
 
     def create_execution_context(
-        self, run_device: Optional[DeviceSpec] = None
+        self,
+        run_device: Optional[DeviceSpec] = None,
+        layer_hook: Optional[object] = None,
     ) -> "ExecutionContext":
         """An execution context, optionally on a *different* device
-        (the paper's cross-platform cases 2 and 3)."""
-        return ExecutionContext(self, run_device or self.device)
+        (the paper's cross-platform cases 2 and 3).  ``layer_hook`` is
+        a fault-injection hook forwarded to the
+        :class:`~repro.runtime.executor.GraphExecutor`."""
+        return ExecutionContext(
+            self, run_device or self.device, layer_hook=layer_hook
+        )
 
     def describe(self) -> str:
         """Multi-line build summary."""
@@ -117,10 +123,17 @@ class Engine:
 class ExecutionContext:
     """Runs an engine, numerically and/or temporally, on a device."""
 
-    def __init__(self, engine: Engine, device: DeviceSpec):
+    def __init__(
+        self,
+        engine: Engine,
+        device: DeviceSpec,
+        layer_hook: Optional[object] = None,
+    ):
         self.engine = engine
         self.device = device
-        self._executor = GraphExecutor(engine.graph, engine.math_config)
+        self._executor = GraphExecutor(
+            engine.graph, engine.math_config, layer_hook=layer_hook
+        )
 
     # ------------------------------------------------------------------
     def execute(self, **inputs: np.ndarray) -> ExecutionResult:
@@ -135,6 +148,7 @@ class ExecutionContext:
         jitter: float = 0.05,
         sm_fraction: float = 1.0,
         profiler: Optional["Nvprof"] = None,
+        hardware_hook: Optional[object] = None,
     ) -> "InferenceTiming":
         """Latency of one inference on ``self.device``.
 
@@ -142,7 +156,8 @@ class ExecutionContext:
         ``include_engine_upload`` counts the plan's HtoD memcpy (the
         paper's Table X toggles this).  ``rng``/``jitter`` model
         run-to-run measurement noise; pass ``jitter=0`` for the
-        noiseless model time.
+        noiseless model time.  ``hardware_hook`` injects hardware
+        faults (see :func:`repro.hardware.gpu.simulate_inference`).
         """
         from repro.hardware.gpu import simulate_inference
 
@@ -157,6 +172,7 @@ class ExecutionContext:
             jitter=jitter,
             sm_fraction=sm_fraction,
             profiler=profiler,
+            hardware_hook=hardware_hook,
         )
 
     def infer(

@@ -15,12 +15,22 @@ the implementation enforces.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.hardware.specs import DeviceSpec
 from repro.hardware.workload import LayerWorkload
+
+
+class TimingCacheError(ValueError):
+    """A timing-cache file is unreadable, truncated, or malformed.
+
+    Mirrors the plan-file hardening: a corrupt cache produces one typed
+    diagnostic, never a raw ``json``/``KeyError`` traceback out of the
+    loader.
+    """
 
 #: Cache key: kernel identity + the workload dimensions that determine
 #: its runtime (GEMM shape + byte counts).
@@ -91,11 +101,93 @@ class TimingCache:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TimingCache":
-        doc = json.loads(Path(path).read_text())
-        cache = cls(device_name=doc["device"])
-        for entry in doc["entries"]:
-            key = entry["key"]
-            cache.entries[(str(key[0]), *map(int, key[1:]))] = float(
-                entry["us"]
+        """Reload a cache saved by :meth:`save`.
+
+        Truncated, corrupt, or wrong-schema files raise
+        :class:`TimingCacheError` with a diagnostic naming the file and
+        the defect — never a raw pickle/JSON exception.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise TimingCacheError(
+                f"timing cache {path}: unreadable ({exc})"
+            ) from None
+        except UnicodeDecodeError as exc:
+            raise TimingCacheError(
+                f"timing cache {path}: not valid JSON "
+                f"(binary or corrupt file? {exc})"
+            ) from None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TimingCacheError(
+                f"timing cache {path}: not valid JSON "
+                f"(truncated or corrupt file? {exc})"
+            ) from None
+        if not isinstance(doc, dict):
+            raise TimingCacheError(
+                f"timing cache {path}: top level must be an object, "
+                f"got {type(doc).__name__}"
             )
+        device = doc.get("device")
+        if not isinstance(device, str) or not device:
+            raise TimingCacheError(
+                f"timing cache {path}: missing or non-string "
+                f"'device' field"
+            )
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            raise TimingCacheError(
+                f"timing cache {path}: missing or non-array "
+                f"'entries' field"
+            )
+        cache = cls(device_name=device)
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise TimingCacheError(
+                    f"timing cache {path}: entry {i} is not an object"
+                )
+            key = entry.get("key")
+            if not isinstance(key, list) or len(key) != 7:
+                raise TimingCacheError(
+                    f"timing cache {path}: entry {i} key must be a "
+                    f"7-element [kernel, m, n, k, bytes_in, bytes_w, "
+                    f"bytes_out] array, got {key!r}"
+                )
+            try:
+                parsed = (str(key[0]), *(int(v) for v in key[1:]))
+                measured = float(entry["us"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TimingCacheError(
+                    f"timing cache {path}: entry {i} is malformed "
+                    f"({exc})"
+                ) from None
+            cache.entries[parsed] = measured
         return cache
+
+    @classmethod
+    def load_or_cold(
+        cls, path: Union[str, Path], device: DeviceSpec
+    ) -> "TimingCache":
+        """Load a cache for ``device``, falling back to a *cold* cache.
+
+        The builder's deployment posture: a missing, corrupt, or
+        cross-device cache must never fail a rebuild — it costs a
+        warning and a slower, fresh tactic auction instead.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls(device_name=device.name)
+        try:
+            cache = cls.load(path)
+            cache.check_device(device)
+            return cache
+        except (TimingCacheError, ValueError) as exc:
+            warnings.warn(
+                f"falling back to a cold timing cache: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls(device_name=device.name)

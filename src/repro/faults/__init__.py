@@ -1,0 +1,69 @@
+"""Deterministic, seeded fault injection for the simulator stack.
+
+The paper characterizes exactly the conditions a deployed edge-inference
+stack fails under — DVFS throttling, DRAM-bandwidth saturation (Eq. 1),
+RAM exhaustion as stream counts grow, and engine-rebuild
+non-determinism.  This package turns those into injectable,
+reproducible faults:
+
+* :mod:`repro.faults.scenario` — composable :class:`FaultScenario` /
+  :class:`FaultPlan` declarations with JSON round-tripping and a
+  registry of canned campaigns;
+* :mod:`repro.faults.injector` — the seeded :class:`FaultInjector`
+  that plugs into the hardware, runtime, and scheduler layers via
+  their hook parameters;
+* :mod:`repro.faults.events` — typed :class:`FaultEvent` records and
+  the :class:`FaultLog` every emission lands in;
+* :mod:`repro.faults.disk` — on-disk artifact corruption for ``.plan``
+  and timing-cache files.
+
+The serving side that *survives* these faults lives in
+:mod:`repro.serving`.
+"""
+
+from repro.faults.disk import CORRUPTION_MODES, corrupt_file
+from repro.faults.events import (
+    FaultError,
+    FaultEvent,
+    FaultKind,
+    FaultLog,
+    KernelLaunchFault,
+    OutOfMemoryFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import (
+    CANNED_PLANS,
+    FaultPlan,
+    FaultScenario,
+    canned_plan,
+    flaky_kernels_plan,
+    memcpy_stall_plan,
+    nan_storm_plan,
+    oom_plan,
+    thermal_oom_plan,
+    thermal_plan,
+    zero_fault_plan,
+)
+
+__all__ = [
+    "CANNED_PLANS",
+    "CORRUPTION_MODES",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultPlan",
+    "FaultScenario",
+    "KernelLaunchFault",
+    "OutOfMemoryFault",
+    "canned_plan",
+    "corrupt_file",
+    "flaky_kernels_plan",
+    "memcpy_stall_plan",
+    "nan_storm_plan",
+    "oom_plan",
+    "thermal_oom_plan",
+    "thermal_plan",
+    "zero_fault_plan",
+]

@@ -1,0 +1,63 @@
+"""On-disk artifact corruption (``.plan`` files, timing caches).
+
+Real deployments lose bits in flash, get truncated by full disks, and
+ship half-written files after power cuts.  These helpers damage a file
+deterministically under a seeded generator so loader hardening
+(:mod:`repro.lint.plan_rules`, :class:`repro.engine.timing_cache
+.TimingCache`) can be exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+#: Damage modes, in increasing destructiveness.
+CORRUPTION_MODES = ("flip", "zero", "truncate", "garbage")
+
+
+def corrupt_file(
+    path: Union[str, Path],
+    rng: np.random.Generator,
+    mode: str = "flip",
+    severity: int = 1,
+) -> int:
+    """Damage ``path`` in place; returns the number of bytes affected.
+
+    * ``flip`` — XOR random bits in ``severity * 0.2%`` of the bytes;
+    * ``zero`` — overwrite a contiguous span with zeros;
+    * ``truncate`` — drop the file's tail (more of it at higher
+      severity);
+    * ``garbage`` — replace the whole payload with random bytes.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return 0
+    if mode == "flip":
+        count = max(1, int(len(data) * 0.002 * severity))
+        positions = rng.integers(0, len(data), size=count)
+        masks = rng.integers(1, 256, size=count)
+        for pos, mask in zip(positions, masks):
+            data[int(pos)] ^= int(mask)
+        path.write_bytes(bytes(data))
+        return count
+    if mode == "zero":
+        span = max(1, int(len(data) * 0.05 * severity))
+        start = int(rng.integers(0, max(1, len(data) - span)))
+        data[start : start + span] = b"\x00" * span
+        path.write_bytes(bytes(data))
+        return span
+    if mode == "truncate":
+        keep = int(len(data) * max(0.05, 1.0 - 0.18 * severity))
+        path.write_bytes(bytes(data[:keep]))
+        return len(data) - keep
+    if mode == "garbage":
+        blob = rng.integers(0, 256, size=len(data), dtype=np.uint8)
+        path.write_bytes(blob.tobytes())
+        return len(data)
+    raise ValueError(
+        f"unknown corruption mode {mode!r}; use one of {CORRUPTION_MODES}"
+    )

@@ -1,0 +1,139 @@
+"""Typed fault events and the log they accumulate in.
+
+Every fault the injector emits — a clock step down the DVFS ladder, a
+memcpy stall, a failed kernel launch, a RAM-pressure kill, a corrupted
+artifact — is recorded as a :class:`FaultEvent`.  The log is the ground
+truth a resilience experiment is judged against: the same scenario plus
+the same seed must reproduce the identical event sequence, and the
+events flow into the observability surfaces the paper's measurement
+setup uses (``chrome://tracing`` timelines and tegrastats lines).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The fault families of the injection framework.
+
+    Each family stresses one of the paper's characterized failure
+    surfaces; see DESIGN.md §6 for the mapping to findings.
+    """
+
+    THERMAL_THROTTLE = "thermal_throttle"
+    DRAM_DEGRADATION = "dram_degradation"
+    MEMCPY_STALL = "memcpy_stall"
+    KERNEL_LAUNCH_FAIL = "kernel_launch_fail"
+    KERNEL_HANG = "kernel_hang"
+    COMPUTE_NAN = "compute_nan"
+    OOM = "oom"
+    PLAN_CORRUPTION = "plan_corruption"
+    CACHE_CORRUPTION = "cache_corruption"
+
+
+class FaultError(RuntimeError):
+    """Base class for exceptions raised by injected faults."""
+
+    kind: FaultKind = FaultKind.KERNEL_LAUNCH_FAIL
+
+
+class KernelLaunchFault(FaultError):
+    """A kernel launch failed (transient driver error)."""
+
+    kind = FaultKind.KERNEL_LAUNCH_FAIL
+
+
+class OutOfMemoryFault(FaultError):
+    """An allocation failed under RAM pressure."""
+
+    kind = FaultKind.OOM
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault emission, stamped with simulation time."""
+
+    kind: FaultKind
+    time_s: float
+    scenario: str
+    severity: int
+    target: str = ""
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "time_s": self.time_s,
+            "scenario": self.scenario,
+            "severity": self.severity,
+            "target": self.target,
+            "details": dict(self.details),
+        }
+
+
+def _freeze_details(details: Optional[Dict[str, Any]]) -> Tuple:
+    return tuple(sorted((details or {}).items()))
+
+
+@dataclass
+class FaultLog:
+    """Ordered record of every fault emitted during one run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def emit(
+        self,
+        kind: FaultKind,
+        time_s: float,
+        scenario: str,
+        severity: int,
+        target: str = "",
+        **details: Any,
+    ) -> FaultEvent:
+        event = FaultEvent(
+            kind=kind,
+            time_s=time_s,
+            scenario=scenario,
+            severity=severity,
+            target=target,
+            details=_freeze_details(details),
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def kinds(self) -> List[FaultKind]:
+        return [e.kind for e in self.events]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.events]
+
+    def render(self) -> str:
+        """Human-readable one-line-per-event log."""
+        lines = []
+        for e in self.events:
+            detail = " ".join(f"{k}={v}" for k, v in e.details)
+            target = f" target={e.target}" if e.target else ""
+            lines.append(
+                f"[{e.time_s:8.3f}s] {e.kind.value} sev={e.severity}"
+                f" scenario={e.scenario}{target} {detail}".rstrip()
+            )
+        return "\n".join(lines)

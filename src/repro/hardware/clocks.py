@@ -10,6 +10,7 @@ clocks (1109.25 / 1377 MHz) for the concurrency study.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.hardware.specs import DeviceSpec
@@ -36,20 +37,52 @@ class ClockDomain:
     def __post_init__(self) -> None:
         if not self.gpu_clock_mhz:
             self.gpu_clock_mhz = self.spec.max_gpu_clock_mhz
-        self._check(self.gpu_clock_mhz)
+        self.gpu_clock_mhz = self._check(self.gpu_clock_mhz)
 
-    def _check(self, mhz: float) -> None:
-        if mhz not in self.spec.supported_gpu_clocks_mhz:
-            raise ClockError(
-                f"{mhz} MHz is not a supported GPU clock on "
-                f"{self.spec.name}; ladder: "
-                f"{self.spec.supported_gpu_clocks_mhz}"
-            )
+    def _check(self, mhz: float) -> float:
+        """Return the canonical ladder frequency matching ``mhz``.
+
+        Membership is tested with :func:`math.isclose`, not ``in``:
+        ladder values arriving through arithmetic (e.g. 624.75
+        recomputed from a ratio) differ in the last ulp and must not be
+        spuriously rejected.
+        """
+        for supported in self.spec.supported_gpu_clocks_mhz:
+            if math.isclose(mhz, supported, rel_tol=1e-9, abs_tol=1e-6):
+                return supported
+        raise ClockError(
+            f"{mhz} MHz is not a supported GPU clock on "
+            f"{self.spec.name}; ladder: "
+            f"{self.spec.supported_gpu_clocks_mhz}"
+        )
 
     def set_gpu_clock(self, mhz: float) -> None:
         """Pin the GPU clock to an exact ladder frequency."""
-        self._check(mhz)
-        self.gpu_clock_mhz = mhz
+        self.gpu_clock_mhz = self._check(mhz)
+
+    def ladder_index(self) -> int:
+        """Position of the current clock on the DVFS ladder."""
+        canonical = self._check(self.gpu_clock_mhz)
+        return self.spec.supported_gpu_clocks_mhz.index(canonical)
+
+    def step_down(self, steps: int = 1) -> float:
+        """Thermal-throttle transition: drop ``steps`` ladder rungs
+        (clamped at the ladder floor); returns the new clock."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        index = max(0, self.ladder_index() - steps)
+        self.gpu_clock_mhz = self.spec.supported_gpu_clocks_mhz[index]
+        return self.gpu_clock_mhz
+
+    def step_up(self, steps: int = 1) -> float:
+        """Recovery transition: climb ``steps`` ladder rungs (clamped
+        at the ladder ceiling); returns the new clock."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        ladder = self.spec.supported_gpu_clocks_mhz
+        index = min(len(ladder) - 1, self.ladder_index() + steps)
+        self.gpu_clock_mhz = ladder[index]
+        return self.gpu_clock_mhz
 
     def set_nearest(self, target_mhz: float) -> float:
         """Pin to the ladder frequency nearest ``target_mhz``; returns it."""

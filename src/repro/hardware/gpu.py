@@ -86,12 +86,21 @@ def simulate_inference(
     jitter: float = 0.05,
     sm_fraction: float = 1.0,
     profiler: Optional["Nvprof"] = None,
+    hardware_hook: Optional[object] = None,
 ) -> InferenceTiming:
     """Simulate one inference and return its timeline.
 
     ``profiler`` (an :class:`repro.profiling.nvprof.Nvprof`) both
     records the events and *perturbs* them — profiling is not free, and
     the paper's Tables VIII vs IX quantify exactly that overhead.
+
+    ``hardware_hook`` injects hardware-level faults: it provides
+    ``memcpy_factor(label, start_us) -> float`` and
+    ``kernel_factor(layer_name, kernel_name, start_us) -> float``
+    multipliers on event durations (DRAM-bandwidth degradation, memcpy
+    stalls, kernel hangs).  :class:`repro.faults.FaultInjector`
+    implements this protocol; a factor of exactly ``1.0`` leaves the
+    timeline bit-identical to the hook-free run.
     """
     cost_model = CostModel(device)
     memcpy = MemcpyModel(device)
@@ -111,6 +120,10 @@ def simulate_inference(
     if include_engine_upload and weight_chunks:
         upload = memcpy.transfer(list(weight_chunks))
         dur = noisy(upload.total_us) * memcpy_overhead
+        if hardware_hook is not None:
+            dur *= hardware_hook.memcpy_factor(
+                "[CUDA memcpy HtoD] engine", cursor
+            )
         timing.memcpy_events.append(
             MemcpyEvent(
                 label="[CUDA memcpy HtoD] engine",
@@ -125,6 +138,10 @@ def simulate_inference(
     if input_bytes:
         inp = memcpy.single(input_bytes)
         dur = noisy(inp.total_us) * memcpy_overhead
+        if hardware_hook is not None:
+            dur *= hardware_hook.memcpy_factor(
+                "[CUDA memcpy HtoD] input", cursor
+            )
         timing.memcpy_events.append(
             MemcpyEvent(
                 label="[CUDA memcpy HtoD] input",
@@ -159,6 +176,10 @@ def simulate_inference(
             else:
                 base = cost.total_us
             dur = noisy(base) * overhead
+            if hardware_hook is not None:
+                dur *= hardware_hook.kernel_factor(
+                    binding.layer_name, kernel.name, cursor
+                )
             timing.kernel_events.append(
                 KernelEvent(
                     kernel_name=kernel.name,

@@ -85,13 +85,41 @@ class ConcurrencyResult:
 
 
 class StreamScheduler:
-    """Simulates N concurrent inference streams of one engine."""
+    """Simulates N concurrent inference streams of one engine.
 
-    def __init__(self, engine: "Engine", device: Optional[DeviceSpec] = None):
+    ``faults`` optionally injects resource pressure: an object with
+    ``ram_stolen_mb(device) -> float`` and ``bandwidth_scale() ->
+    float`` (the protocol :class:`repro.faults.FaultInjector`
+    implements).  Stolen RAM and degraded DRAM bandwidth shrink the
+    supportable stream count exactly as Eq. 1 predicts.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        device: Optional[DeviceSpec] = None,
+        faults: Optional[object] = None,
+    ):
         self.engine = engine
         self.device = device or engine.device
+        self.faults = faults
 
     # ------------------------------------------------------------------
+    def _ram_stolen_mb(self) -> float:
+        if self.faults is None:
+            return 0.0
+        return float(self.faults.ram_stolen_mb(self.device))
+
+    def _bandwidth_scale(self) -> float:
+        if self.faults is None:
+            return 1.0
+        return float(self.faults.bandwidth_scale())
+
+    def per_stream_memory_mb(self) -> float:
+        """Activation + engine working set of one stream (MB); the
+        admission-control unit the serving supervisor budgets with."""
+        return self._per_stream_memory_mb()
+
     def _per_stream_memory_mb(self) -> float:
         """Activation + engine working set of one stream (MB)."""
         shapes = infer_shapes(self.engine.graph)
@@ -133,9 +161,16 @@ class StreamScheduler:
         # speed is traffic / latency; the usable share of peak DRAM
         # bandwidth caps the total.
         per_thread_bw = traffic / latency_us * 1e6  # bytes/s
-        usable_bw = self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+        usable_bw = (
+            self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+            * self._bandwidth_scale()
+        )
         n_bw = int(usable_bw / per_thread_bw)
-        ram_mb = self.device.ram_gb * 1024 * USABLE_RAM_FRACTION
+        ram_mb = max(
+            0.0,
+            self.device.ram_gb * 1024 * USABLE_RAM_FRACTION
+            - self._ram_stolen_mb(),
+        )
         n_ram = int(ram_mb / self._per_stream_memory_mb())
         # Host submission bound: each stream issues num_kernels launches
         # per inference; the ARM cores sustain a finite submit rate.
@@ -157,7 +192,10 @@ class StreamScheduler:
         limit = min(limit, supported)
         latency_us = self._single_stream_compute_us(clock)
         traffic = self._per_inference_traffic_bytes()
-        usable_bw = self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+        usable_bw = (
+            self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
+            * self._bandwidth_scale()
+        )
         fps_bw_cap = usable_bw / traffic
         # Aggregate throughput also stops growing at the binding cap —
         # host submission rate or DRAM bandwidth, whichever is lower.
@@ -180,9 +218,10 @@ class StreamScheduler:
             ) * (1.35)
             utilization = min(utilization, UTILIZATION_CEILING)
             gpu_pct = utilization * 100.0
+            stolen_mb = self._ram_stolen_mb()
             ram_used = int(
-                per_stream_mb * n + 1536
-            )  # plus OS/desktop baseline
+                per_stream_mb * n + 1536 + stolen_mb
+            )  # plus OS/desktop baseline and injected pressure
             mem_util = min(1.0, agg * traffic / (
                 self.device.mem_bandwidth_gbps * 1e9))
             power = PowerModel(self.device).sample(
@@ -202,6 +241,11 @@ class StreamScheduler:
             )
             points.append(point)
             if tegrastats is not None:
+                note = (
+                    f"fault: {stolen_mb:.0f}MB RAM stolen"
+                    if stolen_mb > 0
+                    else ""
+                )
                 tegrastats.record(
                     TegrastatsSample(
                         timestamp_s=float(n),
@@ -210,6 +254,7 @@ class StreamScheduler:
                         gpu_util_pct=gpu_pct,
                         gpu_freq_mhz=clock,
                         cpu_util_pct=min(95.0, 8.0 * n),
+                        note=note,
                     )
                 )
         return ConcurrencyResult(

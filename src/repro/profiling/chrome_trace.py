@@ -10,23 +10,31 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 
 from repro.hardware.gpu import InferenceTiming
 
-#: Trace Event Format process/thread ids for the two activity tracks.
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.events import FaultLog
+
+#: Trace Event Format process/thread ids for the activity tracks.
 _PID = 1
 _TID_MEMCPY = 1
 _TID_KERNELS = 2
+_TID_FAULTS = 3
 
 
 def to_chrome_trace(
     timings: Union[InferenceTiming, Iterable[InferenceTiming]],
+    fault_log: Optional["FaultLog"] = None,
 ) -> dict:
     """Build a Trace Event Format document from one or more timelines.
 
     Successive timelines are laid out back-to-back on the time axis so
-    repeated runs render as consecutive inferences.
+    repeated runs render as consecutive inferences.  ``fault_log``
+    (a :class:`repro.faults.FaultLog`) renders every fault emission as
+    a global instant event on its own track, so injected faults line up
+    visually with the kernels they perturbed.
     """
     if isinstance(timings, InferenceTiming):
         timings = [timings]
@@ -88,6 +96,30 @@ def to_chrome_trace(
                 }
             )
         offset_us += timing.total_us
+    if fault_log is not None:
+        if len(fault_log):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": _TID_FAULTS,
+                    "args": {"name": "faults"},
+                }
+            )
+        for fault in fault_log:
+            events.append(
+                {
+                    "name": fault.kind.value,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID,
+                    "tid": _TID_FAULTS,
+                    "ts": fault.time_s * 1e6,
+                    "args": fault.to_dict(),
+                }
+            )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -101,6 +133,9 @@ def to_chrome_trace(
 def save_chrome_trace(
     timings: Union[InferenceTiming, Iterable[InferenceTiming]],
     path: Union[str, Path],
+    fault_log: Optional["FaultLog"] = None,
 ) -> None:
     """Write a ``.json`` trace loadable in chrome://tracing."""
-    Path(path).write_text(json.dumps(to_chrome_trace(timings)))
+    Path(path).write_text(
+        json.dumps(to_chrome_trace(timings, fault_log=fault_log))
+    )

@@ -23,14 +23,20 @@ class TegrastatsSample:
     gpu_util_pct: float
     gpu_freq_mhz: float
     cpu_util_pct: float = 0.0
+    #: Out-of-band annotation (fault-injection emissions, OOM kills);
+    #: rendered as a trailing bracketed note like a dmesg interleave.
+    note: str = ""
 
     def render(self) -> str:
         """The classic tegrastats line format."""
-        return (
+        line = (
             f"RAM {self.ram_used_mb}/{self.ram_total_mb}MB "
             f"CPU [{self.cpu_util_pct:.0f}%] "
             f"GR3D_FREQ {self.gpu_util_pct:.0f}%@{self.gpu_freq_mhz:.0f}"
         )
+        if self.note:
+            line += f" [{self.note}]"
+        return line
 
 
 class Tegrastats:

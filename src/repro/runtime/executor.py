@@ -10,7 +10,7 @@ execution is produced by :mod:`repro.hardware`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -39,6 +39,11 @@ class GraphExecutor:
         math: numeric configuration; defaults to unoptimized FP32.
         keep_intermediates: retain every tensor for inspection (tests
             and debugging; costs memory).
+        layer_hook: fault-injection hook called as
+            ``hook(layer, tensor_name, array) -> array`` on every
+            produced tensor; it may perturb the value (transient NaN
+            compute faults) or raise (kernel launch failures).  See
+            :meth:`repro.faults.FaultInjector.executor_hook`.
     """
 
     def __init__(
@@ -46,10 +51,12 @@ class GraphExecutor:
         graph: Graph,
         math: Optional[MathConfig] = None,
         keep_intermediates: bool = False,
+        layer_hook: Optional[Callable[..., np.ndarray]] = None,
     ):
         self.graph = graph
         self.math = math or MathConfig.unoptimized()
         self.keep_intermediates = keep_intermediates
+        self.layer_hook = layer_hook
         self._order = graph.toposort()
 
     # ------------------------------------------------------------------
@@ -77,6 +84,11 @@ class GraphExecutor:
 
         for layer in self._order:
             results = self._run_layer(layer, tensors)
+            if self.layer_hook is not None:
+                results = {
+                    name: self.layer_hook(layer, name, arr)
+                    for name, arr in results.items()
+                }
             tensors.update(results)
             if not self.keep_intermediates:
                 for t in layer.inputs:

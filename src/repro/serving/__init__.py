@@ -1,0 +1,30 @@
+"""Resilient inference serving on top of the simulator.
+
+The supervisor turns injected faults (:mod:`repro.faults`) into
+degraded-but-alive service: watchdog deadlines, bounded retries with
+jittered exponential backoff, priority-based admission control under
+RAM pressure, a model fallback ladder under thermal throttling, and
+audit-gated engine rebuilds from corrupted plan files.
+"""
+
+from repro.serving.supervisor import (
+    InferenceSupervisor,
+    RequestRecord,
+    ResilienceComparison,
+    ServiceReport,
+    StreamSpec,
+    SupervisorConfig,
+    load_or_rebuild_engine,
+    run_fault_comparison,
+)
+
+__all__ = [
+    "InferenceSupervisor",
+    "RequestRecord",
+    "ResilienceComparison",
+    "ServiceReport",
+    "StreamSpec",
+    "SupervisorConfig",
+    "load_or_rebuild_engine",
+    "run_fault_comparison",
+]

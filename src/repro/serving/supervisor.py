@@ -1,0 +1,650 @@
+"""Resilient inference serving: faults in, degraded-but-alive out.
+
+:class:`InferenceSupervisor` wraps an engine (plus an optional
+fallback ladder of progressively cheaper engines) and serves a
+frame-synchronous multi-stream workload under a
+:class:`repro.faults.FaultInjector`.  The supervision mechanisms map
+one-to-one onto the paper's characterized failure modes:
+
+* **watchdog deadlines** — a hung kernel (Finding 6's latency tail,
+  amplified) is cut off at the watchdog budget and retried instead of
+  stalling the stream forever;
+* **bounded retry with exponential backoff + jitter** — transient
+  launch failures and NaN-producing compute faults get
+  ``max_retries`` more attempts, each attempt's latency charged
+  against the request;
+* **admission control** — under RAM pressure (the paper's Eq. 1 /
+  stream-count exhaustion) the lowest-priority streams are shed so the
+  remaining streams keep their buffers instead of everyone OOMing;
+* **precision/model fallback ladder** — when DVFS throttling makes the
+  deadline unmeetable at the current level, the supervisor steps down
+  to a cheaper engine (INT8 → FP16 → a lite model), and climbs back
+  once latencies recover;
+* **plan integrity audit + rebuild** — :func:`load_or_rebuild_engine`
+  refuses a ``.plan`` file that fails its lint audit and rebuilds from
+  the source network, reusing a :class:`~repro.engine.timing_cache
+  .TimingCache` so the rebuild binds the same tactics (the mitigation
+  for Finding 2 non-determinism).
+
+The *unsupervised* baseline (``supervised=False``) runs the identical
+workload against the identical fault world with every mechanism
+disabled — the comparison the SLO report prints.  With a zero-fault
+plan the supervised path is bit-identical to the unsupervised one:
+supervision adds no behavioral change until a fault fires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.engine import Engine, ExecutionContext
+from repro.faults.events import FaultError, FaultKind
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import FaultPlan
+from repro.hardware.clocks import ClockDomain
+from repro.hardware.scheduler import USABLE_RAM_FRACTION, StreamScheduler
+from repro.hardware.specs import DeviceSpec
+from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One request stream (camera feed); higher priority sheds last."""
+
+    name: str
+    priority: int = 0
+
+
+@dataclass
+class SupervisorConfig:
+    """Resilience policy knobs."""
+
+    deadline_ms: float = 33.0
+    frame_period_s: float = 1.0 / 30.0
+    #: Watchdog budget per attempt, as a multiple of the deadline.
+    watchdog_factor: float = 3.0
+    #: Extra attempts after the first failed one.
+    max_retries: int = 2
+    backoff_base_ms: float = 2.0
+    backoff_factor: float = 2.0
+    #: Jitter band as a fraction of the nominal backoff (+/-).
+    backoff_jitter: float = 0.25
+    max_backoff_ms: float = 50.0
+    #: Consecutive deadline misses before stepping down the ladder.
+    degrade_after: int = 2
+    #: Consecutive comfortable hits before stepping back up.
+    recover_after: int = 6
+    #: A hit is "comfortable" below this fraction of the deadline.
+    recover_margin: float = 0.5
+    #: RAM kept free over the strict per-stream budget (MB).
+    admission_headroom_mb: float = 0.0
+    #: Charge the engine-upload memcpy on every request (serving keeps
+    #: weights resident, so the default excludes it).
+    include_engine_upload: bool = False
+
+    @property
+    def watchdog_ms(self) -> float:
+        return self.deadline_ms * self.watchdog_factor
+
+    def backoff_ms(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        nominal = min(
+            self.max_backoff_ms,
+            self.backoff_base_ms * self.backoff_factor ** (attempt - 1),
+        )
+        jitter = self.backoff_jitter * float(rng.uniform(-1.0, 1.0))
+        return nominal * (1.0 + jitter)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one (stream, frame) request."""
+
+    frame: int
+    stream: str
+    t_s: float
+    ok: bool
+    dropped: bool
+    deadline_met: bool
+    latency_ms: float
+    attempts: int
+    level: int
+    fault: str = ""
+    output_digest: str = ""
+
+
+@dataclass
+class ServiceReport:
+    """SLO attainment of one serving run."""
+
+    engine_name: str
+    device_name: str
+    deadline_ms: float
+    supervised: bool
+    records: List[RequestRecord] = field(default_factory=list)
+    actions: List[Tuple[float, str]] = field(default_factory=list)
+    fault_log: object = None  # FaultLog of the run's injector
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.records if not r.dropped)
+
+    @property
+    def dropped_frames(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.records if not r.dropped and not r.ok)
+
+    @property
+    def deadline_hits(self) -> int:
+        return sum(1 for r in self.records if r.deadline_met)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of *offered* requests served correctly in time."""
+        if not self.records:
+            return 0.0
+        return self.deadline_hits / len(self.records)
+
+    @property
+    def fallback_occupancy(self) -> float:
+        """Fraction of served requests answered by a fallback engine."""
+        served = [r for r in self.records if not r.dropped]
+        if not served:
+            return 0.0
+        return sum(1 for r in served if r.level > 0) / len(served)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(max(0, r.attempts - 1) for r in self.records)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        served = [r.latency_ms for r in self.records if not r.dropped]
+        if not served:
+            return 0.0
+        return float(np.mean(served))
+
+    def summary(self) -> str:
+        mode = "supervised" if self.supervised else "unsupervised"
+        return (
+            f"{self.engine_name} on {self.device_name} ({mode}): "
+            f"{self.requests} requests, "
+            f"deadline-hit {100 * self.deadline_hit_rate:.1f}%, "
+            f"{self.dropped_frames} dropped, {self.failures} failed, "
+            f"{self.total_retries} retries, "
+            f"fallback occupancy {100 * self.fallback_occupancy:.1f}%, "
+            f"mean latency {self.mean_latency_ms:.2f} ms"
+        )
+
+
+class InferenceSupervisor:
+    """Serves a multi-stream workload, resiliently or not.
+
+    Args:
+        engine: the primary engine.
+        fallbacks: cheaper engines, fastest last (the degradation
+            ladder below the primary).
+        streams: the request streams; priority decides shed order.
+        config: resilience policy; ``config.deadline_ms`` is the SLO.
+        injector: fault world (defaults to a zero-fault injector).
+        supervised: disable every resilience mechanism when False —
+            the baseline the SLO comparison is made against.
+        seed: workload seed; inputs and timing noise derive from it.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fallbacks: Sequence[Engine] = (),
+        streams: Sequence[StreamSpec] = (StreamSpec("stream0"),),
+        config: Optional[SupervisorConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        device: Optional[DeviceSpec] = None,
+        supervised: bool = True,
+        seed: int = 0,
+        tegrastats: Optional[Tegrastats] = None,
+    ):
+        if not streams:
+            raise ValueError("need at least one stream")
+        self.engines: List[Engine] = [engine, *fallbacks]
+        self.streams = list(streams)
+        self.config = config or SupervisorConfig()
+        self.device = device or engine.device
+        self.injector = injector or FaultInjector()
+        self.supervised = supervised
+        self.seed = seed
+        self.tegrastats = tegrastats
+        self.clock = ClockDomain(self.device)
+        hook = self.injector.executor_hook()
+        self._contexts: List[ExecutionContext] = [
+            e.create_execution_context(self.device, layer_hook=hook)
+            for e in self.engines
+        ]
+        self._per_stream_mb = StreamScheduler(
+            engine, self.device
+        ).per_stream_memory_mb()
+        self._level = 0
+        self._miss_streak = 0
+        self._hit_streak = 0
+        self._shed: Dict[str, bool] = {s.name: False for s in self.streams}
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def _input_for(self, level: int, stream_idx: int, frame: int) -> Dict:
+        engine = self.engines[level]
+        spec = engine.graph.input_specs[engine.input_name]
+        rng = np.random.default_rng((self.seed, 17, stream_idx, frame))
+        batch = rng.normal(size=(1,) + tuple(spec.shape)).astype(np.float32)
+        return {engine.input_name: batch}
+
+    @staticmethod
+    def _digest(outputs: Dict[str, np.ndarray]) -> str:
+        h = hashlib.sha256()
+        for name in sorted(outputs):
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(outputs[name]).tobytes())
+        return h.hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _streams_that_fit(self) -> int:
+        usable = self.device.ram_gb * 1024.0 * USABLE_RAM_FRACTION
+        budget = (
+            usable
+            - self.injector.ram_stolen_mb(self.device)
+            - self.config.admission_headroom_mb
+        )
+        return max(0, int(budget // self._per_stream_mb))
+
+    def _admit(self, t_s: float) -> List[Tuple[int, StreamSpec]]:
+        """Shed lowest-priority streams until the rest fit in RAM."""
+        indexed = list(enumerate(self.streams))
+        fit = self._streams_that_fit()
+        if fit >= len(indexed):
+            admitted = indexed
+        else:
+            by_priority = sorted(
+                indexed, key=lambda p: (-p[1].priority, p[0])
+            )
+            admitted = sorted(by_priority[:fit], key=lambda p: p[0])
+        kept = {s.name for _, s in admitted}
+        for _, stream in indexed:
+            now_shed = stream.name not in kept
+            if now_shed != self._shed[stream.name]:
+                self._shed[stream.name] = now_shed
+                verb = "shed" if now_shed else "readmitted"
+                self.actions.append(
+                    (t_s, f"{verb} stream {stream.name!r} "
+                          f"(priority {stream.priority})")
+                )
+                if now_shed:
+                    self.injector.emit(
+                        FaultKind.OOM,
+                        severity=1,
+                        action="shed",
+                        stream=stream.name,
+                    )
+        return admitted
+
+    # ------------------------------------------------------------------
+    # fallback ladder
+    # ------------------------------------------------------------------
+    def _adapt_level(self, record: RequestRecord) -> None:
+        cfg = self.config
+        if record.deadline_met and (
+            record.latency_ms <= cfg.recover_margin * cfg.deadline_ms
+        ):
+            self._hit_streak += 1
+            self._miss_streak = 0
+            if self._hit_streak >= cfg.recover_after and self._level > 0:
+                self._level -= 1
+                self._hit_streak = 0
+                self.actions.append(
+                    (record.t_s,
+                     f"recovered to level {self._level} "
+                     f"({self.engines[self._level].name})")
+                )
+        elif not record.deadline_met:
+            self._miss_streak += 1
+            self._hit_streak = 0
+            if (
+                self._miss_streak >= cfg.degrade_after
+                and self._level < len(self.engines) - 1
+            ):
+                self._level += 1
+                self._miss_streak = 0
+                self.actions.append(
+                    (record.t_s,
+                     f"degraded to level {self._level} "
+                     f"({self.engines[self._level].name})")
+                )
+        else:
+            self._miss_streak = 0
+            self._hit_streak = 0
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        level: int,
+        stream_idx: int,
+        frame: int,
+        attempt: int,
+        clock_mhz: float,
+    ) -> Tuple[Optional[Dict], float, str]:
+        """One execution attempt: (outputs|None, latency_ms, fault)."""
+        context = self._contexts[level]
+        rng = np.random.default_rng(
+            (self.seed, stream_idx, frame, attempt)
+        )
+        fault = ""
+        outputs: Optional[Dict] = None
+        try:
+            result = context.execute(
+                **self._input_for(level, stream_idx, frame)
+            )
+            outputs = result.outputs
+            if not all(
+                np.isfinite(a).all() for a in outputs.values()
+            ):
+                fault = FaultKind.COMPUTE_NAN.value
+                outputs = None
+        except FaultError as exc:
+            fault = exc.kind.value
+        timing = context.time_inference(
+            clock_mhz=clock_mhz,
+            include_engine_upload=self.config.include_engine_upload,
+            rng=rng,
+            hardware_hook=self.injector,
+        )
+        return outputs, timing.total_ms, fault
+
+    def _serve_request(
+        self, stream_idx: int, frame: int, t_s: float, clock_mhz: float
+    ) -> RequestRecord:
+        cfg = self.config
+        stream = self.streams[stream_idx]
+        level = self._level if self.supervised else 0
+        total_ms = 0.0
+        attempts = 0
+        last_fault = ""
+        outputs: Optional[Dict] = None
+        max_attempts = 1 + (cfg.max_retries if self.supervised else 0)
+        while attempts < max_attempts:
+            attempts += 1
+            outputs, attempt_ms, fault = self._attempt(
+                level, stream_idx, frame, attempts, clock_mhz
+            )
+            if self.supervised and attempt_ms > cfg.watchdog_ms:
+                # Watchdog fired: the attempt is cut off at its budget
+                # and treated as a (probably hung) failure.
+                attempt_ms = cfg.watchdog_ms
+                fault = fault or FaultKind.KERNEL_HANG.value
+                outputs = None
+                self.actions.append(
+                    (t_s,
+                     f"watchdog cut attempt {attempts} of "
+                     f"{stream.name!r}#{frame} at {cfg.watchdog_ms:.1f} ms")
+                )
+            total_ms += attempt_ms
+            if fault:
+                last_fault = fault
+            if outputs is not None:
+                break
+            if self.supervised and attempts < max_attempts:
+                backoff_rng = np.random.default_rng(
+                    (self.seed, 23, stream_idx, frame, attempts)
+                )
+                total_ms += cfg.backoff_ms(attempts, backoff_rng)
+        ok = outputs is not None
+        return RequestRecord(
+            frame=frame,
+            stream=stream.name,
+            t_s=t_s,
+            ok=ok,
+            dropped=False,
+            deadline_met=ok and total_ms <= cfg.deadline_ms,
+            latency_ms=total_ms,
+            attempts=attempts,
+            level=level,
+            fault=last_fault,
+            output_digest=self._digest(outputs) if ok else "",
+        )
+
+    # ------------------------------------------------------------------
+    def serve(self, frames: int) -> ServiceReport:
+        """Run ``frames`` frame cycles over every stream."""
+        cfg = self.config
+        report = ServiceReport(
+            engine_name=self.engines[0].name,
+            device_name=self.device.name,
+            deadline_ms=cfg.deadline_ms,
+            supervised=self.supervised,
+            fault_log=self.injector.log,
+        )
+        self.actions = report.actions
+        for frame in range(frames):
+            t_s = frame * cfg.frame_period_s
+            self.injector.set_time(t_s)
+            clock_mhz = self.injector.apply_thermal(self.clock)
+            events_before = len(self.injector.log)
+
+            if self.supervised:
+                admitted = self._admit(t_s)
+                admitted_idx = {i for i, _ in admitted}
+                oom_all = False
+            else:
+                admitted_idx = set(range(len(self.streams)))
+                # Without admission control, RAM pressure beyond the
+                # aggregate working set fails *every* allocation.
+                oom_all = self._streams_that_fit() < len(self.streams)
+
+            for stream_idx, stream in enumerate(self.streams):
+                if stream_idx not in admitted_idx:
+                    report.records.append(
+                        RequestRecord(
+                            frame=frame,
+                            stream=stream.name,
+                            t_s=t_s,
+                            ok=False,
+                            dropped=True,
+                            deadline_met=False,
+                            latency_ms=0.0,
+                            attempts=0,
+                            level=self._level,
+                            fault="oom_shed",
+                        )
+                    )
+                    continue
+                if oom_all:
+                    report.records.append(
+                        RequestRecord(
+                            frame=frame,
+                            stream=stream.name,
+                            t_s=t_s,
+                            ok=False,
+                            dropped=False,
+                            deadline_met=False,
+                            latency_ms=0.0,
+                            attempts=1,
+                            level=0,
+                            fault=FaultKind.OOM.value,
+                        )
+                    )
+                    continue
+                record = self._serve_request(
+                    stream_idx, frame, t_s, clock_mhz
+                )
+                report.records.append(record)
+                if self.supervised:
+                    self._adapt_level(record)
+
+            if self.tegrastats is not None:
+                fired = self.injector.log.events[events_before:]
+                note = ", ".join(
+                    sorted({e.kind.value for e in fired})
+                )
+                stolen = self.injector.ram_stolen_mb(self.device)
+                active = len(
+                    [r for r in report.records
+                     if r.frame == frame and not r.dropped]
+                )
+                self.tegrastats.record(
+                    TegrastatsSample(
+                        timestamp_s=t_s,
+                        ram_used_mb=int(
+                            1536 + stolen + self._per_stream_mb * active
+                        ),
+                        ram_total_mb=self.device.ram_gb * 1024,
+                        gpu_util_pct=80.0 if active else 5.0,
+                        gpu_freq_mhz=clock_mhz,
+                        cpu_util_pct=min(95.0, 10.0 * active),
+                        note=note,
+                    )
+                )
+        return report
+
+
+# ----------------------------------------------------------------------
+# plan audit + rebuild
+# ----------------------------------------------------------------------
+def load_or_rebuild_engine(
+    plan_path,
+    network,
+    device: DeviceSpec,
+    builder_config=None,
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[Engine, bool]:
+    """Load a ``.plan`` that passes its integrity audit, else rebuild.
+
+    Returns ``(engine, rebuilt)``.  The audit is the full
+    :func:`repro.lint.lint_plan` pass; any error-level diagnostic (a
+    corrupt archive, a tampered document, a broken embedded graph)
+    triggers a rebuild from ``network`` using ``builder_config`` —
+    which should carry a ``timing_cache``/``timing_cache_path`` so the
+    rebuild reproduces the shipped engine's tactic bindings
+    (Finding 2 mitigation).
+    """
+    from repro.engine.builder import BuilderConfig, EngineBuilder
+    from repro.engine.plan import load_plan
+    from repro.lint import lint_plan
+
+    report = lint_plan(plan_path)
+    if report.ok:
+        return load_plan(plan_path), False
+    if injector is not None:
+        first = report.errors[0] if report.errors else None
+        injector.emit(
+            FaultKind.PLAN_CORRUPTION,
+            severity=1,
+            action="rebuild",
+            plan=str(plan_path),
+            diagnostic=(first.message if first else "audit failed"),
+        )
+    config = builder_config or BuilderConfig(seed=0)
+    engine = EngineBuilder(device, config).build(network)
+    return engine, True
+
+
+# ----------------------------------------------------------------------
+# supervised-vs-unsupervised comparison
+# ----------------------------------------------------------------------
+@dataclass
+class ResilienceComparison:
+    """Paired SLO reports over the same fault plan and workload."""
+
+    supervised: ServiceReport
+    unsupervised: ServiceReport
+    plan_name: str
+
+    @property
+    def hit_rate_gain(self) -> float:
+        """Supervised / unsupervised deadline-hit ratio (inf when the
+        baseline served nothing in time)."""
+        if self.unsupervised.deadline_hit_rate == 0.0:
+            return float("inf") if (
+                self.supervised.deadline_hit_rate > 0
+            ) else 1.0
+        return (
+            self.supervised.deadline_hit_rate
+            / self.unsupervised.deadline_hit_rate
+        )
+
+    def slo_table(self) -> str:
+        rows = [
+            ("deadline-hit rate",
+             f"{100 * self.supervised.deadline_hit_rate:.1f}%",
+             f"{100 * self.unsupervised.deadline_hit_rate:.1f}%"),
+            ("dropped frames",
+             str(self.supervised.dropped_frames),
+             str(self.unsupervised.dropped_frames)),
+            ("failed requests",
+             str(self.supervised.failures),
+             str(self.unsupervised.failures)),
+            ("retries",
+             str(self.supervised.total_retries),
+             str(self.unsupervised.total_retries)),
+            ("fallback occupancy",
+             f"{100 * self.supervised.fallback_occupancy:.1f}%",
+             f"{100 * self.unsupervised.fallback_occupancy:.1f}%"),
+            ("mean latency",
+             f"{self.supervised.mean_latency_ms:.2f} ms",
+             f"{self.unsupervised.mean_latency_ms:.2f} ms"),
+        ]
+        lines = [
+            f"fault plan: {self.plan_name} — "
+            f"{len(self.supervised.records)} requests each",
+            f"{'metric':<20}{'supervised':>14}{'unsupervised':>14}",
+        ]
+        lines += [f"{m:<20}{s:>14}{u:>14}" for m, s, u in rows]
+        gain = self.hit_rate_gain
+        gain_text = "inf" if gain == float("inf") else f"{gain:.2f}x"
+        lines.append(f"hit-rate gain: {gain_text}")
+        return "\n".join(lines)
+
+
+def run_fault_comparison(
+    engine: Engine,
+    plan: FaultPlan,
+    streams: Sequence[StreamSpec] = (StreamSpec("stream0"),),
+    fallbacks: Sequence[Engine] = (),
+    config: Optional[SupervisorConfig] = None,
+    frames: int = 40,
+    seed: int = 0,
+    device: Optional[DeviceSpec] = None,
+) -> ResilienceComparison:
+    """Run the same workload supervised and unsupervised against two
+    fresh injectors of the same plan, and pair the SLO reports."""
+    reports = {}
+    for supervised in (True, False):
+        supervisor = InferenceSupervisor(
+            engine,
+            fallbacks=fallbacks if supervised else (),
+            streams=streams,
+            config=config,
+            injector=FaultInjector(plan),
+            device=device,
+            supervised=supervised,
+            seed=seed,
+        )
+        reports[supervised] = supervisor.serve(frames)
+    return ResilienceComparison(
+        supervised=reports[True],
+        unsupervised=reports[False],
+        plan_name=plan.name,
+    )

@@ -145,3 +145,23 @@ class TestTrafficScenes:
 
     def test_vehicle_classes_have_background_zero(self):
         assert VEHICLE_CLASSES[0] == "background"
+
+
+class TestCorruptionRngDigest:
+    """The per-image noise stream must hash *all* channels: images
+    sharing only a first channel must not share noise."""
+
+    def test_images_differing_beyond_channel0_get_distinct_noise(self):
+        base = np.zeros((3, 16, 16), dtype=np.float32)
+        other = base.copy()
+        other[1] += 0.5  # identical channel 0, different channel 1
+        a = corrupt(base, "gaussian_noise", 3) - base
+        b = corrupt(other, "gaussian_noise", 3) - other
+        assert not np.array_equal(a, b)
+
+    def test_noise_is_still_deterministic_per_image(self):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(3, 16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(
+            corrupt(img, "impulse_noise", 2), corrupt(img, "impulse_noise", 2)
+        )

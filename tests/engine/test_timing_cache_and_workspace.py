@@ -1,12 +1,14 @@
 """Tests for the timing cache (deterministic rebuilds) and the
 workspace limit (kernel filtering)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.engine import BuilderConfig, EngineBuilder
 from repro.engine.kernels import DEFAULT_CATALOG
-from repro.engine.timing_cache import TimingCache
+from repro.engine.timing_cache import TimingCache, TimingCacheError
 from repro.hardware.specs import XAVIER_AGX, XAVIER_NX
 from repro.hardware.workload import LayerWorkload
 
@@ -147,3 +149,98 @@ class TestWorkspaceLimit:
             BuilderConfig(seed=3, timing_noise=0.0, workspace_mb=4096.0),
         ).build(small_cnn)
         assert tight.kernel_names() == huge.kernel_names()
+
+
+class TestHardenedCacheLoading:
+    """Corrupt cache files produce typed diagnostics and the builder
+    degrades to a cold cache instead of failing the rebuild."""
+
+    def _saved_cache(self, tmp_path, device=XAVIER_NX):
+        cache = TimingCache(device_name=device.name)
+        cache.store("kernel_a", _workload(), 12.5)
+        path = tmp_path / "timing.cache"
+        cache.save(path)
+        return path
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(TimingCacheError, match="unreadable"):
+            TimingCache.load(tmp_path / "nope.cache")
+
+    def test_truncated_json_is_typed(self, tmp_path):
+        path = self._saved_cache(tmp_path)
+        path.write_text(path.read_text()[: 40])
+        with pytest.raises(TimingCacheError, match="not valid JSON"):
+            TimingCache.load(path)
+
+    def test_binary_garbage_is_typed(self, tmp_path):
+        path = tmp_path / "garbage.cache"
+        path.write_bytes(bytes(range(256)))
+        with pytest.raises(TimingCacheError, match="not valid JSON"):
+            TimingCache.load(path)
+
+    @pytest.mark.parametrize(
+        "doc, match",
+        [
+            ("[1, 2]", "top level"),
+            ('{"entries": []}', "device"),
+            ('{"device": "NX"}', "entries"),
+            ('{"device": "NX", "entries": [5]}', "not an object"),
+            ('{"device": "NX", "entries": [{"key": [1, 2]}]}', "7-element"),
+            (
+                '{"device": "NX", "entries": '
+                '[{"key": ["k", 1, 2, 3, 4, 5, 6]}]}',
+                "malformed",
+            ),
+        ],
+    )
+    def test_schema_violations_are_typed(self, tmp_path, doc, match):
+        path = tmp_path / "bad.cache"
+        path.write_text(doc)
+        with pytest.raises(TimingCacheError, match=match):
+            TimingCache.load(path)
+
+    def test_load_or_cold_missing_file_is_silent(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache = TimingCache.load_or_cold(
+                tmp_path / "absent.cache", XAVIER_NX
+            )
+        assert len(cache) == 0
+        assert cache.device_name == XAVIER_NX.name
+
+    def test_load_or_cold_corrupt_file_warns(self, tmp_path):
+        path = tmp_path / "corrupt.cache"
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="cold timing cache"):
+            cache = TimingCache.load_or_cold(path, XAVIER_NX)
+        assert len(cache) == 0
+
+    def test_load_or_cold_cross_device_warns(self, tmp_path):
+        path = self._saved_cache(tmp_path, device=XAVIER_AGX)
+        with pytest.warns(RuntimeWarning, match="cold timing cache"):
+            cache = TimingCache.load_or_cold(path, XAVIER_NX)
+        assert len(cache) == 0
+        assert cache.device_name == XAVIER_NX.name
+
+    def test_builder_uses_cache_path(self, small_cnn, tmp_path):
+        path = tmp_path / "build.cache"
+        cache = TimingCache(XAVIER_NX.name)
+        first = EngineBuilder(
+            XAVIER_NX, BuilderConfig(seed=1, timing_cache=cache)
+        ).build(small_cnn)
+        cache.save(path)
+        rebuilt = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(seed=999, timing_cache_path=str(path)),
+        ).build(small_cnn)
+        assert rebuilt.kernel_names() == first.kernel_names()
+
+    def test_builder_survives_corrupt_cache_path(self, small_cnn, tmp_path):
+        path = tmp_path / "hosed.cache"
+        path.write_bytes(b"\x00\xff" * 64)
+        with pytest.warns(RuntimeWarning, match="cold timing cache"):
+            engine = EngineBuilder(
+                XAVIER_NX,
+                BuilderConfig(seed=1, timing_cache_path=str(path)),
+            ).build(small_cnn)
+        assert engine.bindings

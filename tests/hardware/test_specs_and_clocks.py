@@ -103,3 +103,44 @@ class TestClocks:
         assert abs(
             PAPER_LATENCY_CLOCK_NX_MHZ - PAPER_LATENCY_CLOCK_AGX_MHZ
         ) < 30
+
+
+class TestClockLadderArithmetic:
+    """Ladder membership must survive float arithmetic, and ladder
+    walking (thermal throttle / recovery) clamps at the ends."""
+
+    def test_recomputed_frequency_is_accepted(self):
+        # 624.75 rebuilt through arithmetic differs in the last ulp;
+        # exact `in` membership used to reject it.
+        wobbly = 624.75 * (1.0 / 3.0) * 3.0
+        domain = ClockDomain(XAVIER_AGX, wobbly)
+        assert domain.gpu_clock_mhz == 624.75  # snapped to canonical
+
+    def test_set_gpu_clock_snaps_to_canonical(self):
+        domain = ClockDomain(XAVIER_NX)
+        domain.set_gpu_clock(599.0 + 1e-8)
+        assert domain.gpu_clock_mhz == 599.0
+
+    def test_far_off_frequency_still_rejected(self):
+        domain = ClockDomain(XAVIER_NX)
+        with pytest.raises(ClockError):
+            domain.set_gpu_clock(600.0)
+
+    def test_step_down_walks_ladder_and_clamps(self):
+        domain = ClockDomain(XAVIER_NX)
+        ladder = XAVIER_NX.supported_gpu_clocks_mhz
+        assert domain.ladder_index() == len(ladder) - 1
+        assert domain.step_down(2) == ladder[-3]
+        assert domain.step_down(100) == ladder[0]  # clamped at floor
+
+    def test_step_up_clamps_at_ceiling(self):
+        domain = ClockDomain(XAVIER_NX, XAVIER_NX.supported_gpu_clocks_mhz[0])
+        assert domain.step_up(1) == XAVIER_NX.supported_gpu_clocks_mhz[1]
+        assert domain.step_up(100) == XAVIER_NX.max_gpu_clock_mhz
+
+    def test_negative_steps_rejected(self):
+        domain = ClockDomain(XAVIER_NX)
+        with pytest.raises(ValueError):
+            domain.step_down(-1)
+        with pytest.raises(ValueError):
+            domain.step_up(-1)

@@ -90,3 +90,42 @@ class TestExtensionCommands:
             ["trace", "mtcnn", "--runs", "2", "-o", str(out_file)]
         ) == 0
         assert out_file.exists()
+
+
+class TestFaultsCommand:
+    def test_canned_scenario_reports_slo_table(self, capsys):
+        code = main(
+            ["faults", "mtcnn", "--app", "adas", "--scenario",
+             "flaky_kernels", "--frames", "6", "--events"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supervised" in out and "unsupervised" in out
+        assert "deadline-hit rate" in out
+        assert "hit-rate gain" in out
+
+    def test_scenario_file_and_trace_output(self, capsys, tmp_path):
+        from repro.faults import FaultKind, FaultPlan, FaultScenario
+
+        plan_file = tmp_path / "campaign.json"
+        FaultPlan(
+            scenarios=[
+                FaultScenario(kind=FaultKind.KERNEL_HANG, probability=0.5)
+            ],
+            seed=2,
+            name="file_campaign",
+        ).save(plan_file)
+        trace_file = tmp_path / "faults.trace.json"
+        code = main(
+            ["faults", "mtcnn", "--app", "adas",
+             "--scenario-file", str(plan_file),
+             "--frames", "6", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "file_campaign" in out
+        assert trace_file.exists()
+
+    def test_unknown_scenario_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown canned fault plan"):
+            main(["faults", "mtcnn", "--scenario", "volcano"])
