@@ -1,0 +1,52 @@
+"""Extension: the micro-batch ladder the paper left unexplored.
+
+The paper scales throughput by adding batch-1 streams (Figs. 3/4);
+this table scales the batch dimension of a single stream instead.
+Acceptance (ISSUE 3): GoogLeNet on NX at batch 8 must deliver at least
+2x the batch-1 aggregate FPS while each coalesced request still beats
+the 33 ms frame deadline up to the saturation batch.
+"""
+
+from repro.analysis.batching import batch_sweep
+
+from conftest import print_table
+
+FRAME_DEADLINE_MS = 1000.0 / 30.0
+
+
+def test_batch_sweep_googlenet_nx(benchmark, farm):
+    result = benchmark.pedantic(
+        lambda: batch_sweep("googlenet", "NX", farm=farm),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        f"{p.batch:>6}{p.latency_ms:>13.3f}{p.aggregate_fps:>12.1f}"
+        f"{p.fps_per_watt:>10.1f}{p.speedup:>9.2f}x"
+        f"{'bw' if p.bandwidth_limited else '':>6}"
+        for p in result.points
+    ]
+    print_table(
+        f"Batch sweep — GoogLeNet on {result.device_name} @ "
+        f"{result.clock_mhz:.0f} MHz "
+        f"(saturates at batch {result.saturation_batch})",
+        f"{'batch':>6}{'latency ms':>13}{'agg FPS':>12}"
+        f"{'FPS/W':>10}{'speedup':>10}{'limit':>6}",
+        rows,
+    )
+
+    # Aggregate FPS is monotone in batch size.
+    aggs = [p.aggregate_fps for p in result.points]
+    assert aggs == sorted(aggs)
+
+    # Acceptance: batch 8 at least doubles batch-1 throughput.
+    assert result.point(8).speedup >= 2.0
+
+    # Per-request latency stays under the 30 FPS frame deadline for
+    # every batch up to (and including) the saturation batch.
+    for p in result.points:
+        if p.batch <= result.saturation_batch:
+            assert p.per_request_ms < FRAME_DEADLINE_MS
+
+    # Batching is the efficiency lever too: FPS-per-watt improves.
+    assert result.point(8).fps_per_watt > result.point(1).fps_per_watt

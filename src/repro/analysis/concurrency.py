@@ -42,15 +42,24 @@ def concurrency_sweep(
     device: str,
     farm: Optional[EngineFarm] = None,
     step: int = 4,
+    batch_size: int = 1,
 ) -> ConcurrencyFigure:
-    """Thread sweep for one (model, device) pair at max clocks."""
+    """Thread sweep for one (model, device) pair at max clocks.
+
+    ``batch_size`` > 1 runs each stream in micro-batches (the streams x
+    batch grid); ``batch_size=1`` reproduces the paper's Figures 3/4
+    exactly and anchors the batching extension's regression tests.
+    """
     farm = farm or EngineFarm(pretrained=False)
     engine = farm.engine(model, device, 0)
     spec = device_by_name(device)
     stats = Tegrastats()
     scheduler = StreamScheduler(engine, spec)
     result = scheduler.sweep(
-        clock_mhz=spec.max_gpu_clock_mhz, step=step, tegrastats=stats
+        clock_mhz=spec.max_gpu_clock_mhz,
+        step=step,
+        tegrastats=stats,
+        batch_size=batch_size,
     )
     return ConcurrencyFigure(
         model=model, device=device, result=result, tegrastats=stats

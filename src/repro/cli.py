@@ -8,6 +8,7 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim run resnet18 --device AGX     # latency, paper methodology
     trtsim profile pednet --device NX    # nvprof-style kernel summary
     trtsim concurrency tiny_yolov3 --device AGX   # Figs 3/4 sweep
+    trtsim batch-sweep googlenet --device NX      # micro-batch ladder
     trtsim accuracy                      # Table III
     trtsim lint resnet18 --precision int8         # static verifier
     trtsim lint engine.plan --json       # audit a serialized plan
@@ -110,9 +111,20 @@ def _cmd_profile(args) -> int:
 def _cmd_concurrency(args) -> int:
     from repro.analysis.concurrency import concurrency_sweep
 
-    figure = concurrency_sweep(args.model, args.device)
+    figure = concurrency_sweep(
+        args.model, args.device, batch_size=args.batch
+    )
+    if not figure.result.points:
+        print(
+            f"{args.model} on {args.device}: no stream fits "
+            f"(batch {args.batch})"
+        )
+        return 1
+    batch_note = (
+        f" (micro-batch {args.batch})" if args.batch != 1 else ""
+    )
     print(
-        f"{args.model} on {args.device}: saturates at "
+        f"{args.model} on {args.device}{batch_note}: saturates at "
         f"{figure.saturation_threads} threads, "
         f"{figure.saturation_fps:.1f} FPS/thread, "
         f"{figure.saturation_gpu_util:.1f}% GPU"
@@ -123,6 +135,47 @@ def _cmd_concurrency(args) -> int:
             f"{point.threads:>8} {point.fps_per_thread:>12.1f} "
             f"{point.gpu_utilization_pct:>11.1f}"
         )
+    return 0
+
+
+def _cmd_batch_sweep(args) -> int:
+    """Micro-batch ladder: latency / FPS / FPS-per-watt per batch size
+    (the dynamic-batching extension's headline table)."""
+    from repro.analysis.batching import DEFAULT_BATCHES, batch_sweep
+
+    batches = (
+        tuple(int(b) for b in args.batches.split(","))
+        if args.batches
+        else DEFAULT_BATCHES
+    )
+    result = batch_sweep(
+        args.model, args.device, batches=batches
+    )
+    if args.trace:
+        from repro.profiling.chrome_trace import save_chrome_trace
+
+        save_chrome_trace(result.timings, args.trace)
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(
+        f"{args.model} on {result.device_name} @ "
+        f"{result.clock_mhz:.0f} MHz: batch sweep "
+        f"(saturates at batch {result.saturation_batch})"
+    )
+    print(
+        f"{'batch':>6} {'latency ms':>11} {'per-req ms':>11} "
+        f"{'agg FPS':>10} {'FPS/W':>8} {'speedup':>8} {'limit':>6}"
+    )
+    for p in result.points:
+        limit = "bw" if p.bandwidth_limited else ""
+        print(
+            f"{p.batch:>6} {p.latency_ms:>11.3f} "
+            f"{p.per_request_ms:>11.3f} {p.aggregate_fps:>10.1f} "
+            f"{p.fps_per_watt:>8.1f} {p.speedup:>7.2f}x {limit:>6}"
+        )
+    if args.trace:
+        print(f"batch-annotated trace written to {args.trace}")
     return 0
 
 
@@ -384,9 +437,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("concurrency", help="thread sweep (Figs 3/4)")
     p.add_argument("model")
     p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--batch", type=int, default=1,
+        help="micro-batch size per stream (streams x batch grid)",
+    )
 
     p = sub.add_parser("accuracy", help="benign accuracy (Table III)")
     p.add_argument("--models", default=None, help="comma-separated names")
+
+    p = sub.add_parser(
+        "batch-sweep",
+        help="micro-batch ladder: latency/FPS/FPS-per-W vs batch size",
+    )
+    p.add_argument("model")
+    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--batches", default=None,
+        help="comma-separated batch sizes (default 1,2,4,8,16,32)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a batch-annotated chrome://tracing JSON",
+    )
 
     p = sub.add_parser(
         "exec", help="trtexec-style build+run+profile in one shot"
@@ -497,6 +570,7 @@ _HANDLERS = {
     "profile": _cmd_profile,
     "concurrency": _cmd_concurrency,
     "accuracy": _cmd_accuracy,
+    "batch-sweep": _cmd_batch_sweep,
     "exec": _cmd_exec,
     "clocks": _cmd_clocks,
     "warmup": _cmd_warmup,

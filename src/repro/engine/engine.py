@@ -92,6 +92,15 @@ class Engine:
         spec = self.graph.input_specs[self.input_name]
         return spec.volume * 4  # host-side input is FP32
 
+    def workload_bytes(self, batch_size: int = 1) -> int:
+        """DRAM bytes one engine execution moves across all bound
+        kernels (activations scale with ``batch_size``, weights are
+        streamed once per batched invocation)."""
+        return sum(
+            b.workload.for_batch(batch_size).total_bytes
+            for b in self.bindings
+        )
+
     def create_execution_context(
         self,
         run_device: Optional[DeviceSpec] = None,
@@ -149,6 +158,7 @@ class ExecutionContext:
         sm_fraction: float = 1.0,
         profiler: Optional["Nvprof"] = None,
         hardware_hook: Optional[object] = None,
+        batch_size: int = 1,
     ) -> "InferenceTiming":
         """Latency of one inference on ``self.device``.
 
@@ -158,6 +168,10 @@ class ExecutionContext:
         run-to-run measurement noise; pass ``jitter=0`` for the
         noiseless model time.  ``hardware_hook`` injects hardware
         faults (see :func:`repro.hardware.gpu.simulate_inference`).
+        ``batch_size`` times one engine execution over a micro-batch:
+        per-kernel workloads scale per
+        :meth:`~repro.hardware.workload.LayerWorkload.for_batch` and
+        the input memcpy carries the whole batch.
         """
         from repro.hardware.gpu import simulate_inference
 
@@ -173,6 +187,7 @@ class ExecutionContext:
             sm_fraction=sm_fraction,
             profiler=profiler,
             hardware_hook=hardware_hook,
+            batch_size=batch_size,
         )
 
     def infer(
@@ -182,10 +197,18 @@ class ExecutionContext:
         profiler: Optional["Nvprof"] = None,
         **inputs: np.ndarray,
     ) -> "InferenceOutcome":
-        """Numeric outputs plus timing for one inference."""
+        """Numeric outputs plus timing for one inference.  The timing's
+        batch size follows the inputs' leading batch dimension."""
         outputs = self.execute(**inputs)
+        first = next(iter(inputs.values()), None)
+        batch_size = (
+            int(np.asarray(first).shape[0]) if first is not None else 1
+        )
         timing = self.time_inference(
-            clock_mhz=clock_mhz, rng=rng, profiler=profiler
+            clock_mhz=clock_mhz,
+            rng=rng,
+            profiler=profiler,
+            batch_size=batch_size,
         )
         return InferenceOutcome(result=outputs, timing=timing)
 
@@ -232,6 +255,10 @@ def time_repeated(
         )
         samples.append(timing.total_us / 1e3)
     arr = np.asarray(samples)
+    # Sample std (ddof=1): the paper's "mean (std) over 10 runs" is an
+    # estimate from 10 draws, not a population parameter.
     return InferenceTimingSummary(
-        mean_ms=float(arr.mean()), std_ms=float(arr.std()), runs=runs
+        mean_ms=float(arr.mean()),
+        std_ms=float(arr.std(ddof=1)) if runs > 1 else 0.0,
+        runs=runs,
     )

@@ -47,10 +47,11 @@ class MemcpyEvent:
 
 @dataclass
 class InferenceTiming:
-    """Complete timeline of one inference."""
+    """Complete timeline of one inference (of ``batch_size`` samples)."""
 
     device_name: str
     clock_mhz: float
+    batch_size: int = 1
     kernel_events: List[KernelEvent] = field(default_factory=list)
     memcpy_events: List[MemcpyEvent] = field(default_factory=list)
 
@@ -70,6 +71,11 @@ class InferenceTiming:
     def total_ms(self) -> float:
         return self.total_us / 1e3
 
+    @property
+    def per_sample_us(self) -> float:
+        """Amortized per-sample latency of a batched inference."""
+        return self.total_us / self.batch_size
+
     def without_memcpy_us(self) -> float:
         """Latency with CUDA memcpy excluded (paper Table X)."""
         return self.kernel_us
@@ -87,8 +93,16 @@ def simulate_inference(
     sm_fraction: float = 1.0,
     profiler: Optional["Nvprof"] = None,
     hardware_hook: Optional[object] = None,
+    batch_size: int = 1,
 ) -> InferenceTiming:
     """Simulate one inference and return its timeline.
+
+    ``batch_size`` runs the whole engine once over a micro-batch: every
+    kernel sees its layer workload scaled via
+    :meth:`~repro.hardware.workload.LayerWorkload.for_batch` (linear
+    activation traffic and FLOPs, amortized weights and launches), and
+    the input memcpy carries ``batch_size`` images.  ``batch_size=1``
+    is bit-identical to the pre-batching timeline.
 
     ``profiler`` (an :class:`repro.profiling.nvprof.Nvprof`) both
     records the events and *perturbs* them — profiling is not free, and
@@ -102,9 +116,13 @@ def simulate_inference(
     implements this protocol; a factor of exactly ``1.0`` leaves the
     timeline bit-identical to the hook-free run.
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     cost_model = CostModel(device)
     memcpy = MemcpyModel(device)
-    timing = InferenceTiming(device_name=device.name, clock_mhz=clock_mhz)
+    timing = InferenceTiming(
+        device_name=device.name, clock_mhz=clock_mhz, batch_size=batch_size
+    )
     cursor = 0.0
 
     def noisy(value: float) -> float:
@@ -136,7 +154,9 @@ def simulate_inference(
         cursor += dur
 
     if input_bytes:
-        inp = memcpy.single(input_bytes)
+        inp = memcpy.single(
+            input_bytes if batch_size == 1 else input_bytes * batch_size
+        )
         dur = noisy(inp.total_us) * memcpy_overhead
         if hardware_hook is not None:
             dur *= hardware_hook.memcpy_factor(
@@ -155,10 +175,11 @@ def simulate_inference(
 
     for binding in bindings:
         n_kernels = len(binding.kernels)
+        workload = binding.workload.for_batch(batch_size)
         for kernel in binding.kernels:
             cost = cost_model.kernel_cost(
                 kernel,
-                binding.workload,
+                workload,
                 clock_mhz,
                 sm_fraction=sm_fraction,
             )

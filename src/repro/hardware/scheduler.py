@@ -50,7 +50,11 @@ KERNEL_SUBMIT_US = 0.30
 
 @dataclass(frozen=True)
 class ConcurrencyPoint:
-    """Steady-state statistics at one thread count."""
+    """Steady-state statistics at one thread count.
+
+    FPS figures count *frames* (samples), so a stream running
+    micro-batches of size B at rate R inferences/s contributes B*R.
+    """
 
     threads: int
     fps_per_thread: float
@@ -59,6 +63,7 @@ class ConcurrencyPoint:
     ram_used_mb: int
     bandwidth_limited: bool
     power: "PowerSample | None" = None
+    batch_size: int = 1
 
     @property
     def fps_per_watt(self) -> float:
@@ -76,6 +81,7 @@ class ConcurrencyResult:
     clock_mhz: float
     points: List[ConcurrencyPoint]
     max_threads: int
+    batch_size: int = 1
 
     def point(self, threads: int) -> ConcurrencyPoint:
         for p in self.points:
@@ -115,48 +121,70 @@ class StreamScheduler:
             return 1.0
         return float(self.faults.bandwidth_scale())
 
-    def per_stream_memory_mb(self) -> float:
+    def _activation_itemsize(self) -> int:
+        """Bytes per activation element, from the engine's precision
+        mode (the builder keeps FP16 activations for every non-FP32
+        build — FP32 engines move and store 4-byte activations)."""
+        return 4 if self.engine.precision_mode.value == "fp32" else 2
+
+    def per_stream_memory_mb(self, batch_size: int = 1) -> float:
         """Activation + engine working set of one stream (MB); the
         admission-control unit the serving supervisor budgets with."""
-        return self._per_stream_memory_mb()
+        return self._per_stream_memory_mb(batch_size)
 
-    def _per_stream_memory_mb(self) -> float:
+    def _per_stream_memory_mb(self, batch_size: int = 1) -> float:
         """Activation + engine working set of one stream (MB)."""
         shapes = infer_shapes(self.engine.graph)
         act_bytes = sum(
-            int(np.prod(s)) * 2 for s in shapes.values()
-        )  # FP16 activations
+            int(np.prod(s)) * self._activation_itemsize()
+            for s in shapes.values()
+        ) * batch_size
         # Each stream keeps double-buffered activations plus per-context
         # scratch; the engine weights are shared across streams.
         working = act_bytes * 2 + 24 * 1024 * 1024
         return working / (1024.0 * 1024.0)
 
-    def _single_stream_compute_us(self, clock_mhz: float) -> float:
-        """Kernel-only latency of one inference at full SM share."""
+    def _single_stream_compute_us(
+        self, clock_mhz: float, batch_size: int = 1
+    ) -> float:
+        """Kernel-only latency of one (micro-batched) inference at full
+        SM share."""
         context = self.engine.create_execution_context(self.device)
         timing = context.time_inference(
             clock_mhz=clock_mhz,
             include_engine_upload=False,  # weights stay resident
             jitter=0.0,
+            batch_size=batch_size,
         )
         return timing.kernel_us
 
-    def _per_inference_traffic_bytes(self) -> float:
+    def _per_inference_traffic_bytes(self, batch_size: int = 1) -> float:
         """DRAM bytes moved per inference (activations + weights)."""
         return float(
             sum(
-                b.workload.total_bytes
+                b.workload.for_batch(batch_size).total_bytes
                 for b in self.engine.bindings
             )
         )
 
     # ------------------------------------------------------------------
-    def max_supported_threads(self, clock_mhz: Optional[float] = None) -> int:
+    def max_supported_threads(
+        self,
+        clock_mhz: Optional[float] = None,
+        batch_size: int = 1,
+    ) -> int:
         """The thread count at which the board saturates (the paper's
-        'maximum number of threads that are supported')."""
+        'maximum number of threads that are supported').
+
+        Returns **0** when not even one stream fits — e.g. a fault
+        campaign has stolen enough RAM that a single stream's working
+        set no longer fits the usable budget.  Callers (``sweep``, the
+        serving supervisor's admission control) must treat 0 as "admit
+        nothing", not as "one stream is fine".
+        """
         clock = clock_mhz or self.device.max_gpu_clock_mhz
-        latency_us = self._single_stream_compute_us(clock)
-        traffic = self._per_inference_traffic_bytes()
+        latency_us = self._single_stream_compute_us(clock, batch_size)
+        traffic = self._per_inference_traffic_bytes(batch_size)
         # Eq. 1: N = O(Fmem * Bwid / Bth). Per-thread demand at full
         # speed is traffic / latency; the usable share of peak DRAM
         # bandwidth caps the total.
@@ -171,12 +199,14 @@ class StreamScheduler:
             self.device.ram_gb * 1024 * USABLE_RAM_FRACTION
             - self._ram_stolen_mb(),
         )
-        n_ram = int(ram_mb / self._per_stream_memory_mb())
+        n_ram = int(ram_mb / self._per_stream_memory_mb(batch_size))
         # Host submission bound: each stream issues num_kernels launches
         # per inference; the ARM cores sustain a finite submit rate.
+        # Batching amortizes submissions: one batched inference still
+        # issues num_kernels launches but covers batch_size frames.
         submit_us = KERNEL_SUBMIT_US * 6.0 / self.device.cpu_cores
         n_host = int(latency_us / (self.engine.num_kernels * submit_us))
-        return max(1, min(n_bw, n_ram, n_host))
+        return max(0, min(n_bw, n_ram, n_host))
 
     def sweep(
         self,
@@ -184,32 +214,52 @@ class StreamScheduler:
         clock_mhz: Optional[float] = None,
         step: int = 4,
         tegrastats: Optional[Tegrastats] = None,
+        batch_size: int = 1,
     ) -> ConcurrencyResult:
-        """FPS / GPU-utilization sweep over thread counts."""
+        """FPS / GPU-utilization sweep over thread counts.
+
+        ``batch_size`` runs every stream in micro-batches of that size
+        (the streams x batch grid of the batching extension); all FPS
+        figures stay in frames/sec.  When no stream fits (RAM
+        exhaustion under faults) the result has zero points and
+        ``max_threads == 0``.
+        """
         clock = clock_mhz or self.device.max_gpu_clock_mhz
-        supported = self.max_supported_threads(clock)
+        supported = self.max_supported_threads(clock, batch_size)
+        if supported == 0:
+            return ConcurrencyResult(
+                device_name=self.device.name,
+                engine_name=self.engine.name,
+                clock_mhz=clock,
+                points=[],
+                max_threads=0,
+                batch_size=batch_size,
+            )
         limit = max_threads or supported
         limit = min(limit, supported)
-        latency_us = self._single_stream_compute_us(clock)
-        traffic = self._per_inference_traffic_bytes()
+        latency_us = self._single_stream_compute_us(clock, batch_size)
+        traffic = self._per_inference_traffic_bytes(batch_size)
         usable_bw = (
             self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
             * self._bandwidth_scale()
         )
-        fps_bw_cap = usable_bw / traffic
+        # Per *frame* the batched engine moves traffic/batch bytes, so
+        # the Eq. 1 frame-rate cap rises sub-linearly with batch until
+        # activation traffic dominates the amortized weights.
+        fps_bw_cap = usable_bw / (traffic / batch_size)
         # Aggregate throughput also stops growing at the binding cap —
         # host submission rate or DRAM bandwidth, whichever is lower.
-        fps_host_cap = supported * 1e6 / latency_us
+        fps_host_cap = supported * batch_size * 1e6 / latency_us
         fps_cap = min(fps_bw_cap, fps_host_cap)
-        per_stream_mb = self._per_stream_memory_mb()
+        per_stream_mb = self._per_stream_memory_mb(batch_size)
 
         counts = [1] + list(range(step, limit + 1, step))
         if counts[-1] != limit:
             counts.append(limit)
         points = []
         for n in counts:
-            # Demand: n streams each want 1/latency inferences/sec.
-            demand_fps = n * 1e6 / latency_us
+            # Demand: n streams each want batch/latency frames/sec.
+            demand_fps = n * batch_size * 1e6 / latency_us
             agg = min(demand_fps, fps_cap)
             # Kernel-gap inefficiency leaves a few percent on the table
             # even pre-saturation; saturation approaches the ceiling.
@@ -222,7 +272,7 @@ class StreamScheduler:
             ram_used = int(
                 per_stream_mb * n + 1536 + stolen_mb
             )  # plus OS/desktop baseline and injected pressure
-            mem_util = min(1.0, agg * traffic / (
+            mem_util = min(1.0, agg * (traffic / batch_size) / (
                 self.device.mem_bandwidth_gbps * 1e9))
             power = PowerModel(self.device).sample(
                 gpu_utilization=utilization,
@@ -238,6 +288,7 @@ class StreamScheduler:
                 ram_used_mb=ram_used,
                 bandwidth_limited=demand_fps > fps_cap,
                 power=power,
+                batch_size=batch_size,
             )
             points.append(point)
             if tegrastats is not None:
@@ -263,4 +314,5 @@ class StreamScheduler:
             clock_mhz=clock,
             points=points,
             max_threads=supported,
+            batch_size=batch_size,
         )

@@ -41,6 +41,37 @@ class LayerWorkload:
     def total_bytes(self) -> int:
         return self.bytes_in + self.bytes_w + self.bytes_out
 
+    def for_batch(self, batch_size: int) -> "LayerWorkload":
+        """The same layer's workload when ``batch_size`` samples are
+        processed in one kernel invocation.
+
+        Activation traffic (``bytes_in``/``bytes_out``), FLOPs, and the
+        GEMM N dimension (output pixels) grow linearly with batch;
+        weight traffic does **not** — the batched kernel streams each
+        filter once and applies it to every sample, which is the core
+        amortization that makes batching a throughput lever.  Wave
+        quantization in the cost model turns the linear block growth
+        into *sub-linear* latency growth until DRAM bandwidth caps it.
+
+        ``for_batch(1)`` returns ``self`` so the batch-1 path stays
+        bit-identical to the unbatched one.
+        """
+        if batch_size == 1:
+            return self
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return LayerWorkload(
+            flops=self.flops * batch_size,
+            bytes_in=self.bytes_in * batch_size,
+            bytes_w=self.bytes_w,
+            bytes_out=self.bytes_out * batch_size,
+            gemm_m=self.gemm_m,
+            gemm_n=self.gemm_n * batch_size,
+            gemm_k=self.gemm_k,
+            elements_out=self.elements_out * batch_size,
+            category=self.category,
+        )
+
 
 #: Map from layer kind to kernel-catalog category.
 _CATEGORY: Dict[LayerKind, str] = {

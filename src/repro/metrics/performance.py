@@ -35,9 +35,12 @@ class LatencyStats:
         if not len(samples_us):
             raise ValueError("no latency samples")
         arr = np.asarray(samples_us, dtype=np.float64) / 1e3
+        # Sample std (ddof=1): the paper's "mean (std) over 10 runs"
+        # estimates spread from the runs themselves; a single run has
+        # no spread estimate and reports 0.
         return cls(
             mean_ms=float(arr.mean()),
-            std_ms=float(arr.std()),
+            std_ms=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
             min_ms=float(arr.min()),
             max_ms=float(arr.max()),
             runs=len(arr),
@@ -45,6 +48,8 @@ class LatencyStats:
 
     @property
     def fps(self) -> float:
+        if self.mean_ms <= 0:
+            return 0.0
         return 1e3 / self.mean_ms
 
     def __str__(self) -> str:

@@ -62,7 +62,17 @@ def to_chrome_trace(
     ]
     offset_us = 0.0
     for run_index, timing in enumerate(timings):
+        # Batched runs annotate every event with the micro-batch size
+        # (batch-1 traces stay byte-identical to pre-batching output).
+        batch = getattr(timing, "batch_size", 1)
         for event in timing.memcpy_events:
+            args = {
+                "bytes": event.bytes,
+                "calls": event.calls,
+                "run": run_index,
+            }
+            if batch != 1:
+                args["batch"] = batch
             events.append(
                 {
                     "name": event.label,
@@ -72,14 +82,16 @@ def to_chrome_trace(
                     "tid": _TID_MEMCPY,
                     "ts": offset_us + event.start_us,
                     "dur": event.duration_us,
-                    "args": {
-                        "bytes": event.bytes,
-                        "calls": event.calls,
-                        "run": run_index,
-                    },
+                    "args": args,
                 }
             )
         for event in timing.kernel_events:
+            args = {
+                "layer": event.layer_name,
+                "run": run_index,
+            }
+            if batch != 1:
+                args["batch"] = batch
             events.append(
                 {
                     "name": event.kernel_name,
@@ -89,10 +101,7 @@ def to_chrome_trace(
                     "tid": _TID_KERNELS,
                     "ts": offset_us + event.start_us,
                     "dur": event.duration_us,
-                    "args": {
-                        "layer": event.layer_name,
-                        "run": run_index,
-                    },
+                    "args": args,
                 }
             )
         offset_us += timing.total_us

@@ -5,8 +5,21 @@ degraded-but-alive service: watchdog deadlines, bounded retries with
 jittered exponential backoff, priority-based admission control under
 RAM pressure, a model fallback ladder under thermal throttling, and
 audit-gated engine rebuilds from corrupted plan files.
+
+:mod:`repro.serving.batching` adds dynamic micro-batching: concurrent
+streams' requests coalesce into batched engine executions under a
+max-wait deadline and a max-batch cap, trading bounded queueing delay
+for the amortized-launch/amortized-weight throughput win the batch
+timing model prices.
 """
 
+from repro.serving.batching import (
+    BatchingConfig,
+    BatchingQueue,
+    BatchRequest,
+    MicroBatch,
+    coalesce,
+)
 from repro.serving.supervisor import (
     InferenceSupervisor,
     RequestRecord,
@@ -19,6 +32,11 @@ from repro.serving.supervisor import (
 )
 
 __all__ = [
+    "BatchRequest",
+    "BatchingConfig",
+    "BatchingQueue",
+    "MicroBatch",
+    "coalesce",
     "InferenceSupervisor",
     "RequestRecord",
     "ResilienceComparison",

@@ -1,0 +1,159 @@
+"""Dynamic micro-batching: coalesce concurrent requests into batches.
+
+The paper characterizes TensorRT at batch 1 across N streams; real
+serving coalesces those streams' requests into micro-batches because
+batch size is the dominant throughput lever on this hardware class
+(amortized kernel launches and weight traffic — see the batch timing
+model in :mod:`repro.hardware.workload`).  :class:`BatchingQueue`
+implements the standard dynamic-batching policy:
+
+* a batch **closes immediately** when it reaches ``max_batch`` requests
+  (no reason to wait — the GPU-side cap is hit);
+* an under-full batch **closes at its deadline**: the oldest queued
+  request never waits longer than ``max_wait_ms`` for company.
+
+Time is explicit (simulated milliseconds), so the queue is fully
+deterministic and drives both the supervisor's frame loop and the unit
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class BatchingConfig:
+    """Micro-batching policy knobs."""
+
+    #: GPU-side batch cap (bindings are sized for this).
+    max_batch: int = 8
+    #: Longest a request may wait for batch-mates before dispatch.
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One enqueued inference request."""
+
+    stream: str
+    frame: int
+    arrival_ms: float
+    payload: object = None
+
+
+@dataclass
+class MicroBatch:
+    """A closed batch, ready to execute as one engine invocation."""
+
+    requests: List[BatchRequest]
+    dispatch_ms: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    def wait_ms(self, request: BatchRequest) -> float:
+        """How long ``request`` sat in the queue before dispatch."""
+        return self.dispatch_ms - request.arrival_ms
+
+
+class BatchingQueue:
+    """Deterministic dynamic batcher over simulated time.
+
+    Usage: :meth:`submit` requests as they arrive (non-decreasing
+    timestamps); each call returns the batch it *closed*, if any.
+    :meth:`poll` closes a pending batch whose deadline has passed;
+    :meth:`flush` force-closes whatever is left (end of workload).
+    """
+
+    def __init__(self, config: Optional[BatchingConfig] = None):
+        self.config = config or BatchingConfig()
+        self._pending: List[BatchRequest] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        """When the currently pending batch must dispatch, or None."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_ms + self.config.max_wait_ms
+
+    # ------------------------------------------------------------------
+    def submit(self, request: BatchRequest) -> Optional[MicroBatch]:
+        """Enqueue one request; returns the batch it filled, if any.
+
+        A request arriving *after* the pending batch's deadline first
+        forces that batch out — callers interleaving ``submit`` with
+        ``poll`` never see a request join a batch it missed.
+        """
+        if self._pending and request.arrival_ms > self.deadline_ms:
+            raise RuntimeError(
+                "pending batch deadline "
+                f"{self.deadline_ms:.3f} ms passed before submit at "
+                f"{request.arrival_ms:.3f} ms; call poll() first"
+            )
+        self._pending.append(request)
+        if len(self._pending) >= self.config.max_batch:
+            return self._close(request.arrival_ms)
+        return None
+
+    def poll(self, now_ms: float) -> Optional[MicroBatch]:
+        """Close the pending batch if its deadline has passed."""
+        deadline = self.deadline_ms
+        if deadline is None or now_ms < deadline:
+            return None
+        return self._close(deadline)
+
+    def flush(self, now_ms: Optional[float] = None) -> Optional[MicroBatch]:
+        """Force-close whatever is pending (end of the request flow)."""
+        if not self._pending:
+            return None
+        dispatch = self.deadline_ms if now_ms is None else min(
+            now_ms, self.deadline_ms
+        )
+        return self._close(dispatch)
+
+    # ------------------------------------------------------------------
+    def _close(self, dispatch_ms: float) -> MicroBatch:
+        batch = MicroBatch(requests=self._pending, dispatch_ms=dispatch_ms)
+        self._pending = []
+        return batch
+
+
+def coalesce(
+    requests: List[BatchRequest], config: Optional[BatchingConfig] = None
+) -> List[MicroBatch]:
+    """Batch an entire arrival-ordered request list in one shot.
+
+    Convenience wrapper over :class:`BatchingQueue` for callers that
+    know the full arrival schedule up front (the supervisor's
+    frame-synchronous loop, the batch-sweep analysis).
+    """
+    queue = BatchingQueue(config)
+    batches: List[MicroBatch] = []
+    for request in sorted(requests, key=lambda r: r.arrival_ms):
+        closed = queue.poll(request.arrival_ms)
+        if closed is not None:
+            batches.append(closed)
+        closed = queue.submit(request)
+        if closed is not None:
+            batches.append(closed)
+    tail = queue.flush()
+    if tail is not None:
+        batches.append(tail)
+    return batches

@@ -49,6 +49,7 @@ from repro.hardware.clocks import ClockDomain
 from repro.hardware.scheduler import USABLE_RAM_FRACTION, StreamScheduler
 from repro.hardware.specs import DeviceSpec
 from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+from repro.serving.batching import BatchingConfig, BatchRequest, coalesce
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,8 @@ class RequestRecord:
     level: int
     fault: str = ""
     output_digest: str = ""
+    #: Micro-batch size this request was served in (1 = unbatched).
+    batch_size: int = 1
 
 
 @dataclass
@@ -202,6 +205,12 @@ class InferenceSupervisor:
         supervised: disable every resilience mechanism when False —
             the baseline the SLO comparison is made against.
         seed: workload seed; inputs and timing noise derive from it.
+        batching: micro-batching policy.  When set, each frame's
+            admitted requests are coalesced through a
+            :class:`~repro.serving.batching.BatchingQueue` and served
+            as batched engine executions; ``None`` (the default) keeps
+            the pre-batching one-request-per-execution path,
+            bit-identical to earlier behavior.
     """
 
     def __init__(
@@ -215,6 +224,7 @@ class InferenceSupervisor:
         supervised: bool = True,
         seed: int = 0,
         tegrastats: Optional[Tegrastats] = None,
+        batching: Optional[BatchingConfig] = None,
     ):
         if not streams:
             raise ValueError("need at least one stream")
@@ -226,6 +236,7 @@ class InferenceSupervisor:
         self.supervised = supervised
         self.seed = seed
         self.tegrastats = tegrastats
+        self.batching = batching
         self.clock = ClockDomain(self.device)
         hook = self.injector.executor_hook()
         self._contexts: List[ExecutionContext] = [
@@ -427,6 +438,177 @@ class InferenceSupervisor:
         )
 
     # ------------------------------------------------------------------
+    # micro-batched request execution
+    # ------------------------------------------------------------------
+    def _attempt_batch(
+        self,
+        level: int,
+        member_idx: Sequence[int],
+        frame: int,
+        attempt: int,
+        clock_mhz: float,
+    ) -> Tuple[Optional[Dict], float, str]:
+        """One batched attempt over ``member_idx`` streams:
+        (stacked outputs|None, latency_ms, fault)."""
+        context = self._contexts[level]
+        engine = self.engines[level]
+        stacked = np.concatenate(
+            [
+                self._input_for(level, i, frame)[engine.input_name]
+                for i in member_idx
+            ],
+            axis=0,
+        )
+        # Singleton batches reuse the unbatched rng key so a
+        # max_batch=1 queue is bit-identical to per-request serving.
+        if len(member_idx) == 1:
+            rng = np.random.default_rng(
+                (self.seed, member_idx[0], frame, attempt)
+            )
+        else:
+            rng = np.random.default_rng(
+                (self.seed, 29, frame, *member_idx, attempt)
+            )
+        fault = ""
+        outputs: Optional[Dict] = None
+        try:
+            result = context.execute(**{engine.input_name: stacked})
+            outputs = result.outputs
+            # One poisoned sample poisons the whole micro-batch — the
+            # coalesced execution is a single kernel sequence.
+            if not all(
+                np.isfinite(a).all() for a in outputs.values()
+            ):
+                fault = FaultKind.COMPUTE_NAN.value
+                outputs = None
+        except FaultError as exc:
+            fault = exc.kind.value
+        timing = context.time_inference(
+            clock_mhz=clock_mhz,
+            include_engine_upload=self.config.include_engine_upload,
+            rng=rng,
+            hardware_hook=self.injector,
+            batch_size=len(member_idx),
+        )
+        return outputs, timing.total_ms, fault
+
+    def _serve_batch(
+        self,
+        member_idx: Sequence[int],
+        frame: int,
+        t_s: float,
+        clock_mhz: float,
+        wait_ms: float,
+    ) -> List[RequestRecord]:
+        """Serve one micro-batch; every member shares the batch's fate.
+
+        ``wait_ms`` is the queue delay already accumulated before the
+        batch reached the GPU (coalescing wait + serialization behind
+        earlier batches); it counts against every member's deadline.
+        """
+        cfg = self.config
+        level = self._level if self.supervised else 0
+        total_ms = wait_ms
+        attempts = 0
+        last_fault = ""
+        outputs: Optional[Dict] = None
+        max_attempts = 1 + (cfg.max_retries if self.supervised else 0)
+        while attempts < max_attempts:
+            attempts += 1
+            outputs, attempt_ms, fault = self._attempt_batch(
+                level, member_idx, frame, attempts, clock_mhz
+            )
+            if self.supervised and attempt_ms > cfg.watchdog_ms:
+                attempt_ms = cfg.watchdog_ms
+                fault = fault or FaultKind.KERNEL_HANG.value
+                outputs = None
+                self.actions.append(
+                    (t_s,
+                     f"watchdog cut attempt {attempts} of batch "
+                     f"x{len(member_idx)}#{frame} at "
+                     f"{cfg.watchdog_ms:.1f} ms")
+                )
+            total_ms += attempt_ms
+            if fault:
+                last_fault = fault
+            if outputs is not None:
+                break
+            if self.supervised and attempts < max_attempts:
+                backoff_key = (
+                    (self.seed, 23, member_idx[0], frame, attempts)
+                    if len(member_idx) == 1
+                    else (self.seed, 23, frame, *member_idx, attempts)
+                )
+                backoff_rng = np.random.default_rng(backoff_key)
+                total_ms += cfg.backoff_ms(attempts, backoff_rng)
+        ok = outputs is not None
+        records = []
+        for pos, stream_idx in enumerate(member_idx):
+            digest = ""
+            if ok:
+                digest = self._digest(
+                    {
+                        name: arr[pos : pos + 1]
+                        for name, arr in outputs.items()
+                    }
+                )
+            records.append(
+                RequestRecord(
+                    frame=frame,
+                    stream=self.streams[stream_idx].name,
+                    t_s=t_s,
+                    ok=ok,
+                    dropped=False,
+                    deadline_met=ok and total_ms <= cfg.deadline_ms,
+                    latency_ms=total_ms,
+                    attempts=attempts,
+                    level=level,
+                    fault=last_fault,
+                    output_digest=digest,
+                    batch_size=len(member_idx),
+                )
+            )
+        return records
+
+    def _serve_frame_batched(
+        self,
+        admitted_idx: List[int],
+        frame: int,
+        t_s: float,
+        clock_mhz: float,
+    ) -> List[RequestRecord]:
+        """Coalesce one frame's admitted requests into micro-batches.
+
+        Frame-synchronous streams all arrive at the frame tick, so full
+        batches dispatch immediately; the final under-full batch waits
+        ``max_wait_ms`` for company that never comes — exactly the
+        latency/throughput trade dynamic batching makes.  Batches then
+        serialize on the single GPU in closure order.
+        """
+        requests = [
+            BatchRequest(
+                stream=self.streams[i].name,
+                frame=frame,
+                arrival_ms=0.0,
+                payload=i,
+            )
+            for i in admitted_idx
+        ]
+        records: List[RequestRecord] = []
+        busy_ms = 0.0
+        for batch in coalesce(requests, self.batching):
+            start_ms = max(batch.dispatch_ms, busy_ms)
+            member_idx = [r.payload for r in batch.requests]
+            batch_records = self._serve_batch(
+                member_idx, frame, t_s, clock_mhz, wait_ms=start_ms
+            )
+            records.extend(batch_records)
+            # Every member reports the same total (wait + execution);
+            # the GPU is busy for the execution part only.
+            busy_ms = batch_records[0].latency_ms
+        return records
+
+    # ------------------------------------------------------------------
     def serve(self, frames: int) -> ServiceReport:
         """Run ``frames`` frame cycles over every stream."""
         cfg = self.config
@@ -487,12 +669,26 @@ class InferenceSupervisor:
                         )
                     )
                     continue
+                if self.batching is not None:
+                    continue  # served below as micro-batches
                 record = self._serve_request(
                     stream_idx, frame, t_s, clock_mhz
                 )
                 report.records.append(record)
                 if self.supervised:
                     self._adapt_level(record)
+
+            if self.batching is not None and not oom_all:
+                served_idx = sorted(
+                    i for i in range(len(self.streams))
+                    if i in admitted_idx
+                )
+                for record in self._serve_frame_batched(
+                    served_idx, frame, t_s, clock_mhz
+                ):
+                    report.records.append(record)
+                    if self.supervised:
+                        self._adapt_level(record)
 
             if self.tegrastats is not None:
                 fired = self.injector.log.events[events_before:]

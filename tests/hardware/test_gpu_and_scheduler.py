@@ -4,7 +4,7 @@ multi-stream scheduler."""
 import numpy as np
 import pytest
 
-from repro.engine import BuilderConfig, EngineBuilder
+from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
 from repro.hardware.baseline import UnoptimizedRuntime
 from repro.hardware.gpu import simulate_inference
 from repro.hardware.scheduler import StreamScheduler
@@ -134,3 +134,43 @@ class TestStreamScheduler:
         sched = StreamScheduler(engine, XAVIER_AGX)
         assert sched.device is XAVIER_AGX
         assert sched.max_supported_threads() >= 1
+
+    def test_per_stream_memory_tracks_precision(self, engine):
+        """FP32 activations are 4 bytes, FP16 are 2: the per-stream
+        activation working set (above the fixed 24 MB scratch) must be
+        exactly 2x, not the old hardcoded 2-bytes-for-everyone."""
+        from tests.conftest import make_small_cnn
+
+        fp32 = EngineBuilder(
+            XAVIER_NX,
+            BuilderConfig(seed=13, precision=PrecisionMode.FP32),
+        ).build(make_small_cnn())
+        scratch = 24.0  # MB, precision-independent per-context scratch
+        m16 = StreamScheduler(engine).per_stream_memory_mb()
+        m32 = StreamScheduler(fp32).per_stream_memory_mb()
+        assert m32 > m16
+        assert (m32 - scratch) / (m16 - scratch) == 2.0
+
+    def test_per_stream_memory_scales_with_batch(self, engine):
+        sched = StreamScheduler(engine)
+        scratch = 24.0
+        m1 = sched.per_stream_memory_mb(batch_size=1)
+        m4 = sched.per_stream_memory_mb(batch_size=4)
+        assert (m4 - scratch) == pytest.approx(4 * (m1 - scratch))
+
+    def test_zero_ram_supports_zero_threads(self, engine):
+        """When fault pressure leaves no usable RAM, not even one
+        stream fits: the scheduler must say 0, not clamp to 1."""
+
+        class StealEverything:
+            def ram_stolen_mb(self, device):
+                return device.ram_gb * 1024.0
+
+            def bandwidth_scale(self):
+                return 1.0
+
+        sched = StreamScheduler(engine, faults=StealEverything())
+        assert sched.max_supported_threads() == 0
+        result = sched.sweep(step=2)
+        assert result.max_threads == 0
+        assert result.points == []

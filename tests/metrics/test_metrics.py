@@ -130,9 +130,32 @@ class TestLatencyStats:
         stats = LatencyStats.from_us_samples([44_470.0, 44_470.0])
         assert str(stats) == "44.47(0.00)"
 
+    def test_std_is_sample_std(self):
+        # The paper reports mean (std) over repeated runs: that is the
+        # *sample* std (ddof=1).  For 1/2/3 ms it is exactly 1.0 ms —
+        # the population std (0.8165) would be a regression.
+        stats = LatencyStats.from_us_samples([1000.0, 2000.0, 3000.0])
+        assert stats.std_ms == 1.0
+        assert stats.std_ms != pytest.approx(
+            float(np.std([1.0, 2.0, 3.0])), abs=1e-6
+        )
+
+    def test_single_sample_std_is_zero(self):
+        # ddof=1 over one sample is NaN in numpy; a single run must
+        # report 0.0, not NaN.
+        stats = LatencyStats.from_us_samples([10_000.0])
+        assert stats.std_ms == 0.0
+        assert stats.runs == 1
+
     def test_fps(self):
         stats = LatencyStats.from_us_samples([10_000.0])
         assert stats.fps == pytest.approx(100.0)
+
+    def test_fps_guard_on_zero_latency(self):
+        stats = LatencyStats(
+            mean_ms=0.0, std_ms=0.0, min_ms=0.0, max_ms=0.0, runs=1
+        )
+        assert stats.fps == 0.0
 
     def test_empty_samples_rejected(self):
         with pytest.raises(ValueError, match="no latency"):

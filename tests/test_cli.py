@@ -58,6 +58,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "saturates at" in out
 
+    def test_concurrency_with_batch(self, capsys):
+        assert main(
+            ["concurrency", "mtcnn", "--device", "NX", "--batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "micro-batch 4" in out
+
+
+class TestBatchSweepCommand:
+    def test_table(self, capsys):
+        assert main(
+            ["batch-sweep", "mtcnn", "--device", "NX",
+             "--batches", "1,2,4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch sweep" in out
+        assert "agg FPS" in out
+        assert "speedup" in out
+
+    def test_json(self, capsys):
+        import json
+
+        assert main(
+            ["batch-sweep", "mtcnn", "--device", "NX",
+             "--batches", "1,8", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [p["batch"] for p in doc["points"]] == [1, 8]
+        assert doc["points"][0]["speedup"] == 1.0
+        assert doc["points"][1]["aggregate_fps"] > (
+            doc["points"][0]["aggregate_fps"]
+        )
+        assert doc["saturation_batch"] in (1, 8)
+
+    def test_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "batch.trace.json"
+        assert main(
+            ["batch-sweep", "mtcnn", "--device", "NX",
+             "--batches", "1,4", "--trace", str(trace)]
+        ) == 0
+        doc = json.loads(trace.read_text())
+        batched = [
+            e for e in doc["traceEvents"]
+            if e.get("args", {}).get("batch") == 4
+        ]
+        assert batched  # batch-4 events carry the annotation
+        assert not any(
+            e.get("args", {}).get("batch") == 1
+            for e in doc["traceEvents"]
+        )  # batch-1 events stay unannotated (byte-identical)
+
 
 class TestExtensionCommands:
     def test_exec(self, capsys):
