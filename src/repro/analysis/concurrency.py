@@ -43,12 +43,15 @@ def concurrency_sweep(
     farm: Optional[EngineFarm] = None,
     step: int = 4,
     batch_size: int = 1,
+    clock_mhz: Optional[float] = None,
 ) -> ConcurrencyFigure:
-    """Thread sweep for one (model, device) pair at max clocks.
+    """Thread sweep for one (model, device) pair.
 
     ``batch_size`` > 1 runs each stream in micro-batches (the streams x
     batch grid); ``batch_size=1`` reproduces the paper's Figures 3/4
     exactly and anchors the batching extension's regression tests.
+    ``clock_mhz`` defaults to the device's maximum GPU clock (the
+    paper's concurrency methodology).
     """
     farm = farm or EngineFarm(pretrained=False)
     engine = farm.engine(model, device, 0)
@@ -56,7 +59,7 @@ def concurrency_sweep(
     stats = Tegrastats()
     scheduler = StreamScheduler(engine, spec)
     result = scheduler.sweep(
-        clock_mhz=spec.max_gpu_clock_mhz,
+        clock_mhz=clock_mhz or spec.max_gpu_clock_mhz,
         step=step,
         tegrastats=stats,
         batch_size=batch_size,

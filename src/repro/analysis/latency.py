@@ -70,18 +70,30 @@ def measure_case(
     seed: int = 0,
     profiler: Optional[Nvprof] = None,
     include_engine_upload: bool = True,
+    clock_mhz: Optional[float] = None,
+    batch_size: int = 1,
 ) -> LatencyStats:
-    """Mean(std) latency of one engine on one device, paper-style."""
+    """Mean(std) latency of one engine on one device, paper-style.
+
+    ``clock_mhz`` defaults to the paper's pinned measurement clock for
+    ``run_device``; ``batch_size`` and ``seed`` follow the canonical
+    keyword names shared by ``simulate_inference`` / ``time_inference``
+    / ``batch_sweep`` (see README "Canonical keywords").
+    """
     device = device_by_name(run_device)
     context = engine.create_execution_context(device)
     rng = np.random.default_rng(seed)
     samples = []
     for _ in range(runs):
         timing = context.time_inference(
-            clock_mhz=paper_clock_for(run_device),
+            clock_mhz=(
+                clock_mhz if clock_mhz is not None
+                else paper_clock_for(run_device)
+            ),
             include_engine_upload=include_engine_upload,
             rng=rng,
             profiler=profiler,
+            batch_size=batch_size,
         )
         samples.append(timing.total_us)
     return LatencyStats.from_us_samples(samples)

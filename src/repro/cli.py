@@ -13,6 +13,8 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim lint resnet18 --precision int8         # static verifier
     trtsim lint engine.plan --json       # audit a serialized plan
     trtsim faults resnet18 --scenario thermal_oom # resilience SLOs
+    trtsim metrics googlenet --device nx --json   # unified telemetry
+    trtsim trace googlenet --unified     # bus-rendered chrome trace
 """
 
 from __future__ import annotations
@@ -86,6 +88,8 @@ def _cmd_run(args) -> int:
         runs=args.runs,
         profiler=profiler,
         include_engine_upload=not args.no_memcpy,
+        clock_mhz=args.clock_mhz,
+        batch_size=args.batch_size,
     )
     print(
         f"{args.model} compiled on {args.compile_device}, "
@@ -112,16 +116,19 @@ def _cmd_concurrency(args) -> int:
     from repro.analysis.concurrency import concurrency_sweep
 
     figure = concurrency_sweep(
-        args.model, args.device, batch_size=args.batch
+        args.model,
+        args.device,
+        batch_size=args.batch_size,
+        clock_mhz=args.clock_mhz,
     )
     if not figure.result.points:
         print(
             f"{args.model} on {args.device}: no stream fits "
-            f"(batch {args.batch})"
+            f"(batch {args.batch_size})"
         )
         return 1
     batch_note = (
-        f" (micro-batch {args.batch})" if args.batch != 1 else ""
+        f" (micro-batch {args.batch_size})" if args.batch_size != 1 else ""
     )
     print(
         f"{args.model} on {args.device}{batch_note}: saturates at "
@@ -149,12 +156,14 @@ def _cmd_batch_sweep(args) -> int:
         else DEFAULT_BATCHES
     )
     result = batch_sweep(
-        args.model, args.device, batches=batches
+        args.model, args.device, batches=batches, clock_mhz=args.clock_mhz
     )
     if args.trace:
-        from repro.profiling.chrome_trace import save_chrome_trace
+        from repro.telemetry import ChromeTrace
 
-        save_chrome_trace(result.timings, args.trace)
+        trace = ChromeTrace()
+        trace.add_timings(result.timings)
+        trace.save(args.trace)
     if args.json:
         print(result.to_json())
         return 0
@@ -288,19 +297,115 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    """Export an inference timeline as a chrome://tracing JSON file."""
+    """Export an inference timeline as a chrome://tracing JSON file.
+
+    ``--unified`` renders the trace from the telemetry bus instead of
+    bare timings: a short supervised serving run is captured with the
+    :class:`~repro.telemetry.ChromeTrace` sink attached, so requests,
+    micro-batches, and faults land on their own tracks next to the
+    kernel/memcpy rows.
+    """
+    from repro import telemetry
     from repro.analysis.engines import EngineFarm, device_by_name
-    from repro.profiling.chrome_trace import save_chrome_trace
 
     farm = EngineFarm(pretrained=False)
     engine = farm.engine(args.model, args.device, 0)
     device = device_by_name(args.device)
+    trace = telemetry.ChromeTrace()
+    if args.unified:
+        from repro.serving.batching import BatchingConfig
+        from repro.serving.supervisor import (
+            InferenceSupervisor,
+            StreamSpec,
+            SupervisorConfig,
+        )
+
+        supervisor = InferenceSupervisor(
+            engine,
+            streams=[StreamSpec(f"cam{i}") for i in range(2)],
+            config=SupervisorConfig(),
+            device=device,
+            seed=args.seed,
+            batching=BatchingConfig(max_batch=2),
+        )
+        with telemetry.session(trace):
+            supervisor.serve(frames=args.runs)
+        trace.save(args.output)
+        print(
+            f"wrote unified telemetry trace ({args.runs} frames, "
+            f"2 streams) to {args.output}"
+        )
+        return 0
     context = engine.create_execution_context(device)
-    timings = [
+    trace.add_timings(
         context.time_inference(jitter=0.0) for _ in range(args.runs)
-    ]
-    save_chrome_trace(timings, args.output)
+    )
+    trace.save(args.output)
     print(f"wrote {args.runs} inference timeline(s) to {args.output}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Unified telemetry of a short supervised serving run: Prometheus
+    text exposition (default), a JSON document (``--json``), and an
+    optional per-event JSONL snapshot (``--jsonl FILE``)."""
+    import json
+
+    from repro import telemetry
+    from repro.analysis.engines import EngineFarm, device_by_name
+    from repro.serving.supervisor import (
+        InferenceSupervisor,
+        StreamSpec,
+        SupervisorConfig,
+    )
+
+    farm = EngineFarm(pretrained=False)
+    engine = farm.engine(args.model, args.device, 0)
+    device = device_by_name(args.device)
+    injector = None
+    if args.scenario:
+        from repro.faults import canned_plan
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            canned_plan(args.scenario, seed=args.seed)
+        )
+    supervisor = InferenceSupervisor(
+        engine,
+        streams=[
+            StreamSpec(f"cam{i}", priority=i)
+            for i in range(args.streams)
+        ],
+        config=SupervisorConfig(deadline_ms=args.deadline_ms),
+        injector=injector,
+        device=device,
+        seed=args.seed,
+    )
+    prom = telemetry.PrometheusSink()
+    jsonl = telemetry.JsonlSink(args.jsonl)
+    with telemetry.session(prom, jsonl) as tsn:
+        report = supervisor.serve(frames=args.frames)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "trtsim.metrics/1",
+                    "model": args.model,
+                    "device": device.name,
+                    "frames": args.frames,
+                    "report": report.to_dict(),
+                    "metrics": tsn.metrics.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(prom.expose(), end="")
+        print(f"# {report.summary()}")
+    if args.jsonl:
+        print(
+            f"telemetry JSONL written to {args.jsonl}", file=sys.stderr
+        )
     return 0
 
 
@@ -384,11 +489,13 @@ def _cmd_faults(args) -> int:
         print("\nfault events (supervised run):")
         print(log.render())
     if args.trace:
-        from repro.profiling.chrome_trace import save_chrome_trace
+        from repro.telemetry import ChromeTrace
 
         context = engine.create_execution_context()
-        timing = context.time_inference(jitter=0.0)
-        save_chrome_trace([timing], args.trace, fault_log=log)
+        trace = ChromeTrace()
+        trace.add_timing(context.time_inference(jitter=0.0))
+        trace.add_fault_log(log)
+        trace.save(args.trace)
         print(f"\nfault-annotated trace written to {args.trace}")
     return 0
 
@@ -406,7 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("build", help="build an engine")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument(
         "--precision", default="fp16",
         choices=["fp32", "fp16", "int8", "best"],
@@ -417,29 +527,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="measure inference latency")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
     p.add_argument(
-        "--compile-device", default=None, choices=["NX", "AGX"],
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
+    p.add_argument(
+        "--compile-device", default=None, type=str.upper,
+        choices=["NX", "AGX"],
         help="build platform (defaults to --device)",
     )
     p.add_argument("--slot", type=int, default=0, help="engine slot index")
     p.add_argument("--runs", type=int, default=10)
+    p.add_argument(
+        "--clock-mhz", type=float, default=None,
+        help="pinned GPU clock (default: the paper's measurement clock)",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=1,
+        help="micro-batch size per inference",
+    )
     p.add_argument("--nvprof", action="store_true")
     p.add_argument("--no-memcpy", action="store_true")
 
     p = sub.add_parser("profile", help="nvprof-style kernel profile")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument("--mode", default="summary",
                    choices=["summary", "gpu-trace"])
     p.add_argument("--runs", type=int, default=3)
 
     p = sub.add_parser("concurrency", help="thread sweep (Figs 3/4)")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
     p.add_argument(
-        "--batch", type=int, default=1,
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
+    p.add_argument(
+        "--batch-size", "--batch", dest="batch_size", type=int, default=1,
         help="micro-batch size per stream (streams x batch grid)",
+    )
+    p.add_argument(
+        "--clock-mhz", type=float, default=None,
+        help="pinned GPU clock (default: device max)",
     )
 
     p = sub.add_parser("accuracy", help="benign accuracy (Table III)")
@@ -450,10 +582,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch ladder: latency/FPS/FPS-per-W vs batch size",
     )
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument(
         "--batches", default=None,
         help="comma-separated batch sizes (default 1,2,4,8,16,32)",
+    )
+    p.add_argument(
+        "--clock-mhz", type=float, default=None,
+        help="pinned GPU clock (default: device max)",
     )
     p.add_argument("--json", action="store_true")
     p.add_argument(
@@ -465,12 +604,18 @@ def build_parser() -> argparse.ArgumentParser:
         "exec", help="trtexec-style build+run+profile in one shot"
     )
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument("--runs", type=int, default=10)
 
     p = sub.add_parser("clocks", help="DVFS ladder sweep (extension)")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
 
     p = sub.add_parser(
         "warmup", help="pre-build the pretrained model-zoo cache"
@@ -479,7 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="per-layer engine report")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument("--slot", type=int, default=0)
     p.add_argument("--json", action="store_true")
 
@@ -490,7 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "target", help="zoo model name, or path to a .plan file"
     )
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument(
         "--precision", default="fp16",
         choices=["fp32", "fp16", "int8", "best"],
@@ -515,7 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection campaign: supervised vs unsupervised SLOs",
     )
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument(
         "--app", default="traffic", choices=["traffic", "adas"],
         help="workload: intersection cameras or the ADAS frame loop",
@@ -555,9 +709,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
-    p.add_argument("--device", default="NX", choices=["NX", "AGX"])
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
     p.add_argument("--runs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--unified", action="store_true",
+        help="render from the telemetry bus: a supervised serving run "
+        "with request/batch/fault tracks next to the kernel rows",
+    )
     p.add_argument("-o", "--output", default="trace.json")
+
+    p = sub.add_parser(
+        "metrics",
+        help="unified telemetry of a short serving run "
+        "(Prometheus text, --json, --jsonl FILE)",
+    )
+    p.add_argument("model")
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
+    p.add_argument("--frames", type=int, default=12)
+    p.add_argument("--streams", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline-ms", type=float, default=33.0)
+    p.add_argument(
+        "--scenario", default=None,
+        help="optional canned fault plan to serve under "
+        "(see repro.faults.CANNED_PLANS)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="write the per-event JSONL telemetry snapshot",
+    )
 
     return parser
 
@@ -578,6 +766,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -41,6 +41,7 @@ from repro.engine.passes import (
 from repro.engine.tactics import TacticChoice, TacticSelector
 from repro.engine.timing_cache import TimingCache
 from repro.lint.invariants import PassInvariantGuard
+from repro.telemetry.bus import BUS, SpanKind
 
 #: Serialized-plan overhead: fixed header + per-binding kernel metadata.
 #: Sized to the repo's scaled-down models (DESIGN.md §5) so overhead
@@ -182,8 +183,19 @@ class EngineBuilder:
 
         def run_pass(pass_fn) -> PassReport:
             if guard is not None:
-                return guard.run(graph, pass_fn)
-            return pass_fn(graph)
+                report = guard.run(graph, pass_fn)
+            else:
+                report = pass_fn(graph)
+            if BUS.active:
+                BUS.emit(
+                    SpanKind.BUILD_PASS,
+                    report.pass_name,
+                    changed=report.changed,
+                    details=list(report.details),
+                    network=network.name,
+                    device=self.device.name,
+                )
+            return report
 
         # Steps 1-2: dead-layer removal, vertical fusion.
         reports.append(run_pass(remove_dead_layers))

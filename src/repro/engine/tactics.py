@@ -28,6 +28,7 @@ from repro.hardware.workload import LayerWorkload
 
 from repro.engine.kernels import KernelCatalog, KernelSpec
 from repro.engine.timing_cache import TimingCache
+from repro.telemetry.bus import BUS, SpanKind
 
 
 @dataclass(frozen=True)
@@ -145,6 +146,16 @@ class TacticSelector:
                     candidates_timed=len(candidates),
                 )
         assert best is not None
+        if BUS.active:
+            BUS.emit(
+                SpanKind.TACTIC_AUCTION,
+                layer_name,
+                dur_us=best.measured_us,
+                kernel=best.kernel.name,
+                measured_us=best.measured_us,
+                true_us=best.true_us,
+                candidates=best.candidates_timed,
+            )
         return best
 
     # ------------------------------------------------------------------

@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.telemetry.bus import BUS, SpanKind
+
 
 class FaultKind(enum.Enum):
     """The fault families of the injection framework.
@@ -108,6 +110,17 @@ class FaultLog:
             details=_freeze_details(details),
         )
         self.events.append(event)
+        if BUS.active:
+            BUS.emit(
+                SpanKind.FAULT,
+                event.kind.value,
+                time_s=event.time_s,
+                scenario=event.scenario,
+                severity=event.severity,
+                target=event.target,
+                details=dict(event.details),
+                _fault=event,
+            )
         return event
 
     # ------------------------------------------------------------------

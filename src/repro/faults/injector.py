@@ -40,6 +40,7 @@ from repro.faults.events import (
     KernelLaunchFault,
 )
 from repro.faults.scenario import FaultPlan, FaultScenario
+from repro.telemetry.bus import BUS, SpanKind
 
 #: Kernel/memcpy slowdown per DRAM-degradation severity step.
 DRAM_SLOWDOWN_PER_SEVERITY = 0.20
@@ -266,6 +267,14 @@ class FaultInjector:
                 from_mhz=before,
                 to_mhz=target,
             )
+            if BUS.active:
+                BUS.emit(
+                    SpanKind.CLOCK,
+                    "gpu",
+                    clock_mhz=target,
+                    from_mhz=before,
+                    cause="thermal" if steps else "restore",
+                )
         return target
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ import numpy as np
 from repro.hardware.cost import CostModel
 from repro.hardware.memory import MemcpyModel
 from repro.hardware.specs import DeviceSpec
+from repro.telemetry.bus import BUS, SpanKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.engine import LayerBinding
@@ -213,4 +214,35 @@ def simulate_inference(
 
     if profiler is not None:
         profiler.record(timing)
+    if BUS.active:
+        # Telemetry is emission-only: the timing above is already
+        # complete and no randomness was drawn, so the disabled path is
+        # bit-identical by construction.
+        for mev in timing.memcpy_events:
+            BUS.emit(
+                SpanKind.MEMCPY,
+                mev.label,
+                start_us=mev.start_us,
+                dur_us=mev.duration_us,
+                bytes=mev.bytes,
+                calls=mev.calls,
+            )
+        for kev in timing.kernel_events:
+            BUS.emit(
+                SpanKind.KERNEL,
+                kev.kernel_name,
+                start_us=kev.start_us,
+                dur_us=kev.duration_us,
+                layer=kev.layer_name,
+            )
+        BUS.emit(
+            SpanKind.INFERENCE,
+            device.name,
+            dur_us=timing.total_us,
+            clock_mhz=clock_mhz,
+            batch_size=batch_size,
+            kernel_us=timing.kernel_us,
+            memcpy_us=timing.memcpy_us,
+            _timing=timing,
+        )
     return timing

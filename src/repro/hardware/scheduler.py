@@ -26,6 +26,7 @@ from repro.graph.shapes import infer_shapes
 from repro.hardware.power import PowerModel, PowerSample
 from repro.hardware.specs import DeviceSpec
 from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+from repro.telemetry.bus import BUS, SpanKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.engine import Engine
@@ -291,23 +292,36 @@ class StreamScheduler:
                 batch_size=batch_size,
             )
             points.append(point)
-            if tegrastats is not None:
+            if tegrastats is not None or BUS.active:
                 note = (
                     f"fault: {stolen_mb:.0f}MB RAM stolen"
                     if stolen_mb > 0
                     else ""
                 )
-                tegrastats.record(
-                    TegrastatsSample(
-                        timestamp_s=float(n),
-                        ram_used_mb=ram_used,
-                        ram_total_mb=self.device.ram_gb * 1024,
-                        gpu_util_pct=gpu_pct,
-                        gpu_freq_mhz=clock,
-                        cpu_util_pct=min(95.0, 8.0 * n),
-                        note=note,
-                    )
+                sample = TegrastatsSample(
+                    timestamp_s=float(n),
+                    ram_used_mb=ram_used,
+                    ram_total_mb=self.device.ram_gb * 1024,
+                    gpu_util_pct=gpu_pct,
+                    gpu_freq_mhz=clock,
+                    cpu_util_pct=min(95.0, 8.0 * n),
+                    note=note,
                 )
+                if tegrastats is not None:
+                    tegrastats.record(sample)
+                if BUS.active:
+                    BUS.emit(
+                        SpanKind.SAMPLE,
+                        "tegrastats",
+                        ram_used_mb=sample.ram_used_mb,
+                        ram_total_mb=sample.ram_total_mb,
+                        gpu_util_pct=sample.gpu_util_pct,
+                        gpu_freq_mhz=sample.gpu_freq_mhz,
+                        cpu_util_pct=sample.cpu_util_pct,
+                        threads=n,
+                        note=note,
+                        _sample=sample,
+                    )
         return ConcurrencyResult(
             device_name=self.device.name,
             engine_name=self.engine.name,

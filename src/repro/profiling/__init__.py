@@ -6,9 +6,26 @@
   measured without).
 * :class:`~repro.profiling.tegrastats.Tegrastats` — the Jetson
   board-level sampler for RAM usage and GPU utilization.
+* :class:`~repro.telemetry.sinks.ChromeTrace` — the trace-event-format
+  renderer (re-exported; it lives on the telemetry bus).
+
+All three implement the :class:`repro.telemetry.Profiler` protocol:
+attach any of them to a run with ``repro.telemetry.session(...)``.
+The legacy module-level helpers ``to_chrome_trace`` /
+``save_chrome_trace`` still work but emit a ``DeprecationWarning``.
 """
 
+from repro.profiling.chrome_trace import save_chrome_trace, to_chrome_trace
 from repro.profiling.nvprof import KernelStats, Nvprof
 from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
+from repro.telemetry.sinks import ChromeTrace
 
-__all__ = ["KernelStats", "Nvprof", "Tegrastats", "TegrastatsSample"]
+__all__ = [
+    "ChromeTrace",
+    "KernelStats",
+    "Nvprof",
+    "Tegrastats",
+    "TegrastatsSample",
+    "save_chrome_trace",
+    "to_chrome_trace",
+]

@@ -1,142 +1,52 @@
-"""Chrome-trace export of inference timelines.
+"""Chrome-trace export of inference timelines (legacy shims).
 
-Converts :class:`repro.hardware.gpu.InferenceTiming` objects into the
-Trace Event Format consumed by ``chrome://tracing`` / Perfetto — the
-standard way to eyeball GPU timelines.  memcpy and kernel events land
-on separate tracks, multiple inferences on separate rows.
+The renderer now lives in :class:`repro.telemetry.sinks.ChromeTrace`,
+a sink on the telemetry bus (re-exported here as
+``repro.profiling.ChromeTrace``).  The original module-level functions
+remain as thin shims producing byte-identical output, but emit a
+``DeprecationWarning`` (once per process) pointing at the sink API.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
+from repro._deprecation import warn_once
 from repro.hardware.gpu import InferenceTiming
+from repro.telemetry.sinks import ChromeTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.events import FaultLog
 
-#: Trace Event Format process/thread ids for the activity tracks.
-_PID = 1
-_TID_MEMCPY = 1
-_TID_KERNELS = 2
-_TID_FAULTS = 3
+
+def _collect(
+    timings: Union[InferenceTiming, Iterable[InferenceTiming]],
+    fault_log: Optional["FaultLog"],
+) -> ChromeTrace:
+    trace = ChromeTrace()
+    if isinstance(timings, InferenceTiming):
+        trace.add_timing(timings)
+    else:
+        trace.add_timings(timings)
+    trace.add_fault_log(fault_log)
+    return trace
 
 
 def to_chrome_trace(
     timings: Union[InferenceTiming, Iterable[InferenceTiming]],
     fault_log: Optional["FaultLog"] = None,
 ) -> dict:
-    """Build a Trace Event Format document from one or more timelines.
-
-    Successive timelines are laid out back-to-back on the time axis so
-    repeated runs render as consecutive inferences.  ``fault_log``
-    (a :class:`repro.faults.FaultLog`) renders every fault emission as
-    a global instant event on its own track, so injected faults line up
-    visually with the kernels they perturbed.
-    """
-    if isinstance(timings, InferenceTiming):
-        timings = [timings]
-    events: List[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": _PID,
-            "args": {"name": "trtsim GPU"},
-        },
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": _PID,
-            "tid": _TID_MEMCPY,
-            "args": {"name": "memcpy (HtoD)"},
-        },
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": _PID,
-            "tid": _TID_KERNELS,
-            "args": {"name": "kernels"},
-        },
-    ]
-    offset_us = 0.0
-    for run_index, timing in enumerate(timings):
-        # Batched runs annotate every event with the micro-batch size
-        # (batch-1 traces stay byte-identical to pre-batching output).
-        batch = getattr(timing, "batch_size", 1)
-        for event in timing.memcpy_events:
-            args = {
-                "bytes": event.bytes,
-                "calls": event.calls,
-                "run": run_index,
-            }
-            if batch != 1:
-                args["batch"] = batch
-            events.append(
-                {
-                    "name": event.label,
-                    "cat": "memcpy",
-                    "ph": "X",
-                    "pid": _PID,
-                    "tid": _TID_MEMCPY,
-                    "ts": offset_us + event.start_us,
-                    "dur": event.duration_us,
-                    "args": args,
-                }
-            )
-        for event in timing.kernel_events:
-            args = {
-                "layer": event.layer_name,
-                "run": run_index,
-            }
-            if batch != 1:
-                args["batch"] = batch
-            events.append(
-                {
-                    "name": event.kernel_name,
-                    "cat": "kernel",
-                    "ph": "X",
-                    "pid": _PID,
-                    "tid": _TID_KERNELS,
-                    "ts": offset_us + event.start_us,
-                    "dur": event.duration_us,
-                    "args": args,
-                }
-            )
-        offset_us += timing.total_us
-    if fault_log is not None:
-        if len(fault_log):
-            events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": _PID,
-                    "tid": _TID_FAULTS,
-                    "args": {"name": "faults"},
-                }
-            )
-        for fault in fault_log:
-            events.append(
-                {
-                    "name": fault.kind.value,
-                    "cat": "fault",
-                    "ph": "i",
-                    "s": "g",
-                    "pid": _PID,
-                    "tid": _TID_FAULTS,
-                    "ts": fault.time_s * 1e6,
-                    "args": fault.to_dict(),
-                }
-            )
-    return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {
-            "device": timings[0].device_name if timings else "",
-            "clock_mhz": timings[0].clock_mhz if timings else 0.0,
-        },
-    }
+    """Deprecated: use :class:`repro.telemetry.ChromeTrace` (attach it
+    via ``telemetry.session`` or feed it with ``add_timing``) and call
+    ``to_document()``."""
+    warn_once(
+        "profiling.to_chrome_trace",
+        "to_chrome_trace() is deprecated; use "
+        "repro.telemetry.ChromeTrace().to_document() "
+        "(attach via repro.telemetry.session)",
+    )
+    return _collect(timings, fault_log).to_document()
 
 
 def save_chrome_trace(
@@ -144,7 +54,11 @@ def save_chrome_trace(
     path: Union[str, Path],
     fault_log: Optional["FaultLog"] = None,
 ) -> None:
-    """Write a ``.json`` trace loadable in chrome://tracing."""
-    Path(path).write_text(
-        json.dumps(to_chrome_trace(timings, fault_log=fault_log))
+    """Deprecated: use :meth:`repro.telemetry.ChromeTrace.save`."""
+    warn_once(
+        "profiling.save_chrome_trace",
+        "save_chrome_trace() is deprecated; use "
+        "repro.telemetry.ChromeTrace().save(path) "
+        "(attach via repro.telemetry.session)",
     )
+    _collect(timings, fault_log).save(path)

@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, TYPE_CHECKING
 
+from repro.telemetry.bus import SpanKind
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.gpu import InferenceTiming
+    from repro.telemetry.bus import TelemetryEvent
 
 
 @dataclass
@@ -72,6 +75,23 @@ class Nvprof:
     def record(self, timing: "InferenceTiming") -> None:
         """Called by the simulator after each profiled inference."""
         self._timings.append(timing)
+
+    def on_event(self, event: "TelemetryEvent") -> None:
+        """Telemetry-sink entry point (the :class:`Profiler` protocol).
+
+        Consumes the full timeline carried by each ``exec.inference``
+        span.  A timing already recorded via the per-call ``profiler=``
+        path is not double counted when the same instance is *also*
+        attached as a bus sink.
+        """
+        if event.kind is not SpanKind.INFERENCE:
+            return
+        timing = event.attrs.get("_timing")
+        if timing is None:
+            return
+        if self._timings and self._timings[-1] is timing:
+            return
+        self.record(timing)
 
     def reset(self) -> None:
         self._timings.clear()

@@ -10,7 +10,12 @@ inference; this module stores them and renders the familiar line format.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, TYPE_CHECKING
+
+from repro.telemetry.bus import SpanKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.bus import TelemetryEvent
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,22 @@ class Tegrastats:
 
     def record(self, sample: TegrastatsSample) -> None:
         self.samples.append(sample)
+
+    def on_event(self, event: "TelemetryEvent") -> None:
+        """Telemetry-sink entry point (the :class:`Profiler` protocol).
+
+        Consumes ``hw.sample`` spans.  A sample already recorded
+        through a direct ``record()`` call is not double counted when
+        this instance is *also* attached as a bus sink.
+        """
+        if event.kind is not SpanKind.SAMPLE:
+            return
+        sample = event.attrs.get("_sample")
+        if sample is None:
+            return
+        if self.samples and self.samples[-1] is sample:
+            return
+        self.record(sample)
 
     def mean_gpu_util(self) -> float:
         if not self.samples:

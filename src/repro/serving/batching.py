@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.telemetry.bus import BUS, SpanKind
+
 
 @dataclass
 class BatchingConfig:
@@ -132,6 +134,17 @@ class BatchingQueue:
     def _close(self, dispatch_ms: float) -> MicroBatch:
         batch = MicroBatch(requests=self._pending, dispatch_ms=dispatch_ms)
         self._pending = []
+        if BUS.active:
+            BUS.emit(
+                SpanKind.BATCH,
+                "coalesce",
+                size=batch.size,
+                dispatch_ms=batch.dispatch_ms,
+                streams=sorted({r.stream for r in batch.requests}),
+                max_wait_ms=max(
+                    batch.wait_ms(r) for r in batch.requests
+                ),
+            )
         return batch
 
 

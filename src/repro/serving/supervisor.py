@@ -36,11 +36,13 @@ supervision adds no behavioral change until a fault fires.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._deprecation import warn_once
 from repro.engine.engine import Engine, ExecutionContext
 from repro.faults.events import FaultError, FaultKind
 from repro.faults.injector import FaultInjector
@@ -50,6 +52,7 @@ from repro.hardware.scheduler import USABLE_RAM_FRACTION, StreamScheduler
 from repro.hardware.specs import DeviceSpec
 from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
 from repro.serving.batching import BatchingConfig, BatchRequest, coalesce
+from repro.telemetry.bus import BUS, SpanKind
 
 
 @dataclass(frozen=True)
@@ -118,6 +121,22 @@ class RequestRecord:
     output_digest: str = ""
     #: Micro-batch size this request was served in (1 = unbatched).
     batch_size: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "frame": self.frame,
+            "stream": self.stream,
+            "t_s": self.t_s,
+            "ok": self.ok,
+            "dropped": self.dropped,
+            "deadline_met": self.deadline_met,
+            "latency_ms": self.latency_ms,
+            "attempts": self.attempts,
+            "level": self.level,
+            "fault": self.fault,
+            "output_digest": self.output_digest,
+            "batch_size": self.batch_size,
+        }
 
 
 @dataclass
@@ -191,6 +210,80 @@ class ServiceReport:
             f"mean latency {self.mean_latency_ms:.2f} ms"
         )
 
+    # ------------------------------------------------------------------
+    def stream_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-stream SLO statistics (the serving dashboard's rows)."""
+        streams: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            streams.setdefault(record.stream, []).append(record)
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, records in sorted(streams.items()):
+            served = [r.latency_ms for r in records if not r.dropped]
+            arr = np.asarray(served) if served else np.zeros(0)
+            out[name] = {
+                "requests": len(records),
+                "served": len(served),
+                "dropped": sum(1 for r in records if r.dropped),
+                "failures": sum(
+                    1 for r in records if not r.dropped and not r.ok
+                ),
+                "deadline_hits": sum(1 for r in records if r.deadline_met),
+                "deadline_hit_rate": (
+                    sum(1 for r in records if r.deadline_met) / len(records)
+                    if records else 0.0
+                ),
+                "retries": sum(max(0, r.attempts - 1) for r in records),
+                "mean_latency_ms": float(arr.mean()) if served else 0.0,
+                "p50_latency_ms": (
+                    float(np.percentile(arr, 50)) if served else 0.0
+                ),
+                "p95_latency_ms": (
+                    float(np.percentile(arr, 95)) if served else 0.0
+                ),
+                "p99_latency_ms": (
+                    float(np.percentile(arr, 99)) if served else 0.0
+                ),
+            }
+        return out
+
+    def to_dict(self, include_records: bool = False) -> Dict[str, Any]:
+        """Stable-schema snapshot (``trtsim.service_report/1``)."""
+        doc: Dict[str, Any] = {
+            "schema": "trtsim.service_report/1",
+            "engine": self.engine_name,
+            "device": self.device_name,
+            "deadline_ms": self.deadline_ms,
+            "supervised": self.supervised,
+            "totals": {
+                "requests": self.requests,
+                "served": self.served,
+                "dropped": self.dropped_frames,
+                "failures": self.failures,
+                "deadline_hits": self.deadline_hits,
+                "deadline_hit_rate": self.deadline_hit_rate,
+                "retries": self.total_retries,
+                "fallback_occupancy": self.fallback_occupancy,
+                "mean_latency_ms": self.mean_latency_ms,
+            },
+            "streams": self.stream_stats(),
+            "actions": [
+                {"t_s": t, "action": text} for t, text in self.actions
+            ],
+            "faults": (
+                len(self.fault_log) if self.fault_log is not None else 0
+            ),
+        }
+        if include_records:
+            doc["records"] = [r.to_dict() for r in self.records]
+        return doc
+
+    def to_json(
+        self, include_records: bool = False, indent: Optional[int] = 2
+    ) -> str:
+        return json.dumps(
+            self.to_dict(include_records=include_records), indent=indent
+        )
+
 
 class InferenceSupervisor:
     """Serves a multi-stream workload, resiliently or not.
@@ -235,6 +328,13 @@ class InferenceSupervisor:
         self.injector = injector or FaultInjector()
         self.supervised = supervised
         self.seed = seed
+        if tegrastats is not None:
+            warn_once(
+                "InferenceSupervisor.tegrastats",
+                "InferenceSupervisor(tegrastats=...) is deprecated; "
+                "attach the Tegrastats sink via "
+                "repro.telemetry.session(...) instead",
+            )
         self.tegrastats = tegrastats
         self.batching = batching
         self.clock = ClockDomain(self.device)
@@ -609,6 +709,27 @@ class InferenceSupervisor:
         return records
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record(report: ServiceReport, record: RequestRecord) -> None:
+        """Append one outcome and publish its request span."""
+        report.records.append(record)
+        if BUS.active:
+            BUS.emit(
+                SpanKind.REQUEST,
+                record.stream,
+                dur_us=record.latency_ms * 1e3,
+                stream=record.stream,
+                frame=record.frame,
+                ok=record.ok,
+                dropped=record.dropped,
+                deadline_met=record.deadline_met,
+                latency_ms=record.latency_ms,
+                attempts=record.attempts,
+                level=record.level,
+                fault=record.fault,
+                batch_size=record.batch_size,
+            )
+
     def serve(self, frames: int) -> ServiceReport:
         """Run ``frames`` frame cycles over every stream."""
         cfg = self.config
@@ -622,8 +743,14 @@ class InferenceSupervisor:
         self.actions = report.actions
         for frame in range(frames):
             t_s = frame * cfg.frame_period_s
+            if BUS.active:
+                BUS.set_time(t_s)
             self.injector.set_time(t_s)
             clock_mhz = self.injector.apply_thermal(self.clock)
+            if BUS.active:
+                BUS.emit(
+                    SpanKind.CLOCK, "gpu", clock_mhz=clock_mhz, frame=frame
+                )
             events_before = len(self.injector.log)
 
             if self.supervised:
@@ -638,7 +765,8 @@ class InferenceSupervisor:
 
             for stream_idx, stream in enumerate(self.streams):
                 if stream_idx not in admitted_idx:
-                    report.records.append(
+                    self._record(
+                        report,
                         RequestRecord(
                             frame=frame,
                             stream=stream.name,
@@ -654,7 +782,8 @@ class InferenceSupervisor:
                     )
                     continue
                 if oom_all:
-                    report.records.append(
+                    self._record(
+                        report,
                         RequestRecord(
                             frame=frame,
                             stream=stream.name,
@@ -674,7 +803,7 @@ class InferenceSupervisor:
                 record = self._serve_request(
                     stream_idx, frame, t_s, clock_mhz
                 )
-                report.records.append(record)
+                self._record(report, record)
                 if self.supervised:
                     self._adapt_level(record)
 
@@ -686,11 +815,11 @@ class InferenceSupervisor:
                 for record in self._serve_frame_batched(
                     served_idx, frame, t_s, clock_mhz
                 ):
-                    report.records.append(record)
+                    self._record(report, record)
                     if self.supervised:
                         self._adapt_level(record)
 
-            if self.tegrastats is not None:
+            if self.tegrastats is not None or BUS.active:
                 fired = self.injector.log.events[events_before:]
                 note = ", ".join(
                     sorted({e.kind.value for e in fired})
@@ -700,19 +829,31 @@ class InferenceSupervisor:
                     [r for r in report.records
                      if r.frame == frame and not r.dropped]
                 )
-                self.tegrastats.record(
-                    TegrastatsSample(
-                        timestamp_s=t_s,
-                        ram_used_mb=int(
-                            1536 + stolen + self._per_stream_mb * active
-                        ),
-                        ram_total_mb=self.device.ram_gb * 1024,
-                        gpu_util_pct=80.0 if active else 5.0,
-                        gpu_freq_mhz=clock_mhz,
-                        cpu_util_pct=min(95.0, 10.0 * active),
-                        note=note,
-                    )
+                sample = TegrastatsSample(
+                    timestamp_s=t_s,
+                    ram_used_mb=int(
+                        1536 + stolen + self._per_stream_mb * active
+                    ),
+                    ram_total_mb=self.device.ram_gb * 1024,
+                    gpu_util_pct=80.0 if active else 5.0,
+                    gpu_freq_mhz=clock_mhz,
+                    cpu_util_pct=min(95.0, 10.0 * active),
+                    note=note,
                 )
+                if self.tegrastats is not None:
+                    self.tegrastats.record(sample)
+                if BUS.active:
+                    BUS.emit(
+                        SpanKind.SAMPLE,
+                        "tegrastats",
+                        ram_used_mb=sample.ram_used_mb,
+                        ram_total_mb=sample.ram_total_mb,
+                        gpu_util_pct=sample.gpu_util_pct,
+                        gpu_freq_mhz=sample.gpu_freq_mhz,
+                        cpu_util_pct=sample.cpu_util_pct,
+                        note=note,
+                        _sample=sample,
+                    )
         return report
 
 
@@ -780,6 +921,24 @@ class ResilienceComparison:
             self.supervised.deadline_hit_rate
             / self.unsupervised.deadline_hit_rate
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable-schema snapshot (``trtsim.resilience_comparison/1``).
+
+        ``hit_rate_gain`` is ``None`` (not ``inf``) when the baseline
+        served nothing in time, so the document is strict-JSON safe.
+        """
+        gain = self.hit_rate_gain
+        return {
+            "schema": "trtsim.resilience_comparison/1",
+            "plan": self.plan_name,
+            "hit_rate_gain": None if gain == float("inf") else gain,
+            "supervised": self.supervised.to_dict(),
+            "unsupervised": self.unsupervised.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def slo_table(self) -> str:
         rows = [

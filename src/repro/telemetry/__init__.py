@@ -1,0 +1,58 @@
+"""repro.telemetry — unified observability for the simulator.
+
+Public surface::
+
+    telemetry.session(*sinks)   # the one way to attach observers
+    telemetry.BUS / get_bus()   # the process-wide event bus
+    telemetry.SpanKind          # typed span families
+    telemetry.ChromeTrace       # trace-event-format sink
+    telemetry.PrometheusSink    # text exposition sink
+    telemetry.JsonlSink         # one-JSON-object-per-event export
+    telemetry.MetricsRegistry   # counters / gauges / ddof=1 histograms
+
+``Nvprof`` and ``Tegrastats`` (in :mod:`repro.profiling`) implement the
+same :class:`Profiler` protocol and attach the same way.
+"""
+
+from repro.telemetry.bus import (
+    BUS,
+    SpanKind,
+    TelemetryBus,
+    TelemetryEvent,
+    get_bus,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SUMMARY_QUANTILES,
+)
+from repro.telemetry.session import TelemetrySession, session
+from repro.telemetry.sinks import (
+    ChromeTrace,
+    JsonlSink,
+    Profiler,
+    PrometheusSink,
+    iter_prometheus_lines,
+)
+
+__all__ = [
+    "BUS",
+    "SpanKind",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "get_bus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SUMMARY_QUANTILES",
+    "TelemetrySession",
+    "session",
+    "ChromeTrace",
+    "JsonlSink",
+    "Profiler",
+    "PrometheusSink",
+    "iter_prometheus_lines",
+]

@@ -1,0 +1,67 @@
+"""``telemetry.session()`` — the one way to attach observers.
+
+Instead of threading a profiler through every call site, wrap the run::
+
+    from repro import telemetry
+    from repro.profiling import Nvprof
+
+    with telemetry.session(Nvprof(), telemetry.ChromeTrace()) as tsn:
+        report = supervisor.serve(frames=32)
+    print(tsn.prometheus())
+
+Inside the ``with`` block the process-wide bus is active and every
+instrumented site publishes spans; on exit all sinks detach and the bus
+goes back to its zero-overhead inactive state.  Sessions nest: an inner
+``session()`` adds its sinks on top of the outer ones and removes only
+its own at exit.  The metrics registry is replaced with a fresh one
+when the bus transitions inactive→active, so each top-level session
+starts from zero.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, List
+
+from repro.telemetry.bus import BUS, TelemetryBus
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TelemetrySession:
+    """Handle yielded by :func:`session`: the bus, the sinks attached
+    by this session, and the metrics registry the run folds into."""
+
+    def __init__(self, bus: TelemetryBus, sinks: List[Any]):
+        self.bus = bus
+        self.sinks = list(sinks)
+        self.metrics = bus.metrics
+
+    def prometheus(self) -> str:
+        """Text exposition of this session's metrics registry."""
+        return self.metrics.prometheus()
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.sinks)
+
+
+@contextlib.contextmanager
+def session(*sinks: Any) -> Iterator[TelemetrySession]:
+    """Attach ``sinks`` to the process-wide bus for the duration of the
+    ``with`` block.  Every sink must implement the
+    :class:`~repro.telemetry.sinks.Profiler` protocol
+    (``on_event(event)``)."""
+    bus = BUS
+    if not bus.active:
+        # First (outermost) session: fresh registry and sequence so the
+        # run's metrics are not polluted by a previous session.
+        bus.metrics = MetricsRegistry()
+        bus._seq = 0
+    attached: List[Any] = []
+    try:
+        for sink in sinks:
+            bus.attach(sink)
+            attached.append(sink)
+        yield TelemetrySession(bus, attached)
+    finally:
+        for sink in reversed(attached):
+            bus.detach(sink)

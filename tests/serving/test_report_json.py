@@ -1,0 +1,122 @@
+"""Stable JSON schemas for ServiceReport and ResilienceComparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.faults.scenario import canned_plan
+from repro.hardware.specs import XAVIER_NX
+from repro.serving.supervisor import (
+    InferenceSupervisor,
+    ResilienceComparison,
+    ServiceReport,
+    StreamSpec,
+    SupervisorConfig,
+    run_fault_comparison,
+)
+from tests.conftest import make_small_cnn
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return EngineBuilder(XAVIER_NX, BuilderConfig(seed=19)).build(
+        make_small_cnn()
+    )
+
+
+@pytest.fixture(scope="module")
+def report(engine):
+    supervisor = InferenceSupervisor(
+        engine,
+        streams=[StreamSpec("cam0"), StreamSpec("cam1", priority=1)],
+        config=SupervisorConfig(),
+        seed=13,
+    )
+    return supervisor.serve(frames=5)
+
+
+class TestServiceReportJson:
+    def test_schema_and_roundtrip(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == "trtsim.service_report/1"
+        assert doc["device"] == "Xavier NX"
+        assert set(doc["totals"]) == {
+            "requests", "served", "dropped", "failures", "deadline_hits",
+            "deadline_hit_rate", "retries", "fallback_occupancy",
+            "mean_latency_ms",
+        }
+        assert doc["totals"]["requests"] == report.requests
+        assert doc["totals"]["deadline_hit_rate"] == pytest.approx(
+            report.deadline_hit_rate
+        )
+        assert set(doc["streams"]) == {"cam0", "cam1"}
+
+    def test_stream_stats_have_percentiles(self, report):
+        doc = report.to_dict()
+        for stats in doc["streams"].values():
+            for key in ("p50_latency_ms", "p95_latency_ms",
+                        "p99_latency_ms", "deadline_hit_rate"):
+                assert key in stats
+            assert (
+                stats["p50_latency_ms"]
+                <= stats["p95_latency_ms"]
+                <= stats["p99_latency_ms"]
+            )
+
+    def test_records_included_on_request(self, report):
+        default = report.to_dict()
+        assert "records" not in default
+        with_records = json.loads(report.to_json(include_records=True))
+        assert len(with_records["records"]) == report.requests
+        record = with_records["records"][0]
+        for key in ("stream", "frame", "ok", "dropped", "deadline_met",
+                    "latency_ms", "attempts", "level"):
+            assert key in record
+
+
+class TestResilienceComparisonJson:
+    @pytest.fixture(scope="class")
+    def comparison(self, engine):
+        return run_fault_comparison(
+            engine,
+            canned_plan("thermal", seed=2),
+            streams=[StreamSpec("cam0")],
+            frames=6,
+            seed=2,
+        )
+
+    def test_schema(self, comparison):
+        doc = json.loads(comparison.to_json())
+        assert doc["schema"] == "trtsim.resilience_comparison/1"
+        assert doc["plan"] == "thermal"
+        assert doc["supervised"]["schema"] == "trtsim.service_report/1"
+        assert doc["unsupervised"]["supervised"] is False
+
+    def test_infinite_gain_serialises_as_null(self):
+        def stub(supervised: bool, hits: int) -> ServiceReport:
+            from repro.serving.supervisor import RequestRecord
+
+            records = [
+                RequestRecord(
+                    frame=i, stream="s", t_s=0.0, ok=True, dropped=False,
+                    deadline_met=i < hits, latency_ms=1.0, attempts=1,
+                    level=0,
+                )
+                for i in range(4)
+            ]
+            return ServiceReport(
+                engine_name="e", device_name="d", deadline_ms=33.0,
+                supervised=supervised, records=records,
+            )
+
+        comparison = ResilienceComparison(
+            supervised=stub(True, hits=4),
+            unsupervised=stub(False, hits=0),
+            plan_name="stub",
+        )
+        assert comparison.hit_rate_gain == float("inf")
+        doc = json.loads(comparison.to_json())
+        assert doc["hit_rate_gain"] is None

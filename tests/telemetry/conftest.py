@@ -1,0 +1,19 @@
+"""Telemetry test fixtures: every test starts from a quiet bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._deprecation import reset_warnings
+from repro.telemetry.bus import BUS
+
+
+@pytest.fixture(autouse=True)
+def quiet_bus():
+    """Reset the process-wide bus and the warn-once registry around
+    each test so telemetry state never leaks between tests."""
+    BUS.reset()
+    reset_warnings()
+    yield
+    BUS.reset()
+    reset_warnings()

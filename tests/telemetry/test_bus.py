@@ -1,0 +1,141 @@
+"""Bus semantics: zero overhead when disabled, ordered fan-out,
+session lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import BUS, SpanKind, TelemetryBus
+
+
+class Recorder:
+    """Minimal Profiler-protocol sink collecting every event."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+class TestInactiveBus:
+    def test_emit_is_noop_without_sinks(self):
+        assert not BUS.active
+        assert BUS.emit(SpanKind.KERNEL, "k", dur_us=5.0) is None
+
+    def test_inactive_emit_records_no_metrics_and_no_seq(self):
+        BUS.emit(SpanKind.INFERENCE, "run", dur_us=100.0)
+        assert BUS._seq == 0
+        assert len(BUS.metrics) == 0
+
+
+class TestActiveBus:
+    def test_attach_activates_and_detach_deactivates(self):
+        sink = Recorder()
+        BUS.attach(sink)
+        assert BUS.active
+        BUS.detach(sink)
+        assert not BUS.active
+
+    def test_attach_requires_on_event(self):
+        with pytest.raises(TypeError):
+            BUS.attach(object())
+
+    def test_seq_is_monotonic_and_shared_across_sinks(self):
+        a, b = Recorder(), Recorder()
+        BUS.attach(a)
+        BUS.attach(b)
+        for i in range(5):
+            BUS.emit(SpanKind.KERNEL, f"k{i}", dur_us=1.0)
+        assert [e.seq for e in a.events] == [1, 2, 3, 4, 5]
+        # Both sinks see the identical ordered stream (same objects).
+        assert [e is f for e, f in zip(a.events, b.events)] == [True] * 5
+
+    def test_set_time_stamps_events(self):
+        sink = Recorder()
+        BUS.attach(sink)
+        BUS.set_time(2.5)
+        event = BUS.emit(SpanKind.CLOCK, "gpu", clock_mhz=599.0)
+        assert event.t_s == 2.5
+
+    def test_to_dict_strips_private_payload_attrs(self):
+        sink = Recorder()
+        BUS.attach(sink)
+        event = BUS.emit(
+            SpanKind.INFERENCE, "run", dur_us=10.0,
+            clock_mhz=599.0, _timing=object(),
+        )
+        d = event.to_dict()
+        assert "_timing" not in d["attrs"]
+        assert d["attrs"]["clock_mhz"] == 599.0
+        assert d["kind"] == "exec.inference"
+
+
+class TestSession:
+    def test_session_attaches_and_detaches(self):
+        sink = Recorder()
+        with telemetry.session(sink) as tsn:
+            assert BUS.active
+            assert sink in list(tsn)
+            BUS.emit(SpanKind.KERNEL, "k", dur_us=1.0)
+        assert not BUS.active
+        assert len(sink.events) == 1
+
+    def test_outermost_session_gets_fresh_registry(self):
+        with telemetry.session(Recorder()):
+            BUS.emit(SpanKind.INFERENCE, "run", dur_us=1000.0)
+            assert BUS.metrics.counter_total("trtsim_inferences_total") == 1
+        with telemetry.session(Recorder()) as tsn:
+            assert tsn.metrics.counter_total("trtsim_inferences_total") == 0
+
+    def test_nested_session_shares_registry_and_removes_own_sinks(self):
+        outer, inner = Recorder(), Recorder()
+        with telemetry.session(outer) as outer_tsn:
+            BUS.emit(SpanKind.KERNEL, "k1", dur_us=1.0)
+            with telemetry.session(inner) as inner_tsn:
+                assert inner_tsn.metrics is outer_tsn.metrics
+                BUS.emit(SpanKind.KERNEL, "k2", dur_us=1.0)
+            # Inner sink is gone, outer keeps receiving.
+            BUS.emit(SpanKind.KERNEL, "k3", dur_us=1.0)
+        assert [e.name for e in outer.events] == ["k1", "k2", "k3"]
+        assert [e.name for e in inner.events] == ["k2"]
+
+    def test_session_detaches_on_exception(self):
+        sink = Recorder()
+        with pytest.raises(RuntimeError):
+            with telemetry.session(sink):
+                raise RuntimeError("boom")
+        assert not BUS.active
+
+
+class TestMetricsFolding:
+    """emit() folds each span family into the registry exactly once."""
+
+    def test_request_spans(self):
+        bus = TelemetryBus()
+        bus.attach(Recorder())
+        bus.emit(
+            SpanKind.REQUEST, "cam0", stream="cam0", ok=True,
+            dropped=False, deadline_met=True, latency_ms=4.0, attempts=2,
+        )
+        bus.emit(
+            SpanKind.REQUEST, "cam0", stream="cam0", ok=False,
+            dropped=True, deadline_met=False, latency_ms=0.0, attempts=1,
+        )
+        m = bus.metrics
+        assert m.counter_total("trtsim_requests_total") == 2
+        assert m.counter_total("trtsim_shed_total") == 1
+        assert m.counter_total("trtsim_deadline_hits_total") == 1
+        assert m.counter_total("trtsim_deadline_misses_total") == 1
+        assert m.counter_total("trtsim_retries_total") == 1
+        assert m.histogram_samples("trtsim_request_latency_ms") == [4.0]
+
+    def test_fault_and_oom_spans(self):
+        bus = TelemetryBus()
+        bus.attach(Recorder())
+        bus.emit(SpanKind.FAULT, "oom")
+        bus.emit(SpanKind.FAULT, "thermal")
+        m = bus.metrics
+        assert m.counter_total("trtsim_faults_total") == 2
+        assert m.counter_total("trtsim_oom_total") == 1

@@ -1,0 +1,167 @@
+"""Acceptance: one supervised run with every sink attached yields
+mutually consistent totals, because each surface renders the same
+ordered event stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import canned_plan
+from repro.hardware.specs import XAVIER_NX
+from repro.profiling import Nvprof, Tegrastats
+from repro.serving.supervisor import (
+    InferenceSupervisor,
+    StreamSpec,
+    SupervisorConfig,
+)
+from repro.telemetry import (
+    ChromeTrace,
+    JsonlSink,
+    PrometheusSink,
+    iter_prometheus_lines,
+)
+from tests.conftest import make_small_cnn
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return EngineBuilder(XAVIER_NX, BuilderConfig(seed=19)).build(
+        make_small_cnn()
+    )
+
+
+@pytest.fixture(scope="module")
+def run(engine):
+    """One supervised serve with all four sink families attached."""
+    trace = ChromeTrace()
+    nvprof = Nvprof()
+    tegrastats = Tegrastats()
+    prom = PrometheusSink()
+    jsonl = JsonlSink()
+    supervisor = InferenceSupervisor(
+        engine,
+        streams=[StreamSpec("cam0", priority=0),
+                 StreamSpec("cam1", priority=1)],
+        config=SupervisorConfig(),
+        seed=11,
+    )
+    frames = 6
+    with telemetry.session(trace, nvprof, tegrastats, prom, jsonl) as tsn:
+        report = supervisor.serve(frames=frames)
+    return {
+        "report": report,
+        "frames": frames,
+        "trace": trace,
+        "nvprof": nvprof,
+        "tegrastats": tegrastats,
+        "prom": prom,
+        "jsonl": jsonl,
+        "metrics": tsn.metrics,
+    }
+
+
+class TestMutualConsistency:
+    def test_request_totals_agree_everywhere(self, run):
+        report, metrics = run["report"], run["metrics"]
+        assert report.requests > 0
+        # metrics registry
+        assert metrics.counter_total(
+            "trtsim_requests_total"
+        ) == report.requests
+        # raw JSONL stream
+        jsonl_requests = [
+            e for e in run["jsonl"].events()
+            if e["kind"] == "serve.request"
+        ]
+        assert len(jsonl_requests) == report.requests
+        # chrome trace request track
+        doc = run["trace"].to_document()
+        track = [e for e in doc["traceEvents"] if e.get("cat") == "request"]
+        assert len(track) == report.requests
+        # Prometheus text
+        parsed = iter_prometheus_lines(run["prom"].expose())
+        total = sum(
+            v for n, labels, v in parsed if n == "trtsim_requests_total"
+        )
+        assert total == report.requests
+
+    def test_kernel_totals_agree(self, run):
+        metrics, nvprof = run["metrics"], run["nvprof"]
+        nvprof_total_us = sum(
+            s.total_us for s in nvprof.kernel_summary().values()
+        )
+        assert metrics.counter_total(
+            "trtsim_kernel_time_us_total"
+        ) == pytest.approx(nvprof_total_us, rel=1e-9)
+        nvprof_calls = sum(
+            s.calls for s in nvprof.kernel_summary().values()
+        )
+        assert metrics.counter_total(
+            "trtsim_kernel_invocations_total"
+        ) == nvprof_calls
+        doc = run["trace"].to_document()
+        trace_kernels = [
+            e for e in doc["traceEvents"] if e.get("cat") == "kernel"
+        ]
+        assert len(trace_kernels) == nvprof_calls
+
+    def test_inference_counts_agree(self, run):
+        assert run["metrics"].counter_total(
+            "trtsim_inferences_total"
+        ) == run["nvprof"].num_inferences
+        assert run["nvprof"].num_inferences == len(
+            run["trace"]._timings
+        )
+
+    def test_tegrastats_sampled_every_frame(self, run):
+        assert len(run["tegrastats"].samples) == run["frames"]
+        assert run["tegrastats"].peak_ram_mb() > 0
+
+    def test_deadline_accounting_matches_report(self, run):
+        report, metrics = run["report"], run["metrics"]
+        assert metrics.counter_total(
+            "trtsim_deadline_hits_total"
+        ) == report.deadline_hits
+        latencies = metrics.histogram_samples("trtsim_request_latency_ms")
+        served = [r for r in report.records if not r.dropped]
+        assert len(latencies) == len(served)
+        assert sum(latencies) == pytest.approx(
+            sum(r.latency_ms for r in served), rel=1e-9
+        )
+
+    def test_jsonl_stream_is_ordered(self, run):
+        seqs = [e["seq"] for e in run["jsonl"].events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_prometheus_exposition_fully_parses(self, run):
+        parsed = iter_prometheus_lines(run["prom"].expose())
+        assert parsed  # non-empty and every line parsed
+
+
+class TestFaultConsistency:
+    def test_fault_counts_agree_across_sinks(self, engine):
+        trace = ChromeTrace()
+        jsonl = JsonlSink()
+        injector = FaultInjector(canned_plan("thermal_oom", seed=3))
+        supervisor = InferenceSupervisor(
+            engine,
+            streams=[StreamSpec("cam0"), StreamSpec("cam1")],
+            config=SupervisorConfig(),
+            injector=injector,
+            seed=3,
+        )
+        with telemetry.session(trace, jsonl) as tsn:
+            supervisor.serve(frames=12)
+        fault_total = tsn.metrics.counter_total("trtsim_faults_total")
+        assert fault_total == len(injector.log.events)
+        jsonl_faults = [
+            e for e in jsonl.events() if e["kind"] == "fault"
+        ]
+        assert len(jsonl_faults) == fault_total
+        doc = trace.to_document()
+        track = [e for e in doc["traceEvents"] if e.get("cat") == "fault"]
+        assert len(track) == fault_total

@@ -1,0 +1,139 @@
+"""Metrics registry: paper-convention statistics and the Prometheus
+text exposition."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.performance import LatencyStats
+from repro.telemetry import MetricsRegistry, iter_prometheus_lines
+from repro.telemetry.metrics import Histogram
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(599.0)
+        g.set(624.75)
+        assert g.value == 624.75
+
+    def test_get_or_create_is_keyed_by_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", stream="a") is reg.counter("c", stream="a")
+        assert reg.counter("c", stream="a") is not reg.counter(
+            "c", stream="b"
+        )
+        reg.counter("c", stream="a").inc(2)
+        reg.counter("c", stream="b").inc(3)
+        assert reg.counter_total("c") == 5
+
+
+class TestHistogramStats:
+    def test_std_matches_latency_stats_ddof1(self):
+        """The paper's 'mean (std)' convention: a telemetry histogram
+        over N runs must agree exactly with LatencyStats."""
+        rng = np.random.default_rng(7)
+        samples_us = list(rng.uniform(900.0, 1100.0, size=10))
+        paper = LatencyStats.from_us_samples(samples_us)
+        hist = Histogram("trtsim_inference_latency_ms")
+        for us in samples_us:
+            hist.observe(us / 1e3)
+        assert hist.mean == pytest.approx(paper.mean_ms, rel=1e-12)
+        assert hist.std == pytest.approx(paper.std_ms, rel=1e-12)
+        assert hist.std == pytest.approx(
+            float(np.std(np.asarray(samples_us) / 1e3, ddof=1)), rel=1e-12
+        )
+
+    def test_single_sample_has_zero_std(self):
+        hist = Histogram("h")
+        hist.observe(3.0)
+        assert hist.std == 0.0
+        assert LatencyStats.from_us_samples([3000.0]).std_ms == 0.0
+
+    def test_stats_dict(self):
+        hist = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        stats = hist.stats()
+        assert stats["count"] == 4
+        assert stats["sum"] == 10.0
+        assert stats["mean"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["p50"] == 2.5
+
+
+class TestPrometheusExposition:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("trtsim_requests_total", stream="cam0").inc(6)
+        reg.counter("trtsim_requests_total", stream="cam1").inc(4)
+        reg.gauge("trtsim_gpu_clock_mhz").set(599.0)
+        h = reg.histogram("trtsim_request_latency_ms", stream="cam0")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        return reg
+
+    def test_every_line_parses(self):
+        text = self.make_registry().prometheus()
+        parsed = iter_prometheus_lines(text)
+        # Each non-comment line became one (name, labels, value) tuple.
+        data_lines = [
+            line for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        assert len(parsed) == len(data_lines)
+
+    def test_parsed_values_roundtrip(self):
+        parsed = iter_prometheus_lines(self.make_registry().prometheus())
+        by_key = {(n, tuple(sorted(l.items()))): v for n, l, v in parsed}
+        assert by_key[
+            ("trtsim_requests_total", (("stream", "cam0"),))
+        ] == 6
+        assert by_key[("trtsim_gpu_clock_mhz", ())] == 599.0
+        assert by_key[
+            (
+                "trtsim_request_latency_ms",
+                (("quantile", "0.5"), ("stream", "cam0")),
+            )
+        ] == 2.0
+        assert by_key[
+            ("trtsim_request_latency_ms_count", (("stream", "cam0"),))
+        ] == 3
+        assert by_key[
+            ("trtsim_request_latency_ms_sum", (("stream", "cam0"),))
+        ] == 6.0
+
+    def test_type_comment_once_per_metric_name(self):
+        text = self.make_registry().prometheus()
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len({t.split()[2] for t in type_lines})
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            iter_prometheus_lines("this is not { an exposition")
+        with pytest.raises(ValueError):
+            iter_prometheus_lines('name{label=unquoted} 1')
+
+    def test_to_dict_is_json_safe(self):
+        doc = self.make_registry().to_dict()
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["counters"][0]["name"] == "trtsim_requests_total"
+        hist = parsed["histograms"][0]
+        assert hist["labels"] == {"stream": "cam0"}
+        assert hist["count"] == 3

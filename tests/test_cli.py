@@ -182,3 +182,94 @@ class TestFaultsCommand:
     def test_unknown_scenario_fails_loudly(self):
         with pytest.raises(ValueError, match="unknown canned fault plan"):
             main(["faults", "mtcnn", "--scenario", "volcano"])
+
+
+class TestCaseInsensitiveDevice:
+    def test_lowercase_device_accepted(self, capsys):
+        assert main(["concurrency", "mtcnn", "--device", "nx"]) == 0
+        assert "saturates at" in capsys.readouterr().out
+
+    def test_mixed_case_device_accepted(self, capsys):
+        assert main(["run", "mtcnn", "--device", "aGx", "--runs", "2"]) == 0
+
+    def test_unknown_device_still_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mtcnn", "--device", "tx2"])
+
+
+class TestCanonicalKeywordFlags:
+    def test_run_accepts_clock_and_batch_size(self, capsys):
+        code = main(
+            ["run", "mtcnn", "--device", "NX", "--runs", "2",
+             "--clock-mhz", "400", "--batch-size", "2"]
+        )
+        assert code == 0
+
+    def test_concurrency_batch_alias(self, capsys):
+        assert main(
+            ["concurrency", "mtcnn", "--device", "NX",
+             "--batch-size", "2", "--clock-mhz", "800"]
+        ) == 0
+        assert "micro-batch 2" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition(self, capsys):
+        from repro.telemetry import iter_prometheus_lines
+
+        code = main(
+            ["metrics", "mtcnn", "--device", "nx", "--frames", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # iter_prometheus_lines skips comments, including the trailing
+        # "# <summary>" line the command appends.
+        parsed = iter_prometheus_lines(out)
+        names = {name for name, _, _ in parsed}
+        assert "trtsim_requests_total" in names
+        assert "trtsim_inferences_total" in names
+
+    def test_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["metrics", "mtcnn", "--device", "NX", "--frames", "4",
+             "--streams", "2", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "trtsim.metrics/1"
+        assert doc["report"]["schema"] == "trtsim.service_report/1"
+        assert doc["report"]["totals"]["requests"] == 8
+        counters = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "trtsim_requests_total" in counters
+
+    def test_jsonl_snapshot(self, capsys, tmp_path):
+        import json
+
+        snapshot = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["metrics", "mtcnn", "--device", "NX", "--frames", "3",
+             "--jsonl", str(snapshot)]
+        )
+        assert code == 0
+        lines = snapshot.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "serve.request" in kinds
+        assert "exec.kernel" in kinds
+
+
+class TestUnifiedTrace:
+    def test_unified_trace_has_request_track(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "unified.json"
+        code = main(
+            ["trace", "mtcnn", "--device", "NX", "--unified",
+             "--runs", "3", "-o", str(out_file)]
+        )
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"kernel", "memcpy", "request"} <= cats
