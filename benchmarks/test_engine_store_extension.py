@@ -1,0 +1,72 @@
+"""Extension: the persistent engine store's warm-path economics.
+
+Findings 2 and 6 make engine builds the expensive, non-deterministic
+step; TensorRT's deployment answer is "build once, ship the plan +
+timing cache, reuse everywhere".  This benchmark quantifies that
+answer through :class:`repro.engine.store.EngineStore`: the cold
+GoogLeNet build on NX pays the full tactic auction, while every
+subsequent acquisition of the same (network, device, config) key is a
+content-addressed hit — zero fresh measurements, bit-identical tactic
+bindings, and a build time at least 10x (in practice orders of
+magnitude) below the cold auction.
+"""
+
+from repro.engine import BuilderConfig, EnginePool, EngineStore
+from repro.hardware.specs import XAVIER_NX
+from repro.models import build_model
+
+from conftest import print_table
+
+
+def test_engine_store_warm_path_googlenet_nx(benchmark, tmp_path):
+    network = build_model("googlenet", pretrained=False)
+    store = EngineStore(
+        tmp_path / "store", pool=EnginePool(device=XAVIER_NX)
+    )
+
+    cold, cold_result = store.get_or_build(
+        network, XAVIER_NX, BuilderConfig(seed=11)
+    )
+
+    # Disk hit: a fresh store instance (new 'process') over the same
+    # root, so the pool can't answer.
+    disk_store = EngineStore(tmp_path / "store")
+    warm, warm_result = benchmark.pedantic(
+        lambda: disk_store.get_or_build(
+            network, XAVIER_NX, BuilderConfig(seed=2222)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    pooled, pool_result = store.get_or_build(
+        network, XAVIER_NX, BuilderConfig(seed=333)
+    )
+
+    rows = [
+        f"{'cold build':<16}{cold_result.outcome:>10}"
+        f"{cold.build_time_us / 1e3:>14.3f}"
+        f"{cold_result.fresh_measurements:>14}",
+        f"{'disk hit':<16}{warm_result.outcome:>10}"
+        f"{warm.build_time_us / 1e3:>14.3f}"
+        f"{warm_result.fresh_measurements:>14}",
+        f"{'pool hit':<16}{pool_result.outcome:>10}"
+        f"{pooled.build_time_us / 1e3:>14.3f}"
+        f"{pool_result.fresh_measurements:>14}",
+    ]
+    print_table(
+        "Engine store — GoogLeNet on Xavier NX",
+        f"{'path':<16}{'outcome':>10}{'build ms':>14}{'fresh meas':>14}",
+        rows,
+    )
+
+    assert cold_result.outcome == "miss"
+    assert warm_result.outcome == "hit"
+    assert pool_result.outcome == "pool_hit"
+    # Acceptance: zero fresh tactic measurements on the warm path...
+    assert warm_result.fresh_measurements == 0
+    # ...bit-identical tactic bindings despite the different seeds...
+    assert warm.kernel_names() == cold.kernel_names()
+    assert pooled.kernel_names() == cold.kernel_names()
+    # ...and a >= 10x cheaper acquisition than the cold auction.
+    assert warm.build_time_us * 10 <= cold.build_time_us

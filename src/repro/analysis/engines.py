@@ -10,12 +10,15 @@ exactly like rebuilding on a real board at different moments).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.builder import BuilderConfig, EngineBuilder, PrecisionMode
 from repro.engine.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.store import EngineStore
 from repro.graph.ir import Graph
 from repro.hardware.specs import DeviceSpec, XAVIER_AGX, XAVIER_NX
 from repro.models import build_model
@@ -37,10 +40,18 @@ class EngineFarm:
         precision: PrecisionMode = PrecisionMode.FP16,
         pretrained: bool = True,
         base_seed: int = 1000,
+        store: Optional["EngineStore"] = None,
     ):
         self.precision = precision
         self.pretrained = pretrained
         self.base_seed = base_seed
+        #: Optional persistent :class:`~repro.engine.store.EngineStore`.
+        #: When set, builds route through the content-addressed store:
+        #: every slot of a (model, device) pair resolves to the *same*
+        #: cached artifact (store keys exclude the seed), which is the
+        #: deployment posture — leave unset for the consistency studies
+        #: that rely on build-to-build diversity across slots.
+        self.store = store
         self._graphs: Dict[str, Graph] = {}
         self._engines: Dict[Tuple[str, str, int], Engine] = {}
 
@@ -80,8 +91,14 @@ class EngineFarm:
                 calibration_batch=calibration_batch,
                 input_name=self._input_name(model_name),
             )
-            builder = EngineBuilder(device, config)
-            self._engines[key] = builder.build(self.graph(model_name))
+            if self.store is not None:
+                engine, _ = self.store.get_or_build(
+                    self.graph(model_name), device, config
+                )
+                self._engines[key] = engine
+            else:
+                builder = EngineBuilder(device, config)
+                self._engines[key] = builder.build(self.graph(model_name))
         return self._engines[key]
 
     def engines(

@@ -64,7 +64,18 @@ def _cmd_build(args) -> int:
         seed=args.seed,
     )
     network = build_model(args.model, pretrained=not args.no_pretrain)
-    engine = EngineBuilder(device, config).build(network)
+    if getattr(args, "store", None):
+        from repro.engine import EngineStore
+
+        store = EngineStore(args.store)
+        engine, result = store.get_or_build(network, device, config)
+        print(
+            f"store {result.outcome} [{result.key[:12]}] "
+            f"build {engine.build_time_us / 1e3:.2f} ms, "
+            f"{result.fresh_measurements} fresh measurements"
+        )
+    else:
+        engine = EngineBuilder(device, config).build(network)
     print(engine.describe())
     for report in engine.pass_reports:
         print(str(report).splitlines()[0])
@@ -500,6 +511,118 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _store_engine_doc(engine, result) -> dict:
+    return {
+        "key": result.key,
+        "outcome": result.outcome,
+        "hit": result.is_hit,
+        "build_time_us": engine.build_time_us,
+        "fresh_measurements": result.fresh_measurements,
+        "build_seed": engine.build_seed,
+        "kernels": engine.kernel_names(),
+    }
+
+
+def _cmd_store(args) -> int:
+    """Persistent engine store: build/ls/gc/warm/stats."""
+    import json as _json
+
+    from repro.analysis.engines import device_by_name
+    from repro.engine import BuilderConfig, EngineStore, PrecisionMode
+
+    store = EngineStore(args.store)
+
+    if args.store_command == "build":
+        from repro.models import build_model
+
+        device = device_by_name(args.device)
+        config = BuilderConfig(
+            precision=PrecisionMode(args.precision), seed=args.seed
+        )
+        network = build_model(args.model, pretrained=not args.no_pretrain)
+        engine, result = store.get_or_build(network, device, config)
+        if args.json:
+            print(_json.dumps(_store_engine_doc(engine, result), indent=2))
+        else:
+            print(
+                f"{args.model}@{device.name}: {result.outcome} "
+                f"[{result.key[:12]}] build "
+                f"{engine.build_time_us / 1e3:.2f} ms, "
+                f"{result.fresh_measurements} fresh measurements, "
+                f"{engine.num_kernels} kernels"
+            )
+        return 0
+
+    if args.store_command == "ls":
+        entries = store.entries()
+        if args.json:
+            print(_json.dumps(
+                [e.to_dict() for e in entries], indent=2
+            ))
+            return 0
+        if not entries:
+            print(f"store {store.root}: empty")
+            return 0
+        header = (
+            f"{'key':<14}{'network':<22}{'device':<12}"
+            f"{'size':>10}{'kernels':>9}{'build ms':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for e in entries:
+            print(
+                f"{e.digest[:12]:<14}{e.key.network:<22}"
+                f"{e.key.device:<12}{e.size_bytes:>10}"
+                f"{len(e.kernels):>9}{e.build_time_us / 1e3:>10.2f}"
+            )
+        print(f"{len(entries)} entries, {store.total_bytes} bytes")
+        return 0
+
+    if args.store_command == "gc":
+        max_bytes = (
+            int(args.max_mb * 1024 * 1024)
+            if args.max_mb is not None else None
+        )
+        evicted = store.gc(
+            max_bytes=max_bytes, max_entries=args.max_entries
+        )
+        for e in evicted:
+            print(f"evicted {e.digest[:12]} ({e.key.network}, "
+                  f"{e.size_bytes} bytes)")
+        print(
+            f"{len(evicted)} evicted; "
+            f"{len(store.entries())} entries remain"
+        )
+        return 0
+
+    if args.store_command == "warm":
+        from repro.models import MODEL_REGISTRY, build_model
+
+        device = device_by_name(args.device)
+        config = BuilderConfig(
+            precision=PrecisionMode(args.precision), seed=args.seed
+        )
+        names = (
+            args.models.split(",") if args.models
+            else list(MODEL_REGISTRY)
+        )
+        for name in names:
+            network = build_model(
+                name, pretrained=not args.no_pretrain
+            )
+            engine, result = store.get_or_build(network, device, config)
+            print(
+                f"  {name:<26} {result.outcome:<8} "
+                f"[{result.key[:12]}] "
+                f"{engine.build_time_us / 1e3:8.2f} ms"
+            )
+        return 0
+
+    # stats
+    print(_json.dumps(store.stats(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="trtsim",
@@ -524,6 +647,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--no-pretrain", action="store_true")
     p.add_argument("-o", "--output", default=None, help=".plan file")
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="route the build through a persistent EngineStore at DIR",
+    )
+
+    p = sub.add_parser(
+        "store",
+        help="persistent engine store: content-addressed plans + "
+        "sidecar timing caches",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sp, with_build_args=True):
+        sp.add_argument(
+            "--store", default=".trtsim-store", metavar="DIR",
+            help="store root directory (default .trtsim-store)",
+        )
+        if with_build_args:
+            sp.add_argument(
+                "--device", default="NX", type=str.upper,
+                choices=["NX", "AGX"],
+                help="target device (case-insensitive)",
+            )
+            sp.add_argument(
+                "--precision", default="fp16",
+                choices=["fp32", "fp16", "int8", "best"],
+            )
+            sp.add_argument("--seed", type=int, default=None)
+            sp.add_argument("--no-pretrain", action="store_true")
+
+    sp = store_sub.add_parser(
+        "build", help="build one model through the store"
+    )
+    sp.add_argument("model")
+    _store_common(sp)
+    sp.add_argument("--json", action="store_true")
+
+    sp = store_sub.add_parser("ls", help="list committed entries")
+    _store_common(sp, with_build_args=False)
+    sp.add_argument("--json", action="store_true")
+
+    sp = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries over budget"
+    )
+    _store_common(sp, with_build_args=False)
+    sp.add_argument(
+        "--max-mb", type=float, default=None,
+        help="keep at most this many MB of artifacts",
+    )
+    sp.add_argument(
+        "--max-entries", type=int, default=None,
+        help="keep at most this many entries",
+    )
+
+    sp = store_sub.add_parser(
+        "warm", help="pre-build models into the store"
+    )
+    _store_common(sp)
+    sp.add_argument(
+        "--models", default=None, help="comma-separated zoo names "
+        "(default: the whole zoo)",
+    )
+
+    sp = store_sub.add_parser(
+        "stats", help="hit/miss/evict counters + layout (JSON)"
+    )
+    _store_common(sp, with_build_args=False)
 
     p = sub.add_parser("run", help="measure inference latency")
     p.add_argument("model")
@@ -767,6 +957,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "metrics": _cmd_metrics,
+    "store": _cmd_store,
 }
 
 

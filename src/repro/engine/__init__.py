@@ -26,16 +26,32 @@ from repro.engine.engine import (
     time_repeated,
 )
 from repro.engine.kernels import KernelCatalog, KernelSpec
+from repro.engine.store import (
+    EnginePool,
+    EngineStore,
+    StoreKey,
+    StoreResult,
+    config_fingerprint,
+    network_digest,
+    store_key,
+)
 
 __all__ = [
     "BuilderConfig",
     "Engine",
     "EngineBuilder",
+    "EnginePool",
+    "EngineStore",
     "ExecutionContext",
     "InferenceOutcome",
     "KernelCatalog",
     "KernelSpec",
     "LayerBinding",
     "PrecisionMode",
+    "StoreKey",
+    "StoreResult",
+    "config_fingerprint",
+    "network_digest",
+    "store_key",
     "time_repeated",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Tuple, Union
 
@@ -35,7 +37,12 @@ _DEVICES = {spec.name: spec for spec in (XAVIER_NX, XAVIER_AGX)}
 
 
 def save_plan(engine: Engine, path: Union[str, Path]) -> None:
-    """Serialize ``engine`` to a directory-free single file."""
+    """Serialize ``engine`` to a directory-free single file.
+
+    Like :meth:`TimingCache.save`, the write is atomic (temp file +
+    :func:`os.replace`): a crashed or concurrent save never leaves a
+    truncated ``.plan`` behind.
+    """
     path = Path(path)
     graph_buf = io.BytesIO()
     save_graph(engine.graph, graph_buf)
@@ -67,14 +74,27 @@ def save_plan(engine: Engine, path: Union[str, Path]) -> None:
             for name, m in engine.math_config.per_layer.items()
         },
     }
-    with open(path, "wb") as f:
-        np.savez_compressed(
-            f,
-            __plan__=np.frombuffer(
-                json.dumps(doc).encode("utf-8"), dtype=np.uint8
-            ),
-            __graph__=np.frombuffer(graph_buf.getvalue(), dtype=np.uint8),
-        )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez_compressed(
+                f,
+                __plan__=np.frombuffer(
+                    json.dumps(doc).encode("utf-8"), dtype=np.uint8
+                ),
+                __graph__=np.frombuffer(
+                    graph_buf.getvalue(), dtype=np.uint8
+                ),
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def read_plan(path: Union[str, Path]) -> Tuple[Dict, Graph]:

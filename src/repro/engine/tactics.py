@@ -16,6 +16,7 @@ on one platform can be pessimal on another (Table VIII).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -40,6 +41,19 @@ class TacticChoice:
     measured_us: float  # the (noisy) timing that won the auction
     true_us: float  # noiseless model time, kept for analysis
     candidates_timed: int
+    #: Candidates whose time came from a *fresh* measurement run (as
+    #: opposed to a timing-cache hit).  Only these charge real auction
+    #: time to the build; cached candidates cost a hash-probe epsilon.
+    #: Equals ``candidates_timed`` on a cold build, 0 on a fully-warm
+    #: rebuild.
+    candidates_measured: int = -1
+
+    def __post_init__(self):
+        if self.candidates_measured < 0:
+            # Backwards-compatible default: assume everything was fresh.
+            object.__setattr__(
+                self, "candidates_measured", self.candidates_timed
+            )
 
 
 class TacticSelector:
@@ -80,6 +94,12 @@ class TacticSelector:
             timing_cache.check_device(device)
         self.timing_cache = timing_cache
         self.workspace_limit_bytes = workspace_limit_bytes
+        #: Fresh (non-cached) measurement runs this selector performed.
+        #: A fully-warm rebuild finishes with this still at 0 — the
+        #: store's acceptance tests assert exactly that.
+        self.fresh_measurements = 0
+        #: Timing-cache lookups that were answered from the cache.
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------
     def measure_kernel(
@@ -96,7 +116,9 @@ class TacticSelector:
         if self.timing_cache is not None:
             cached = self.timing_cache.lookup(kernel.name, workload)
             if cached is not None:
+                self.cache_hits += 1
                 return cached, true_us
+        self.fresh_measurements += 1
         samples = true_us * (
             1.0
             + self.timing_noise
@@ -135,6 +157,7 @@ class TacticSelector:
                 f"(layer {layer_name!r})"
             )
         best: TacticChoice | None = None
+        fresh_before = self.fresh_measurements
         for kernel in candidates:
             measured, true_us = self.measure_kernel(kernel, workload)
             if best is None or measured < best.measured_us:
@@ -144,8 +167,13 @@ class TacticSelector:
                     measured_us=measured,
                     true_us=true_us,
                     candidates_timed=len(candidates),
+                    candidates_measured=0,  # patched below
                 )
         assert best is not None
+        best = dataclasses.replace(
+            best,
+            candidates_measured=self.fresh_measurements - fresh_before,
+        )
         if BUS.active:
             BUS.emit(
                 SpanKind.TACTIC_AUCTION,

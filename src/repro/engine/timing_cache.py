@@ -15,6 +15,8 @@ the implementation enforces.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,6 +24,13 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.hardware.specs import DeviceSpec
 from repro.hardware.workload import LayerWorkload
+
+#: Cost of one timing-cache lookup during a build (us).  A cached
+#: candidate skips its measurement runs entirely; the auction only pays
+#: this hash-probe epsilon, which is what makes fully-warm rebuilds
+#: orders of magnitude faster than cold ones (paper Finding 2's
+#: deployment mitigation).
+TIMING_CACHE_LOOKUP_US = 0.25
 
 
 class TimingCacheError(ValueError):
@@ -89,7 +98,16 @@ class TimingCache:
 
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Write the cache to a JSON file (shippable artifact)."""
+        """Write the cache to a JSON file (shippable artifact).
+
+        The write is **atomic**: the document lands in a temp file in
+        the destination directory and is :func:`os.replace`-d into
+        place.  A crash mid-save, or two builds sharing one
+        ``timing_cache_path``, can therefore never leave a truncated or
+        interleaved file — readers always see a complete generation
+        (the previous one, until the rename commits the new one).
+        """
+        path = Path(path)
         doc = {
             "device": self.device_name,
             "entries": [
@@ -97,7 +115,19 @@ class TimingCache:
                 for key, value in sorted(self.entries.items())
             ],
         }
-        Path(path).write_text(json.dumps(doc, indent=1))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(doc, indent=1))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TimingCache":

@@ -352,6 +352,32 @@ class InferenceSupervisor:
         self._shed: Dict[str, bool] = {s.name: False for s in self.streams}
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        network,
+        device: DeviceSpec,
+        fallback_networks: Sequence[Any] = (),
+        builder_config=None,
+        **kwargs: Any,
+    ) -> "InferenceSupervisor":
+        """Build a supervisor whose engines all route through an
+        :class:`~repro.engine.store.EngineStore`.
+
+        The primary engine and every fallback-ladder engine come from
+        ``store.get_or_build``, so a restarted server re-acquires its
+        entire ladder as warm store hits — zero tactic auctions on the
+        request path, bit-identical bindings across restarts.
+        """
+        engine, _ = store.get_or_build(network, device, builder_config)
+        fallbacks = [
+            store.get_or_build(fb, device, builder_config)[0]
+            for fb in fallback_networks
+        ]
+        return cls(engine, fallbacks=fallbacks, device=device, **kwargs)
+
+    # ------------------------------------------------------------------
     # workload
     # ------------------------------------------------------------------
     def _input_for(self, level: int, stream_idx: int, frame: int) -> Dict:
@@ -860,12 +886,31 @@ class InferenceSupervisor:
 # ----------------------------------------------------------------------
 # plan audit + rebuild
 # ----------------------------------------------------------------------
+def _sidecar_cache_path(plan_path) -> Optional["Path"]:
+    """The shipped timing cache next to a plan, if one exists.
+
+    Conventions checked, in order: ``<plan>.timing`` (plan filename
+    plus suffix) and ``<stem>.timing`` (suffix swapped).
+    """
+    from pathlib import Path
+
+    plan = Path(plan_path)
+    for candidate in (
+        Path(str(plan) + ".timing"),
+        plan.with_suffix(".timing"),
+    ):
+        if candidate.exists():
+            return candidate
+    return None
+
+
 def load_or_rebuild_engine(
     plan_path,
     network,
     device: DeviceSpec,
     builder_config=None,
     injector: Optional[FaultInjector] = None,
+    store=None,
 ) -> Tuple[Engine, bool]:
     """Load a ``.plan`` that passes its integrity audit, else rebuild.
 
@@ -876,7 +921,17 @@ def load_or_rebuild_engine(
     which should carry a ``timing_cache``/``timing_cache_path`` so the
     rebuild reproduces the shipped engine's tactic bindings
     (Finding 2 mitigation).
+
+    When ``builder_config`` is None the rebuild does **not** run a
+    fresh cold auction with arbitrary tactics: it first routes through
+    ``store`` (an :class:`~repro.engine.store.EngineStore`, whose
+    sidecar timing cache survives plan corruption), then looks for a
+    sidecar cache shipped next to the plan (``<plan>.timing``), and
+    only warns and rebuilds truly cold when neither exists — the
+    regression the original fallback silently caused.
     """
+    import warnings
+
     from repro.engine.builder import BuilderConfig, EngineBuilder
     from repro.engine.plan import load_plan
     from repro.lint import lint_plan
@@ -893,7 +948,28 @@ def load_or_rebuild_engine(
             plan=str(plan_path),
             diagnostic=(first.message if first else "audit failed"),
         )
-    config = builder_config or BuilderConfig(seed=0)
+    if store is not None:
+        engine, _ = store.get_or_build(
+            network, device, builder_config or BuilderConfig(seed=0)
+        )
+        return engine, True
+    config = builder_config
+    if config is None:
+        sidecar = _sidecar_cache_path(plan_path)
+        if sidecar is not None:
+            config = BuilderConfig(
+                seed=0, timing_cache_path=str(sidecar)
+            )
+        else:
+            warnings.warn(
+                f"rebuilding {plan_path} cold: no EngineStore and no "
+                f"sidecar timing cache found — the rebuilt engine's "
+                f"tactic bindings may differ from the shipped plan's "
+                f"(paper Finding 2)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            config = BuilderConfig(seed=0)
     engine = EngineBuilder(device, config).build(network)
     return engine, True
 

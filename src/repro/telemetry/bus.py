@@ -36,6 +36,10 @@ class SpanKind(enum.Enum):
 
     BUILD_PASS = "build.pass"
     TACTIC_AUCTION = "build.tactic"
+    #: Engine-store traffic: ``name`` is the store key digest, the
+    #: ``event`` attr is one of hit/miss/put/evict and ``tier`` is
+    #: ``pool`` (in-memory) or ``disk`` (content-addressed store).
+    STORE = "build.store"
     INFERENCE = "exec.inference"
     KERNEL = "exec.kernel"
     MEMCPY = "exec.memcpy"
@@ -224,6 +228,17 @@ class TelemetryBus:
             m.counter("trtsim_tactic_candidates_total").inc(
                 float(attrs.get("candidates", 0))
             )
+        elif kind is SpanKind.STORE:
+            event = str(attrs.get("event", ""))
+            tier = str(attrs.get("tier", "disk"))
+            if event == "hit":
+                m.counter("trtsim_store_hits_total", tier=tier).inc()
+            elif event == "miss":
+                m.counter("trtsim_store_misses_total").inc()
+            elif event == "put":
+                m.counter("trtsim_store_puts_total").inc()
+            elif event == "evict":
+                m.counter("trtsim_store_evictions_total", tier=tier).inc()
 
 
 #: The process-wide bus every instrumentation site publishes to.

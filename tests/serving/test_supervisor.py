@@ -355,6 +355,98 @@ class TestLoadOrRebuild:
         ]
         assert rebuild_events
 
+    def test_default_rebuild_uses_sidecar_cache(
+        self, small_cnn, tmp_path
+    ):
+        """Regression: with ``builder_config=None`` the rebuild fell
+        back to a cold ``BuilderConfig(seed=0)`` and silently lost the
+        shipped engine's tactic bindings.  It now defaults to the
+        sidecar timing cache next to the plan."""
+        from repro.engine.plan import save_plan
+        from repro.engine.timing_cache import TimingCache
+
+        cache = TimingCache(XAVIER_NX.name)
+        shipped = EngineBuilder(
+            XAVIER_NX, BuilderConfig(seed=77, timing_cache=cache)
+        ).build(small_cnn)
+        plan_path = tmp_path / "shipped.plan"
+        save_plan(shipped, plan_path)
+        cache.save(tmp_path / "shipped.plan.timing")  # sidecar
+
+        plan_path.write_bytes(b"garbage")  # corruption
+        rebuilt_engine, rebuilt = load_or_rebuild_engine(
+            plan_path, small_cnn, XAVIER_NX  # no builder_config
+        )
+        assert rebuilt
+        assert rebuilt_engine.kernel_names() == shipped.kernel_names()
+
+    def test_truly_cold_rebuild_warns(self, small_cnn, tmp_path):
+        plan_path = tmp_path / "orphan.plan"
+        plan_path.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="rebuilding .* cold"):
+            engine, rebuilt = load_or_rebuild_engine(
+                plan_path, small_cnn, XAVIER_NX
+            )
+        assert rebuilt
+        assert engine.num_kernels > 0
+
+    def test_store_backed_rebuild_hits_the_store(
+        self, small_cnn, tmp_path
+    ):
+        """With an EngineStore attached, a corruption-triggered
+        rebuild is a warm store operation, not a fresh auction."""
+        from repro.engine import EngineStore
+
+        store = EngineStore(tmp_path / "store")
+        cached, _ = store.get_or_build(
+            small_cnn, XAVIER_NX, BuilderConfig(seed=5)
+        )
+        plan_path = tmp_path / "served.plan"
+        plan_path.write_bytes(b"garbage")
+        engine, rebuilt = load_or_rebuild_engine(
+            plan_path,
+            small_cnn,
+            XAVIER_NX,
+            builder_config=BuilderConfig(seed=5),
+            store=store,
+        )
+        assert rebuilt
+        assert engine.kernel_names() == cached.kernel_names()
+        assert store.hits == 1
+
+
+class TestSupervisorFromStore:
+    def test_ladder_from_store_is_warm_on_restart(
+        self, small_cnn, tmp_path
+    ):
+        from repro.engine import EngineStore
+
+        lite = make_small_cnn(
+            seed=1, with_dead_branch=False, input_size=8
+        )
+        store = EngineStore(tmp_path / "store")
+        sup1 = InferenceSupervisor.from_store(
+            store, small_cnn, XAVIER_NX, fallback_networks=[lite],
+            seed=0,
+        )
+        assert store.misses == 2 and store.hits == 0
+        # 'Restart': a second supervisor re-acquires the whole ladder
+        # as warm hits with identical bindings.
+        sup2 = InferenceSupervisor.from_store(
+            store, small_cnn, XAVIER_NX, fallback_networks=[lite],
+            seed=0,
+        )
+        assert store.hits == 2
+        assert [e.kernel_names() for e in sup1.engines] == [
+            e.kernel_names() for e in sup2.engines
+        ]
+        # Both serve; zero-fault runs are identical request-for-request.
+        r1 = sup1.serve(frames=3)
+        r2 = sup2.serve(frames=3)
+        assert [r.output_digest for r in r1.records] == [
+            r.output_digest for r in r2.records
+        ]
+
 
 # ----------------------------------------------------------------------
 # end-to-end acceptance: thermal + OOM on the traffic app

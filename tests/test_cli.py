@@ -184,6 +184,76 @@ class TestFaultsCommand:
             main(["faults", "mtcnn", "--scenario", "volcano"])
 
 
+class TestStoreCommand:
+    def test_build_miss_then_hit(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ["store", "build", "mtcnn", "--device", "NX",
+                "--no-pretrain", "--store", store_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "miss" in first
+        assert main(args + ["--seed", "99"]) == 0
+        second = capsys.readouterr().out
+        assert "hit" in second
+        assert "0 fresh measurements" in second
+
+    def test_build_json_kernels_seed_independent(self, capsys, tmp_path):
+        import json
+
+        store_dir = str(tmp_path / "store")
+        base = ["store", "build", "mtcnn", "--no-pretrain",
+                "--store", store_dir, "--json"]
+        assert main(base + ["--seed", "1"]) == 0
+        doc1 = json.loads(capsys.readouterr().out)
+        assert main(base + ["--seed", "2"]) == 0
+        doc2 = json.loads(capsys.readouterr().out)
+        assert doc1["outcome"] == "miss" and doc2["outcome"] == "hit"
+        assert doc2["fresh_measurements"] == 0
+        assert doc1["kernels"] == doc2["kernels"]
+
+    def test_ls_and_stats(self, capsys, tmp_path):
+        import json
+
+        store_dir = str(tmp_path / "store")
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+        main(["store", "build", "mtcnn", "--no-pretrain",
+              "--store", store_dir])
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "MTCNN" in out and "1 entries" in out
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "trtsim.engine_store/1"
+        assert doc["entries"] == 1
+
+    def test_gc_evicts_over_budget(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        for model in ("mtcnn", "googlenet"):
+            main(["store", "build", model, "--no-pretrain",
+                  "--store", store_dir])
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", store_dir,
+                     "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 evicted" in out and "1 entries remain" in out
+
+    def test_warm_selected_models(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["store", "warm", "--models", "mtcnn",
+                     "--no-pretrain", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "mtcnn" in out and "miss" in out
+
+    def test_build_through_store_flag(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["build", "mtcnn", "--no-pretrain",
+                     "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "store miss" in out and "Engine" in out
+
+
 class TestCaseInsensitiveDevice:
     def test_lowercase_device_accepted(self, capsys):
         assert main(["concurrency", "mtcnn", "--device", "nx"]) == 0
