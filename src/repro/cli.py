@@ -12,6 +12,7 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim accuracy                      # Table III
     trtsim lint resnet18 --precision int8         # static verifier
     trtsim lint engine.plan --json       # audit a serialized plan
+    trtsim analyze --zoo --races         # whole-program static analysis
     trtsim faults resnet18 --scenario thermal_oom # resilience SLOs
     trtsim metrics googlenet --device nx --json   # unified telemetry
     trtsim trace googlenet --unified     # bus-rendered chrome trace
@@ -300,6 +301,84 @@ def _cmd_lint(args) -> int:
                 lint_engine(engine, select=select, ignore=ignore)
             )
 
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.passed(strict=args.strict) else 1
+
+
+def _cmd_analyze(args) -> int:
+    """Whole-program analysis (``repro.lint.flow`` + ``repro.lint.races``):
+    dataflow-check built engines across the zoo and race-check the
+    serving-stack sources, gated against an optional baseline."""
+    from repro.analysis.engines import device_by_name
+    from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+    from repro.lint import (
+        AnalyzeReport,
+        Baseline,
+        lint_flow,
+        lint_races,
+        update_baseline,
+    )
+    from repro.models import build_model, list_models
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+
+    models = list(args.models)
+    if args.zoo:
+        models = list(list_models())
+    races = args.races
+    if not models and races is None:
+        # Bare ``trtsim analyze``: full sweep — every zoo model at every
+        # requested precision, plus the serving-stack sources.
+        models = list(list_models())
+        races = ""
+
+    precisions = [p.strip() for p in args.precision.split(",") if p.strip()]
+    device = device_by_name(args.device)
+
+    report = AnalyzeReport()
+    for name in models:
+        graph = build_model(name, pretrained=False)
+        for prec in precisions:
+            engine = EngineBuilder(
+                device, BuilderConfig(precision=PrecisionMode(prec), seed=0)
+            ).build(graph)
+            report.add(
+                lint_flow(
+                    engine,
+                    batch_size=args.batch,
+                    select=select,
+                    ignore=ignore,
+                    subject_name=f"{name}:{prec}",
+                )
+            )
+    if races is not None:
+        report.add(
+            lint_races(
+                paths=[races] if races else None,
+                select=select,
+                ignore=ignore,
+            )
+        )
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("analyze: --update-baseline requires --baseline FILE")
+            return 2
+        baseline = update_baseline(report, args.baseline)
+        print(
+            f"analyze: wrote {len(baseline)} fingerprint(s) "
+            f"to {args.baseline}"
+        )
+        return 0
+    if args.baseline:
+        report.apply_baseline(Baseline.load(args.baseline))
+
+    if args.sarif:
+        report.save_sarif(args.sarif)
     if args.json:
         print(report.to_json())
     else:
@@ -852,6 +931,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "analyze",
+        help="whole-program analysis: dataflow-check zoo engines and "
+        "race-check the serving-stack sources",
+    )
+    p.add_argument(
+        "models", nargs="*",
+        help="zoo model names to analyze (default with no targets: "
+        "full sweep — whole zoo plus --races)",
+    )
+    p.add_argument(
+        "--zoo", action="store_true",
+        help="analyze every zoo model",
+    )
+    p.add_argument(
+        "--precision", default="fp32,fp16,int8",
+        help="comma-separated precision modes to build and check",
+    )
+    p.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=1,
+        help="batch size for the activation-liveness memory bound",
+    )
+    p.add_argument(
+        "--races", nargs="?", const="", default=None, metavar="PATH",
+        help="also race-check Python sources (default: the installed "
+        "repro package)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="write a SARIF 2.1.0 document for code-scanning UIs",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to accept exactly the current findings",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors",
+    )
+    p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule-id prefixes to run (e.g. D,R004)",
+    )
+    p.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule-id prefixes to skip",
+    )
+
+    p = sub.add_parser(
         "faults",
         help="fault-injection campaign: supervised vs unsupervised SLOs",
     )
@@ -954,6 +1090,7 @@ _HANDLERS = {
     "warmup": _cmd_warmup,
     "inspect": _cmd_inspect,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "metrics": _cmd_metrics,

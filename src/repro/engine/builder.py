@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -95,18 +96,29 @@ class BuilderConfig:
     #: named ``V``-rule diagnostic (``PassInvariantViolation``) instead
     #: of miscompiling silently.
     verify_passes: bool = True
+    #: Run the whole-program dataflow analyzer (``repro.lint.flow``)
+    #: over the finished engine: any error-severity ``D``-rule finding
+    #: (use-after-free schedule, double-write, unsound INT8 scale,
+    #: working set beyond device RAM) fails the build with
+    #: :class:`DataflowViolation` instead of shipping the engine.
+    analyze_dataflow: bool = False
 
 
 # Module-level build counter: distinguishes successive anonymous builds
-# even within one process (each gets fresh entropy).
+# even within one process (each gets fresh entropy).  Guarded by its
+# sibling lock: concurrent builders (the serving stack's store misses)
+# must never mint the same seed.
 _BUILD_COUNTER = 0
+_BUILD_SEED_LOCK = threading.Lock()
 
 
 def _next_build_seed() -> int:
     global _BUILD_COUNTER
-    _BUILD_COUNTER += 1
+    with _BUILD_SEED_LOCK:
+        _BUILD_COUNTER += 1
+        counter = _BUILD_COUNTER
     entropy = np.random.SeedSequence().entropy
-    return int((entropy + _BUILD_COUNTER) % (2 ** 63))
+    return int((entropy + counter) % (2 ** 63))
 
 
 def _stored_weight_bytes(layer: Layer, kernel: KernelSpec) -> int:
@@ -270,7 +282,7 @@ class EngineBuilder:
             + PLAN_PER_BINDING_BYTES * len(bindings)
         )
 
-        return Engine(
+        engine = Engine(
             name=f"{network.name}@{self.device.name}#seed{seed}",
             source_network=network.name,
             device=self.device,
@@ -285,6 +297,27 @@ class EngineBuilder:
             pass_reports=reports,
             build_time_us=build_time_us,
         )
+        if cfg.analyze_dataflow:
+            self._analyze(engine)
+        return engine
+
+    def _analyze(self, engine: Engine) -> None:
+        """``analyze_dataflow`` gate: certify the finished engine with
+        the D-family dataflow rules; errors abort the build."""
+        from repro.lint.flow import DataflowViolation, lint_flow
+
+        report = lint_flow(engine)
+        if BUS.active:
+            BUS.emit(
+                SpanKind.ANALYZE,
+                engine.name,
+                findings=len(report),
+                errors=len(report.errors),
+                ok=report.ok,
+                rules=report.rule_ids(),
+            )
+        if not report.ok:
+            raise DataflowViolation(report)
 
     # ------------------------------------------------------------------
     def _make_merge_decider(

@@ -205,6 +205,7 @@ class EnginePool:
         if budget_bytes <= 0:
             raise ValueError("pool budget must be positive")
         self.budget_bytes = budget_bytes
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[str, Engine]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -214,15 +215,22 @@ class EnginePool:
     # ------------------------------------------------------------------
     @property
     def total_bytes(self) -> int:
-        return sum(e.size_bytes for e in self._entries.values())
+        with self._lock:
+            return sum(e.size_bytes for e in self._entries.values())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[Engine]:
+        with self._lock:
+            return self._get(key)
+
+    def _get(self, key: str) -> Optional[Engine]:
         engine = self._entries.get(key)
         if engine is None:
             self.misses += 1
@@ -235,6 +243,10 @@ class EnginePool:
 
     def put(self, key: str, engine: Engine) -> bool:
         """Admit ``engine``; returns False when it exceeds the budget."""
+        with self._lock:
+            return self._put_locked(key, engine)
+
+    def _put_locked(self, key: str, engine: Engine) -> bool:
         if engine.size_bytes > self.budget_bytes:
             self.rejected += 1
             return False
@@ -250,6 +262,10 @@ class EnginePool:
         return True
 
     def evict(self, key: str) -> bool:
+        with self._lock:
+            return self._evict_locked(key)
+
+    def _evict_locked(self, key: str) -> bool:
         if key in self._entries:
             del self._entries[key]
             self.evictions += 1
@@ -259,18 +275,20 @@ class EnginePool:
         return False
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, Any]:
-        return {
-            "engines": len(self._entries),
-            "bytes": self.total_bytes,
-            "budget_bytes": self.budget_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "rejected": self.rejected,
-        }
+        with self._lock:
+            return {
+                "engines": len(self._entries),
+                "bytes": self.total_bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -370,7 +388,9 @@ class EngineStore:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
-        self._lock = threading.Lock()
+        # RLock: get_or_build holds it across load(), which may evict a
+        # corrupt entry, re-entering the lock the thread already holds.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # paths
@@ -571,22 +591,23 @@ class EngineStore:
 
     def evict(self, digest: str, keep_cache: bool = False) -> bool:
         """Remove one entry (optionally preserving its timing cache)."""
-        entry_dir = self.entry_dir(digest)
-        if not entry_dir.exists():
-            return False
-        if keep_cache:
-            for name in (self.PLAN_NAME, self.META_NAME):
-                try:
-                    (entry_dir / name).unlink()
-                except OSError:
-                    pass
-        else:
-            shutil.rmtree(entry_dir, ignore_errors=True)
-        self.evictions += 1
-        self._emit(digest, "evict")
-        if self.pool is not None:
-            self.pool.evict(digest)
-        return True
+        with self._lock:
+            entry_dir = self.entry_dir(digest)
+            if not entry_dir.exists():
+                return False
+            if keep_cache:
+                for name in (self.PLAN_NAME, self.META_NAME):
+                    try:
+                        (entry_dir / name).unlink()
+                    except OSError:
+                        pass
+            else:
+                shutil.rmtree(entry_dir, ignore_errors=True)
+            self.evictions += 1
+            self._emit(digest, "evict")
+            if self.pool is not None:
+                self.pool.evict(digest)
+            return True
 
     def gc(
         self,
@@ -594,21 +615,22 @@ class EngineStore:
         max_entries: Optional[int] = None,
     ) -> List[StoreEntry]:
         """Evict least-recently-used entries beyond the given budgets."""
-        entries = self.entries()  # MRU first
-        evicted: List[StoreEntry] = []
-        if max_entries is not None:
-            while len(entries) > max_entries:
-                victim = entries.pop()  # LRU tail
-                self.evict(victim.digest)
-                evicted.append(victim)
-        if max_bytes is not None:
-            total = sum(e.size_bytes for e in entries)
-            while entries and total > max_bytes:
-                victim = entries.pop()
-                total -= victim.size_bytes
-                self.evict(victim.digest)
-                evicted.append(victim)
-        return evicted
+        with self._lock:
+            entries = self.entries()  # MRU first
+            evicted: List[StoreEntry] = []
+            if max_entries is not None:
+                while len(entries) > max_entries:
+                    victim = entries.pop()  # LRU tail
+                    self.evict(victim.digest)
+                    evicted.append(victim)
+            if max_bytes is not None:
+                total = sum(e.size_bytes for e in entries)
+                while entries and total > max_bytes:
+                    victim = entries.pop()
+                    total -= victim.size_bytes
+                    self.evict(victim.digest)
+                    evicted.append(victim)
+            return evicted
 
     def stats(self) -> Dict[str, Any]:
         """JSON-safe snapshot (the CI artifact's document)."""

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
-import numpy as np
-
-from repro.graph.shapes import infer_shapes
+from repro.hardware.memory import (
+    activation_itemsize,
+    per_stream_working_set_bytes,
+)
 from repro.hardware.power import PowerModel, PowerSample
 from repro.hardware.specs import DeviceSpec
 from repro.profiling.tegrastats import Tegrastats, TegrastatsSample
@@ -124,9 +125,8 @@ class StreamScheduler:
 
     def _activation_itemsize(self) -> int:
         """Bytes per activation element, from the engine's precision
-        mode (the builder keeps FP16 activations for every non-FP32
-        build — FP32 engines move and store 4-byte activations)."""
-        return 4 if self.engine.precision_mode.value == "fp32" else 2
+        mode (see :func:`repro.hardware.memory.activation_itemsize`)."""
+        return activation_itemsize(self.engine.precision_mode.value)
 
     def per_stream_memory_mb(self, batch_size: int = 1) -> float:
         """Activation + engine working set of one stream (MB); the
@@ -135,14 +135,9 @@ class StreamScheduler:
 
     def _per_stream_memory_mb(self, batch_size: int = 1) -> float:
         """Activation + engine working set of one stream (MB)."""
-        shapes = infer_shapes(self.engine.graph)
-        act_bytes = sum(
-            int(np.prod(s)) * self._activation_itemsize()
-            for s in shapes.values()
-        ) * batch_size
-        # Each stream keeps double-buffered activations plus per-context
-        # scratch; the engine weights are shared across streams.
-        working = act_bytes * 2 + 24 * 1024 * 1024
+        working = per_stream_working_set_bytes(
+            self.engine.graph, self._activation_itemsize(), batch_size
+        )
         return working / (1024.0 * 1024.0)
 
     def _single_stream_compute_us(

@@ -13,6 +13,16 @@ rule-based static analyzer:
 * :class:`PassInvariantGuard` — snapshot/lint invariant checking
   around optimizer passes (family ``V``), raising
   :class:`PassInvariantViolation` when a pass miscompiles;
+* :func:`lint_flow` — whole-program dataflow analysis over a graph or
+  built engine (family ``D``): value-range propagation, activation
+  liveness with a certified peak-memory bound, and def-use audits of
+  the optimized schedule;
+* :func:`lint_races` — AST-based concurrency analysis over our own
+  serving-stack source (family ``R``): shared-state maps, lock
+  discipline, and lock-order/deadlock checking;
+* :class:`~repro.lint.analyze.AnalyzeReport` — multi-subject
+  aggregation with baseline suppression and SARIF export (the
+  ``trtsim analyze`` document model);
 * :func:`check_import` — the single validation entry point every
   framework frontend calls after constructing a graph.
 """
@@ -30,6 +40,18 @@ from repro.lint.core import (
     Severity,
     run_rules,
 )
+from repro.lint.analyze import (
+    ANALYZE_REPORT_SCHEMA,
+    AnalyzeReport,
+    Baseline,
+    update_baseline,
+)
+from repro.lint.flow import (
+    FLOW_RULES,
+    DataflowViolation,
+    FlowView,
+    lint_flow,
+)
 from repro.lint.graph_rules import GRAPH_RULES, GraphView, lint_graph
 from repro.lint.invariants import (
     INVARIANT_RULES,
@@ -44,6 +66,7 @@ from repro.lint.plan_rules import (
     lint_engine,
     lint_plan,
 )
+from repro.lint.races import RACE_RULES, SourceModel, lint_races
 
 
 def all_rules() -> Dict[str, LintRule]:
@@ -53,6 +76,8 @@ def all_rules() -> Dict[str, LintRule]:
     merged.update(ENGINE_RULES)
     merged.update(PLAN_DOC_RULES)
     merged.update(INVARIANT_RULES)
+    merged.update(FLOW_RULES)
+    merged.update(RACE_RULES)
     return dict(sorted(merged.items()))
 
 
@@ -89,10 +114,16 @@ def check_import(
 
 
 __all__ = [
+    "ANALYZE_REPORT_SCHEMA",
+    "AnalyzeReport",
+    "Baseline",
+    "DataflowViolation",
     "Diagnostic",
+    "FlowView",
     "LintReport",
     "LintRule",
     "Severity",
+    "SourceModel",
     "GraphView",
     "GraphSnapshot",
     "PassDelta",
@@ -102,10 +133,15 @@ __all__ = [
     "ENGINE_RULES",
     "PLAN_DOC_RULES",
     "INVARIANT_RULES",
+    "FLOW_RULES",
+    "RACE_RULES",
     "all_rules",
     "check_import",
     "lint_graph",
     "lint_engine",
     "lint_plan",
+    "lint_flow",
+    "lint_races",
     "run_rules",
+    "update_baseline",
 ]

@@ -1,0 +1,311 @@
+"""Whole-program analysis reports: aggregation, baselines, SARIF.
+
+Where a :class:`~repro.lint.core.LintReport` covers one subject, an
+:class:`AnalyzeReport` aggregates many — every zoo model at every
+precision plus the serving-stack source tree — into one document with
+a stable schema (:data:`ANALYZE_REPORT_SCHEMA`), renderable as text,
+JSON, or SARIF 2.1.0 (the interchange format CI code-scanning UIs
+ingest).
+
+**Baselines** make the analyzer adoptable on a codebase with existing
+findings: a baseline file records the *fingerprints* of known findings
+and the gate fails only on findings outside it (debt is ratcheted —
+the baseline can shrink but new findings never silently join it).
+Fingerprints deliberately exclude line numbers and messages —
+``rule_id|subject|layer|tensor|path`` — so reformatting or unrelated
+edits to a file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.core import Diagnostic, LintReport, Severity
+
+#: Version tag of :meth:`AnalyzeReport.to_dict` — the ``trtsim analyze
+#: --json`` document contract (bump only on breaking shape changes).
+ANALYZE_REPORT_SCHEMA = "trtsim.analyze_report/1"
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA = "trtsim.analyze_baseline/1"
+
+#: SARIF version emitted by :meth:`AnalyzeReport.to_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_JSON_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def fingerprint(subject: str, diag: Diagnostic) -> str:
+    """Stable identity of one finding for baseline suppression.
+
+    Line numbers and message text are excluded on purpose: they churn
+    under unrelated edits.  ``subject`` is the report's subject label,
+    so callers should keep it free of build-varying detail (seeds).
+    """
+    return "|".join(
+        (
+            diag.rule_id,
+            subject,
+            diag.layer or "",
+            diag.tensor or "",
+            diag.path or "",
+        )
+    )
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints (the debt ratchet)."""
+
+    fingerprints: frozenset = frozenset()
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        p = Path(path)
+        doc = json.loads(p.read_text())
+        if doc.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{p}: expected baseline schema {BASELINE_SCHEMA!r}, "
+                f"got {doc.get('schema')!r}"
+            )
+        return cls(
+            fingerprints=frozenset(doc.get("fingerprints", [])),
+            path=str(p),
+        )
+
+    def save(self, path) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "fingerprints": sorted(self.fingerprints),
+        }
+        Path(path).write_text(json.dumps(doc, indent=1) + "\n")
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+@dataclass
+class AnalyzeReport:
+    """Aggregate of per-subject lint reports, with baseline bookkeeping.
+
+    ``sections`` hold the *unsuppressed* findings after
+    :meth:`apply_baseline`; ``suppressed`` counts what the baseline
+    absorbed.  The gate (:meth:`passed`) only sees unsuppressed
+    findings.
+    """
+
+    sections: List[LintReport] = field(default_factory=list)
+    suppressed: int = 0
+    baseline_path: Optional[str] = None
+
+    def add(self, report: LintReport) -> None:
+        self.sections.append(report)
+
+    # ------------------------------------------------------------------
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return [d for r in self.sections for d in r.diagnostics]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def passed(self, strict: bool = False) -> bool:
+        return not self.diagnostics if strict else self.ok
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> List[str]:
+        """Fingerprints of every (unsuppressed) finding."""
+        return [
+            fingerprint(r.subject, d)
+            for r in self.sections
+            for d in r.diagnostics
+        ]
+
+    def apply_baseline(self, baseline: Baseline) -> "AnalyzeReport":
+        """Remove baselined findings in place; returns self."""
+        self.baseline_path = baseline.path
+        for section in self.sections:
+            kept = []
+            for diag in section.diagnostics:
+                if fingerprint(section.subject, diag) in baseline:
+                    self.suppressed += 1
+                else:
+                    kept.append(diag)
+            section.diagnostics = kept
+        return self
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        sup = f", {self.suppressed} baselined" if self.suppressed else ""
+        return (
+            f"analyze: {len(self.sections)} subject(s), "
+            f"{len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s){sup} — {verdict}"
+        )
+
+    def format_text(self) -> str:
+        lines: List[str] = []
+        for section in self.sections:
+            if section.diagnostics:
+                lines.append(f"== {section.subject}")
+                lines.extend(d.format() for d in section.diagnostics)
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": ANALYZE_REPORT_SCHEMA,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": self.suppressed,
+            "baseline": self.baseline_path,
+            "subjects": [r.to_dict() for r in self.sections],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_sarif(self) -> Dict:
+        """SARIF 2.1.0 document of every unsuppressed finding."""
+        from repro.lint import all_rules
+
+        rules_meta = all_rules()
+        used = sorted(
+            {d.rule_id for d in self.diagnostics}
+        )
+        driver_rules = []
+        for rule_id in used:
+            rule = rules_meta.get(rule_id)
+            entry: Dict = {"id": rule_id}
+            if rule is not None:
+                entry["name"] = rule.name
+                if rule.description:
+                    entry["shortDescription"] = {"text": rule.description}
+                entry["defaultConfiguration"] = {
+                    "level": _SARIF_LEVELS[rule.severity]
+                }
+            driver_rules.append(entry)
+        results = []
+        for section in self.sections:
+            for diag in section.diagnostics:
+                result: Dict = {
+                    "ruleId": diag.rule_id,
+                    "level": _SARIF_LEVELS[diag.severity],
+                    "message": {"text": diag.message},
+                    "partialFingerprints": {
+                        "trtsimFingerprint/v1": fingerprint(
+                            section.subject, diag
+                        )
+                    },
+                }
+                locations = []
+                if diag.path:
+                    physical: Dict = {
+                        "artifactLocation": {"uri": diag.path}
+                    }
+                    if diag.line:
+                        physical["region"] = {"startLine": diag.line}
+                    locations.append({"physicalLocation": physical})
+                logical = []
+                if diag.layer:
+                    logical.append(
+                        {"name": diag.layer, "kind": "member"}
+                    )
+                if diag.tensor:
+                    logical.append(
+                        {"name": diag.tensor, "kind": "variable"}
+                    )
+                if logical:
+                    locations.append({"logicalLocations": logical})
+                if not locations:
+                    locations.append(
+                        {
+                            "logicalLocations": [
+                                {
+                                    "name": section.subject,
+                                    "kind": "module",
+                                }
+                            ]
+                        }
+                    )
+                result["locations"] = locations
+                results.append(result)
+        return {
+            "$schema": _SARIF_JSON_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "trtsim-analyze",
+                            "informationUri": (
+                                "https://github.com/NVIDIA/TensorRT"
+                            ),
+                            "rules": driver_rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+    def save_sarif(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_sarif(), indent=1) + "\n"
+        )
+
+
+def update_baseline(report: AnalyzeReport, path) -> Baseline:
+    """Write a baseline accepting exactly the report's current findings.
+
+    The ratchet: entries that no longer fire drop out of the rewritten
+    baseline, so fixed debt cannot silently return — it would show up
+    as a brand-new finding on the next gate.
+    """
+    baseline = Baseline(
+        fingerprints=frozenset(report.fingerprints()), path=str(path)
+    )
+    baseline.save(path)
+    return baseline
+
+
+def analyze_sources(
+    paths: Optional[Sequence] = None, select=None, ignore=None
+) -> LintReport:
+    """R-family analysis of Python sources (default: ``src/repro``)."""
+    from repro.lint.races import lint_races
+
+    return lint_races(paths=paths, select=select, ignore=ignore)

@@ -21,6 +21,10 @@ Q      quantization sanity (INT8 scales, FP16 ranges)
 F      fusion legality (fused / merged layer well-formedness)
 P      serialized plan / engine integrity
 V      optimizer-pass invariants (checked during ``EngineBuilder.build``)
+D      dataflow analysis (``repro.lint.flow``: value ranges, liveness,
+       def-use over the optimized schedule)
+R      concurrency analysis (``repro.lint.races``: shared state, lock
+       discipline, lock ordering over our own source tree)
 ====== =============================================================
 """
 
@@ -30,6 +34,17 @@ import enum
 import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+#: Version tag of :meth:`LintReport.to_dict` — the ``trtsim lint
+#: --json`` document contract (bump only on breaking shape changes).
+LINT_REPORT_SCHEMA = "trtsim.lint_report/1"
+
+#: Rule IDs that once existed and were retired.  An ID is never reused:
+#: :func:`register_rule` refuses them forever, so a downstream baseline
+#: or ``--ignore`` list keyed on an old ID can never silently match a
+#: different, newer rule.
+RETIRED_RULE_IDS = frozenset()
 
 
 class Severity(enum.Enum):
@@ -61,10 +76,18 @@ class Diagnostic:
     message: str
     layer: Optional[str] = None
     tensor: Optional[str] = None
+    #: Source-file location, used by the concurrency analyzer whose
+    #: subject is Python source rather than a graph.
+    path: Optional[str] = None
+    line: Optional[int] = None
 
     def format(self) -> str:
         """Single-line human-readable rendering."""
         loc = ""
+        if self.path:
+            loc += f" [{self.path}" + (
+                f":{self.line}]" if self.line else "]"
+            )
         if self.layer:
             loc += f" [layer {self.layer}]"
         if self.tensor:
@@ -85,6 +108,10 @@ class Diagnostic:
             doc["layer"] = self.layer
         if self.tensor:
             doc["tensor"] = self.tensor
+        if self.path:
+            doc["path"] = self.path
+        if self.line:
+            doc["line"] = self.line
         return doc
 
 
@@ -113,6 +140,8 @@ class LintRule:
             message: str,
             layer: Optional[str] = None,
             tensor: Optional[str] = None,
+            path: Optional[str] = None,
+            line: Optional[int] = None,
         ) -> None:
             found.append(
                 Diagnostic(
@@ -122,6 +151,8 @@ class LintRule:
                     message=message,
                     layer=layer,
                     tensor=tensor,
+                    path=path,
+                    line=line,
                 )
             )
 
@@ -141,6 +172,11 @@ def register_rule(
     def decorate(fn: CheckFn) -> CheckFn:
         if rule_id in registry:
             raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        if rule_id in RETIRED_RULE_IDS:
+            raise ValueError(
+                f"lint rule id {rule_id!r} is retired and must never be "
+                "reused (stable-ID contract)"
+            )
         registry[rule_id] = LintRule(
             rule_id=rule_id,
             name=name,
@@ -246,6 +282,7 @@ class LintReport:
 
     def to_dict(self) -> Dict:
         return {
+            "schema": LINT_REPORT_SCHEMA,
             "subject": self.subject,
             "ok": self.ok,
             "errors": len(self.errors),

@@ -1,0 +1,1258 @@
+"""Concurrency analysis over our own serving stack (R-family).
+
+The serving components — supervisor, batching queue, engine pool,
+telemetry bus, metrics registry, engine store — are exercised from
+multiple threads (the concurrency regime of the paper's Section IV-B:
+many camera streams sharing one process).  This module parses their
+*source* with :mod:`ast` and builds a :class:`SourceModel`:
+
+* a **shared-mutable-state map** — for every analyzed class, which
+  ``self.`` attributes are mutated, from which public entry points, and
+  whether each mutation site runs under a lock;
+* a **lock-discipline model** — which locks each class owns (instance
+  attribute, class attribute, or module global; ``Lock`` vs ``RLock``),
+  which methods acquire them (directly and transitively through the
+  intra-class call graph), and lock-held-ness propagated to private
+  helpers that are *only ever* called under the lock;
+* a **lock-order graph** — an edge ``A -> B`` whenever code acquires
+  ``B`` while holding ``A`` (including through cross-object calls such
+  as ``self.pool.get(...)`` or the global ``BUS``); a cycle means two
+  threads can deadlock, and re-acquiring a non-reentrant ``Lock`` the
+  thread already holds means one thread can deadlock all by itself.
+
+The rules are deliberately scoped to classes that either *own a lock*
+(they have opted into a concurrency contract) or appear in
+:data:`SHARED_CLASSES` (the serving stack's known thread-crossing
+types).  A class with exactly one public entry point is externally
+synchronized by construction and stays out of R001/R002.
+
+Analysis is purely syntactic and intra-procedural per method (with a
+call-graph fixpoint for lock-held-ness), so it over-approximates: a
+finding means "this access is not *provably* guarded", which for our
+own small serving stack is the contract we want CI to enforce.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import LintReport, LintRule, Severity, register_rule, run_rules
+
+#: Registry of all concurrency rules, keyed by rule ID.
+RACE_RULES: Dict[str, LintRule] = {}
+
+#: Serving-stack classes that cross thread boundaries by design; they
+#: are analyzed even when they own no lock (that being the point of
+#: rule R002).
+SHARED_CLASSES = frozenset(
+    {
+        "InferenceSupervisor",
+        "BatchingQueue",
+        "EnginePool",
+        "TelemetryBus",
+        "MetricsRegistry",
+        "EngineStore",
+    }
+)
+
+#: Container method names that mutate their receiver.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "appendleft",
+        "popleft",
+        "move_to_end",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Wrappers that snapshot an iterable before iterating it — iterating
+#: ``list(self._x)`` is safe where iterating ``self._x`` is not.
+_SNAPSHOT_CALLS = frozenset({"list", "sorted", "tuple", "set", "dict", "frozenset"})
+
+#: A lock is identified by its owner scope and its attribute / global
+#: name: ``("EnginePool", "_lock")`` or ``("module:engine/builder.py",
+#: "_BUILD_SEED_LOCK")``.
+LockId = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One touch of a shared attribute inside a method body."""
+
+    attr: str
+    kind: str  # "read" | "write" | "iterate"
+    held: FrozenSet[LockId]
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call that may transfer control to another analyzed method."""
+
+    target_class: str  # class whose method is invoked
+    method: str
+    held: FrozenSet[LockId]
+    line: int
+
+
+@dataclass(frozen=True)
+class CheckThenAct:
+    """An unguarded membership test on a shared attribute whose branch
+    then mutates the same attribute."""
+
+    attr: str
+    line: int
+
+
+@dataclass
+class MethodModel:
+    """Everything the rules need to know about one method."""
+
+    name: str
+    line: int
+    is_public: bool
+    accesses: List[Access] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    acquired: Set[LockId] = field(default_factory=set)
+    #: (lock, locks already held at that point, line) per ``with`` site
+    acquire_sites: List[Tuple[LockId, FrozenSet[LockId], int]] = field(
+        default_factory=list
+    )
+    lock_writes: List[Tuple[str, int]] = field(default_factory=list)
+    check_then_act: List[CheckThenAct] = field(default_factory=list)
+    global_writes: List[Tuple[str, FrozenSet[LockId], int]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class ClassModel:
+    """One analyzed class: its locks, attribute types, and methods."""
+
+    name: str
+    path: str
+    line: int
+    locks: Dict[str, bool] = field(default_factory=dict)  # attr -> reentrant
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+
+    @property
+    def has_lock(self) -> bool:
+        return bool(self.locks)
+
+    def entry_points(self) -> List[str]:
+        return [m for m, mm in self.methods.items() if mm.is_public]
+
+
+def _is_lock_ctor(node: ast.AST) -> Optional[bool]:
+    """``threading.Lock()`` / ``threading.RLock()`` (or bare
+    ``Lock()``/``RLock()``) -> reentrancy flag, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    name = None
+    if isinstance(fn, ast.Attribute):
+        name = fn.attr
+    elif isinstance(fn, ast.Name):
+        name = fn.id
+    if name == "Lock":
+        return False
+    if name == "RLock":
+        return True
+    # dataclasses.field(default_factory=threading.RLock)
+    if name == "field":
+        for kw in node.keywords:
+            if kw.arg == "default_factory":
+                inner = kw.value
+                iname = (
+                    inner.attr
+                    if isinstance(inner, ast.Attribute)
+                    else inner.id
+                    if isinstance(inner, ast.Name)
+                    else None
+                )
+                if iname == "Lock":
+                    return False
+                if iname == "RLock":
+                    return True
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _annotation_class(node: Optional[ast.AST], known: Set[str]) -> Optional[str]:
+    """First known class name mentioned anywhere in an annotation
+    (unwraps ``Optional[X]``, string annotations, unions)."""
+    if node is None:
+        return None
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in known:
+            return sub.id
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            for name in known:
+                if name in sub.value:
+                    return name
+    return None
+
+
+class _MethodWalker:
+    """Walks one method body tracking the set of locks held."""
+
+    def __init__(
+        self,
+        model: MethodModel,
+        cls: ClassModel,
+        module_locks: Dict[str, bool],
+        module_scope: str,
+    ):
+        self.m = model
+        self.cls = cls
+        self.module_locks = module_locks
+        self.module_scope = module_scope
+
+    # -- lock expressions ------------------------------------------------
+    def _lock_of_expr(self, node: ast.AST) -> Optional[LockId]:
+        attr = _self_attr(node)
+        if attr is not None and attr in self.cls.locks:
+            return (self.cls.name, attr)
+        if isinstance(node, ast.Name) and node.id in self.module_locks:
+            return (self.module_scope, node.id)
+        return None
+
+    # -- statement walk --------------------------------------------------
+    def walk(self, body: Sequence[ast.stmt], held: FrozenSet[LockId]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: FrozenSet[LockId]) -> None:
+        if isinstance(stmt, ast.With):
+            inner = held
+            for item in stmt.items:
+                lock = self._lock_of_expr(item.context_expr)
+                if lock is not None:
+                    self.m.acquired.add(lock)
+                    self.m.acquire_sites.append(
+                        (lock, inner, stmt.lineno)
+                    )
+                    inner = inner | {lock}
+                else:
+                    self._expr(item.context_expr, held)
+            self.walk(stmt.body, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs: out of scope
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._write_target(target, held, stmt.lineno)
+            self._expr(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._write_target(stmt.target, held, stmt.lineno)
+            self._expr(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._write_target(stmt.target, held, stmt.lineno)
+                self._expr(stmt.value, held)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._write_target(target, held, stmt.lineno)
+            return
+        if isinstance(stmt, ast.If):
+            self._check_then_act(stmt, held)
+            self._expr(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._iterate(stmt.iter, held)
+            self._expr(stmt.iter, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try):
+            self.walk(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk(handler.body, held)
+            self.walk(stmt.orelse, held)
+            self.walk(stmt.finalbody, held)
+            return
+        if isinstance(stmt, ast.Global):
+            # names noted by the module-function pass; nothing here
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+            elif isinstance(child, ast.stmt):
+                self._stmt(child, held)
+
+    # -- writes ----------------------------------------------------------
+    def _write_target(
+        self, target: ast.AST, held: FrozenSet[LockId], line: int
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_target(elt, held, line)
+            return
+        attr = _self_attr(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is None:
+                self._expr(target.value, held)
+        if attr is not None:
+            if attr in self.cls.locks and self.m.name != "__init__":
+                self.m.lock_writes.append((attr, line))
+            self.m.accesses.append(
+                Access(attr=attr, kind="write", held=held, line=line)
+            )
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, node: Optional[ast.AST], held: FrozenSet[LockId]) -> None:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._call(sub, held)
+            elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in sub.generators:
+                    self._iterate(gen.iter, held)
+            elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                attr = _self_attr(sub)
+                if attr is not None:
+                    self.m.accesses.append(
+                        Access(
+                            attr=attr,
+                            kind="read",
+                            held=held,
+                            line=sub.lineno,
+                        )
+                    )
+
+    def _call(self, node: ast.Call, held: FrozenSet[LockId]) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            # self.method(...)
+            if isinstance(fn.value, ast.Name) and fn.value.id == "self":
+                self.m.calls.append(
+                    CallSite(
+                        target_class=self.cls.name,
+                        method=fn.attr,
+                        held=held,
+                        line=node.lineno,
+                    )
+                )
+                return
+            # self.attr.method(...): container mutation or a call into
+            # another analyzed object (self.pool.get(...))
+            base = _self_attr(fn.value)
+            if base is not None:
+                if fn.attr in _MUTATOR_METHODS:
+                    self.m.accesses.append(
+                        Access(
+                            attr=base,
+                            kind="write",
+                            held=held,
+                            line=node.lineno,
+                        )
+                    )
+                target = self.cls.attr_types.get(base)
+                if target is not None:
+                    self.m.calls.append(
+                        CallSite(
+                            target_class=target,
+                            method=fn.attr,
+                            held=held,
+                            line=node.lineno,
+                        )
+                    )
+                return
+            # GLOBAL.method(...): resolved against known module-level
+            # instances (e.g. BUS) by the SourceModel after parsing.
+            if isinstance(fn.value, ast.Name):
+                self.m.calls.append(
+                    CallSite(
+                        target_class=f"@global:{fn.value.id}",
+                        method=fn.attr,
+                        held=held,
+                        line=node.lineno,
+                    )
+                )
+
+    # -- iteration / check-then-act --------------------------------------
+    def _iterate(self, iter_node: ast.AST, held: FrozenSet[LockId]) -> None:
+        node = iter_node
+        # enumerate(x) iterates x
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "enumerate"
+            and node.args
+        ):
+            node = node.args[0]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SNAPSHOT_CALLS
+        ):
+            return  # iterating a snapshot is safe
+        attr = _self_attr(node)
+        if attr is None and isinstance(node, ast.Call):
+            # self.attr.items()/.values()/.keys()
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in (
+                "items",
+                "values",
+                "keys",
+            ):
+                attr = _self_attr(fn.value)
+        if attr is not None:
+            self.m.accesses.append(
+                Access(
+                    attr=attr,
+                    kind="iterate",
+                    held=held,
+                    line=iter_node.lineno,
+                )
+            )
+
+    def _check_then_act(self, stmt: ast.If, held: FrozenSet[LockId]) -> None:
+        if held:
+            return
+        tested: Set[str] = set()
+        for sub in ast.walk(stmt.test):
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in sub.ops
+            ):
+                for operand in [sub.left] + list(sub.comparators):
+                    attr = _self_attr(operand)
+                    if attr is not None:
+                        tested.add(attr)
+        if not tested:
+            return
+        for sub in ast.walk(stmt):
+            attr = None
+            if isinstance(sub, (ast.Assign,)):
+                for target in sub.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+            elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                if sub.func.attr in _MUTATOR_METHODS:
+                    attr = _self_attr(sub.func.value)
+            if attr in tested:
+                self.m.check_then_act.append(
+                    CheckThenAct(attr=attr, line=stmt.lineno)
+                )
+                return
+
+
+class SourceModel:
+    """The parsed, analyzed view of a set of Python source files."""
+
+    def __init__(
+        self,
+        paths: Sequence[Path],
+        root: Optional[Path] = None,
+        shared_classes: Optional[Iterable[str]] = None,
+    ):
+        self.root = root
+        self.shared_classes = frozenset(
+            shared_classes if shared_classes is not None else SHARED_CLASSES
+        )
+        self.classes: Dict[str, ClassModel] = {}
+        #: module-level lock globals: scope -> {name -> reentrant}
+        self.module_locks: Dict[str, Dict[str, bool]] = {}
+        #: module-level instances of analyzed classes: name -> class
+        self.global_instances: Dict[str, str] = {}
+        #: module-level functions (for R005): scope -> [MethodModel]
+        self.module_functions: Dict[str, List[MethodModel]] = {}
+        self._parsed: List[Tuple[str, ast.Module]] = []
+        self.parse_errors: List[Tuple[str, str]] = []
+        for path in paths:
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except (OSError, SyntaxError) as exc:
+                self.parse_errors.append((self._rel(path), str(exc)))
+                continue
+            self._parsed.append((self._rel(path), tree))
+        self._collect()
+        self._analyze()
+        self._inherited = self._propagate_held()
+
+    # ------------------------------------------------------------------
+    def _rel(self, path: Path) -> str:
+        if self.root is not None:
+            try:
+                return str(path.resolve().relative_to(self.root.resolve()))
+            except ValueError:
+                pass
+        return str(path)
+
+    # -- pass 1: discover classes, locks, globals -----------------------
+    def _collect(self) -> None:
+        class_names: Set[str] = set()
+        for _, tree in self._parsed:
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    class_names.add(node.name)
+        self._known_classes = class_names
+
+        for rel, tree in self._parsed:
+            scope = f"module:{rel}"
+            for node in tree.body:
+                if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call
+                ):
+                    reentrant = _is_lock_ctor(node.value)
+                    for target in node.targets:
+                        if not isinstance(target, ast.Name):
+                            continue
+                        if reentrant is not None:
+                            self.module_locks.setdefault(scope, {})[
+                                target.id
+                            ] = reentrant
+                        else:
+                            fn = node.value.func
+                            ctor = (
+                                fn.id
+                                if isinstance(fn, ast.Name)
+                                else fn.attr
+                                if isinstance(fn, ast.Attribute)
+                                else None
+                            )
+                            if ctor in class_names:
+                                self.global_instances[target.id] = ctor
+                elif isinstance(node, ast.ClassDef):
+                    self._collect_class(node, rel)
+
+    def _collect_class(self, node: ast.ClassDef, rel: str) -> None:
+        cls = ClassModel(name=node.name, path=rel, line=node.lineno)
+        for stmt in node.body:
+            # class-level: ``_lock = threading.RLock()`` or a dataclass
+            # field annotation ``_lock: threading.RLock = field(...)``
+            if isinstance(stmt, ast.Assign):
+                reentrant = _is_lock_ctor(stmt.value)
+                if reentrant is not None:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            cls.locks[target.id] = reentrant
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                reentrant = (
+                    _is_lock_ctor(stmt.value)
+                    if stmt.value is not None
+                    else None
+                )
+                if reentrant is None:
+                    # annotation-only detection: ``x: threading.RLock``
+                    ann = stmt.annotation
+                    name = (
+                        ann.attr
+                        if isinstance(ann, ast.Attribute)
+                        else ann.id
+                        if isinstance(ann, ast.Name)
+                        else None
+                    )
+                    if name == "Lock":
+                        reentrant = False
+                    elif name == "RLock":
+                        reentrant = True
+                if reentrant is not None:
+                    cls.locks[stmt.target.id] = reentrant
+                elif stmt.annotation is not None:
+                    typ = _annotation_class(
+                        stmt.annotation, self._known_classes
+                    )
+                    if typ is not None:
+                        cls.attr_types[stmt.target.id] = typ
+            elif (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__init__"
+            ):
+                self._collect_init(stmt, cls)
+        self.classes[cls.name] = cls
+
+    def _collect_init(self, fn: ast.FunctionDef, cls: ClassModel) -> None:
+        param_types: Dict[str, str] = {}
+        for arg in fn.args.args + fn.args.kwonlyargs:
+            typ = _annotation_class(arg.annotation, self._known_classes)
+            if typ is not None:
+                param_types[arg.arg] = typ
+        for stmt in ast.walk(fn):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                reentrant = _is_lock_ctor(value)
+                if reentrant is not None:
+                    cls.locks[attr] = reentrant
+                    continue
+                if isinstance(value, ast.Call):
+                    ctor_fn = value.func
+                    ctor = (
+                        ctor_fn.id
+                        if isinstance(ctor_fn, ast.Name)
+                        else ctor_fn.attr
+                        if isinstance(ctor_fn, ast.Attribute)
+                        else None
+                    )
+                    if ctor in self._known_classes:
+                        cls.attr_types[attr] = ctor
+                elif isinstance(value, ast.Name) and value.id in param_types:
+                    cls.attr_types[attr] = param_types[value.id]
+
+    # -- pass 2: walk method bodies -------------------------------------
+    def _analyze(self) -> None:
+        for rel, tree in self._parsed:
+            scope = f"module:{rel}"
+            mlocks = self.module_locks.get(scope, {})
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    cls = self.classes[node.name]
+                    for stmt in node.body:
+                        if isinstance(stmt, ast.FunctionDef):
+                            self._analyze_method(stmt, cls, mlocks, scope)
+                elif isinstance(node, ast.FunctionDef):
+                    self._analyze_function(node, mlocks, scope)
+
+    @staticmethod
+    def _is_public(fn: ast.FunctionDef) -> bool:
+        name = fn.name
+        if name == "__init__":
+            return False
+        if name.startswith("__") and name.endswith("__"):
+            return True  # dunders are called from anywhere
+        return not name.startswith("_")
+
+    def _analyze_method(
+        self,
+        fn: ast.FunctionDef,
+        cls: ClassModel,
+        mlocks: Dict[str, bool],
+        scope: str,
+    ) -> None:
+        decorators = {
+            d.id
+            for d in fn.decorator_list
+            if isinstance(d, ast.Name)
+        }
+        if {"staticmethod", "classmethod"} & decorators:
+            return  # no self: nothing shared to track
+        model = MethodModel(
+            name=fn.name,
+            line=fn.lineno,
+            is_public=self._is_public(fn),
+        )
+        walker = _MethodWalker(model, cls, mlocks, scope)
+        if fn.name != "__init__":
+            walker.walk(fn.body, frozenset())
+            cls.methods[fn.name] = model
+        else:
+            # __init__ runs before the object is shared; only lock
+            # reassignment tracking would apply and it is exempt there.
+            pass
+
+    def _analyze_function(
+        self, fn: ast.FunctionDef, mlocks: Dict[str, bool], scope: str
+    ) -> None:
+        declared: Set[str] = set()
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.Global):
+                declared.update(stmt.names)
+        if not declared:
+            return
+        model = MethodModel(name=fn.name, line=fn.lineno, is_public=True)
+
+        def walk(body: Sequence[ast.stmt], held: FrozenSet[LockId]) -> None:
+            for stmt in body:
+                if isinstance(stmt, ast.With):
+                    inner = held
+                    for item in stmt.items:
+                        if (
+                            isinstance(item.context_expr, ast.Name)
+                            and item.context_expr.id in mlocks
+                        ):
+                            inner = inner | {(scope, item.context_expr.id)}
+                    walk(stmt.body, inner)
+                elif isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id in declared
+                        ):
+                            model.global_writes.append(
+                                (target.id, held, stmt.lineno)
+                            )
+                else:
+                    for child in ast.iter_child_nodes(stmt):
+                        if isinstance(child, ast.stmt):
+                            walk([child], held)
+
+        walk(fn.body, frozenset())
+        if model.global_writes:
+            self.module_functions.setdefault(scope, []).append(model)
+
+    # -- pass 3: lock-held propagation to private helpers ---------------
+    def _propagate_held(self) -> Dict[Tuple[str, str], FrozenSet[LockId]]:
+        """Fixpoint: a private method called *only* with lock L held is
+        analyzed as holding L throughout (e.g. ``_put`` under the store
+        lock).  Public methods inherit nothing — any thread may call
+        them directly."""
+        all_locks: Set[LockId] = set()
+        for cls in self.classes.values():
+            for attr in cls.locks:
+                all_locks.add((cls.name, attr))
+        for scope, locks in self.module_locks.items():
+            for name in locks:
+                all_locks.add((scope, name))
+        inherited: Dict[Tuple[str, str], FrozenSet[LockId]] = {}
+        for cls in self.classes.values():
+            for mname, mm in cls.methods.items():
+                inherited[(cls.name, mname)] = (
+                    frozenset() if mm.is_public else frozenset(all_locks)
+                )
+        changed = True
+        while changed:
+            changed = False
+            # recompute each private method's inherited set as the
+            # intersection over all intra-class call sites
+            incoming: Dict[Tuple[str, str], Optional[FrozenSet[LockId]]] = {}
+            for cls in self.classes.values():
+                for mname, mm in cls.methods.items():
+                    caller_inh = inherited[(cls.name, mname)]
+                    for call in mm.calls:
+                        if call.target_class != cls.name:
+                            continue
+                        key = (cls.name, call.method)
+                        if key not in inherited:
+                            continue
+                        effective = call.held | caller_inh
+                        prev = incoming.get(key, None)
+                        incoming[key] = (
+                            effective
+                            if prev is None
+                            else prev & effective
+                        )
+            for key, meet in incoming.items():
+                cls_name, mname = key
+                mm = self.classes[cls_name].methods[mname]
+                if mm.is_public:
+                    continue
+                new = frozenset(meet) if meet is not None else frozenset()
+                if new != inherited[key]:
+                    inherited[key] = new
+                    changed = True
+        # methods never called intra-class keep their initializer value;
+        # clamp uncalled private methods to "nothing proven"
+        called: Set[Tuple[str, str]] = set()
+        for cls in self.classes.values():
+            for mm in cls.methods.values():
+                for call in mm.calls:
+                    called.add((call.target_class, call.method))
+        for key in list(inherited):
+            cls_name, mname = key
+            mm = self.classes[cls_name].methods[mname]
+            if not mm.is_public and key not in called:
+                inherited[key] = frozenset()
+        return inherited
+
+    # ------------------------------------------------------------------
+    # queries used by the rules
+    # ------------------------------------------------------------------
+    def held_at(self, cls: ClassModel, method: MethodModel, access_held):
+        return frozenset(access_held) | self._inherited.get(
+            (cls.name, method.name), frozenset()
+        )
+
+    def analyzed_classes(self) -> List[ClassModel]:
+        """Classes under the concurrency contract: lock owners plus the
+        designated serving-stack types."""
+        return [
+            cls
+            for name, cls in sorted(self.classes.items())
+            if cls.has_lock or name in self.shared_classes
+        ]
+
+    def resolve_target(self, call: CallSite) -> Optional[ClassModel]:
+        name = call.target_class
+        if name.startswith("@global:"):
+            name = self.global_instances.get(name[len("@global:"):], "")
+        return self.classes.get(name)
+
+    def shared_attr_map(
+        self, cls: ClassModel
+    ) -> Dict[str, Dict[str, object]]:
+        """attr -> {entries: set of entry points touching it,
+        writers: set of entry points mutating it, accesses: [(method,
+        Access, effective_held)]}."""
+        reachable = self._entry_closure(cls)
+        out: Dict[str, Dict[str, object]] = {}
+        for mname, mm in cls.methods.items():
+            entries = reachable.get(mname, set())
+            for access in mm.accesses:
+                if access.attr in cls.locks:
+                    continue
+                rec = out.setdefault(
+                    access.attr,
+                    {"entries": set(), "writers": set(), "accesses": []},
+                )
+                rec["entries"] |= entries
+                if access.kind == "write":
+                    rec["writers"] |= entries
+                rec["accesses"].append(
+                    (mm, access, self.held_at(cls, mm, access.held))
+                )
+        return out
+
+    def _entry_closure(self, cls: ClassModel) -> Dict[str, Set[str]]:
+        """method -> set of public entry points that can reach it."""
+        reach: Dict[str, Set[str]] = {
+            m: ({m} if mm.is_public else set())
+            for m, mm in cls.methods.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for mname, mm in cls.methods.items():
+                for call in mm.calls:
+                    if call.target_class != cls.name:
+                        continue
+                    if call.method not in reach:
+                        continue
+                    before = len(reach[call.method])
+                    reach[call.method] |= reach[mname]
+                    if len(reach[call.method]) != before:
+                        changed = True
+        return reach
+
+    # -- transitive lock acquisition (for the order graph) ---------------
+    def transitive_acquires(self) -> Dict[Tuple[str, str], Set[LockId]]:
+        acq: Dict[Tuple[str, str], Set[LockId]] = {}
+        for cls in self.classes.values():
+            for mname, mm in cls.methods.items():
+                acq[(cls.name, mname)] = set(mm.acquired)
+        changed = True
+        while changed:
+            changed = False
+            for cls in self.classes.values():
+                for mname, mm in cls.methods.items():
+                    mine = acq[(cls.name, mname)]
+                    for call in mm.calls:
+                        target = self.resolve_target(call)
+                        if target is None:
+                            continue
+                        extra = acq.get((target.name, call.method))
+                        if extra and not extra <= mine:
+                            mine |= extra
+                            changed = True
+        return acq
+
+    def lock_order_edges(
+        self,
+    ) -> List[Tuple[LockId, LockId, str, int]]:
+        """(held, acquired, "Class.method", line) for every site where
+        code acquires one lock while holding another."""
+        acq = self.transitive_acquires()
+        edges: List[Tuple[LockId, LockId, str, int]] = []
+        for cls in self.classes.values():
+            for mname, mm in cls.methods.items():
+                inherited = self._inherited.get(
+                    (cls.name, mname), frozenset()
+                )
+                where = f"{cls.name}.{mname}"
+                # direct lexically nested ``with`` acquisitions
+                for lock, at_site, line in mm.acquire_sites:
+                    for h in (at_site | inherited) - {lock}:
+                        edges.append((h, lock, where, line))
+                # acquisitions reached through a method call
+                for call in mm.calls:
+                    held = call.held | inherited
+                    if not held:
+                        continue
+                    target = self.resolve_target(call)
+                    if target is None:
+                        continue
+                    for lock in acq.get((target.name, call.method), ()):
+                        if lock not in held:
+                            for h in held:
+                                edges.append((h, lock, where, call.line))
+        return edges
+
+    def reacquire_sites(
+        self,
+    ) -> List[Tuple[LockId, str, int]]:
+        """Sites that (possibly transitively) re-acquire a
+        *non-reentrant* lock the thread already holds."""
+        acq = self.transitive_acquires()
+        lock_kind: Dict[LockId, bool] = {}
+        for cls in self.classes.values():
+            for attr, reentrant in cls.locks.items():
+                lock_kind[(cls.name, attr)] = reentrant
+        for scope, locks in self.module_locks.items():
+            for name, reentrant in locks.items():
+                lock_kind[(scope, name)] = reentrant
+        sites: List[Tuple[LockId, str, int]] = []
+        for cls in self.classes.values():
+            for mname, mm in cls.methods.items():
+                inherited = self._inherited.get(
+                    (cls.name, mname), frozenset()
+                )
+                where = f"{cls.name}.{mname}"
+                for lock, at_site, line in mm.acquire_sites:
+                    if lock in (at_site | inherited) and not lock_kind.get(
+                        lock, True
+                    ):
+                        sites.append((lock, where, line))
+                for call in mm.calls:
+                    held = call.held | inherited
+                    if not held:
+                        continue
+                    target = self.resolve_target(call)
+                    if target is None:
+                        continue
+                    for lock in acq.get((target.name, call.method), ()):
+                        if lock in held and not lock_kind.get(lock, True):
+                            sites.append((lock, where, call.line))
+        return sites
+
+
+def _fmt_lock(lock: LockId) -> str:
+    owner, name = lock
+    if owner.startswith("module:"):
+        return f"{owner[len('module:'):]}::{name}"
+    return f"{owner}.{name}"
+
+
+# ----------------------------------------------------------------------
+# R rules
+# ----------------------------------------------------------------------
+@register_rule(
+    RACE_RULES, "R001", "unguarded-shared-write",
+    description="In a lock-owning class, an attribute reachable from "
+    "two or more public entry points is mutated without the lock held: "
+    "two threads calling those entry points race on it.",
+)
+def _check_unguarded_write(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        if not cls.has_lock:
+            continue
+        for attr, rec in sorted(model.shared_attr_map(cls).items()):
+            if len(rec["entries"]) < 2 or not rec["writers"]:
+                continue
+            for mm, access, held in rec["accesses"]:
+                if access.kind == "write" and not held:
+                    report(
+                        f"{cls.name}.{attr} is reachable from entry "
+                        f"points {sorted(rec['entries'])} but "
+                        f"{mm.name}() mutates it without "
+                        f"{_fmt_lock((cls.name, next(iter(cls.locks))))} "
+                        "held",
+                        path=cls.path,
+                        line=access.line,
+                    )
+
+
+@register_rule(
+    RACE_RULES, "R002", "shared-class-missing-lock",
+    description="A designated serving-stack class mutates attributes "
+    "from multiple public entry points yet owns no lock at all: every "
+    "one of those mutations is a data race under the multi-stream "
+    "serving regime.",
+)
+def _check_missing_lock(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        if cls.has_lock or cls.name not in model.shared_classes:
+            continue
+        racy = {
+            attr: rec
+            for attr, rec in model.shared_attr_map(cls).items()
+            if len(rec["entries"]) >= 2 and rec["writers"]
+        }
+        if racy:
+            attrs = ", ".join(sorted(racy))
+            report(
+                f"{cls.name} has no lock but mutates {attrs} from "
+                "multiple public entry points",
+                path=cls.path,
+                line=cls.line,
+            )
+
+
+@register_rule(
+    RACE_RULES, "R003", "inconsistent-guard", Severity.WARNING,
+    description="An attribute is mutated both with and without the "
+    "class lock held: the guarded sites suggest the lock is the "
+    "intended discipline and the unguarded ones escaped it.",
+)
+def _check_inconsistent_guard(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        if not cls.has_lock:
+            continue
+        for attr, rec in sorted(model.shared_attr_map(cls).items()):
+            writes = [
+                (mm, a, held)
+                for (mm, a, held) in rec["accesses"]
+                if a.kind == "write"
+            ]
+            guarded = [w for w in writes if w[2]]
+            unguarded = [w for w in writes if not w[2]]
+            if guarded and unguarded:
+                mm, access, _ = unguarded[0]
+                report(
+                    f"{cls.name}.{attr} is mutated under the lock in "
+                    f"{sorted({w[0].name for w in guarded})} but "
+                    f"without it in "
+                    f"{sorted({w[0].name for w in unguarded})}",
+                    path=cls.path,
+                    line=access.line,
+                )
+
+
+@register_rule(
+    RACE_RULES, "R004", "lock-order-violation",
+    description="The lock-order graph has a cycle (two threads "
+    "acquiring the locks in opposite order deadlock), or code "
+    "(transitively) re-acquires a non-reentrant Lock it already "
+    "holds (one thread deadlocks itself).",
+)
+def _check_lock_order(model: SourceModel, report) -> None:
+    for lock, where, line in model.reacquire_sites():
+        cls = model.classes.get(where.split(".")[0])
+        report(
+            f"{where} can re-acquire non-reentrant {_fmt_lock(lock)} "
+            "while already holding it (self-deadlock); use an RLock or "
+            "restructure",
+            path=cls.path if cls else None,
+            line=line,
+        )
+    # cycle detection over the held->acquired edge set
+    edges = model.lock_order_edges()
+    graph: Dict[LockId, Set[LockId]] = {}
+    labels: Dict[Tuple[LockId, LockId], Tuple[str, int]] = {}
+    for held, acquired, where, line in edges:
+        graph.setdefault(held, set()).add(acquired)
+        labels.setdefault((held, acquired), (where, line))
+    state: Dict[LockId, int] = {}
+    stack: List[LockId] = []
+    reported: Set[FrozenSet[LockId]] = set()
+
+    def visit(node: LockId) -> None:
+        state[node] = 1
+        stack.append(node)
+        for succ in sorted(graph.get(node, ())):
+            if state.get(succ, 0) == 1:
+                cycle = stack[stack.index(succ):] + [succ]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    where, line = labels.get(
+                        (node, succ), ("<unknown>", 0)
+                    )
+                    chain = " -> ".join(_fmt_lock(c) for c in cycle)
+                    cls = model.classes.get(where.split(".")[0])
+                    report(
+                        f"lock-order cycle {chain} (closed at {where}): "
+                        "threads taking the locks in opposite order "
+                        "deadlock",
+                        path=cls.path if cls else None,
+                        line=line or None,
+                    )
+            elif state.get(succ, 0) == 0:
+                visit(succ)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            visit(node)
+
+
+@register_rule(
+    RACE_RULES, "R005", "unguarded-module-global",
+    description="A module-level function mutates a global (declared "
+    "with the global statement) without holding a module-level lock: "
+    "concurrent builders / callers race on it.",
+)
+def _check_module_global(model: SourceModel, report) -> None:
+    for scope, functions in sorted(model.module_functions.items()):
+        rel = scope[len("module:"):]
+        for fn in functions:
+            for name, held, line in fn.global_writes:
+                if not held:
+                    report(
+                        f"{fn.name}() mutates module global {name!r} "
+                        "without a lock",
+                        path=rel,
+                        line=line,
+                    )
+
+
+@register_rule(
+    RACE_RULES, "R006", "unsynchronized-iteration", Severity.WARNING,
+    description="A method iterates a shared mutable attribute without "
+    "the lock held and without snapshotting it first (list()/sorted()): "
+    "a concurrent mutation raises RuntimeError mid-iteration or skips "
+    "elements.",
+)
+def _check_iteration(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        shared = model.shared_attr_map(cls)
+        for attr, rec in sorted(shared.items()):
+            if len(rec["entries"]) < 2 or not rec["writers"]:
+                continue
+            for mm, access, held in rec["accesses"]:
+                if access.kind == "iterate" and not held:
+                    report(
+                        f"{cls.name}.{mm.name} iterates shared "
+                        f"{attr!r} unguarded; hold the lock or iterate "
+                        "a snapshot (list(...))",
+                        path=cls.path,
+                        line=access.line,
+                    )
+
+
+@register_rule(
+    RACE_RULES, "R007", "check-then-act", Severity.WARNING,
+    description="A lock-owning class tests membership of a shared "
+    "attribute and mutates it in the branch without holding the lock: "
+    "the classic get-or-create race (both threads miss, both insert).",
+)
+def _check_check_then_act(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        if not cls.has_lock:
+            continue
+        for mname, mm in sorted(cls.methods.items()):
+            inherited = model._inherited.get(
+                (cls.name, mname), frozenset()
+            )
+            if inherited:
+                continue  # whole method effectively runs under the lock
+            for cta in mm.check_then_act:
+                report(
+                    f"{cls.name}.{mname} tests {cta.attr!r} and then "
+                    "mutates it without the lock (check-then-act race)",
+                    path=cls.path,
+                    line=cta.line,
+                )
+
+
+@register_rule(
+    RACE_RULES, "R008", "lock-reassigned",
+    description="A lock attribute is reassigned outside __init__: "
+    "threads blocked on the old lock object and threads taking the new "
+    "one no longer exclude each other.",
+)
+def _check_lock_reassigned(model: SourceModel, report) -> None:
+    for cls in model.analyzed_classes():
+        for mname, mm in sorted(cls.methods.items()):
+            for attr, line in mm.lock_writes:
+                report(
+                    f"{cls.name}.{mname} reassigns lock attribute "
+                    f"{attr!r}; locks must be created once in __init__",
+                    path=cls.path,
+                    line=line,
+                )
+
+
+def _default_paths() -> List[Path]:
+    import repro
+
+    pkg_root = Path(repro.__file__).parent
+    return sorted(pkg_root.rglob("*.py"))
+
+
+def lint_races(
+    paths: Optional[Sequence] = None,
+    select=None,
+    ignore=None,
+    shared_classes: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+    subject_name: Optional[str] = None,
+) -> LintReport:
+    """Run the R-family concurrency rules over Python source files.
+
+    ``paths`` defaults to every module of the installed ``repro``
+    package — the analyzer's primary subject is our own serving stack.
+    Files are reported relative to ``root`` when given.
+    """
+    if paths is None:
+        resolved = _default_paths()
+        if root is None:
+            import repro
+
+            root = Path(repro.__file__).parent.parent
+    else:
+        resolved = []
+        for p in paths:
+            p = Path(p)
+            if p.is_dir():
+                resolved.extend(sorted(p.rglob("*.py")))
+            else:
+                resolved.append(p)
+    model = SourceModel(resolved, root=root, shared_classes=shared_classes)
+    subject = subject_name or (
+        "src/repro" if paths is None else ", ".join(str(p) for p in paths)
+    )
+    report = run_rules(
+        RACE_RULES, model, f"{subject} [races]", select=select, ignore=ignore
+    )
+    # A file we cannot parse is a file we cannot certify: surface it as
+    # an error rather than silently shrinking the analyzed surface.
+    from repro.lint.core import Diagnostic
+
+    for rel, err in model.parse_errors:
+        report.diagnostics.append(
+            Diagnostic(
+                rule_id="R999",
+                rule_name="unparseable-source",
+                severity=Severity.ERROR,
+                message=f"cannot analyze: {err}",
+                path=rel,
+            )
+        )
+    return report

@@ -19,6 +19,7 @@ tests.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -78,15 +79,21 @@ class BatchingQueue:
     timestamps); each call returns the batch it *closed*, if any.
     :meth:`poll` closes a pending batch whose deadline has passed;
     :meth:`flush` force-closes whatever is left (end of workload).
+
+    Thread-safe: submit/poll/flush hold a queue RLock, so concurrent
+    stream threads can feed one queue; a request joins or closes
+    exactly one batch.
     """
 
     def __init__(self, config: Optional[BatchingConfig] = None):
         self.config = config or BatchingConfig()
+        self._lock = threading.RLock()
         self._pending: List[BatchRequest] = []
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     @property
     def deadline_ms(self) -> Optional[float]:
@@ -103,32 +110,35 @@ class BatchingQueue:
         forces that batch out — callers interleaving ``submit`` with
         ``poll`` never see a request join a batch it missed.
         """
-        if self._pending and request.arrival_ms > self.deadline_ms:
-            raise RuntimeError(
-                "pending batch deadline "
-                f"{self.deadline_ms:.3f} ms passed before submit at "
-                f"{request.arrival_ms:.3f} ms; call poll() first"
-            )
-        self._pending.append(request)
-        if len(self._pending) >= self.config.max_batch:
-            return self._close(request.arrival_ms)
-        return None
+        with self._lock:
+            if self._pending and request.arrival_ms > self.deadline_ms:
+                raise RuntimeError(
+                    "pending batch deadline "
+                    f"{self.deadline_ms:.3f} ms passed before submit at "
+                    f"{request.arrival_ms:.3f} ms; call poll() first"
+                )
+            self._pending.append(request)
+            if len(self._pending) >= self.config.max_batch:
+                return self._close(request.arrival_ms)
+            return None
 
     def poll(self, now_ms: float) -> Optional[MicroBatch]:
         """Close the pending batch if its deadline has passed."""
-        deadline = self.deadline_ms
-        if deadline is None or now_ms < deadline:
-            return None
-        return self._close(deadline)
+        with self._lock:
+            deadline = self.deadline_ms
+            if deadline is None or now_ms < deadline:
+                return None
+            return self._close(deadline)
 
     def flush(self, now_ms: Optional[float] = None) -> Optional[MicroBatch]:
         """Force-close whatever is pending (end of the request flow)."""
-        if not self._pending:
-            return None
-        dispatch = self.deadline_ms if now_ms is None else min(
-            now_ms, self.deadline_ms
-        )
-        return self._close(dispatch)
+        with self._lock:
+            if not self._pending:
+                return None
+            dispatch = self.deadline_ms if now_ms is None else min(
+                now_ms, self.deadline_ms
+            )
+            return self._close(dispatch)
 
     # ------------------------------------------------------------------
     def _close(self, dispatch_ms: float) -> MicroBatch:

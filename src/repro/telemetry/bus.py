@@ -20,6 +20,7 @@ this).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -40,6 +41,10 @@ class SpanKind(enum.Enum):
     #: ``event`` attr is one of hit/miss/put/evict and ``tier`` is
     #: ``pool`` (in-memory) or ``disk`` (content-addressed store).
     STORE = "build.store"
+    #: Static-analysis runs (``repro.lint.flow`` under the builder's
+    #: ``analyze_dataflow`` gate or the ``trtsim analyze`` CLI): the
+    #: ``findings``/``errors`` attrs carry the report's counts.
+    ANALYZE = "build.analyze"
     INFERENCE = "exec.inference"
     KERNEL = "exec.kernel"
     MEMCPY = "exec.memcpy"
@@ -85,9 +90,16 @@ class TelemetryEvent:
 
 
 class TelemetryBus:
-    """Ordered fan-out of telemetry events to attached sinks."""
+    """Ordered fan-out of telemetry events to attached sinks.
+
+    Thread-safe: sink management, sequence numbering and the metrics
+    fold run under a bus RLock; fan-out happens on a snapshot of the
+    sink list *outside* the lock, so a slow sink never blocks other
+    threads' emits and a sink that emits re-entrantly cannot deadlock.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._sinks: List[Any] = []
         self.metrics = MetricsRegistry()
         self._seq = 0
@@ -106,29 +118,33 @@ class TelemetryBus:
             raise TypeError(
                 f"sink {sink!r} does not implement on_event(event)"
             )
-        if sink not in self._sinks:
-            self._sinks.append(sink)
-            if hasattr(sink, "attach"):
-                sink.attach(self)
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+                if hasattr(sink, "attach"):
+                    sink.attach(self)
         return sink
 
     def detach(self, sink: Any) -> None:
-        if sink in self._sinks:
-            self._sinks.remove(sink)
-            if hasattr(sink, "detach"):
-                sink.detach(self)
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+                if hasattr(sink, "detach"):
+                    sink.detach(self)
 
     def set_time(self, t_s: float) -> None:
         """Advance the bus clock (simulation seconds); subsequent
         events are stamped with this time."""
-        self.now_s = float(t_s)
+        with self._lock:
+            self.now_s = float(t_s)
 
     def reset(self) -> None:
         """Drop every sink and start a fresh registry/sequence."""
-        self._sinks.clear()
-        self.metrics = MetricsRegistry()
-        self._seq = 0
-        self.now_s = 0.0
+        with self._lock:
+            self._sinks.clear()
+            self.metrics = MetricsRegistry()
+            self._seq = 0
+            self.now_s = 0.0
 
     # ------------------------------------------------------------------
     def emit(
@@ -142,18 +158,22 @@ class TelemetryBus:
         """Publish one span to every sink; no-op when inactive."""
         if not self._sinks:
             return None
-        self._seq += 1
-        event = TelemetryEvent(
-            kind=kind,
-            name=name,
-            seq=self._seq,
-            t_s=self.now_s,
-            start_us=start_us,
-            dur_us=dur_us,
-            attrs=attrs,
-        )
-        self._record_metrics(event)
-        for sink in list(self._sinks):
+        with self._lock:
+            if not self._sinks:
+                return None
+            self._seq += 1
+            event = TelemetryEvent(
+                kind=kind,
+                name=name,
+                seq=self._seq,
+                t_s=self.now_s,
+                start_us=start_us,
+                dur_us=dur_us,
+                attrs=attrs,
+            )
+            self._record_metrics(event)
+            sinks = list(self._sinks)
+        for sink in sinks:
             sink.on_event(event)
         return event
 
@@ -219,6 +239,14 @@ class TelemetryBus:
             m.counter("trtsim_faults_total", kind=event.name).inc()
             if event.name == "oom":
                 m.counter("trtsim_oom_total").inc()
+        elif kind is SpanKind.ANALYZE:
+            m.counter("trtsim_analyze_runs_total").inc()
+            m.counter("trtsim_analyze_findings_total").inc(
+                float(attrs.get("findings", 0))
+            )
+            m.counter("trtsim_analyze_errors_total").inc(
+                float(attrs.get("errors", 0))
+            )
         elif kind is SpanKind.BUILD_PASS:
             m.counter(
                 "trtsim_build_passes_total", pass_name=event.name

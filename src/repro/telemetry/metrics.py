@@ -15,6 +15,7 @@ paper-methodology table cell.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -50,11 +51,15 @@ class Counter:
     name: str
     labels: LabelSet = ()
     value: float = 0.0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -64,9 +69,13 @@ class Gauge:
     name: str
     labels: LabelSet = ()
     value: float = 0.0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 @dataclass
@@ -76,9 +85,13 @@ class Histogram:
     name: str
     labels: LabelSet = ()
     samples: List[float] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
-        self.samples.append(float(value))
+        with self._lock:
+            self.samples.append(float(value))
 
     @property
     def count(self) -> int:
@@ -123,9 +136,16 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store of labelled counters, gauges, histograms."""
+    """Get-or-create store of labelled counters, gauges, histograms.
+
+    Thread-safe: get-or-create, family aggregation and the render
+    paths hold a registry RLock, and each metric guards its own
+    mutation, so concurrent serving streams can fold events while an
+    exporter renders a consistent snapshot.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
@@ -133,44 +153,52 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _freeze_labels(labels))
-        metric = self._counters.get(key)
-        if metric is None:
-            metric = self._counters[key] = Counter(name, key[1])
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(name, key[1])
         return metric
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = (name, _freeze_labels(labels))
-        metric = self._gauges.get(key)
-        if metric is None:
-            metric = self._gauges[key] = Gauge(name, key[1])
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge(name, key[1])
         return metric
 
     def histogram(self, name: str, **labels: str) -> Histogram:
         key = (name, _freeze_labels(labels))
-        metric = self._histograms.get(key)
-        if metric is None:
-            metric = self._histograms[key] = Histogram(name, key[1])
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(name, key[1])
         return metric
 
     # ------------------------------------------------------------------
     def counter_total(self, name: str) -> float:
         """Sum of one counter family across every label set."""
-        return sum(
-            c.value for (n, _), c in self._counters.items() if n == name
-        )
+        with self._lock:
+            return sum(
+                c.value for (n, _), c in self._counters.items() if n == name
+            )
 
     def histogram_samples(self, name: str) -> List[float]:
         """All samples of one histogram family across label sets."""
         out: List[float] = []
-        for (n, _), h in self._histograms.items():
-            if n == name:
-                out.extend(h.samples)
+        with self._lock:
+            for (n, _), h in self._histograms.items():
+                if n == name:
+                    out.extend(h.samples)
         return out
 
     def __len__(self) -> int:
-        return (
-            len(self._counters) + len(self._gauges) + len(self._histograms)
-        )
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
 
     # ------------------------------------------------------------------
     def prometheus(self) -> str:
@@ -183,23 +211,27 @@ class MetricsRegistry:
         """
         lines: List[str] = []
         seen_types: set = set()
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
 
         def type_line(name: str, kind: str) -> None:
             if name not in seen_types:
                 seen_types.add(name)
                 lines.append(f"# TYPE {name} {kind}")
 
-        for (name, _), metric in sorted(self._counters.items()):
+        for (name, _), metric in counters:
             type_line(name, "counter")
             lines.append(
                 f"{name}{_render_labels(metric.labels)} {_fmt(metric.value)}"
             )
-        for (name, _), metric in sorted(self._gauges.items()):
+        for (name, _), metric in gauges:
             type_line(name, "gauge")
             lines.append(
                 f"{name}{_render_labels(metric.labels)} {_fmt(metric.value)}"
             )
-        for (name, _), metric in sorted(self._histograms.items()):
+        for (name, _), metric in histograms:
             type_line(name, "summary")
             for q, value in metric.quantiles().items():
                 extra = (("quantile", _fmt(q)),)
@@ -219,17 +251,18 @@ class MetricsRegistry:
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot of every metric."""
-        return {
-            "counters": [
-                {"name": n, "labels": dict(c.labels), "value": c.value}
-                for (n, _), c in sorted(self._counters.items())
-            ],
-            "gauges": [
-                {"name": n, "labels": dict(g.labels), "value": g.value}
-                for (n, _), g in sorted(self._gauges.items())
-            ],
-            "histograms": [
-                {"name": n, "labels": dict(h.labels), **h.stats()}
-                for (n, _), h in sorted(self._histograms.items())
-            ],
-        }
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": n, "labels": dict(c.labels), "value": c.value}
+                    for (n, _), c in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    {"name": n, "labels": dict(g.labels), "value": g.value}
+                    for (n, _), g in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    {"name": n, "labels": dict(h.labels), **h.stats()}
+                    for (n, _), h in sorted(self._histograms.items())
+                ],
+            }

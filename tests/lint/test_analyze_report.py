@@ -1,0 +1,196 @@
+"""The analyze-report contract: schema, baseline ratchet, SARIF shape,
+and the ``trtsim analyze`` CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.hardware.specs import XAVIER_NX
+from repro.lint import (
+    ANALYZE_REPORT_SCHEMA,
+    AnalyzeReport,
+    Baseline,
+    lint_flow,
+    update_baseline,
+)
+from repro.lint.analyze import BASELINE_SCHEMA, fingerprint
+
+from tests.conftest import make_small_cnn
+
+
+def dirty_report() -> AnalyzeReport:
+    """An AnalyzeReport with a real D006 finding in it."""
+    engine = EngineBuilder(XAVIER_NX, BuilderConfig(seed=0)).build(
+        make_small_cnn()
+    )
+    engine.bindings.reverse()
+    report = AnalyzeReport()
+    report.add(lint_flow(engine, subject_name="small_cnn:fp32"))
+    assert not report.ok
+    return report
+
+
+def clean_report() -> AnalyzeReport:
+    engine = EngineBuilder(XAVIER_NX, BuilderConfig(seed=0)).build(
+        make_small_cnn()
+    )
+    report = AnalyzeReport()
+    report.add(lint_flow(engine, subject_name="small_cnn:fp32"))
+    assert report.ok
+    return report
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def test_report_schema():
+    doc = dirty_report().to_dict()
+    assert doc["schema"] == ANALYZE_REPORT_SCHEMA
+    assert set(doc) >= {
+        "schema", "ok", "errors", "warnings", "suppressed",
+        "baseline", "subjects",
+    }
+    assert doc["ok"] is False
+    assert doc["errors"] >= 1
+    json.loads(dirty_report().to_json())  # round-trips
+
+
+def test_subject_name_is_seed_free():
+    doc = dirty_report().to_dict()
+    subjects = [s["subject"] for s in doc["subjects"]]
+    assert subjects == ["small_cnn:fp32 [flow]"]
+
+
+# ----------------------------------------------------------------------
+# fingerprints and the baseline ratchet
+# ----------------------------------------------------------------------
+def test_fingerprint_ignores_line_and_message():
+    report = dirty_report()
+    diag = report.diagnostics[0]
+    fp = fingerprint("subject", diag)
+    assert diag.rule_id in fp
+    assert str(diag.message) not in fp
+
+
+def test_baseline_roundtrip(tmp_path):
+    report = dirty_report()
+    path = tmp_path / "baseline.json"
+    written = update_baseline(report, path)
+    assert len(written) == len(report.diagnostics)
+
+    loaded = Baseline.load(path)
+    assert loaded.fingerprints == written.fingerprints
+
+    # the same findings are now fully suppressed...
+    fresh = dirty_report()
+    fresh.apply_baseline(loaded)
+    assert fresh.ok and not fresh.diagnostics
+    assert fresh.suppressed == len(loaded)
+    # ...and the report remembers which baseline did it
+    assert fresh.baseline_path == str(path)
+
+
+def test_baseline_ratchet_drops_fixed_findings(tmp_path):
+    path = tmp_path / "baseline.json"
+    update_baseline(dirty_report(), path)
+    assert len(Baseline.load(path)) > 0
+    # after the fix, rewriting shrinks the baseline to empty: the debt
+    # cannot silently come back
+    update_baseline(clean_report(), path)
+    assert len(Baseline.load(path)) == 0
+
+
+def test_baseline_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"schema": "nope/9", "fingerprints": []}))
+    with pytest.raises(ValueError, match="expected baseline schema"):
+        Baseline.load(path)
+
+
+def test_new_finding_not_masked_by_baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    update_baseline(clean_report(), path)  # empty baseline
+    report = dirty_report()
+    report.apply_baseline(Baseline.load(path))
+    assert not report.ok  # the new finding still gates
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_sarif_shape(tmp_path):
+    report = dirty_report()
+    doc = report.to_sarif()
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    results = run["results"]
+    assert results and rules
+    for result in results:
+        assert result["ruleId"] in rules
+        assert result["level"] in {"error", "warning", "note"}
+        assert "trtsimFingerprint/v1" in result["partialFingerprints"]
+        assert result["locations"]
+    path = tmp_path / "report.sarif"
+    report.save_sarif(path)
+    assert json.loads(path.read_text())["version"] == "2.1.0"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_analyze_clean_model(capsys):
+    code = main(["analyze", "alexnet", "--precision", "fp16"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+
+
+def test_cli_analyze_json_and_sarif(tmp_path, capsys):
+    sarif = tmp_path / "zoo.sarif"
+    code = main(
+        [
+            "analyze", "alexnet", "--precision", "fp16",
+            "--json", "--sarif", str(sarif),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == ANALYZE_REPORT_SCHEMA
+    assert sarif.exists()
+
+
+def test_cli_analyze_races_clean(capsys):
+    code = main(["analyze", "--races", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert [s["subject"] for s in doc["subjects"]] == ["src/repro [races]"]
+    assert doc["ok"] is True
+
+
+def test_cli_analyze_update_baseline_requires_path(capsys):
+    assert main(["analyze", "alexnet", "--precision", "fp16",
+                 "--update-baseline"]) == 2
+
+
+def test_cli_analyze_update_and_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        [
+            "analyze", "alexnet", "--precision", "fp16",
+            "--baseline", str(baseline), "--update-baseline",
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "analyze", "alexnet", "--precision", "fp16",
+            "--baseline", str(baseline),
+        ]
+    ) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["schema"] == BASELINE_SCHEMA

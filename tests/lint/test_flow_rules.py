@@ -1,0 +1,262 @@
+"""One firing fixture per D-family dataflow rule, plus the accounting
+agreement the analyzer certifies.
+
+The fixtures follow the :mod:`tests.lint.test_rules` convention: start
+from a clean build of the shared small CNN and tamper with exactly one
+fact (a weight tensor, a binding, a precision assignment), so each test
+demonstrates the *narrowest* condition its rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+from repro.graph.ir import DataType, Graph, Layer, LayerKind, TensorSpec
+from repro.hardware.memory import (
+    ACTIVATION_BUFFER_COPIES,
+    PER_CONTEXT_SCRATCH_BYTES,
+    activation_itemsize,
+    per_stream_working_set_bytes,
+)
+from repro.hardware.specs import XAVIER_NX
+from repro.lint import DataflowViolation, FlowView, lint_flow
+from repro.lint.core import Severity
+from repro.models import build_model
+from repro.runtime.math_config import LayerMath
+
+from tests.conftest import make_small_cnn
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def build_engine(graph=None, precision=PrecisionMode.FP32):
+    return EngineBuilder(
+        XAVIER_NX, BuilderConfig(seed=0, precision=precision)
+    ).build(graph if graph is not None else make_small_cnn())
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report.diagnostics}
+
+
+def layer_by_name(graph: Graph, name: str) -> Layer:
+    return next(l for l in graph.layers if l.name == name)
+
+
+# ----------------------------------------------------------------------
+# clean baselines
+# ----------------------------------------------------------------------
+def test_small_cnn_flows_clean_every_precision():
+    for precision in PrecisionMode:
+        report = lint_flow(build_engine(precision=precision))
+        assert report.ok, report.format_text()
+
+
+def test_zoo_model_flows_clean():
+    report = lint_flow(build_engine(build_model("resnet18")))
+    assert not report.diagnostics, report.format_text()
+
+
+def test_graph_only_subject_runs_value_rules():
+    # Engine-only rules (D003-D009) must degrade gracefully on a bare
+    # graph; the value-range rules still run.
+    report = lint_flow(make_small_cnn())
+    assert report.ok, report.format_text()
+
+
+# ----------------------------------------------------------------------
+# D001: fp16 range overflow
+# ----------------------------------------------------------------------
+def test_d001_fp16_overflow():
+    g = make_small_cnn()
+    layer_by_name(g, "conv1").weights["kernel"] *= 1e5
+    report = lint_flow(build_engine(g, precision=PrecisionMode.FP16))
+    assert "D001" in rule_ids(report), report.format_text()
+    diag = next(d for d in report.diagnostics if d.rule_id == "D001")
+    assert diag.severity is Severity.WARNING
+    assert diag.tensor is not None
+
+
+def test_d001_same_weights_safe_at_fp32():
+    g = make_small_cnn()
+    layer_by_name(g, "conv1").weights["kernel"] *= 1e5
+    report = lint_flow(build_engine(g, precision=PrecisionMode.FP32))
+    assert "D001" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# D002: int8 range unreachable
+# ----------------------------------------------------------------------
+def test_d002_int8_unreachable():
+    g = make_small_cnn()
+    # Strip conv1's kernel: range propagation cannot cross it, so the
+    # INT8 consumer downstream has no certifiable input magnitude.
+    layer_by_name(g, "conv1").weights.pop("kernel")
+    layer_by_name(g, "bn1").precision = DataType.INT8
+    report = lint_flow(g)
+    assert "D002" in rule_ids(report), report.format_text()
+
+
+# ----------------------------------------------------------------------
+# D003: int8 scale unsound
+# ----------------------------------------------------------------------
+def test_d003_int8_scale_unsound():
+    engine = build_engine(precision=PrecisionMode.INT8)
+    victim = next(iter(engine.math_config.per_layer))
+    engine.math_config.per_layer[victim] = LayerMath(
+        precision=DataType.INT8, int8_scale_in=1e6, int8_scale_w=1.0
+    )
+    report = lint_flow(engine)
+    assert "D003" in rule_ids(report), report.format_text()
+
+
+def test_d003_calibrated_scales_sound():
+    report = lint_flow(build_engine(precision=PrecisionMode.INT8))
+    assert "D003" not in rule_ids(report), report.format_text()
+
+
+# ----------------------------------------------------------------------
+# D004: peak memory exceeds RAM
+# ----------------------------------------------------------------------
+def test_d004_peak_memory_exceeds_ram():
+    engine = build_engine()
+    report = lint_flow(engine, batch_size=1_000_000)
+    assert "D004" in rule_ids(report), report.format_text()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# D005: liveness accounting vs repro.hardware.memory
+# ----------------------------------------------------------------------
+def test_d005_accounting_mismatch(monkeypatch):
+    monkeypatch.setattr(
+        "repro.lint.flow.per_stream_working_set_bytes",
+        lambda graph, itemsize, batch_size: 0,
+    )
+    report = lint_flow(build_engine())
+    assert "D005" in rule_ids(report), report.format_text()
+
+
+@pytest.mark.parametrize("batch", [1, 8])
+@pytest.mark.parametrize("model", ["alexnet", "inception_v4"])
+def test_accounting_agreement(model, batch):
+    """The ISSUE acceptance bound: the liveness-derived activation
+    footprint matches the scheduler's per-stream accounting within one
+    itemsize per tensor."""
+    engine = build_engine(build_model(model), PrecisionMode.FP16)
+    view = FlowView(engine, batch_size=batch)
+    itemsize = activation_itemsize(engine.precision_mode.value)
+    derived = (
+        view.total_activation_bytes() * ACTIVATION_BUFFER_COPIES
+        + PER_CONTEXT_SCRATCH_BYTES
+    )
+    expected = per_stream_working_set_bytes(engine.graph, itemsize, batch)
+    tolerance = (
+        len(view.liveness) * itemsize * batch * ACTIVATION_BUFFER_COPIES
+    )
+    assert abs(derived - expected) <= tolerance
+
+
+def test_peak_never_exceeds_total():
+    view = FlowView(build_engine(), batch_size=4)
+    assert 0 < view.peak_activation_bytes() <= view.total_activation_bytes()
+
+
+# ----------------------------------------------------------------------
+# D006: use-after-free
+# ----------------------------------------------------------------------
+def test_d006_use_after_free():
+    engine = build_engine()
+    engine.bindings.reverse()
+    report = lint_flow(engine)
+    assert "D006" in rule_ids(report), report.format_text()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# D007: double write
+# ----------------------------------------------------------------------
+def test_d007_double_bound_layer():
+    engine = build_engine()
+    engine.bindings.append(engine.bindings[0])
+    report = lint_flow(engine)
+    assert "D007" in rule_ids(report), report.format_text()
+
+
+# ----------------------------------------------------------------------
+# D008: dead store in the optimized schedule
+# ----------------------------------------------------------------------
+def test_d008_dead_store():
+    engine = build_engine()
+    # Re-attach the *unoptimized* graph (dead branch intact): the
+    # schedule now carries a write no one reads.
+    engine.graph = make_small_cnn(with_dead_branch=True)
+    report = lint_flow(engine)
+    assert "D008" in rule_ids(report), report.format_text()
+
+
+def test_d008_silent_on_bare_graph():
+    report = lint_flow(make_small_cnn(with_dead_branch=True))
+    assert "D008" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# D009: precision thrash
+# ----------------------------------------------------------------------
+def test_d009_precision_thrash():
+    engine = build_engine()
+    for i, layer in enumerate(engine.graph.layers):
+        layer.precision = (
+            DataType.INT8 if i % 2 == 0 else DataType.FP32
+        )
+    report = lint_flow(engine)
+    assert "D009" in rule_ids(report), report.format_text()
+    diag = next(d for d in report.diagnostics if d.rule_id == "D009")
+    assert diag.severity is Severity.INFO
+
+
+# ----------------------------------------------------------------------
+# D010: constant output
+# ----------------------------------------------------------------------
+def test_d010_constant_output():
+    g = Graph("const", [TensorSpec("data", (3, 8, 8))])
+    g.add_layer(
+        Layer(
+            "conv1",
+            LayerKind.CONVOLUTION,
+            ["data"],
+            ["conv1_out"],
+            attrs={"out_channels": 4, "kernel": 3, "stride": 1, "pad": 1},
+            weights={
+                "kernel": np.zeros((4, 3, 3, 3), dtype=np.float32),
+                "bias": np.zeros(4, dtype=np.float32),
+            },
+        )
+    )
+    g.mark_output("conv1_out")
+    report = lint_flow(g)
+    assert "D010" in rule_ids(report), report.format_text()
+
+
+# ----------------------------------------------------------------------
+# the builder gate
+# ----------------------------------------------------------------------
+def test_analyze_dataflow_gate_passes_clean_build():
+    engine = EngineBuilder(
+        XAVIER_NX, BuilderConfig(seed=0, analyze_dataflow=True)
+    ).build(make_small_cnn())
+    assert engine.bindings
+
+
+def test_analyze_dataflow_gate_raises_on_violation():
+    builder = EngineBuilder(
+        XAVIER_NX, BuilderConfig(seed=0, analyze_dataflow=False)
+    )
+    engine = builder.build(make_small_cnn())
+    engine.bindings.reverse()  # seeded use-after-free
+    with pytest.raises(DataflowViolation) as excinfo:
+        builder._analyze(engine)
+    assert "D006" in excinfo.value.report.rule_ids()

@@ -1,0 +1,102 @@
+"""The rule-registry contract: stable IDs, no collisions, no silent
+retirement-reuse, and every rule demonstrably able to fire.
+
+These tests are the reason downstream baselines and SARIF dashboards
+can trust a rule ID across releases: an ID is unique across every
+family, never reassigned after retirement, and always documented.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules
+from repro.lint.core import (
+    RETIRED_RULE_IDS,
+    Severity,
+    register_rule,
+)
+from repro.lint.flow import FLOW_RULES
+from repro.lint.races import RACE_RULES
+
+
+def test_rule_ids_unique_across_families():
+    """all_rules() merges every registry; a duplicate ID would make one
+    family's rule shadow another's in SARIF metadata."""
+    from repro.lint.graph_rules import GRAPH_RULES
+    from repro.lint.invariants import INVARIANT_RULES
+    from repro.lint.plan_rules import ENGINE_RULES, PLAN_DOC_RULES
+
+    registries = [
+        GRAPH_RULES,
+        ENGINE_RULES,
+        PLAN_DOC_RULES,
+        INVARIANT_RULES,
+        FLOW_RULES,
+        RACE_RULES,
+    ]
+    seen = {}
+    for registry in registries:
+        for rule_id in registry:
+            assert rule_id not in seen, (
+                f"rule id {rule_id} registered twice"
+            )
+            seen[rule_id] = registry
+    assert len(all_rules()) == len(seen)
+
+
+def test_rule_id_format():
+    for rule_id in all_rules():
+        assert re.fullmatch(r"[GQFPVDR]\d{3}", rule_id), rule_id
+
+
+def test_families_present():
+    families = {rule_id[0] for rule_id in all_rules()}
+    assert families == set("GQFPVDR")
+
+
+def test_every_rule_documented():
+    for rule_id, rule in all_rules().items():
+        assert rule.name, rule_id
+        assert rule.description and len(rule.description) > 20, (
+            f"{rule_id} needs a real description"
+        )
+        assert rule.check.__doc__ is None or True  # check fn optional
+        assert isinstance(rule.severity, Severity)
+
+
+def test_retired_ids_stay_retired():
+    """No live rule may carry a retired ID, and nothing currently
+    registered is allowed to collide with the tombstone set."""
+    assert not RETIRED_RULE_IDS & set(all_rules())
+
+
+def test_retired_refusal_mechanism(monkeypatch):
+    """Drive the refusal path directly: a retired ID must raise even in
+    a fresh registry."""
+    monkeypatch.setattr(
+        "repro.lint.core.RETIRED_RULE_IDS", frozenset({"Z999"})
+    )
+
+    def check(subject, report):
+        pass
+
+    with pytest.raises(ValueError, match="retired"):
+        register_rule({}, "Z999", "zombie")(check)
+
+
+def test_every_rule_has_a_firing_fixture():
+    """Every registered rule ID must appear in at least one test that
+    exercises it — grep the lint test corpus for the literal ID."""
+    corpus = ""
+    for path in Path(__file__).parent.glob("test_*.py"):
+        corpus += path.read_text()
+    missing = [
+        rule_id
+        for rule_id in all_rules()
+        if f'"{rule_id}"' not in corpus
+    ]
+    assert not missing, f"rules with no firing fixture: {missing}"

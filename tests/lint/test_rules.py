@@ -104,10 +104,10 @@ def test_small_cnn_engine_lints_clean():
 
 def test_every_rule_has_stable_metadata():
     rules = all_rules()
-    assert len(rules) >= 25
+    assert len(rules) >= 40
     for rule_id, rule in rules.items():
         assert rule.rule_id == rule_id
-        assert rule_id[0] in "GQFPV"
+        assert rule_id[0] in "GQFPVDR"
         assert rule.name and rule.description
 
 

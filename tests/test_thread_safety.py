@@ -1,0 +1,183 @@
+"""Hammer tests for the serving-stack lock fixes.
+
+The R-family analyzer (``repro.lint.races``) proves these structures
+*hold* their locks; the tests here hammer each one from many threads
+and assert no updates are lost and no invariant tears.  Before the
+locks landed, every one of these loops dropped counts under free
+threading — exactly the day-one findings the analyzer flags on the
+pre-fix sources (see ``tests/lint/test_race_rules.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder
+from repro.engine.store import EnginePool
+from repro.hardware.specs import XAVIER_NX
+from repro.serving.batching import BatchingConfig, BatchingQueue, BatchRequest
+from repro.telemetry.bus import SpanKind, TelemetryBus
+from repro.telemetry.metrics import MetricsRegistry
+
+from tests.conftest import make_small_cnn
+
+THREADS = 8
+PER_THREAD = 400
+
+
+def hammer(worker) -> None:
+    """Run ``worker(thread_index)`` on THREADS threads, rethrowing any
+    worker exception in the test thread."""
+    errors = []
+
+    def run(i):
+        try:
+            worker(i)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+def test_counter_increments_are_not_lost():
+    registry = MetricsRegistry()
+
+    def worker(_i):
+        for _ in range(PER_THREAD):
+            registry.counter("hits").inc()
+
+    hammer(worker)
+    assert registry.counter("hits").value == THREADS * PER_THREAD
+
+
+def test_labelled_counters_and_histograms_under_contention():
+    registry = MetricsRegistry()
+
+    def worker(i):
+        stream = f"cam{i % 2}"
+        for n in range(PER_THREAD):
+            registry.counter("reqs", stream=stream).inc()
+            registry.histogram("lat", stream=stream).observe(float(n))
+
+    hammer(worker)
+    assert registry.counter_total("reqs") == THREADS * PER_THREAD
+    assert len(registry.histogram_samples("lat")) == THREADS * PER_THREAD
+    # rendering while settled must agree with the totals
+    assert "reqs" in registry.prometheus()
+
+
+# ----------------------------------------------------------------------
+# TelemetryBus
+# ----------------------------------------------------------------------
+def test_bus_sequence_numbers_are_dense_under_contention():
+    bus = TelemetryBus()
+    seen = []
+    lock = threading.Lock()
+
+    class Sink:
+        def on_event(self, event):
+            with lock:
+                seen.append(event.seq)
+
+    bus.attach(Sink())
+
+    def worker(_i):
+        for _ in range(PER_THREAD):
+            bus.emit(SpanKind.KERNEL, "k", dur_us=1.0)
+
+    hammer(worker)
+    total = THREADS * PER_THREAD
+    assert sorted(seen) == list(range(1, total + 1))
+    assert (
+        bus.metrics.counter("trtsim_kernel_invocations_total").value
+        == total
+    )
+
+
+def test_reentrant_sink_does_not_deadlock():
+    bus = TelemetryBus()
+
+    class Echo:
+        def __init__(self):
+            self.depth = 0
+
+        def on_event(self, event):
+            if event.kind is SpanKind.KERNEL:
+                self.depth += 1
+                bus.emit(SpanKind.FAULT, "echo")
+
+    echo = bus.attach(Echo())
+
+    def worker(_i):
+        for _ in range(PER_THREAD // 4):
+            bus.emit(SpanKind.KERNEL, "k")
+
+    hammer(worker)
+    assert echo.depth == THREADS * (PER_THREAD // 4)
+
+
+# ----------------------------------------------------------------------
+# BatchingQueue
+# ----------------------------------------------------------------------
+def test_batching_queue_loses_no_requests():
+    queue = BatchingQueue(BatchingConfig(max_batch=4, max_wait_ms=5.0))
+    out = []
+    out_lock = threading.Lock()
+
+    def worker(i):
+        for n in range(PER_THREAD):
+            batch = queue.submit(
+                BatchRequest(stream=f"t{i}", frame=n, arrival_ms=0.0)
+            )
+            if batch is not None:
+                with out_lock:
+                    out.append(batch)
+
+    hammer(worker)
+    tail = queue.flush()
+    if tail is not None:
+        out.append(tail)
+    drained = sum(b.size for b in out)
+    assert drained == THREADS * PER_THREAD
+    # no request may appear in two batches
+    keys = [(r.stream, r.frame) for b in out for r in b.requests]
+    assert len(keys) == len(set(keys))
+
+
+# ----------------------------------------------------------------------
+# EnginePool
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pooled_engine():
+    return EngineBuilder(XAVIER_NX, BuilderConfig(seed=0)).build(
+        make_small_cnn()
+    )
+
+
+def test_engine_pool_accounting_under_contention(pooled_engine):
+    pool = EnginePool(budget_bytes=3 * pooled_engine.size_bytes)
+
+    def worker(i):
+        for n in range(PER_THREAD // 4):
+            key = f"k{(i + n) % 8}"
+            if pool.get(key) is None:
+                pool.put(key, pooled_engine)
+
+    hammer(worker)
+    stats = pool.stats()
+    assert len(pool) <= 3
+    assert pool.total_bytes <= pool.budget_bytes
+    assert stats["hits"] + stats["misses"] == THREADS * (PER_THREAD // 4)
