@@ -1,0 +1,389 @@
+"""Fleet resilience experiments: build a fleet, hurt it, measure SLOs.
+
+The single-node experiments (:mod:`repro.analysis` fault campaigns)
+answer "does the supervisor keep one Jetson alive?"; this module asks
+the fleet-scale question: given a heterogeneous mix of NX and AGX
+nodes behind a router, how much SLO attainment do health checking,
+circuit breakers, hedging, warm failover and graceful degradation buy
+when devices crash, partition and brown out mid-traffic?
+
+Fleet specs are strings like ``"4xNX+2xAGX"``.  Engines build once per
+(model, device type) through the shared :class:`~repro.analysis
+.engines.EngineFarm` — optionally store-backed, which is what arms
+warm failover — and are shared across same-type devices exactly like
+a fleet provisioned from one engine registry.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.engines import EngineFarm, device_by_name
+from repro.engine.builder import BuilderConfig
+from repro.faults.scenario import FaultPlan
+from repro.serving.fleet import (
+    DegradationConfig,
+    FleetDevice,
+    FleetReport,
+    FleetSimulator,
+    RouterConfig,
+    TrafficModel,
+)
+
+#: Default model mix and fallback ladder (tiny nets keep tests fast).
+DEFAULT_MODELS: Tuple[str, ...] = ("mtcnn",)
+DEFAULT_FALLBACKS: Tuple[str, ...] = ()
+
+_SPEC_RE = re.compile(r"^(\d+)x([A-Za-z]+)$")
+
+
+def parse_fleet_spec(spec: str) -> List[Tuple[int, str]]:
+    """``"4xNX+2xAGX"`` -> ``[(4, "NX"), (2, "AGX")]``."""
+    groups: List[Tuple[int, str]] = []
+    for part in spec.split("+"):
+        m = _SPEC_RE.match(part.strip())
+        if not m:
+            raise ValueError(
+                f"bad fleet spec {spec!r}; expected e.g. '4xNX+2xAGX'"
+            )
+        count, device = int(m.group(1)), m.group(2).upper()
+        device_by_name(device)  # validates
+        if count < 1:
+            raise ValueError(f"bad device count in {spec!r}")
+        groups.append((count, device))
+    if not groups:
+        raise ValueError("empty fleet spec")
+    return groups
+
+
+def build_fleet(
+    spec: str = "4xNX+2xAGX",
+    models: Sequence[str] = DEFAULT_MODELS,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    farm: Optional[EngineFarm] = None,
+    seed: int = 0,
+    clock_mhz: Optional[float] = None,
+) -> List[FleetDevice]:
+    """A named fleet: ``dev0..devN`` over the spec's device mix.
+
+    Every device installs every model (primary plus the fallback
+    ladder).  With multiple models, warm residency is assigned
+    round-robin so engine-affinity routing has cold devices to avoid;
+    a single-model fleet is warm everywhere.  Engines are shared per
+    (model, device type); per-device *state* (queues, warm flags,
+    fault windows, supervisors) is independent.
+
+    Engines build with a *fixed* seed (not the farm's hash-derived
+    slot seeds, which vary across interpreter processes): the same
+    fleet spec must produce byte-identical simulation reports from
+    separate ``trtsim fleet`` invocations.
+    """
+    farm = farm or EngineFarm(pretrained=False)
+    built: dict = {}
+
+    def _engine(model: str, device_name: str):
+        key = (model, device_name)
+        if key not in built:
+            config = BuilderConfig(
+                precision=farm.precision,
+                seed=1000,
+                input_name=EngineFarm._input_name(model),
+            )
+            graph = farm.graph(model)
+            spec_obj = device_by_name(device_name)
+            if farm.store is not None:
+                engine, _ = farm.store.get_or_build(
+                    graph, spec_obj, config
+                )
+            else:
+                from repro.engine.builder import EngineBuilder
+
+                engine = EngineBuilder(spec_obj, config).build(graph)
+            built[key] = engine
+        return built[key]
+
+    devices: List[FleetDevice] = []
+    index = 0
+    for count, device_name in parse_fleet_spec(spec):
+        spec_obj = device_by_name(device_name)
+        for _ in range(count):
+            device = FleetDevice(
+                f"dev{index}",
+                spec_obj,
+                store=farm.store,
+                seed=seed,
+                clock_mhz=clock_mhz,
+            )
+            for j, model in enumerate(models):
+                config = BuilderConfig(
+                    precision=farm.precision,
+                    seed=1000,
+                    input_name=EngineFarm._input_name(model),
+                )
+                device.install(
+                    model,
+                    network=farm.graph(model),
+                    fallback_networks=[
+                        farm.graph(f) for f in fallbacks
+                    ],
+                    builder_config=config,
+                    engine=_engine(model, device_name),
+                    fallback_engines=[
+                        _engine(f, device_name) for f in fallbacks
+                    ],
+                    warm=(
+                        len(models) == 1
+                        or (index - j) % len(models) == 0
+                    ),
+                )
+            devices.append(device)
+            index += 1
+    return devices
+
+
+def fleet_capacity_rps(devices: Sequence[FleetDevice]) -> float:
+    """Aggregate level-0 service rate of the fleet (requests/s)."""
+    total = 0.0
+    for device in devices:
+        rates = [
+            1000.0 / device.serving(m).base_ms[0]
+            for m in device.models()
+        ]
+        total += sum(rates) / len(rates)
+    return total
+
+
+def default_deadline_ms(
+    devices: Sequence[FleetDevice], slack: float = 8.0
+) -> float:
+    """An SLO with ``slack`` x headroom over the slowest primary."""
+    worst = max(
+        device.serving(m).base_ms[0]
+        for device in devices
+        for m in device.models()
+    )
+    return slack * worst
+
+
+def default_traffic(
+    devices: Sequence[FleetDevice],
+    duration_s: float = 4.0,
+    utilization: float = 0.6,
+    seed: int = 0,
+    deadline_slack: float = 8.0,
+) -> TrafficModel:
+    """Traffic sized to the fleet: ``utilization`` of capacity, an SLO
+    with ``deadline_slack`` headroom, uniform demand over the
+    installed models."""
+    models = sorted(
+        {m for device in devices for m in device.models()}
+    )
+    return TrafficModel(
+        duration_s=duration_s,
+        base_rps=max(1.0, utilization * fleet_capacity_rps(devices)),
+        models={m: 1.0 for m in models},
+        deadline_ms=default_deadline_ms(devices, deadline_slack),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+@dataclass
+class FleetComparison:
+    """Resilient vs blind fleet over the same traffic and faults."""
+
+    resilient: FleetReport
+    baseline: FleetReport
+
+    @property
+    def hit_rate_gain(self) -> float:
+        """Deadline-hit-rate multiple of resilience over the blind
+        baseline (capped only by a zero-attainment floor guard)."""
+        floor = max(self.baseline.attainment, 1e-9)
+        return self.resilient.attainment / floor
+
+    def slo_table(self) -> str:
+        rows = [
+            ("requests", "requests", "d"),
+            ("deadline hits", "deadline_hits", "d"),
+            ("attainment", "attainment", ".3f"),
+            ("served", "served", "d"),
+            ("failed", "failed", "d"),
+            ("shed", "shed", "d"),
+            ("p99 latency (ms)", "p99_latency_ms", ".2f"),
+            ("hedges", "hedges", "d"),
+            ("hedge cancels", "hedge_cancels", "d"),
+            ("redispatches", "redispatches", "d"),
+            ("warm failovers", "warm_failovers", "d"),
+            ("device-seconds", "device_seconds", ".2f"),
+        ]
+        lines = [
+            f"{'metric':<20}{'resilient':>12}{'baseline':>12}"
+        ]
+        for label, attr, fmt in rows:
+            r = format(getattr(self.resilient, attr), fmt)
+            b = format(getattr(self.baseline, attr), fmt)
+            lines.append(f"{label:<20}{r:>12}{b:>12}")
+        lines.append(
+            f"{'hit-rate gain':<20}{self.hit_rate_gain:>12.2f}"
+            f"{'1.00':>12}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "trtsim.fleet_comparison/1",
+            "hit_rate_gain": self.hit_rate_gain,
+            "resilient": self.resilient.to_dict(),
+            "baseline": self.baseline.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def run_fleet(
+    devices: List[FleetDevice],
+    traffic: TrafficModel,
+    plan: Optional[FaultPlan] = None,
+    policy: str = "least-loaded",
+    resilient: bool = True,
+    router_config: Optional[RouterConfig] = None,
+    degradation: Optional[DegradationConfig] = None,
+    record_outcomes: bool = False,
+) -> FleetReport:
+    """One seeded fleet run (thin wrapper over the simulator)."""
+    return FleetSimulator(
+        devices,
+        traffic,
+        policy=policy,
+        plan=plan,
+        resilient=resilient,
+        router_config=router_config,
+        degradation=degradation,
+        record_outcomes=record_outcomes,
+    ).run()
+
+
+def compare_resilience(
+    spec: str = "4xNX+2xAGX",
+    models: Sequence[str] = DEFAULT_MODELS,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    plan: Optional[FaultPlan] = None,
+    policy: str = "least-loaded",
+    traffic: Optional[TrafficModel] = None,
+    duration_s: float = 4.0,
+    utilization: float = 0.6,
+    seed: int = 0,
+    farm: Optional[EngineFarm] = None,
+    clock_mhz: Optional[float] = None,
+) -> FleetComparison:
+    """The headline experiment: same fleet shape, same traffic, same
+    injected faults — routed blind vs with the full resilience stack
+    (health checks, breakers, redispatch, hedging, warm failover,
+    degradation ladder).
+
+    When no farm is supplied, a store-backed one is created in a
+    scratch directory so warm failover is armed — the resilient fleet
+    restores crashed ladders from the shared store, the blind fleet
+    rebuilds cold.
+    """
+    if farm is None:
+        import tempfile
+
+        from repro.engine.store import EngineStore
+
+        farm = EngineFarm(
+            pretrained=False,
+            store=EngineStore(tempfile.mkdtemp(prefix="trtsim-fleet-")),
+        )
+    resilient_fleet = build_fleet(
+        spec, models, fallbacks, farm=farm, seed=seed,
+        clock_mhz=clock_mhz,
+    )
+    baseline_fleet = build_fleet(
+        spec, models, fallbacks, farm=farm, seed=seed,
+        clock_mhz=clock_mhz,
+    )
+    if traffic is None:
+        traffic = default_traffic(
+            resilient_fleet, duration_s=duration_s,
+            utilization=utilization, seed=seed,
+        )
+    resilient = run_fleet(
+        resilient_fleet, traffic, plan=plan, policy=policy,
+        resilient=True,
+    )
+    baseline = run_fleet(
+        baseline_fleet, traffic, plan=plan, policy=policy,
+        resilient=False,
+    )
+    return FleetComparison(resilient=resilient, baseline=baseline)
+
+
+@dataclass
+class PolicySweep:
+    """One report per routing policy over identical traffic/faults."""
+
+    reports: List[FleetReport] = field(default_factory=list)
+
+    def table(self) -> str:
+        lines = [
+            f"{'policy':<18}{'attain':>8}{'p99 ms':>9}{'hedges':>8}"
+            f"{'redisp':>8}{'shed':>6}{'cold':>6}"
+        ]
+        for r in self.reports:
+            lines.append(
+                f"{r.policy:<18}{r.attainment:>8.3f}"
+                f"{r.p99_latency_ms:>9.2f}{r.hedges:>8d}"
+                f"{r.redispatches:>8d}{r.shed:>6d}{r.cold_loads:>6d}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "trtsim.fleet_policy_sweep/1",
+            "policies": [r.to_dict() for r in self.reports],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def compare_policies(
+    spec: str = "4xNX+2xAGX",
+    models: Sequence[str] = DEFAULT_MODELS,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    policies: Sequence[str] = (
+        "round-robin", "least-loaded", "latency-aware",
+        "engine-affinity",
+    ),
+    plan: Optional[FaultPlan] = None,
+    duration_s: float = 4.0,
+    utilization: float = 0.6,
+    seed: int = 0,
+    farm: Optional[EngineFarm] = None,
+    clock_mhz: Optional[float] = None,
+) -> PolicySweep:
+    """Sweep routing policies over the identical seeded scenario."""
+    farm = farm or EngineFarm(pretrained=False)
+    sweep = PolicySweep()
+    traffic: Optional[TrafficModel] = None
+    for policy in policies:
+        fleet = build_fleet(spec, models, fallbacks, farm=farm,
+                            seed=seed, clock_mhz=clock_mhz)
+        if traffic is None:
+            traffic = default_traffic(
+                fleet, duration_s=duration_s,
+                utilization=utilization, seed=seed,
+            )
+        sweep.reports.append(
+            run_fleet(fleet, traffic, plan=plan, policy=policy,
+                      resilient=True)
+        )
+    return sweep

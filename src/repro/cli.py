@@ -14,6 +14,7 @@ Sub-commands mirror the workflows of the paper's measurement setup::
     trtsim lint engine.plan --json       # audit a serialized plan
     trtsim analyze --zoo --races         # whole-program static analysis
     trtsim faults resnet18 --scenario thermal_oom # resilience SLOs
+    trtsim fleet --compare --scenario fleet_chaos # fleet failover SLOs
     trtsim metrics googlenet --device nx --json   # unified telemetry
     trtsim trace googlenet --unified     # bus-rendered chrome trace
 """
@@ -702,6 +703,114 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """Fault-tolerant fleet serving: seeded traffic over a simulated
+    NX/AGX cluster, with or without injected device failures."""
+    import json as _json
+
+    from repro.analysis.engines import EngineFarm
+    from repro.analysis.fleet import (
+        build_fleet,
+        compare_policies,
+        compare_resilience,
+        default_traffic,
+        run_fleet,
+    )
+    from repro.faults import canned_fleet_plan
+
+    plan = (
+        canned_fleet_plan(args.scenario, seed=args.seed)
+        if args.scenario and args.scenario != "none"
+        else None
+    )
+    if args.store:
+        from repro.engine.store import EngineStore
+
+        farm = EngineFarm(
+            pretrained=False, store=EngineStore(args.store)
+        )
+    else:
+        import tempfile
+
+        from repro.engine.store import EngineStore
+
+        farm = EngineFarm(
+            pretrained=False,
+            store=EngineStore(
+                tempfile.mkdtemp(prefix="trtsim-fleet-")
+            ),
+        )
+    models = tuple(args.model.split(","))
+    fallbacks = tuple(args.fallback or ())
+
+    if args.policies:
+        sweep = compare_policies(
+            spec=args.devices, models=models, fallbacks=fallbacks,
+            plan=plan, duration_s=args.duration_s,
+            utilization=args.utilization, seed=args.seed, farm=farm,
+            clock_mhz=args.clock_mhz,
+        )
+        doc, text = sweep.to_json(), sweep.table()
+    elif args.compare:
+        comparison = compare_resilience(
+            spec=args.devices, models=models, fallbacks=fallbacks,
+            plan=plan, policy=args.policy,
+            duration_s=args.duration_s,
+            utilization=args.utilization, seed=args.seed, farm=farm,
+            clock_mhz=args.clock_mhz,
+        )
+        doc, text = comparison.to_json(), comparison.slo_table()
+        if args.min_gain is not None:
+            text += (
+                f"\n\ngate: hit-rate gain "
+                f"{comparison.hit_rate_gain:.2f} vs required "
+                f">= {args.min_gain:.2f}"
+            )
+    else:
+        fleet = build_fleet(
+            args.devices, models, fallbacks, farm=farm,
+            seed=args.seed, clock_mhz=args.clock_mhz,
+        )
+        traffic = default_traffic(
+            fleet, duration_s=args.duration_s,
+            utilization=args.utilization, seed=args.seed,
+        )
+        report = run_fleet(
+            fleet, traffic, plan=plan, policy=args.policy,
+            resilient=not args.no_resilience,
+        )
+        doc = report.to_json()
+        text = (
+            f"fleet {args.devices} policy={report.policy} "
+            f"scenario={report.scenario} "
+            f"resilient={report.resilient}\n"
+            f"requests {report.requests}, attainment "
+            f"{report.attainment:.3f}, served {report.served}, "
+            f"failed {report.failed}, shed {report.shed}\n"
+            f"p50/p99 latency {report.p50_latency_ms:.2f}/"
+            f"{report.p99_latency_ms:.2f} ms, hedges "
+            f"{report.hedges} ({report.hedge_cancels} cancelled), "
+            f"redispatches {report.redispatches}\n"
+            f"failovers {report.failovers} "
+            f"({report.warm_failovers} warm), device-seconds "
+            f"{report.device_seconds:.2f}"
+        )
+        if args.events and report.event_log:
+            text += "\n\nevent log:\n" + "\n".join(report.event_log)
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(doc + "\n")
+    if args.json:
+        print(doc)
+    else:
+        print(text)
+    if args.compare and args.min_gain is not None:
+        if comparison.hit_rate_gain < args.min_gain:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="trtsim",
@@ -1033,6 +1142,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a fault-annotated chrome://tracing JSON",
     )
 
+    p = sub.add_parser(
+        "fleet",
+        help="fault-tolerant fleet serving: routed traffic over a "
+        "simulated NX/AGX cluster under injected device failures",
+    )
+    p.add_argument(
+        "--devices", default="4xNX+2xAGX",
+        help="fleet spec, e.g. 4xNX+2xAGX",
+    )
+    p.add_argument(
+        "--model", default="resnet18",
+        help="comma-separated served model(s)",
+    )
+    p.add_argument(
+        "--fallback", action="append", default=None, metavar="MODEL",
+        help="fallback-ladder engine per model (repeatable, "
+        "cheapest last) — arms the precision-drop degradation rung",
+    )
+    p.add_argument(
+        "--policy", default="least-loaded",
+        choices=[
+            "round-robin", "least-loaded", "latency-aware",
+            "engine-affinity",
+        ],
+    )
+    p.add_argument(
+        "--scenario", default="none",
+        help="canned fleet fault plan "
+        "(see repro.faults.FLEET_PLANS; 'none' disables)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration-s", type=float, default=4.0)
+    p.add_argument(
+        "--utilization", type=float, default=0.6,
+        help="offered load as a fraction of fleet capacity",
+    )
+    p.add_argument(
+        "--clock-mhz", type=float, default=None,
+        help="pinned GPU clock on every device (default: device max)",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="engine-store root shared by the fleet (default: a "
+        "scratch store; warm failover restores ladders from it)",
+    )
+    p.add_argument(
+        "--compare", action="store_true",
+        help="resilient vs blind fleet over identical traffic+faults",
+    )
+    p.add_argument(
+        "--policies", action="store_true",
+        help="sweep all routing policies over the identical scenario",
+    )
+    p.add_argument(
+        "--no-resilience", action="store_true",
+        help="single run with the blind baseline router",
+    )
+    p.add_argument(
+        "--min-gain", type=float, default=None,
+        help="with --compare: exit 1 unless hit-rate gain >= this",
+    )
+    p.add_argument(
+        "--events", action="store_true",
+        help="print the deterministic fleet event log",
+    )
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full report/comparison JSON",
+    )
+
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
     p.add_argument(
@@ -1093,6 +1273,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "fleet": _cmd_fleet,
     "metrics": _cmd_metrics,
     "store": _cmd_store,
 }

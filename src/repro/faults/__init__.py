@@ -33,10 +33,16 @@ from repro.faults.events import (
 from repro.faults.injector import FaultInjector
 from repro.faults.scenario import (
     CANNED_PLANS,
+    FLEET_PLANS,
     FaultPlan,
     FaultScenario,
+    canned_fleet_plan,
     canned_plan,
     flaky_kernels_plan,
+    fleet_brownout_plan,
+    fleet_chaos_plan,
+    fleet_cold_reboot_plan,
+    fleet_zero_fault_plan,
     memcpy_stall_plan,
     nan_storm_plan,
     oom_plan,
@@ -48,6 +54,7 @@ from repro.faults.scenario import (
 __all__ = [
     "CANNED_PLANS",
     "CORRUPTION_MODES",
+    "FLEET_PLANS",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -57,9 +64,14 @@ __all__ = [
     "FaultScenario",
     "KernelLaunchFault",
     "OutOfMemoryFault",
+    "canned_fleet_plan",
     "canned_plan",
     "corrupt_file",
     "flaky_kernels_plan",
+    "fleet_brownout_plan",
+    "fleet_chaos_plan",
+    "fleet_cold_reboot_plan",
+    "fleet_zero_fault_plan",
     "memcpy_stall_plan",
     "nan_storm_plan",
     "oom_plan",

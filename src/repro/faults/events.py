@@ -34,6 +34,12 @@ class FaultKind(enum.Enum):
     OOM = "oom"
     PLAN_CORRUPTION = "plan_corruption"
     CACHE_CORRUPTION = "cache_corruption"
+    # Device-level fleet faults (repro.serving.fleet): the unit of
+    # failure is a whole simulated node, not one kernel or artifact.
+    DEVICE_CRASH = "device_crash"
+    DEVICE_REBOOT = "device_reboot"
+    NETWORK_PARTITION = "network_partition"
+    THERMAL_BROWNOUT = "thermal_brownout"
 
 
 class FaultError(RuntimeError):

@@ -278,3 +278,81 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
             f"available: {', '.join(sorted(CANNED_PLANS))}"
         ) from None
     return factory(seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Fleet campaigns: device-level scenarios for `trtsim fleet`.
+#
+# The same FaultScenario/FaultPlan machinery carries them — ``target``
+# is a *device-name* glob and the window is the device's outage — but
+# they are evaluated by :mod:`repro.serving.fleet.faults`, not the
+# single-node injector, so they live in their own registry.
+# ----------------------------------------------------------------------
+def fleet_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The acceptance scenario: one crash + one partition over a fleet.
+
+    ``dev1`` crashes mid-traffic and reboots when the window closes;
+    ``dev2`` is partitioned from the router for most of the run.  The
+    windows deliberately overlap so a health-blind router faces two
+    black holes at once.
+    """
+    return _plan("fleet_chaos", seed, [
+        FaultScenario(
+            kind=FaultKind.DEVICE_CRASH, start_s=1.0, duration_s=2.5,
+            severity=4, target="dev1",
+        ),
+        FaultScenario(
+            kind=FaultKind.NETWORK_PARTITION, start_s=1.5,
+            duration_s=3.0, severity=3, target="dev2",
+        ),
+    ])
+
+
+def fleet_cold_reboot_plan(seed: int = 0) -> FaultPlan:
+    """A reboot that comes back with a *cold* engine store: the
+    restored device pays full rebuild time unless warm failover
+    restores its ladder from the shared store."""
+    return _plan("fleet_cold_reboot", seed, [
+        FaultScenario(
+            kind=FaultKind.DEVICE_REBOOT, start_s=1.0, duration_s=1.0,
+            severity=3, target="dev0",
+        ),
+    ])
+
+
+def fleet_brownout_plan(seed: int = 0, severity: int = 4) -> FaultPlan:
+    """A sustained thermal brownout pinning one device's service times
+    high for most of the run (the Jetson concurrency paper's
+    contention regime, amplified to a whole node)."""
+    return _plan("fleet_brownout", seed, [
+        FaultScenario(
+            kind=FaultKind.THERMAL_BROWNOUT, start_s=0.8,
+            duration_s=3.0, severity=severity, target="dev*",
+            probability=0.5,
+        ),
+    ])
+
+
+def fleet_zero_fault_plan(seed: int = 0) -> FaultPlan:
+    """No device faults — the fleet's pass-through baseline."""
+    return _plan("fleet_none", seed, [])
+
+
+#: Registry used by ``trtsim fleet --scenario NAME``.
+FLEET_PLANS = {
+    "fleet_chaos": fleet_chaos_plan,
+    "fleet_cold_reboot": fleet_cold_reboot_plan,
+    "fleet_brownout": fleet_brownout_plan,
+    "fleet_none": fleet_zero_fault_plan,
+}
+
+
+def canned_fleet_plan(name: str, seed: int = 0) -> FaultPlan:
+    try:
+        factory = FLEET_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown canned fleet plan {name!r}; "
+            f"available: {', '.join(sorted(FLEET_PLANS))}"
+        ) from None
+    return factory(seed=seed)

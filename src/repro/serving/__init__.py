@@ -11,6 +11,12 @@ streams' requests coalesce into batched engine executions under a
 max-wait deadline and a max-batch cap, trading bounded queueing delay
 for the amortized-launch/amortized-weight throughput win the batch
 timing model prices.
+
+:mod:`repro.serving.fleet` lifts the resilience story from one node to
+a cluster: device failure domains, health-checked routing with
+pluggable policies, per-device circuit breakers, deadline-aware
+hedging, warm failover from the shared engine store, and a fleet-wide
+degradation ladder.
 """
 
 from repro.serving.batching import (

@@ -131,13 +131,25 @@ class BatchingQueue:
             return self._close(deadline)
 
     def flush(self, now_ms: Optional[float] = None) -> Optional[MicroBatch]:
-        """Force-close whatever is pending (end of the request flow)."""
+        """Force-close whatever is pending (end of the request flow).
+
+        Without ``now_ms`` the dispatch stamp is the *newest* pending
+        request's enqueue time — fully derived from the submitted
+        schedule, so fleet-driven flushes reproduce bit-identically
+        under seeded simulation instead of depending on any ambient
+        notion of "now".  With ``now_ms`` the stamp is clamped into
+        ``[newest arrival, pending deadline]`` so a flush can neither
+        time-travel before a request it contains nor outwait the
+        oldest request's ``max_wait_ms`` budget.
+        """
         with self._lock:
             if not self._pending:
                 return None
-            dispatch = self.deadline_ms if now_ms is None else min(
-                now_ms, self.deadline_ms
-            )
+            newest_ms = self._pending[-1].arrival_ms
+            if now_ms is None:
+                dispatch = newest_ms
+            else:
+                dispatch = max(newest_ms, min(now_ms, self.deadline_ms))
             return self._close(dispatch)
 
     # ------------------------------------------------------------------
@@ -176,7 +188,12 @@ def coalesce(
         closed = queue.submit(request)
         if closed is not None:
             batches.append(closed)
-    tail = queue.flush()
+    # The under-full tail still waits out the oldest request's
+    # max_wait_ms budget (dynamic batching's latency/throughput trade):
+    # the full arrival schedule is known here, so the deadline *is* the
+    # deterministic dispatch time of a batch no late arrival will join.
+    deadline = queue.deadline_ms
+    tail = queue.flush(deadline) if deadline is not None else None
     if tail is not None:
         batches.append(tail)
     return batches

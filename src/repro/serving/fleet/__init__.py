@@ -1,0 +1,108 @@
+"""Fault-tolerant fleet serving: failure domains, health-checked
+routing, circuit breakers, hedging, and warm failover.
+
+One :class:`~repro.serving.fleet.device.FleetDevice` is one failure
+domain — a simulated edge node running the single-node resilience
+stack (an :class:`~repro.serving.supervisor.InferenceSupervisor` per
+model).  The :class:`~repro.serving.fleet.router.FleetRouter` spreads
+seeded traffic (:mod:`~repro.serving.fleet.traffic`) across devices
+under pluggable policies, guided by heartbeat health checking
+(:mod:`~repro.serving.fleet.health`), per-device circuit breakers
+(:mod:`~repro.serving.fleet.breaker`), deadline-aware hedging, and a
+fleet-wide degradation ladder
+(:mod:`~repro.serving.fleet.degradation`).  Device-level faults come
+from the same :class:`~repro.faults.FaultPlan` machinery the
+single-node stack uses (:mod:`~repro.serving.fleet.faults`); warm
+failover restores a dead node's fallback ladder from the shared
+:class:`~repro.engine.store.EngineStore`.
+
+:class:`~repro.serving.fleet.simulator.FleetSimulator` runs the whole
+thing deterministically: one seed, byte-identical report.
+"""
+
+from repro.serving.fleet.breaker import BreakerState, CircuitBreaker
+from repro.serving.fleet.degradation import (
+    DegradationConfig,
+    DegradationGovernor,
+)
+from repro.serving.fleet.device import (
+    DeviceStatus,
+    FleetDevice,
+    ModelServing,
+    RestoreResult,
+)
+from repro.serving.fleet.faults import (
+    BROWNOUT_SLOWDOWN_PER_SEVERITY,
+    COLD_REBUILD_MS_PER_SEV,
+    DEVICE_FAULT_KINDS,
+    REBOOT_BASE_MS,
+    DeviceFaultWindow,
+    device_fault_schedule,
+)
+from repro.serving.fleet.health import (
+    PROBE_OK,
+    PROBE_REFUSED,
+    PROBE_TIMEOUT,
+    HealthChecker,
+    HealthState,
+)
+from repro.serving.fleet.router import (
+    POLICIES,
+    DispatchOutcome,
+    EngineAffinityPolicy,
+    FleetRouter,
+    LatencyAwarePolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RouterConfig,
+    RoutingPolicy,
+    make_policy,
+)
+from repro.serving.fleet.simulator import (
+    REPORT_SCHEMA,
+    FleetReport,
+    FleetSimulator,
+)
+from repro.serving.fleet.traffic import (
+    SLOT_MS,
+    FleetRequest,
+    TrafficModel,
+)
+
+__all__ = [
+    "BROWNOUT_SLOWDOWN_PER_SEVERITY",
+    "BreakerState",
+    "COLD_REBUILD_MS_PER_SEV",
+    "CircuitBreaker",
+    "DEVICE_FAULT_KINDS",
+    "DegradationConfig",
+    "DegradationGovernor",
+    "DeviceFaultWindow",
+    "DeviceStatus",
+    "DispatchOutcome",
+    "EngineAffinityPolicy",
+    "FleetDevice",
+    "FleetRequest",
+    "FleetReport",
+    "FleetRouter",
+    "FleetSimulator",
+    "HealthChecker",
+    "HealthState",
+    "LatencyAwarePolicy",
+    "LeastLoadedPolicy",
+    "ModelServing",
+    "POLICIES",
+    "PROBE_OK",
+    "PROBE_REFUSED",
+    "PROBE_TIMEOUT",
+    "REBOOT_BASE_MS",
+    "REPORT_SCHEMA",
+    "RestoreResult",
+    "RoundRobinPolicy",
+    "RouterConfig",
+    "RoutingPolicy",
+    "SLOT_MS",
+    "TrafficModel",
+    "device_fault_schedule",
+    "make_policy",
+]

@@ -1,0 +1,422 @@
+"""One simulated fleet node: a Device wrapping per-model supervisors.
+
+A :class:`FleetDevice` is the unit of failure the fleet layer routes
+around.  It owns one :class:`~repro.serving.supervisor
+.InferenceSupervisor` per installed model (the single-node resilience
+stack of PR 2 keeps working *inside* the node), a GPU queue
+(``busy_until_ms`` — batches serialize exactly like the supervisor's
+frame loop), and a fault timeline of :class:`~repro.serving.fleet
+.faults.DeviceFaultWindow` outages.
+
+Service times are the supervisor's own noiseless model times scaled by
+the active brownout factor plus seeded measurement jitter, so a fleet
+of thousands of requests stays fast *and* agrees with what the
+single-node stack would have measured request by request.
+
+Warm failover: when a crash/reboot window closes, a device with a
+shared :class:`~repro.engine.store.EngineStore` re-acquires every
+model's **entire fallback ladder** through
+:meth:`InferenceSupervisor.from_store` — all store hits, zero tactic
+auctions — and is back in rotation after ``REBOOT_BASE_MS`` plus the
+warm acquisition cost.  Without the store the node rebuilds cold and
+the outage stretches by ``COLD_REBUILD_MS_PER_SEV`` per engine per
+severity step (paper Finding 6: builds are expensive).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.engine import Engine
+from repro.faults.events import FaultKind
+from repro.hardware.specs import DeviceSpec
+from repro.serving.fleet.faults import (
+    COLD_REBUILD_MS_PER_SEV,
+    REBOOT_BASE_MS,
+    DeviceFaultWindow,
+)
+from repro.serving.fleet.health import (
+    PROBE_OK,
+    PROBE_REFUSED,
+    PROBE_TIMEOUT,
+)
+from repro.serving.supervisor import InferenceSupervisor
+from repro.telemetry.bus import BUS, SpanKind
+
+#: Modeled cost of pulling a model the device is not warm for from the
+#: shared store on the request path (deserialize + context setup).
+COLD_MODEL_LOAD_MS = 25.0
+
+
+class DeviceStatus(enum.Enum):
+    ONLINE = "online"
+    CRASHED = "crashed"
+    REBOOTING = "rebooting"
+
+
+@dataclass
+class ModelServing:
+    """One installed model on one device."""
+
+    model: str
+    #: Content-address of the network (the EngineStore key component
+    #: shared across devices) — what engine-affinity routing hashes.
+    affinity_key: str
+    supervisor: InferenceSupervisor
+    #: Noiseless service time per ladder level (level 0 = primary).
+    base_ms: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RestoreResult:
+    """Outcome of one post-outage ladder restore."""
+
+    device: str
+    t_ms: float
+    warm: bool
+    engines: int
+    restore_ms: float
+
+
+def _ladder_base_ms(
+    supervisor: InferenceSupervisor,
+    spec: DeviceSpec,
+    clock_mhz: Optional[float] = None,
+) -> List[float]:
+    """Noiseless per-level service time of a supervisor's ladder."""
+    out = []
+    for engine in supervisor.engines:
+        context = engine.create_execution_context(spec)
+        out.append(
+            context.time_inference(
+                clock_mhz=clock_mhz,
+                include_engine_upload=False,
+                jitter=0.0,
+            ).total_ms
+        )
+    return out
+
+
+class FleetDevice:
+    """A simulated node: supervisors + queue + fault timeline."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: DeviceSpec,
+        store: Any = None,
+        seed: int = 0,
+        jitter: float = 0.05,
+        clock_mhz: Optional[float] = None,
+    ):
+        self.name = name
+        self.spec = spec
+        self.store = store
+        self.seed = seed
+        self.jitter = jitter
+        #: Pinned DVFS rung; ``None`` serves at the spec's max clock.
+        self.clock_mhz = clock_mhz
+        self._models: Dict[str, ModelServing] = {}
+        self._warm: Dict[str, bool] = {}
+        #: (network, fallback_networks, builder_config) per model — what
+        #: a from_store restore needs to re-acquire the ladder.
+        self._sources: Dict[str, Tuple[Any, Sequence[Any], Any]] = {}
+        self.busy_until_ms = 0.0
+        #: Fleet-wide precision drop (degradation ladder stage 2+):
+        #: every model serves at ladder level >= this bias.
+        self.level_bias = 0
+        self._windows: List[DeviceFaultWindow] = []
+        #: [start, end) intervals the node is not serving, including
+        #: post-outage restore time; computed by plan_outages().
+        self._downtime: List[Tuple[float, float]] = []
+        self.restores: List[RestoreResult] = []
+        self.cold_loads = 0
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        model: str,
+        network: Any,
+        fallback_networks: Sequence[Any] = (),
+        builder_config: Any = None,
+        engine: Optional[Engine] = None,
+        fallback_engines: Sequence[Engine] = (),
+        warm: bool = True,
+    ) -> ModelServing:
+        """Install ``model``'s ladder on this node.
+
+        With a ``store``, the ladder routes through
+        ``InferenceSupervisor.from_store`` (the deployment posture);
+        pre-built ``engine``/``fallback_engines`` skip the store (unit
+        tests, store-less baselines).
+        """
+        from repro.engine.store import network_digest
+
+        if engine is not None:
+            supervisor = InferenceSupervisor(
+                engine,
+                fallbacks=list(fallback_engines),
+                device=self.spec,
+                seed=self.seed,
+            )
+        elif self.store is not None:
+            supervisor = InferenceSupervisor.from_store(
+                self.store,
+                network,
+                device=self.spec,
+                fallback_networks=fallback_networks,
+                builder_config=builder_config,
+                seed=self.seed,
+            )
+        else:
+            from repro.engine.builder import BuilderConfig, EngineBuilder
+
+            config = builder_config or BuilderConfig(seed=0)
+            builder = EngineBuilder(self.spec, config)
+            supervisor = InferenceSupervisor(
+                builder.build(network),
+                fallbacks=[
+                    EngineBuilder(self.spec, config).build(fb)
+                    for fb in fallback_networks
+                ],
+                device=self.spec,
+                seed=self.seed,
+            )
+        serving = ModelServing(
+            model=model,
+            affinity_key=network_digest(network) if network is not None
+            else model,
+            supervisor=supervisor,
+            base_ms=_ladder_base_ms(
+                supervisor, self.spec, self.clock_mhz
+            ),
+        )
+        self._models[model] = serving
+        self._warm[model] = warm
+        self._sources[model] = (network, tuple(fallback_networks),
+                                builder_config)
+        return serving
+
+    def models(self) -> List[str]:
+        return sorted(self._models)
+
+    def serving(self, model: str) -> ModelServing:
+        return self._models[model]
+
+    def has_model(self, model: str) -> bool:
+        return model in self._models
+
+    def is_warm(self, model: str) -> bool:
+        return self._warm.get(model, False)
+
+    def affinity_key(self, model: str) -> str:
+        return self._models[model].affinity_key
+
+    # ------------------------------------------------------------------
+    # fault timeline
+    # ------------------------------------------------------------------
+    def plan_outages(
+        self,
+        windows: Sequence[DeviceFaultWindow],
+        warm_failover: bool = True,
+    ) -> None:
+        """Attach this device's fault windows and derive its downtime.
+
+        Crash/reboot windows extend past their end by the restore
+        cost: warm (shared store available and failover enabled) or
+        cold (full rebuild).  Partition/brownout windows do not add
+        downtime — the node keeps serving (unreachably or slowly).
+        """
+        self._windows = [w for w in windows if w.device == self.name]
+        self._downtime = []
+        for w in self._windows:
+            if w.kind not in (
+                FaultKind.DEVICE_CRASH, FaultKind.DEVICE_REBOOT
+            ):
+                continue
+            warm = warm_failover and self.store is not None
+            restore_ms = self._restore_cost_ms(w, warm)
+            self._downtime.append((w.start_ms, w.end_ms + restore_ms))
+            self.restores.append(
+                RestoreResult(
+                    device=self.name,
+                    t_ms=w.end_ms,
+                    warm=warm,
+                    engines=sum(
+                        len(m.supervisor.engines)
+                        for m in self._models.values()
+                    ),
+                    restore_ms=restore_ms,
+                )
+            )
+        self._downtime.sort()
+
+    def _restore_cost_ms(
+        self, window: DeviceFaultWindow, warm: bool
+    ) -> float:
+        """Time to bring the ladder back after ``window`` closes."""
+        if warm:
+            # Re-acquire every ladder from the shared store: all hits,
+            # priced at the warm build_time_us the store restates.
+            acquired_us = 0.0
+            for model, (network, fallbacks, config) in sorted(
+                self._sources.items()
+            ):
+                if network is None:
+                    continue
+                supervisor = InferenceSupervisor.from_store(
+                    self.store,
+                    network,
+                    device=self.spec,
+                    fallback_networks=fallbacks,
+                    builder_config=config,
+                    seed=self.seed,
+                )
+                self._models[model].supervisor = supervisor
+                self._models[model].base_ms = _ladder_base_ms(
+                    supervisor, self.spec, self.clock_mhz
+                )
+                acquired_us += sum(
+                    e.build_time_us for e in supervisor.engines
+                )
+            return REBOOT_BASE_MS + acquired_us / 1e3
+        engines = sum(
+            len(m.supervisor.engines) for m in self._models.values()
+        )
+        cold_ms = COLD_REBUILD_MS_PER_SEV * window.severity * max(
+            1, engines
+        )
+        return REBOOT_BASE_MS + cold_ms
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def status(self, t_ms: float) -> DeviceStatus:
+        for start, end in self._downtime:
+            if start <= t_ms < end:
+                # Down through the fault window, rebooting afterwards.
+                for w in self._windows:
+                    if (
+                        w.kind in (FaultKind.DEVICE_CRASH,
+                                   FaultKind.DEVICE_REBOOT)
+                        and w.start_ms == start
+                        and w.active_at(t_ms)
+                    ):
+                        return DeviceStatus.CRASHED
+                return DeviceStatus.REBOOTING
+        return DeviceStatus.ONLINE
+
+    def next_downtime_edge(self, t_ms: float) -> Optional[float]:
+        """The next downtime start strictly after ``t_ms``, if any."""
+        edges = [s for s, _ in self._downtime if s > t_ms]
+        return min(edges) if edges else None
+
+    def partitioned(self, t_ms: float) -> bool:
+        return any(
+            w.kind is FaultKind.NETWORK_PARTITION and w.active_at(t_ms)
+            for w in self._windows
+        )
+
+    def brownout_factor(self, t_ms: float) -> float:
+        factor = 1.0
+        for w in self._windows:
+            if (
+                w.kind is FaultKind.THERMAL_BROWNOUT
+                and w.active_at(t_ms)
+            ):
+                factor *= w.brownout_factor()
+        return factor
+
+    def probe(self, t_ms: float) -> str:
+        """Heartbeat outcome: the health checker's raw signal."""
+        if self.partitioned(t_ms):
+            return PROBE_TIMEOUT
+        if self.status(t_ms) is not DeviceStatus.ONLINE:
+            return PROBE_REFUSED
+        return PROBE_OK
+
+    def device_seconds(self, duration_ms: float) -> float:
+        """Powered-and-serving seconds over a run of ``duration_ms``
+        (the fleet's cost denominator)."""
+        down = 0.0
+        for start, end in self._downtime:
+            down += max(
+                0.0, min(end, duration_ms) - min(start, duration_ms)
+            )
+        return max(0.0, duration_ms - down) / 1000.0
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def service_ms(self, model: str, rid: int, t_ms: float) -> float:
+        """Deterministic service time for request ``rid`` at ``t_ms``."""
+        serving = self._models[model]
+        level = min(self.level_bias, len(serving.base_ms) - 1)
+        base = serving.base_ms[level]
+        rng = np.random.default_rng((self.seed, 0xD0, rid))
+        noise = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        extra = 0.0
+        if not self._warm.get(model, False):
+            self._warm[model] = True
+            self.cold_loads += 1
+            extra = COLD_MODEL_LOAD_MS
+        return base * self.brownout_factor(t_ms) * noise + extra
+
+    def execute(
+        self, model: str, rid: int, dispatch_ms: float
+    ) -> Tuple[float, float]:
+        """Queue + run one request; returns (start_ms, completion_ms).
+
+        The GPU serializes: execution starts when the queue drains.
+        Callers must have checked reachability/liveness; a crash edge
+        *during* execution is the router's in-flight-loss case and is
+        detected by comparing completion against downtime starts.
+        """
+        start = max(dispatch_ms, self.busy_until_ms)
+        completion = start + self.service_ms(model, rid, start)
+        self.busy_until_ms = completion
+        return start, completion
+
+    def cancel_after(self, t_ms: float) -> None:
+        """Release queued work past ``t_ms`` (hedge cancellation)."""
+        if self.busy_until_ms > t_ms:
+            self.busy_until_ms = t_ms
+
+    # ------------------------------------------------------------------
+    def emit_restores(self) -> None:
+        """Publish FLEET_FAILOVER spans for every planned restore."""
+        if not BUS.active:
+            return
+        for r in self.restores:
+            BUS.emit(
+                SpanKind.FLEET_FAILOVER,
+                self.name,
+                device=self.name,
+                t_ms=r.t_ms,
+                warm=r.warm,
+                engines=r.engines,
+                restore_ms=r.restore_ms,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "spec": self.spec.name,
+            "models": self.models(),
+            "cold_loads": self.cold_loads,
+            "restores": [
+                {
+                    "t_ms": r.t_ms,
+                    "warm": r.warm,
+                    "engines": r.engines,
+                    "restore_ms": r.restore_ms,
+                }
+                for r in self.restores
+            ],
+        }

@@ -1,0 +1,130 @@
+"""Device-level fault evaluation: FaultPlan -> per-device windows.
+
+:mod:`repro.faults` declares *what* can fail; this module decides
+*which devices* it happens to and *when*, deterministically.  A
+:class:`~repro.faults.FaultScenario` whose kind is one of the
+device-level families (``device_crash``, ``device_reboot``,
+``network_partition``, ``thermal_brownout``) carries a device-name
+glob in ``target`` and an outage window in ``start_s``/``duration_s``.
+Scenario probability is drawn **once per (scenario, device)** from
+``default_rng((plan.seed, _FLEET_SALT, scenario_index, device_index))``
+— a single seed threads from the plan through every fleet fault draw,
+so ``trtsim fleet --seed N`` replays the byte-identical outage
+schedule (and event log) run after run, independent of traffic.
+
+Severity semantics:
+
+* ``device_crash`` — node dies; in-flight work is lost; reboot at
+  window end restores the ladder from the shared store (warm) in
+  ``REBOOT_BASE_MS`` plus the modeled per-engine restore cost;
+* ``device_reboot`` — like a crash, but the node comes back with a
+  *cold* store: restore pays ``severity * COLD_REBUILD_MS_PER_SEV``
+  per engine unless warm failover intervenes;
+* ``network_partition`` — router <-> device link drops: dispatches and
+  heartbeats time out, the device itself stays healthy;
+* ``thermal_brownout`` — sustained DVFS floor: service latency scales
+  by ``1 + BROWNOUT_SLOWDOWN_PER_SEVERITY * severity`` (or the
+  scenario ``amplitude``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.events import FaultKind
+from repro.faults.scenario import FaultPlan
+
+#: Kinds evaluated at fleet level (ignored by the single-node injector).
+DEVICE_FAULT_KINDS = frozenset(
+    {
+        FaultKind.DEVICE_CRASH,
+        FaultKind.DEVICE_REBOOT,
+        FaultKind.NETWORK_PARTITION,
+        FaultKind.THERMAL_BROWNOUT,
+    }
+)
+
+#: Latency multiplier per brownout severity step.
+BROWNOUT_SLOWDOWN_PER_SEVERITY = 0.25
+#: Fixed OS/boot time after any crash or reboot window closes.
+REBOOT_BASE_MS = 150.0
+#: Per-engine cold-rebuild cost per severity step, when the node comes
+#: back without a warm store (the tactic auction the store would skip).
+COLD_REBUILD_MS_PER_SEV = 400.0
+
+#: Salt separating fleet fault draws from every other consumer of the
+#: plan seed (the single-node injector uses (seed, scenario_index)).
+_FLEET_SALT = 0xF1EE7FA
+
+
+@dataclass(frozen=True)
+class DeviceFaultWindow:
+    """One scheduled outage/degradation window on one device."""
+
+    kind: FaultKind
+    device: str
+    start_ms: float
+    end_ms: float
+    severity: int
+    scenario: str
+    amplitude: Optional[float] = None
+
+    def active_at(self, t_ms: float) -> bool:
+        return self.start_ms <= t_ms < self.end_ms
+
+    def brownout_factor(self) -> float:
+        if self.kind is not FaultKind.THERMAL_BROWNOUT:
+            return 1.0
+        if self.amplitude is not None:
+            return float(self.amplitude)
+        return 1.0 + BROWNOUT_SLOWDOWN_PER_SEVERITY * self.severity
+
+
+def device_fault_schedule(
+    plan: FaultPlan, device_names: Sequence[str]
+) -> List[DeviceFaultWindow]:
+    """Evaluate ``plan``'s device-level scenarios over named devices.
+
+    Deterministic in ``(plan, device_names)``: glob matching selects
+    candidate devices, then one seeded draw per (scenario, device)
+    decides whether the window fires there.  Windows are returned
+    sorted by (start, device, kind) so downstream event logs are
+    reproducible byte-for-byte.
+    """
+    windows: List[DeviceFaultWindow] = []
+    for index, scenario in enumerate(plan.scenarios):
+        if scenario.kind not in DEVICE_FAULT_KINDS:
+            continue
+        for dev_index, name in enumerate(device_names):
+            if not fnmatch.fnmatchcase(name, scenario.target):
+                continue
+            if scenario.probability < 1.0:
+                rng = np.random.default_rng(
+                    (plan.seed, _FLEET_SALT, index, dev_index)
+                )
+                if rng.random() >= scenario.probability:
+                    continue
+            end_s = (
+                scenario.start_s + scenario.duration_s
+                if math.isfinite(scenario.duration_s)
+                else math.inf
+            )
+            windows.append(
+                DeviceFaultWindow(
+                    kind=scenario.kind,
+                    device=name,
+                    start_ms=scenario.start_s * 1000.0,
+                    end_ms=end_s * 1000.0,
+                    severity=scenario.severity,
+                    scenario=scenario.name,
+                    amplitude=scenario.amplitude,
+                )
+            )
+    return sorted(
+        windows, key=lambda w: (w.start_ms, w.device, w.kind.value)
+    )

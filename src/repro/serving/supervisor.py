@@ -95,13 +95,19 @@ class SupervisorConfig:
         return self.deadline_ms * self.watchdog_factor
 
     def backoff_ms(self, attempt: int, rng: np.random.Generator) -> float:
-        """Backoff before retry ``attempt`` (1-based), jittered."""
+        """Backoff before retry ``attempt`` (1-based), jittered.
+
+        The *jittered* result is clamped to ``[0, max_backoff_ms]``:
+        the cap is a hard budget on how long a retry may stall a
+        frame, so a +25% draw on an already-capped nominal must not
+        exceed it (and a wide negative band must not go below zero).
+        """
         nominal = min(
             self.max_backoff_ms,
             self.backoff_base_ms * self.backoff_factor ** (attempt - 1),
         )
         jitter = self.backoff_jitter * float(rng.uniform(-1.0, 1.0))
-        return nominal * (1.0 + jitter)
+        return min(self.max_backoff_ms, max(0.0, nominal * (1.0 + jitter)))
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,16 @@ class SpanKind(enum.Enum):
     MEMCPY = "exec.memcpy"
     BATCH = "serve.batch"
     REQUEST = "serve.request"
+    #: Fleet-layer spans (:mod:`repro.serving.fleet`): one DISPATCH per
+    #: routed request; HEALTH / BREAKER carry state transitions of the
+    #: health checker and per-device circuit breakers; FAILOVER marks a
+    #: warm ladder restore from the shared store; DEGRADE marks moves
+    #: on the fleet-wide degradation ladder.
+    FLEET_DISPATCH = "serve.fleet.dispatch"
+    FLEET_HEALTH = "serve.fleet.health"
+    FLEET_BREAKER = "serve.fleet.breaker"
+    FLEET_FAILOVER = "serve.fleet.failover"
+    FLEET_DEGRADE = "serve.fleet.degrade"
     CLOCK = "hw.clock"
     SAMPLE = "hw.sample"
     FAULT = "fault"
@@ -256,6 +266,54 @@ class TelemetryBus:
             m.counter("trtsim_tactic_candidates_total").inc(
                 float(attrs.get("candidates", 0))
             )
+        elif kind is SpanKind.FLEET_DISPATCH:
+            device = str(attrs.get("device", ""))
+            m.counter("trtsim_fleet_requests_total", device=device).inc()
+            if attrs.get("shed"):
+                m.counter("trtsim_fleet_shed_total").inc()
+            elif attrs.get("ok"):
+                m.histogram("trtsim_fleet_latency_ms", device=device).observe(
+                    float(attrs.get("latency_ms", 0.0))
+                )
+            else:
+                m.counter(
+                    "trtsim_fleet_failures_total", device=device
+                ).inc()
+            if attrs.get("deadline_met"):
+                m.counter("trtsim_fleet_deadline_hits_total").inc()
+            else:
+                m.counter("trtsim_fleet_deadline_misses_total").inc()
+            if attrs.get("hedged"):
+                m.counter("trtsim_fleet_hedges_total").inc()
+            if attrs.get("hedge_cancelled"):
+                m.counter("trtsim_fleet_hedge_cancels_total").inc()
+            retries = max(0, int(attrs.get("dispatches", 1)) - 1)
+            if retries:
+                m.counter("trtsim_fleet_redispatches_total").inc(retries)
+        elif kind is SpanKind.FLEET_HEALTH:
+            m.counter(
+                "trtsim_fleet_health_transitions_total",
+                state=str(attrs.get("to", "")),
+            ).inc()
+            if "healthy" in attrs:
+                m.gauge("trtsim_fleet_devices_healthy").set(
+                    float(attrs.get("healthy", 0))
+                )
+        elif kind is SpanKind.FLEET_BREAKER:
+            m.counter(
+                "trtsim_fleet_breaker_transitions_total",
+                state=str(attrs.get("to", "")),
+            ).inc()
+        elif kind is SpanKind.FLEET_FAILOVER:
+            m.counter("trtsim_fleet_failovers_total").inc()
+            m.counter("trtsim_fleet_failover_engines_total").inc(
+                float(attrs.get("engines", 0))
+            )
+        elif kind is SpanKind.FLEET_DEGRADE:
+            m.gauge("trtsim_fleet_degradation_level").set(
+                float(attrs.get("level", 0))
+            )
+            m.counter("trtsim_fleet_degradation_moves_total").inc()
         elif kind is SpanKind.STORE:
             event = str(attrs.get("event", ""))
             tier = str(attrs.get("tier", "disk"))

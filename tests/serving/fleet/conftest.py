@@ -1,0 +1,55 @@
+"""Fleet-test helpers: tiny devices with controllable timing."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.engine.builder import BuilderConfig
+from repro.hardware.specs import XAVIER_NX
+from repro.serving.fleet import FleetDevice
+from tests.conftest import make_small_cnn
+
+
+def make_device(
+    name: str,
+    seed: int = 0,
+    store=None,
+    with_fallback: bool = True,
+    spec=XAVIER_NX,
+    base_ms: Optional[float] = None,
+) -> FleetDevice:
+    """A one-model device over the small test CNN.
+
+    ``base_ms`` overrides the measured service time (and zeroes the
+    jitter) so routing tests control latency exactly.
+    """
+    device = FleetDevice(name, spec, store=store, seed=seed)
+    fallbacks = (
+        [make_small_cnn(seed=2, input_size=8, with_dead_branch=False)]
+        if with_fallback
+        else []
+    )
+    device.install(
+        "cnn",
+        network=make_small_cnn(seed=1),
+        fallback_networks=fallbacks,
+        builder_config=BuilderConfig(seed=0),
+    )
+    if base_ms is not None:
+        device.jitter = 0.0
+        serving = device.serving("cnn")
+        serving.base_ms = [base_ms] + [
+            base_ms / 4.0 for _ in serving.base_ms[1:]
+        ]
+    return device
+
+
+@pytest.fixture()
+def trio():
+    """Three identical devices with exact 10 ms service time."""
+    return [
+        make_device(f"dev{i}", base_ms=10.0, with_fallback=False)
+        for i in range(3)
+    ]

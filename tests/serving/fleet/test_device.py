@@ -1,0 +1,182 @@
+"""FleetDevice: probes, brownouts, queueing, warm vs cold restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.store import EngineStore
+from repro.faults.events import FaultKind
+from repro.serving.fleet import DeviceStatus, DeviceFaultWindow
+from repro.serving.fleet.device import COLD_MODEL_LOAD_MS
+from repro.serving.fleet.faults import (
+    COLD_REBUILD_MS_PER_SEV,
+    REBOOT_BASE_MS,
+)
+from repro.serving.fleet.health import (
+    PROBE_OK,
+    PROBE_REFUSED,
+    PROBE_TIMEOUT,
+)
+
+from tests.serving.fleet.conftest import make_device
+
+
+def crash_window(start_ms=1000.0, end_ms=2000.0, severity=2,
+                 kind=FaultKind.DEVICE_CRASH):
+    return DeviceFaultWindow(
+        kind=kind,
+        device="dev0",
+        start_ms=start_ms,
+        end_ms=end_ms,
+        severity=severity,
+        scenario="s",
+    )
+
+
+def partition_window(start_ms=1000.0, end_ms=2000.0):
+    return DeviceFaultWindow(
+        kind=FaultKind.NETWORK_PARTITION,
+        device="dev0",
+        start_ms=start_ms,
+        end_ms=end_ms,
+        severity=1,
+        scenario="s",
+    )
+
+
+class TestProbes:
+    def test_online_device_probes_ok(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        assert device.status(0.0) is DeviceStatus.ONLINE
+        assert device.probe(0.0) == PROBE_OK
+
+    def test_crash_refuses_then_reboots_then_recovers(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.plan_outages([crash_window()], warm_failover=False)
+        assert device.probe(500.0) == PROBE_OK
+        assert device.status(1500.0) is DeviceStatus.CRASHED
+        assert device.probe(1500.0) == PROBE_REFUSED
+        # Past the fault window but inside the restore tail.
+        assert device.status(2000.0) is DeviceStatus.REBOOTING
+        assert device.probe(2000.0) == PROBE_REFUSED
+        restore = device.restores[0].restore_ms
+        assert device.probe(2000.0 + restore) == PROBE_OK
+
+    def test_partition_times_out_but_node_stays_online(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.plan_outages([partition_window()])
+        assert device.probe(1500.0) == PROBE_TIMEOUT
+        assert device.status(1500.0) is DeviceStatus.ONLINE
+        assert device.probe(2500.0) == PROBE_OK
+
+
+class TestBrownout:
+    def test_brownout_scales_service_time(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.plan_outages(
+            [crash_window(kind=FaultKind.THERMAL_BROWNOUT, severity=4)]
+        )
+        cool = device.service_ms("cnn", rid=1, t_ms=500.0)
+        hot = device.service_ms("cnn", rid=1, t_ms=1500.0)
+        assert hot == pytest.approx(2.0 * cool)  # 1 + 0.25 * 4
+        assert device.probe(1500.0) == PROBE_OK  # slow, not dead
+        assert device.brownout_factor(2500.0) == 1.0
+
+
+class TestQueueing:
+    def test_execute_serializes_on_the_gpu_queue(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        start0, done0 = device.execute("cnn", 0, 0.0)
+        assert (start0, done0) == (0.0, 10.0)
+        start1, done1 = device.execute("cnn", 1, 2.0)
+        assert start1 == 10.0  # queued behind request 0
+        assert done1 == 20.0
+        start2, done2 = device.execute("cnn", 2, 50.0)
+        assert start2 == 50.0  # idle gap: starts at dispatch
+
+    def test_cancel_after_releases_queue_time(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.execute("cnn", 0, 0.0)
+        device.execute("cnn", 1, 0.0)
+        assert device.busy_until_ms == 20.0
+        device.cancel_after(10.0)
+        assert device.busy_until_ms == 10.0
+        device.cancel_after(15.0)  # never extends
+        assert device.busy_until_ms == 10.0
+
+    def test_cold_model_pays_load_once(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device._warm["cnn"] = False
+        first = device.service_ms("cnn", 0, 0.0)
+        second = device.service_ms("cnn", 0, 0.0)
+        assert first == pytest.approx(second + COLD_MODEL_LOAD_MS)
+        assert device.cold_loads == 1
+
+    def test_service_time_is_deterministic_per_rid(self):
+        device = make_device("dev0", with_fallback=False)
+        assert device.jitter > 0
+        a = device.service_ms("cnn", 7, 0.0)
+        b = device.service_ms("cnn", 7, 0.0)
+        c = device.service_ms("cnn", 8, 0.0)
+        assert a == b
+        assert a != c
+
+    def test_level_bias_serves_down_the_ladder(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=True)
+        full = device.service_ms("cnn", 1, 0.0)
+        device.level_bias = 1
+        degraded = device.service_ms("cnn", 1, 0.0)
+        assert degraded < full
+        device.level_bias = 99  # clamps to deepest rung
+        assert device.service_ms("cnn", 1, 0.0) == degraded
+
+
+class TestRestore:
+    def test_warm_failover_restores_full_ladder_from_store(self, tmp_path):
+        store = EngineStore(tmp_path / "store")
+        seeder = make_device("seed", store=store, with_fallback=True)
+        assert len(seeder.serving("cnn").supervisor.engines) == 2
+        device = make_device("dev0", store=store, with_fallback=True)
+        hits_before = store.hits
+        device.plan_outages([crash_window(severity=4)],
+                            warm_failover=True)
+        restore = device.restores[0]
+        assert restore.warm
+        assert restore.engines == 2  # primary + fallback re-acquired
+        assert store.hits > hits_before  # ladder came from the store
+        assert len(device.serving("cnn").supervisor.engines) == 2
+        assert len(device.serving("cnn").base_ms) == 2
+        # Warm restore: base reboot plus store-priced acquisition only.
+        assert restore.restore_ms < REBOOT_BASE_MS + 100.0
+
+    def test_cold_restore_pays_per_engine_rebuild(self):
+        device = make_device("dev0", with_fallback=True)  # no store
+        device.plan_outages([crash_window(severity=4)],
+                            warm_failover=True)
+        restore = device.restores[0]
+        assert not restore.warm
+        expected = REBOOT_BASE_MS + COLD_REBUILD_MS_PER_SEV * 4 * 2
+        assert restore.restore_ms == pytest.approx(expected)
+
+    def test_warm_restore_is_cheaper_than_cold(self, tmp_path):
+        store = EngineStore(tmp_path / "store")
+        make_device("seed", store=store)
+        warm_dev = make_device("dev0", store=store)
+        cold_dev = make_device("dev0")
+        warm_dev.plan_outages([crash_window(severity=4)])
+        cold_dev.plan_outages([crash_window(severity=4)])
+        assert (
+            warm_dev.restores[0].restore_ms
+            < cold_dev.restores[0].restore_ms
+        )
+
+    def test_downtime_shapes_device_seconds(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.plan_outages([crash_window(start_ms=1000.0,
+                                          end_ms=2000.0)],
+                            warm_failover=False)
+        restore = device.restores[0].restore_ms
+        total = device.device_seconds(4000.0)
+        assert total == pytest.approx((4000.0 - 1000.0 - restore) / 1e3)
+        # A run ending mid-outage only loses the elapsed part.
+        assert device.device_seconds(1500.0) == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""FaultPlan -> deterministic per-device outage windows."""
+
+from __future__ import annotations
+
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultScenario,
+    canned_fleet_plan,
+    fleet_chaos_plan,
+)
+from repro.serving.fleet import DeviceFaultWindow, device_fault_schedule
+
+DEVICES = ["dev0", "dev1", "dev2", "dev3"]
+
+
+class TestScheduling:
+    def test_chaos_plan_targets_named_devices(self):
+        windows = device_fault_schedule(fleet_chaos_plan(seed=7), DEVICES)
+        by_kind = {w.kind: w for w in windows}
+        crash = by_kind[FaultKind.DEVICE_CRASH]
+        partition = by_kind[FaultKind.NETWORK_PARTITION]
+        assert crash.device == "dev1"
+        assert crash.start_ms == 1000.0
+        assert partition.device == "dev2"
+        assert partition.end_ms == partition.start_ms + 3000.0
+
+    def test_same_plan_same_schedule(self):
+        plan = canned_fleet_plan("fleet_chaos", seed=13)
+        a = device_fault_schedule(plan, DEVICES)
+        b = device_fault_schedule(plan, DEVICES)
+        assert a == b
+
+    def test_glob_target_fans_out_across_devices(self):
+        plan = FaultPlan(
+            scenarios=[
+                FaultScenario(
+                    kind=FaultKind.THERMAL_BROWNOUT,
+                    start_s=0.5,
+                    duration_s=1.0,
+                    severity=2,
+                    target="dev*",
+                    name="heatwave",
+                )
+            ],
+            seed=0,
+            name="glob",
+        )
+        windows = device_fault_schedule(plan, DEVICES)
+        assert [w.device for w in windows] == DEVICES
+
+    def test_probability_draws_are_seeded_per_device(self):
+        plan = FaultPlan(
+            scenarios=[
+                FaultScenario(
+                    kind=FaultKind.DEVICE_CRASH,
+                    start_s=1.0,
+                    duration_s=1.0,
+                    probability=0.5,
+                    target="dev*",
+                    name="flaky",
+                )
+            ],
+            seed=21,
+            name="prob",
+        )
+        first = device_fault_schedule(plan, DEVICES)
+        assert first == device_fault_schedule(plan, DEVICES)
+        # Not all-or-nothing: the draw is per (scenario, device).
+        assert 0 < len(first) < len(DEVICES)
+        reseeded = FaultPlan(
+            scenarios=plan.scenarios, seed=22, name="prob2"
+        )
+        assert {w.device for w in device_fault_schedule(
+            reseeded, DEVICES
+        )} != {w.device for w in first}
+
+    def test_non_device_kinds_are_ignored(self):
+        plan = FaultPlan(
+            scenarios=[
+                FaultScenario(
+                    kind=FaultKind.COMPUTE_NAN, target="*", name="nan"
+                )
+            ],
+            seed=0,
+            name="node-level",
+        )
+        assert device_fault_schedule(plan, DEVICES) == []
+
+    def test_windows_sorted_for_reproducible_logs(self):
+        windows = device_fault_schedule(
+            fleet_chaos_plan(seed=3), DEVICES
+        )
+        keys = [(w.start_ms, w.device, w.kind.value) for w in windows]
+        assert keys == sorted(keys)
+
+
+class TestWindowSemantics:
+    def test_active_at_is_half_open(self):
+        w = DeviceFaultWindow(
+            kind=FaultKind.DEVICE_CRASH,
+            device="dev0",
+            start_ms=100.0,
+            end_ms=200.0,
+            severity=1,
+            scenario="s",
+        )
+        assert not w.active_at(99.9)
+        assert w.active_at(100.0)
+        assert w.active_at(199.9)
+        assert not w.active_at(200.0)
+
+    def test_brownout_factor_scales_with_severity(self):
+        def window(severity, amplitude=None):
+            return DeviceFaultWindow(
+                kind=FaultKind.THERMAL_BROWNOUT,
+                device="dev0",
+                start_ms=0.0,
+                end_ms=1.0,
+                severity=severity,
+                scenario="s",
+                amplitude=amplitude,
+            )
+
+        assert window(1).brownout_factor() == 1.25
+        assert window(4).brownout_factor() == 2.0
+        assert window(4, amplitude=3.5).brownout_factor() == 3.5
+        crash = DeviceFaultWindow(
+            kind=FaultKind.DEVICE_CRASH,
+            device="dev0",
+            start_ms=0.0,
+            end_ms=1.0,
+            severity=4,
+            scenario="s",
+        )
+        assert crash.brownout_factor() == 1.0

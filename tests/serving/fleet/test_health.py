@@ -1,0 +1,119 @@
+"""Heartbeat health checking: crash vs partition distinguishability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.fleet import HealthChecker, HealthState
+from repro.serving.fleet.health import (
+    PROBE_OK,
+    PROBE_REFUSED,
+    PROBE_TIMEOUT,
+)
+
+
+class Script:
+    """Dict-driven probe: device -> outcome (mutable mid-test)."""
+
+    def __init__(self, **outcomes):
+        self.outcomes = outcomes
+
+    def __call__(self, device: str, now_ms: float) -> str:
+        return self.outcomes.get(device, PROBE_OK)
+
+
+def make_checker(script, **kwargs) -> HealthChecker:
+    defaults = dict(period_ms=100.0, suspect_after=1, evict_after=3)
+    defaults.update(kwargs)
+    return HealthChecker(["dev0", "dev1"], script, **defaults)
+
+
+class TestCrashVsPartition:
+    def test_refusal_evicts_immediately_with_cause_crash(self):
+        checker = make_checker(Script(dev0=PROBE_REFUSED))
+        checker.tick(0.0)  # one heartbeat round
+        assert checker.state("dev0") is HealthState.DOWN
+        assert checker.cause("dev0") == "crash"
+        assert checker.state("dev1") is HealthState.HEALTHY
+
+    def test_timeouts_escalate_suspect_then_partition_down(self):
+        checker = make_checker(Script(dev0=PROBE_TIMEOUT))
+        checker.tick(0.0)
+        assert checker.state("dev0") is HealthState.SUSPECT
+        assert checker.cause("dev0") == "partition"
+        assert checker.alive("dev0")  # suspect still routable
+        checker.tick(100.0)
+        assert checker.state("dev0") is HealthState.SUSPECT
+        checker.tick(200.0)  # third consecutive miss
+        assert checker.state("dev0") is HealthState.DOWN
+        assert checker.cause("dev0") == "partition"
+        assert not checker.alive("dev0")
+
+    def test_causes_distinguish_the_two_failure_domains(self):
+        script = Script(dev0=PROBE_REFUSED, dev1=PROBE_TIMEOUT)
+        checker = make_checker(script)
+        checker.tick(300.0)  # rounds at 0,100,200,300: both evicted
+        assert checker.state("dev0") is HealthState.DOWN
+        assert checker.state("dev1") is HealthState.DOWN
+        assert checker.cause("dev0") == "crash"
+        assert checker.cause("dev1") == "partition"
+
+
+class TestRecovery:
+    def test_healthy_probe_restores_from_down(self):
+        script = Script(dev0=PROBE_REFUSED)
+        checker = make_checker(script)
+        checker.tick(0.0)
+        assert checker.state("dev0") is HealthState.DOWN
+        script.outcomes["dev0"] = PROBE_OK  # reboot finished
+        checker.tick(100.0)
+        assert checker.state("dev0") is HealthState.HEALTHY
+        assert checker.cause("dev0") == ""
+        assert checker.healthy_count() == 2
+
+    def test_recovery_resets_the_miss_streak(self):
+        script = Script(dev0=PROBE_TIMEOUT)
+        checker = make_checker(script)
+        checker.tick(100.0)  # two misses -> SUSPECT
+        script.outcomes["dev0"] = PROBE_OK
+        checker.tick(200.0)  # heals
+        script.outcomes["dev0"] = PROBE_TIMEOUT
+        checker.tick(400.0)  # two fresh misses: SUSPECT, not DOWN
+        assert checker.state("dev0") is HealthState.SUSPECT
+
+
+class TestCadence:
+    def test_tick_runs_every_due_round_exactly_once(self):
+        beats = []
+
+        def probe(device, now_ms):
+            beats.append((device, now_ms))
+            return PROBE_OK
+
+        checker = HealthChecker(["dev0"], probe, period_ms=100.0)
+        checker.tick(250.0)
+        checker.tick(250.0)  # no new round due
+        assert beats == [("dev0", 0.0), ("dev0", 100.0),
+                         ("dev0", 200.0)]
+
+    def test_transitions_logged_with_timestamps(self):
+        script = Script(dev0=PROBE_TIMEOUT)
+        checker = make_checker(script)
+        checker.tick(200.0)
+        doc = checker.to_dict()
+        assert doc["states"]["dev0"] == "down"
+        assert [t["to"] for t in doc["transitions"]] == [
+            "suspect", "down",
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_ms": 0.0},
+            {"suspect_after": 0},
+            {"evict_after": 0},  # < suspect_after
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            make_checker(Script(), **kwargs)

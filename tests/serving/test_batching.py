@@ -80,6 +80,31 @@ class TestBatchingQueue:
         assert batch.dispatch_ms == 0.5
         assert len(queue) == 0
 
+    def test_flush_without_clock_stamps_newest_arrival(self):
+        # Regression: flush() used to stamp a wall-clock-ish "now",
+        # breaking bit-identity of seeded replays.  Without now_ms the
+        # stamp must derive from the submitted schedule alone.
+        queue = BatchingQueue(BatchingConfig(max_batch=8, max_wait_ms=2.0))
+        queue.submit(_req(0, 1.0))
+        queue.submit(_req(1, 1.7))
+        batch = queue.flush()
+        assert batch.dispatch_ms == 1.7
+        # Identical schedule, identical stamp: replay-safe.
+        queue.submit(_req(0, 1.0))
+        queue.submit(_req(1, 1.7))
+        assert queue.flush().dispatch_ms == batch.dispatch_ms
+
+    def test_flush_clamps_now_into_the_batch_window(self):
+        config = BatchingConfig(max_batch=8, max_wait_ms=2.0)
+        # A flush cannot time-travel before a request it contains...
+        queue = BatchingQueue(config)
+        queue.submit(_req(0, 0.0))
+        queue.submit(_req(1, 1.5))
+        assert queue.flush(now_ms=0.2).dispatch_ms == 1.5
+        # ...nor outwait the oldest request's max_wait_ms budget.
+        queue.submit(_req(0, 0.0))
+        assert queue.flush(now_ms=99.0).dispatch_ms == 2.0
+
     def test_coalesce_sizes_and_order(self):
         config = BatchingConfig(max_batch=3, max_wait_ms=2.0)
         requests = [_req(i, 0.0) for i in range(7)]

@@ -74,6 +74,30 @@ class TestBackoffSchedule:
                 value = cfg.backoff_ms(attempt, rng)
                 assert nominal * 0.75 <= value <= nominal * 1.25
 
+    def test_jittered_backoff_never_exceeds_the_cap(self):
+        # Regression: the jitter used to apply *after* the cap, so a
+        # positive draw on a capped nominal overshot max_backoff_ms.
+        cfg = SupervisorConfig(
+            backoff_base_ms=4.0,
+            backoff_factor=2.0,
+            backoff_jitter=0.9,
+            max_backoff_ms=6.0,
+        )
+        rng = np.random.default_rng(11)
+        for attempt in range(1, 8):
+            for _ in range(500):
+                value = cfg.backoff_ms(attempt, rng)
+                assert 0.0 <= value <= cfg.max_backoff_ms
+
+    def test_wide_negative_jitter_clamps_at_zero(self):
+        cfg = SupervisorConfig(
+            backoff_base_ms=2.0, backoff_jitter=2.0, max_backoff_ms=10.0
+        )
+        rng = np.random.default_rng(5)
+        draws = [cfg.backoff_ms(1, rng) for _ in range(500)]
+        assert all(0.0 <= d <= cfg.max_backoff_ms for d in draws)
+        assert min(draws) == 0.0  # the clamp actually engages
+
     def test_attempts_are_bounded(self, engine):
         # Permanent launch failure: the supervisor must give up after
         # 1 + max_retries attempts, not loop forever.

@@ -343,3 +343,85 @@ class TestUnifiedTrace:
         doc = json.loads(out_file.read_text())
         cats = {e.get("cat") for e in doc["traceEvents"]}
         assert {"kernel", "memcpy", "request"} <= cats
+
+
+class TestFleetCommand:
+    FAST = [
+        "--devices", "2xNX+1xAGX", "--model", "mtcnn",
+        "--duration-s", "1.0", "--clock-mhz", "230",
+        "--seed", "7",
+    ]
+
+    def test_single_run_summary_and_events(self, capsys, tmp_path):
+        code = main(
+            ["fleet", *self.FAST, "--scenario", "fleet_chaos",
+             "--store", str(tmp_path / "store"), "--events"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out
+        assert "failovers" in out
+        assert "event log:" in out
+        assert "fault device_crash dev1" in out
+
+    def test_json_report_is_deterministic(self, capsys, tmp_path):
+        import json
+
+        args = ["fleet", *self.FAST, "--scenario", "fleet_chaos",
+                "--store", str(tmp_path / "store"), "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["schema"] == "trtsim.fleet_report/1"
+        assert doc["requests"] > 0
+
+    def test_compare_gate_passes_and_writes_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        report = tmp_path / "fleet-report.json"
+        code = main(
+            ["fleet", *self.FAST, "--compare",
+             "--scenario", "fleet_chaos",
+             "--utilization", "0.8",
+             "--store", str(tmp_path / "store"),
+             "--min-gain", "1.5", "--report", str(report)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit-rate gain" in out
+        assert "gate:" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "trtsim.fleet_comparison/1"
+        assert doc["hit_rate_gain"] >= 1.5
+
+    def test_compare_gate_fails_on_impossible_threshold(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            ["fleet", *self.FAST, "--compare",
+             "--scenario", "fleet_chaos",
+             "--store", str(tmp_path / "store"),
+             "--min-gain", "1000"]
+        )
+        assert code == 1
+
+    def test_unknown_scenario_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown canned fleet"):
+            main(["fleet", "--scenario", "no_such_plan"])
+
+    def test_policy_sweep_table(self, capsys, tmp_path):
+        code = main(
+            ["fleet", *self.FAST, "--policies",
+             "--scenario", "fleet_chaos",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for policy in ("round-robin", "least-loaded", "latency-aware",
+                       "engine-affinity"):
+            assert policy in out
