@@ -1,0 +1,240 @@
+"""Micro-benchmark harness for the simulator's hot paths.
+
+Three hot paths dominate every study in the repo: the timing sweep
+(:func:`repro.hardware.gpu.simulate_inference` under DVFS/batch
+ladders), the numeric forward pass (:mod:`repro.runtime.ops`), and the
+engine build.  This harness times small, deterministic workloads on
+each and emits a ``trtsim.bench/1`` JSON document that CI archives as
+a ``BENCH_*.json`` artifact and gates against a committed baseline.
+
+Two kinds of gates:
+
+* **Speedup gates**: the timing sweep must beat the baseline's
+  recorded pre-optimization (seed) measurement by
+  ``min_sweep_speedup`` after machine normalization, and must beat the
+  same sweep under :func:`repro.caching.caches_disabled` — run in this
+  process on the same engine, so machine speed cancels — by
+  ``min_cached_vs_uncached``.
+* **Wall-clock gate** (machine-normalized): an externally measured
+  Tier-1 suite duration (``--tier1-seconds``) may not regress more
+  than ``tolerance`` versus the baseline, after normalizing both by a
+  fixed NumPy calibration loop that absorbs runner-speed differences.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+SCHEMA = "trtsim.bench/1"
+
+#: Default Tier-1 wall-clock regression tolerance (fraction over baseline).
+DEFAULT_TOLERANCE = 0.20
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibration_seconds(reps: int = 5) -> float:
+    """A fixed interpreter-bound loop used to normalize wall-clock
+    measurements across runners.
+
+    The hot paths being gated are Python-interpreter-bound (small-array
+    dispatch, dataclass construction), so the normalizer must be too —
+    a BLAS loop tracks a different resource and mis-scales under
+    CPU contention.
+    """
+    rng = np.random.default_rng(0)
+    small = rng.standard_normal(16).astype(np.float32)
+
+    def loop() -> None:
+        acc = 0.0
+        for i in range(20000):
+            acc += float(small[i % 16]) * 1.0000001
+        arrays = [small * float(i % 7) for i in range(500)]
+        acc += float(sum(a[0] for a in arrays))
+
+    loop()
+    return _best_of(loop, reps)
+
+
+def _timing_sweep(context, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    for batch in (1, 8):
+        for clock in (230.0, 550.0, 1100.0):
+            for _ in range(5):
+                context.time_inference(
+                    clock_mhz=clock, rng=rng, batch_size=batch
+                )
+
+
+def run_benchmarks(reps: int = 5, quick: bool = False) -> Dict[str, object]:
+    """Run the micro-benchmarks and return a ``trtsim.bench/1`` dict."""
+    from repro.analysis.engines import EngineFarm
+    from repro.caching import caches_disabled, clear_caches
+    from repro.engine.engine import ExecutionContext
+
+    if quick:
+        reps = max(1, reps // 2)
+
+    clear_caches()
+    farm = EngineFarm(pretrained=False)
+    results: Dict[str, float] = {}
+
+    engine = farm.engine("googlenet", "NX")
+    context = ExecutionContext(engine, engine.device)
+
+    _timing_sweep(context)  # warm caches
+    results["timing_sweep_s"] = _best_of(lambda: _timing_sweep(context), reps)
+
+    with caches_disabled():
+        plain = ExecutionContext(engine, engine.device)
+        _timing_sweep(plain)
+        results["timing_sweep_uncached_s"] = _best_of(
+            lambda: _timing_sweep(plain), reps
+        )
+
+    forward_models = ("googlenet",) if quick else (
+        "googlenet", "mobilenet_v1", "fcn_resnet18_cityscapes"
+    )
+    for model in forward_models:
+        eng = farm.engine(model, "NX")
+        ctx = ExecutionContext(eng, eng.device)
+        name = next(iter(eng.graph.input_specs))
+        shape = eng.graph.input_specs[name].shape
+        x = (
+            np.random.default_rng(1)
+            .standard_normal((4,) + shape)
+            .astype(np.float32)
+        )
+        ctx.execute(**{name: x})
+        results[f"forward_{model}_s"] = _best_of(
+            lambda c=ctx, n=name, a=x: c.execute(**{n: a}), max(2, reps - 2)
+        )
+
+    results["build_googlenet_s"] = _best_of(
+        lambda: EngineFarm(pretrained=False).engine("googlenet", "NX"),
+        max(2, reps - 2),
+    )
+
+    sweep_speedup = (
+        results["timing_sweep_uncached_s"] / results["timing_sweep_s"]
+    )
+    return {
+        "schema": SCHEMA,
+        "benchmarks": results,
+        "calibration_s": calibration_seconds(),
+        "sweep_speedup_cached_vs_uncached": sweep_speedup,
+    }
+
+
+@dataclass
+class CheckResult:
+    """Outcome of gating a bench document against a baseline."""
+
+    ok: bool
+    messages: List[str] = field(default_factory=list)
+
+    def format_text(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return "\n".join([f"bench checks: {status}"] + self.messages)
+
+
+def check_against_baseline(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    tier1_seconds: Optional[float] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CheckResult:
+    """Apply the speedup and wall-clock gates."""
+    messages: List[str] = []
+    ok = True
+
+    base_calib = float(baseline.get("calibration_s", 0.0))
+    calib = float(result.get("calibration_s", 0.0))
+    scale = (calib / base_calib) if base_calib and calib else 1.0
+
+    # Primary gate: sweep time versus the recorded pre-optimization
+    # (seed) measurement, machine-normalized by the calibration loop.
+    seed = baseline.get("seed") or {}
+    seed_sweep = (seed.get("benchmarks") or {}).get("timing_sweep_s")
+    if seed_sweep:
+        floor = float(baseline.get("min_sweep_speedup", 5.0))
+        sweep_s = float(result["benchmarks"]["timing_sweep_s"])
+        # Normalize against the calibration paired with the *seed*
+        # measurement when recorded (it may predate the baseline run).
+        seed_calib = float(seed.get("calibration_s", base_calib) or 0.0)
+        seed_scale = (calib / seed_calib) if seed_calib and calib else scale
+        vs_seed = float(seed_sweep) * seed_scale / sweep_s
+        result["sweep_speedup_vs_seed"] = vs_seed
+        if vs_seed < floor:
+            ok = False
+            messages.append(
+                f"FAIL timing sweep {vs_seed:.2f}x vs seed "
+                f"< required {floor:.1f}x"
+            )
+        else:
+            messages.append(
+                f"ok   timing sweep {vs_seed:.2f}x vs seed (>= {floor:.1f}x)"
+            )
+
+    # Secondary, fully in-process gate: caches on vs caches disabled in
+    # the same run.  Under-counts the seed comparison (the uncached path
+    # keeps the non-cache optimizations), hence the lower floor.
+    proxy_floor = float(baseline.get("min_cached_vs_uncached", 4.0))
+    speedup = float(result["sweep_speedup_cached_vs_uncached"])
+    if speedup < proxy_floor:
+        ok = False
+        messages.append(
+            f"FAIL cached-vs-uncached sweep {speedup:.2f}x "
+            f"< required {proxy_floor:.1f}x"
+        )
+    else:
+        messages.append(
+            f"ok   cached-vs-uncached sweep {speedup:.2f}x "
+            f"(>= {proxy_floor:.1f}x)"
+        )
+
+    base_tier1 = baseline.get("tier1_wall_seconds")
+    if tier1_seconds is not None and base_tier1:
+        allowed = float(base_tier1) * scale * (1.0 + tolerance)
+        if tier1_seconds > allowed:
+            ok = False
+            messages.append(
+                f"FAIL tier-1 wall clock {tier1_seconds:.1f}s > allowed "
+                f"{allowed:.1f}s (baseline {float(base_tier1):.1f}s x "
+                f"machine scale {scale:.2f} x {1 + tolerance:.2f})"
+            )
+        else:
+            messages.append(
+                f"ok   tier-1 wall clock {tier1_seconds:.1f}s <= allowed "
+                f"{allowed:.1f}s"
+            )
+    elif tier1_seconds is not None:
+        messages.append(
+            "note tier-1 seconds supplied but baseline has no "
+            "tier1_wall_seconds; skipping wall-clock gate"
+        )
+
+    return CheckResult(ok=ok, messages=messages)
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"baseline {path!r} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    return data

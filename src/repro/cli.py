@@ -1213,6 +1213,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full report/comparison JSON",
     )
 
+    p = sub.add_parser(
+        "bench",
+        help="hot-path micro-benchmarks (trtsim.bench/1 JSON, "
+        "--check gates against a committed baseline)",
+    )
+    p.add_argument("--json", action="store_true", help="print the document")
+    p.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the bench document (e.g. BENCH_<sha>.json)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="gate against --baseline; non-zero exit on regression",
+    )
+    p.add_argument(
+        "--baseline", default="benchmarks/BASELINE_BENCH.json",
+        help="committed baseline document for --check",
+    )
+    p.add_argument(
+        "--tier1-seconds", type=float, default=None,
+        help="externally measured Tier-1 suite wall clock to gate "
+        "(normalized by the calibration loop)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="wall-clock regression tolerance (default 0.20)",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="fewer reps / fewer models"
+    )
+
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
     p.add_argument(
@@ -1256,6 +1287,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_bench(args) -> int:
+    """Hot-path micro-benchmarks plus optional baseline gating."""
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.analysis.bench import (
+        DEFAULT_TOLERANCE,
+        check_against_baseline,
+        load_baseline,
+        run_benchmarks,
+    )
+
+    result = run_benchmarks(quick=args.quick)
+    if args.tier1_seconds is not None:
+        result["tier1_wall_seconds"] = args.tier1_seconds
+
+    check = None
+    if args.check:
+        baseline = load_baseline(args.baseline)
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = float(
+                os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+            )
+        # Gating first: it annotates the document (sweep_speedup_vs_seed)
+        # before the artifact is written.
+        check = check_against_baseline(
+            result,
+            baseline,
+            tier1_seconds=args.tier1_seconds,
+            tolerance=tolerance,
+        )
+
+    doc = json.dumps(result, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(doc + "\n", encoding="utf-8")
+    if args.json or not (args.output or args.check):
+        print(doc)
+
+    if check is None:
+        return 0
+    print(check.format_text())
+    return 0 if check.ok else 1
+
+
 _HANDLERS = {
     "devices": _cmd_devices,
     "models": _cmd_models,
@@ -1271,6 +1348,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "fleet": _cmd_fleet,

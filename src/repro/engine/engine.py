@@ -20,7 +20,7 @@ cases (2) and (3) study exactly that configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.engine.tactics import TacticChoice
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.builder import PrecisionMode
     from repro.engine.passes import PassReport
-    from repro.hardware.gpu import InferenceTiming
+    from repro.hardware.gpu import InferenceTiming, TimelineSkeleton
     from repro.profiling.nvprof import Nvprof
 
 
@@ -143,6 +143,10 @@ class ExecutionContext:
         self._executor = GraphExecutor(
             engine.graph, engine.math_config, layer_hook=layer_hook
         )
+        # Deterministic timeline skeletons, keyed (clock, sm_fraction,
+        # batch, upload).  Valid for this context's fixed engine+device
+        # only, hence per-instance; repro.caching gates its use.
+        self._timing_cache: Dict[object, "TimelineSkeleton"] = {}
 
     # ------------------------------------------------------------------
     def execute(self, **inputs: np.ndarray) -> ExecutionResult:
@@ -188,6 +192,7 @@ class ExecutionContext:
             profiler=profiler,
             hardware_hook=hardware_hook,
             batch_size=batch_size,
+            skeleton_cache=self._timing_cache,
         )
 
     def infer(

@@ -22,8 +22,9 @@ Two properties matter downstream:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from repro.caching import caching_enabled
 from repro.graph.ir import DataType
 
 
@@ -319,6 +320,12 @@ class KernelCatalog:
         }
         if len(self._by_name) != len(self._kernels):
             raise ValueError("duplicate kernel names in catalog")
+        # candidates() is a pure scan of the immutable kernel list;
+        # engine builds ask the same (category, gemm_k, precisions)
+        # question for every layer, so memoize per instance.
+        self._candidates_cache: Dict[
+            Tuple[str, int, Tuple[DataType, ...]], Tuple[KernelSpec, ...]
+        ] = {}
 
     def __len__(self) -> int:
         return len(self._kernels)
@@ -336,6 +343,11 @@ class KernelCatalog:
         precisions: Sequence[DataType],
     ) -> List[KernelSpec]:
         """All kernels able to run a workload at any allowed precision."""
+        key = (category, int(gemm_k), tuple(precisions))
+        if caching_enabled():
+            hit = self._candidates_cache.get(key)
+            if hit is not None:
+                return list(hit)
         allowed = set(precisions)
         out = [
             k
@@ -351,6 +363,8 @@ class KernelCatalog:
                 if k.supports(category, gemm_k)
                 and k.precision is DataType.FP32
             ]
+        if caching_enabled():
+            self._candidates_cache[key] = tuple(out)
         return out
 
     def detection_sequence(self) -> List[KernelSpec]:

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
+from repro.caching import caching_enabled, register_cache
 from repro.graph.ir import DataType
 from repro.hardware.specs import DeviceSpec
 from repro.hardware.workload import LayerWorkload
@@ -76,64 +78,28 @@ class CostModel:
 
         ``sm_fraction`` (0 < f <= 1) models SM partitioning under
         concurrent streams: the kernel sees only a fraction of the SMs.
+
+        The breakdown is pure arithmetic over hashable inputs, so it is
+        memoized by (device, kernel, workload, clock, sm_fraction) —
+        every repeated timing query (DVFS ladders, batch sweeps, fleet
+        devices replaying the same engine) hits the cache.  Stochastic
+        measurement noise is applied by *callers* on top of this
+        deterministic cost, so memoization cannot leak jitter between
+        queries.
         """
-        dev = self.device
         if not 0.0 < sm_fraction <= 1.0:
             raise ValueError(f"sm_fraction must be in (0, 1], got {sm_fraction}")
-        effective_sms = max(1.0, dev.sms * sm_fraction)
-        clock_hz = clock_mhz * 1e6
-        # Burst-granularity mismatch: a kernel consuming only a small
-        # fraction of each DRAM burst pays proportionally more latency
-        # trips on a wide memory controller.  Accesses of at least a
-        # half burst still coalesce across the controller's channel
-        # pair; below a quarter burst the trips serialize.  This is the
-        # per-kernel mechanism behind the paper's Table XI (specific
-        # kernel variants slower on the AGX's 256-bit memory system).
-        granularity = getattr(kernel, "access_granularity_bytes", 64)
-        ratio = dev.min_burst_bytes / granularity
-        burst_penalty = ratio if ratio >= 4.0 else 1.0
-
-        if workload.gemm_k > 0:
-            # GEMM-shaped work: wave-quantized tile math.
-            blocks = (
-                math.ceil(workload.gemm_m / kernel.tile_m)
-                * math.ceil(workload.gemm_n / kernel.tile_n)
-                * kernel.split_k
-            )
-            concurrent = max(1, int(effective_sms) * kernel.blocks_per_sm)
-            waves = math.ceil(blocks / concurrent)
-            flops_per_block = (
-                2.0 * kernel.tile_m * kernel.tile_n
-                * workload.gemm_k / kernel.split_k
-            )
-            per_block_rate = (
-                _per_sm_flops_per_clock(dev, kernel)
-                * clock_hz / kernel.blocks_per_sm
-            )
-            compute_us = waves * flops_per_block / per_block_rate * 1e6
-            strides = math.ceil(
-                workload.gemm_k / kernel.split_k / kernel.prefetch_depth
-            )
-            latency_us = (
-                waves * strides * dev.dram_latency_ns * burst_penalty / 1e3
-            )
-        else:
-            # Pointwise-ish work: throughput-limited element math.
-            rate = (
-                _per_sm_flops_per_clock(dev, kernel)
-                * effective_sms * clock_hz
-            )
-            compute_us = workload.flops / rate * 1e6
-            latency_us = 4.0 * dev.dram_latency_ns * burst_penalty / 1e3
-
-        bw_gbps = dev.mem_bandwidth_gbps * kernel.bw_eff * sm_fraction
-        bandwidth_us = workload.total_bytes / (bw_gbps * 1e3)
-
-        return KernelCost(
-            launch_us=dev.kernel_launch_overhead_us,
-            compute_us=compute_us,
-            bandwidth_us=bandwidth_us,
-            latency_us=latency_us,
+        if caching_enabled():
+            try:
+                return _kernel_cost_cached(
+                    self.device, kernel, workload, clock_mhz, sm_fraction
+                )
+            except TypeError:
+                # Unhashable kernel stand-ins (test doubles): price
+                # directly without caching.
+                pass
+        return _compute_kernel_cost(
+            self.device, kernel, workload, clock_mhz, sm_fraction
         )
 
     def kernel_time_us(
@@ -145,3 +111,83 @@ class CostModel:
     ) -> float:
         """Convenience wrapper for :meth:`kernel_cost`'s total."""
         return self.kernel_cost(kernel, workload, clock_mhz, sm_fraction).total_us
+
+
+@lru_cache(maxsize=None)
+def _kernel_cost_cached(
+    device: DeviceSpec,
+    kernel,
+    workload: LayerWorkload,
+    clock_mhz: float,
+    sm_fraction: float,
+) -> KernelCost:
+    """Memoized cost: DeviceSpec/KernelSpec/LayerWorkload are all
+    frozen dataclasses, so the argument tuple is a complete key."""
+    return _compute_kernel_cost(device, kernel, workload, clock_mhz, sm_fraction)
+
+
+register_cache(_kernel_cost_cached.cache_clear)
+
+
+def _compute_kernel_cost(
+    dev: DeviceSpec,
+    kernel,
+    workload: LayerWorkload,
+    clock_mhz: float,
+    sm_fraction: float,
+) -> KernelCost:
+    effective_sms = max(1.0, dev.sms * sm_fraction)
+    clock_hz = clock_mhz * 1e6
+    # Burst-granularity mismatch: a kernel consuming only a small
+    # fraction of each DRAM burst pays proportionally more latency
+    # trips on a wide memory controller.  Accesses of at least a
+    # half burst still coalesce across the controller's channel
+    # pair; below a quarter burst the trips serialize.  This is the
+    # per-kernel mechanism behind the paper's Table XI (specific
+    # kernel variants slower on the AGX's 256-bit memory system).
+    granularity = getattr(kernel, "access_granularity_bytes", 64)
+    ratio = dev.min_burst_bytes / granularity
+    burst_penalty = ratio if ratio >= 4.0 else 1.0
+
+    if workload.gemm_k > 0:
+        # GEMM-shaped work: wave-quantized tile math.
+        blocks = (
+            math.ceil(workload.gemm_m / kernel.tile_m)
+            * math.ceil(workload.gemm_n / kernel.tile_n)
+            * kernel.split_k
+        )
+        concurrent = max(1, int(effective_sms) * kernel.blocks_per_sm)
+        waves = math.ceil(blocks / concurrent)
+        flops_per_block = (
+            2.0 * kernel.tile_m * kernel.tile_n
+            * workload.gemm_k / kernel.split_k
+        )
+        per_block_rate = (
+            _per_sm_flops_per_clock(dev, kernel)
+            * clock_hz / kernel.blocks_per_sm
+        )
+        compute_us = waves * flops_per_block / per_block_rate * 1e6
+        strides = math.ceil(
+            workload.gemm_k / kernel.split_k / kernel.prefetch_depth
+        )
+        latency_us = (
+            waves * strides * dev.dram_latency_ns * burst_penalty / 1e3
+        )
+    else:
+        # Pointwise-ish work: throughput-limited element math.
+        rate = (
+            _per_sm_flops_per_clock(dev, kernel)
+            * effective_sms * clock_hz
+        )
+        compute_us = workload.flops / rate * 1e6
+        latency_us = 4.0 * dev.dram_latency_ns * burst_penalty / 1e3
+
+    bw_gbps = dev.mem_bandwidth_gbps * kernel.bw_eff * sm_fraction
+    bandwidth_us = workload.total_bytes / (bw_gbps * 1e3)
+
+    return KernelCost(
+        launch_us=dev.kernel_launch_overhead_us,
+        compute_us=compute_us,
+        bandwidth_us=bandwidth_us,
+        latency_us=latency_us,
+    )

@@ -11,10 +11,11 @@ paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.caching import caching_enabled
 from repro.hardware.cost import CostModel
 from repro.hardware.memory import MemcpyModel
 from repro.hardware.specs import DeviceSpec
@@ -82,98 +83,48 @@ class InferenceTiming:
         return self.kernel_us
 
 
-def simulate_inference(
+#: Deterministic timeline skeleton: (upload (bytes, calls, us) or None,
+#: input (bytes, us) or None, per-kernel (kernel_name, layer_name, base_us),
+#: the base durations again as a read-only float64 vector).
+TimelineSkeleton = Tuple[
+    Optional[Tuple[int, int, float]],
+    Optional[Tuple[int, float]],
+    Tuple[Tuple[str, str, float], ...],
+    np.ndarray,
+]
+
+
+def _timeline_skeleton(
     bindings: Sequence["LayerBinding"],
     device: DeviceSpec,
     clock_mhz: float,
     weight_chunks: Sequence[int],
     input_bytes: int,
-    include_engine_upload: bool = True,
-    rng: Optional[np.random.Generator] = None,
-    jitter: float = 0.05,
-    sm_fraction: float = 1.0,
-    profiler: Optional["Nvprof"] = None,
-    hardware_hook: Optional[object] = None,
-    batch_size: int = 1,
-) -> InferenceTiming:
-    """Simulate one inference and return its timeline.
+    include_engine_upload: bool,
+    sm_fraction: float,
+    batch_size: int,
+) -> TimelineSkeleton:
+    """The noise-free portion of the timeline.
 
-    ``batch_size`` runs the whole engine once over a micro-batch: every
-    kernel sees its layer workload scaled via
-    :meth:`~repro.hardware.workload.LayerWorkload.for_batch` (linear
-    activation traffic and FLOPs, amortized weights and launches), and
-    the input memcpy carries ``batch_size`` images.  ``batch_size=1``
-    is bit-identical to the pre-batching timeline.
-
-    ``profiler`` (an :class:`repro.profiling.nvprof.Nvprof`) both
-    records the events and *perturbs* them — profiling is not free, and
-    the paper's Tables VIII vs IX quantify exactly that overhead.
-
-    ``hardware_hook`` injects hardware-level faults: it provides
-    ``memcpy_factor(label, start_us) -> float`` and
-    ``kernel_factor(layer_name, kernel_name, start_us) -> float``
-    multipliers on event durations (DRAM-bandwidth degradation, memcpy
-    stalls, kernel hangs).  :class:`repro.faults.FaultInjector`
-    implements this protocol; a factor of exactly ``1.0`` leaves the
-    timeline bit-identical to the hook-free run.
+    Everything here is a pure function of (engine, device, clock,
+    sm_fraction, batch): memcpy transfer times and per-kernel base
+    durations.  Jitter, profiler overhead, and fault-hook factors are
+    applied per call on top, so caching the skeleton cannot change any
+    simulated byte.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     cost_model = CostModel(device)
     memcpy = MemcpyModel(device)
-    timing = InferenceTiming(
-        device_name=device.name, clock_mhz=clock_mhz, batch_size=batch_size
-    )
-    cursor = 0.0
-
-    def noisy(value: float) -> float:
-        if rng is None or jitter <= 0:
-            return value
-        return float(value * max(0.5, 1.0 + jitter * rng.standard_normal()))
-
-    overhead = profiler.kernel_overhead_factor if profiler is not None else 1.0
-    memcpy_overhead = (
-        profiler.memcpy_overhead_factor if profiler is not None else 1.0
-    )
-
+    upload: Optional[Tuple[int, int, float]] = None
     if include_engine_upload and weight_chunks:
-        upload = memcpy.transfer(list(weight_chunks))
-        dur = noisy(upload.total_us) * memcpy_overhead
-        if hardware_hook is not None:
-            dur *= hardware_hook.memcpy_factor(
-                "[CUDA memcpy HtoD] engine", cursor
-            )
-        timing.memcpy_events.append(
-            MemcpyEvent(
-                label="[CUDA memcpy HtoD] engine",
-                bytes=upload.bytes,
-                calls=upload.calls,
-                start_us=cursor,
-                duration_us=dur,
-            )
-        )
-        cursor += dur
-
+        up = memcpy.transfer(list(weight_chunks))
+        upload = (up.bytes, up.calls, up.total_us)
+    inp: Optional[Tuple[int, float]] = None
     if input_bytes:
-        inp = memcpy.single(
+        single = memcpy.single(
             input_bytes if batch_size == 1 else input_bytes * batch_size
         )
-        dur = noisy(inp.total_us) * memcpy_overhead
-        if hardware_hook is not None:
-            dur *= hardware_hook.memcpy_factor(
-                "[CUDA memcpy HtoD] input", cursor
-            )
-        timing.memcpy_events.append(
-            MemcpyEvent(
-                label="[CUDA memcpy HtoD] input",
-                bytes=inp.bytes,
-                calls=1,
-                start_us=cursor,
-                duration_us=dur,
-            )
-        )
-        cursor += dur
-
+        inp = (single.bytes, single.total_us)
+    kernels: List[Tuple[str, str, float]] = []
     for binding in bindings:
         n_kernels = len(binding.kernels)
         workload = binding.workload.for_batch(batch_size)
@@ -197,15 +148,178 @@ def simulate_inference(
                 )
             else:
                 base = cost.total_us
-            dur = noisy(base) * overhead
-            if hardware_hook is not None:
-                dur *= hardware_hook.kernel_factor(
-                    binding.layer_name, kernel.name, cursor
-                )
+            kernels.append((kernel.name, binding.layer_name, base))
+    bases = np.array([k[2] for k in kernels], dtype=np.float64)
+    bases.setflags(write=False)
+    return upload, inp, tuple(kernels), bases
+
+
+def simulate_inference(
+    bindings: Sequence["LayerBinding"],
+    device: DeviceSpec,
+    clock_mhz: float,
+    weight_chunks: Sequence[int],
+    input_bytes: int,
+    include_engine_upload: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.05,
+    sm_fraction: float = 1.0,
+    profiler: Optional["Nvprof"] = None,
+    hardware_hook: Optional[object] = None,
+    batch_size: int = 1,
+    skeleton_cache: Optional[Dict[object, TimelineSkeleton]] = None,
+) -> InferenceTiming:
+    """Simulate one inference and return its timeline.
+
+    ``batch_size`` runs the whole engine once over a micro-batch: every
+    kernel sees its layer workload scaled via
+    :meth:`~repro.hardware.workload.LayerWorkload.for_batch` (linear
+    activation traffic and FLOPs, amortized weights and launches), and
+    the input memcpy carries ``batch_size`` images.  ``batch_size=1``
+    is bit-identical to the pre-batching timeline.
+
+    ``profiler`` (an :class:`repro.profiling.nvprof.Nvprof`) both
+    records the events and *perturbs* them — profiling is not free, and
+    the paper's Tables VIII vs IX quantify exactly that overhead.
+
+    ``hardware_hook`` injects hardware-level faults: it provides
+    ``memcpy_factor(label, start_us) -> float`` and
+    ``kernel_factor(layer_name, kernel_name, start_us) -> float``
+    multipliers on event durations (DRAM-bandwidth degradation, memcpy
+    stalls, kernel hangs).  :class:`repro.faults.FaultInjector`
+    implements this protocol; a factor of exactly ``1.0`` leaves the
+    timeline bit-identical to the hook-free run.
+
+    ``skeleton_cache`` (an engine-owned dict, see
+    :class:`repro.engine.engine.ExecutionContext`) memoizes the
+    deterministic timeline skeleton per (clock, sm_fraction, batch,
+    upload) key.  The caller must dedicate one dict per fixed
+    (bindings, device, weight_chunks, input_bytes) tuple — the key does
+    not re-derive those.  Jitter, profiler overhead, and fault hooks
+    are applied per call in the original order, so cached and uncached
+    timelines are bit-identical draw for draw.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    timing = InferenceTiming(
+        device_name=device.name, clock_mhz=clock_mhz, batch_size=batch_size
+    )
+    cursor = 0.0
+
+    skeleton: Optional[TimelineSkeleton] = None
+    cache_key: Optional[Tuple[float, float, int, bool]] = None
+    if skeleton_cache is not None and caching_enabled():
+        cache_key = (
+            float(clock_mhz),
+            float(sm_fraction),
+            batch_size,
+            bool(include_engine_upload),
+        )
+        skeleton = skeleton_cache.get(cache_key)
+    if skeleton is None:
+        skeleton = _timeline_skeleton(
+            bindings,
+            device,
+            clock_mhz,
+            weight_chunks,
+            input_bytes,
+            include_engine_upload,
+            sm_fraction,
+            batch_size,
+        )
+        if cache_key is not None:
+            skeleton_cache[cache_key] = skeleton
+    upload, inp, kernel_bases, base_vec = skeleton
+
+    def noisy(value: float) -> float:
+        if rng is None or jitter <= 0:
+            return value
+        return float(value * max(0.5, 1.0 + jitter * rng.standard_normal()))
+
+    overhead = profiler.kernel_overhead_factor if profiler is not None else 1.0
+    memcpy_overhead = (
+        profiler.memcpy_overhead_factor if profiler is not None else 1.0
+    )
+
+    if upload is not None:
+        up_bytes, up_calls, up_us = upload
+        dur = noisy(up_us) * memcpy_overhead
+        if hardware_hook is not None:
+            dur *= hardware_hook.memcpy_factor(
+                "[CUDA memcpy HtoD] engine", cursor
+            )
+        timing.memcpy_events.append(
+            MemcpyEvent(
+                label="[CUDA memcpy HtoD] engine",
+                bytes=up_bytes,
+                calls=up_calls,
+                start_us=cursor,
+                duration_us=dur,
+            )
+        )
+        cursor += dur
+
+    if inp is not None:
+        in_bytes, in_us = inp
+        dur = noisy(in_us) * memcpy_overhead
+        if hardware_hook is not None:
+            dur *= hardware_hook.memcpy_factor(
+                "[CUDA memcpy HtoD] input", cursor
+            )
+        timing.memcpy_events.append(
+            MemcpyEvent(
+                label="[CUDA memcpy HtoD] input",
+                bytes=in_bytes,
+                calls=1,
+                start_us=cursor,
+                duration_us=dur,
+            )
+        )
+        cursor += dur
+
+    # One vectorized draw replaces the per-kernel scalar draws.  A
+    # Generator consumes the stream identically for ``standard_normal(n)``
+    # and n scalar calls, and the arithmetic below matches ``noisy``
+    # op for op, so the factors (and the rng state afterwards) are
+    # bit-identical to the scalar loop.
+    factors: Optional[np.ndarray] = None
+    if rng is not None and jitter > 0 and kernel_bases:
+        factors = np.maximum(
+            0.5, 1.0 + jitter * rng.standard_normal(len(kernel_bases))
+        )
+
+    if hardware_hook is None:
+        # Fast path: durations and start times vectorize.  Both the
+        # elementwise ``(base * factor) * overhead`` and the sequential
+        # left-to-right ``cumsum`` reproduce the scalar loop's float64
+        # operations exactly, so every event is bit-identical.
+        if factors is not None:
+            durs = base_vec * factors * overhead
+        else:
+            durs = base_vec * overhead
+        cum = np.concatenate(([cursor], durs)).cumsum()
+        starts = cum[:-1].tolist()
+        dur_list = durs.tolist()
+        timing.kernel_events.extend(
+            KernelEvent(name, layer, start, dur)
+            for (name, layer, _), start, dur in zip(
+                kernel_bases, starts, dur_list
+            )
+        )
+        cursor = float(cum[-1]) if kernel_bases else cursor
+    else:
+        for i, (kernel_name, layer_name, base) in enumerate(kernel_bases):
+            if factors is not None:
+                dur = float(base * factors[i]) * overhead
+            else:
+                dur = base * overhead
+            dur *= hardware_hook.kernel_factor(
+                layer_name, kernel_name, cursor
+            )
             timing.kernel_events.append(
                 KernelEvent(
-                    kernel_name=kernel.name,
-                    layer_name=binding.layer_name,
+                    kernel_name=kernel_name,
+                    layer_name=layer_name,
                     start_us=cursor,
                     duration_us=dur,
                 )

@@ -4,15 +4,25 @@ The cost model prices a kernel from (a) the kernel's own properties
 (tile size, precision, prefetch depth) and (b) the *workload* of the
 layer it executes.  This module derives the workload from the IR layer
 and the inferred tensor shapes.
+
+Workload derivation is a pure function of a small hashable **layer
+digest** — (kind, the attrs the formulas read, in/out shapes, weight
+bytes, activation dtype) — so both :func:`layer_workload` and
+:meth:`LayerWorkload.for_batch` are memoized: an engine build, a
+timing sweep, and a fleet of serving devices all re-derive the same
+handful of digests millions of times.  :mod:`repro.caching` controls
+the memos; the byte-identity suite asserts cached == uncached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.caching import caching_enabled, register_cache
 from repro.graph.ir import DataType, Layer, LayerKind
 
 Shape = Tuple[int, ...]
@@ -60,6 +70,11 @@ class LayerWorkload:
             return self
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if caching_enabled():
+            return _for_batch_cached(self, batch_size)
+        return self._scaled(batch_size)
+
+    def _scaled(self, batch_size: int) -> "LayerWorkload":
         return LayerWorkload(
             flops=self.flops * batch_size,
             bytes_in=self.bytes_in * batch_size,
@@ -71,6 +86,18 @@ class LayerWorkload:
             elements_out=self.elements_out * batch_size,
             category=self.category,
         )
+
+
+@lru_cache(maxsize=None)
+def _for_batch_cached(
+    workload: LayerWorkload, batch_size: int
+) -> LayerWorkload:
+    """Memoized batch scaling — :class:`LayerWorkload` is frozen, so
+    (workload, batch) is a complete key for the pure arithmetic."""
+    return workload._scaled(batch_size)
+
+
+register_cache(_for_batch_cached.cache_clear)
 
 
 #: Map from layer kind to kernel-catalog category.
@@ -106,6 +133,54 @@ def _vol(shape: Shape) -> int:
     return int(np.prod(shape)) if shape else 1
 
 
+#: The only attrs the workload formulas read; everything else on the
+#: layer (names, weights, fusion bookkeeping) cannot change the result.
+_WORKLOAD_ATTRS = ("kernel", "out_channels", "splits", "out_units", "global", "size")
+
+#: (kind, relevant attrs, in shapes, out shapes, weight bytes, dtype)
+Digest = Tuple[
+    LayerKind,
+    Tuple[Tuple[str, object], ...],
+    Tuple[Shape, ...],
+    Tuple[Shape, ...],
+    int,
+    DataType,
+]
+
+
+def layer_digest(
+    layer: Layer,
+    tensor_shapes: Dict[str, Shape],
+    act_dtype: DataType = DataType.FP32,
+) -> Digest:
+    """Hashable digest of everything :func:`layer_workload` depends on.
+
+    Two layers with equal digests have identical workloads — the basis
+    for the memoization (and usable by callers as a dedup key).
+    """
+    attrs = layer.attrs
+    frozen_attrs = tuple(
+        (
+            key,
+            tuple(attrs[key])
+            if isinstance(attrs[key], (list, tuple))
+            else attrs[key],
+        )
+        for key in _WORKLOAD_ATTRS
+        if key in attrs
+    )
+    in_shapes = tuple(tuple(tensor_shapes[t]) for t in layer.inputs)
+    out_shapes = tuple(tuple(tensor_shapes[t]) for t in layer.outputs)
+    return (
+        layer.kind,
+        frozen_attrs,
+        in_shapes,
+        out_shapes,
+        layer.weight_bytes(),
+        act_dtype,
+    )
+
+
 def layer_workload(
     layer: Layer,
     tensor_shapes: Dict[str, Shape],
@@ -115,29 +190,44 @@ def layer_workload(
 
     ``act_dtype`` prices activation traffic (engines moving FP16
     activations halve their DRAM bytes — part of the optimized path's
-    throughput win).
+    throughput win).  The derivation is memoized by
+    :func:`layer_digest`; disable via :mod:`repro.caching` to force
+    recomputation.
     """
-    in_shapes = [tensor_shapes[t] for t in layer.inputs]
-    out_shapes = [tensor_shapes[t] for t in layer.outputs]
+    digest = layer_digest(layer, tensor_shapes, act_dtype)
+    if caching_enabled():
+        return _workload_cached(digest)
+    return _workload_from_digest(digest)
+
+
+@lru_cache(maxsize=None)
+def _workload_cached(digest: Digest) -> LayerWorkload:
+    return _workload_from_digest(digest)
+
+
+register_cache(_workload_cached.cache_clear)
+
+
+def _workload_from_digest(digest: Digest) -> LayerWorkload:
+    kind, attr_items, in_shapes, out_shapes, bytes_w, act_dtype = digest
+    attrs = dict(attr_items)
     act_size = act_dtype.itemsize
     bytes_in = sum(_vol(s) for s in in_shapes) * act_size
     bytes_out = sum(_vol(s) for s in out_shapes) * act_size
-    bytes_w = layer.weight_bytes()
     elements_out = sum(_vol(s) for s in out_shapes)
-    category = _CATEGORY[layer.kind]
+    category = _CATEGORY[kind]
 
-    kind = layer.kind
     if kind in (
         LayerKind.CONVOLUTION,
         LayerKind.FUSED_CONV_BLOCK,
         LayerKind.MERGED_CONV,
     ):
         in_c = in_shapes[0][0]
-        k = int(layer.attrs.get("kernel", 3))
+        k = int(attrs.get("kernel", 3))
         if kind is LayerKind.MERGED_CONV:
-            out_c = sum(int(s) for s in layer.attrs["splits"])
+            out_c = sum(int(s) for s in attrs["splits"])
         else:
-            out_c = int(layer.attrs["out_channels"])
+            out_c = int(attrs["out_channels"])
         out_pixels = out_shapes[0][1] * out_shapes[0][2]
         gemm_k = in_c * k * k
         flops = 2.0 * out_c * out_pixels * gemm_k
@@ -148,7 +238,7 @@ def layer_workload(
 
     if kind is LayerKind.DEPTHWISE_CONVOLUTION:
         c, out_h, out_w = out_shapes[0]
-        k = int(layer.attrs.get("kernel", 3))
+        k = int(attrs.get("kernel", 3))
         flops = 2.0 * c * out_h * out_w * k * k
         return LayerWorkload(
             flops, bytes_in, bytes_w, bytes_out,
@@ -158,8 +248,8 @@ def layer_workload(
     if kind is LayerKind.DECONVOLUTION:
         in_c = in_shapes[0][0]
         in_pixels = in_shapes[0][1] * in_shapes[0][2]
-        k = int(layer.attrs.get("kernel", 2))
-        out_c = int(layer.attrs["out_channels"])
+        k = int(attrs.get("kernel", 2))
+        out_c = int(attrs["out_channels"])
         flops = 2.0 * out_c * in_pixels * in_c * k * k
         return LayerWorkload(
             flops, bytes_in, bytes_w, bytes_out,
@@ -168,7 +258,7 @@ def layer_workload(
 
     if kind in (LayerKind.FULLY_CONNECTED, LayerKind.FUSED_FC_BLOCK):
         in_units = _vol(in_shapes[0])
-        out_units = int(layer.attrs["out_units"])
+        out_units = int(attrs["out_units"])
         flops = 2.0 * out_units * in_units
         return LayerWorkload(
             flops, bytes_in, bytes_w, bytes_out,
@@ -176,10 +266,10 @@ def layer_workload(
         )
 
     if kind is LayerKind.POOLING:
-        if layer.attrs.get("global"):
+        if attrs.get("global"):
             window = in_shapes[0][1] * in_shapes[0][2]
         else:
-            window = int(layer.attrs.get("kernel", 2)) ** 2
+            window = int(attrs.get("kernel", 2)) ** 2
         flops = float(elements_out * window)
         return LayerWorkload(
             flops, bytes_in, bytes_w, bytes_out,
@@ -187,7 +277,7 @@ def layer_workload(
         )
 
     if kind is LayerKind.LRN:
-        size = int(layer.attrs.get("size", 5))
+        size = int(attrs.get("size", 5))
         flops = float(elements_out * (size + 4))
         return LayerWorkload(
             flops, bytes_in, bytes_w, bytes_out,

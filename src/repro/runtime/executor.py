@@ -58,6 +58,15 @@ class GraphExecutor:
         self.keep_intermediates = keep_intermediates
         self.layer_hook = layer_hook
         self._order = graph.toposort()
+        # Consumer counts are a property of the graph, not of a run:
+        # build them once and hand each run() a fresh copy.
+        base_refcount: Dict[str, int] = {}
+        for layer in self._order:
+            for t in layer.inputs:
+                base_refcount[t] = base_refcount.get(t, 0) + 1
+        for out in graph.output_names:
+            base_refcount[out] = base_refcount.get(out, 0) + 1
+        self._base_refcount = base_refcount
 
     # ------------------------------------------------------------------
     def run(self, **inputs: np.ndarray) -> ExecutionResult:
@@ -75,12 +84,7 @@ class GraphExecutor:
                 )
             tensors[name] = arr
 
-        refcount: Dict[str, int] = {}
-        for layer in self._order:
-            for t in layer.inputs:
-                refcount[t] = refcount.get(t, 0) + 1
-        for out in self.graph.output_names:
-            refcount[out] = refcount.get(out, 0) + 1
+        refcount = dict(self._base_refcount)
 
         for layer in self._order:
             results = self._run_layer(layer, tensors)

@@ -9,20 +9,148 @@ semantics are the point of this module:
   into ``split_k`` chunks, each partial product is computed and *rounded
   to float16* before the chunks are summed in float16.  Two kernels with
   different ``split_k`` therefore produce genuinely different roundings,
-  exactly like differently-tiled cuDNN/cuBLAS kernels.
-* **INT8** — symmetric per-tensor quantization with calibrated scales;
+  exactly like differently-tiled cuDNN/cuBLAS kernels.  This applies to
+  the depthwise path too: its ``k*k`` window reduction is chunked the
+  same way.
+* **INT8** — symmetric per-tensor activation quantization with
+  calibrated scales; weights use per-channel scales **capped at the
+  calibrated weight scale** (a channel whose absmax exceeds the
+  calibration range must not silently widen its quantization step);
   accumulation is exact in int32, then dequantized.
+
+The spatial ops are loop-free: im2col patches, depthwise/pooling
+windows, and deconvolution scatters all go through flat gather/scatter
+index tensors that are pure functions of the layer shape and are
+memoized with ``lru_cache`` (the tinygrad idiom).  Caching never
+changes a result byte — an index tensor is the same whether it came
+from the cache or was rebuilt — and :mod:`repro.caching` provides the
+global off switch the byte-identity tests flip.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.caching import caching_enabled, register_cache
 from repro.graph.ir import DataType
 from repro.graph.shapes import pool_output_hw
 from repro.runtime.math_config import LayerMath
+
+
+# ----------------------------------------------------------------------
+# cached index tensors (pure functions of the layer shape)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _chunk_bounds(k: int, split_k: int) -> Tuple[Tuple[int, int], ...]:
+    """Non-empty ``[lo, hi)`` reduction chunks for a split-K kernel."""
+    bounds = np.linspace(0, k, split_k + 1, dtype=int)
+    return tuple(
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    )
+
+
+@lru_cache(maxsize=512)
+def _im2col_index(
+    c: int, h: int, w: int, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Flat gather indices unfolding a padded ``(C, h, w)`` map into
+    im2col patch rows: shape ``(out_h*out_w, c*kernel*kernel)``, rows
+    ordered over output pixels, columns ordered (channel, ky, kx)."""
+    chan = np.arange(c, dtype=np.int32)[:, None, None] * (h * w)
+    ky = np.arange(kernel, dtype=np.int32)[None, :, None] * w
+    kx = np.arange(kernel, dtype=np.int32)[None, None, :]
+    offsets = (chan + ky + kx).reshape(1, -1)
+    oy = np.arange(out_h, dtype=np.int32)[:, None] * (stride * w)
+    ox = np.arange(out_w, dtype=np.int32)[None, :] * stride
+    base = (oy + ox).reshape(-1, 1)
+    idx = base + offsets
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=512)
+def _channel_window_index(
+    c: int, h: int, w: int, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Flat gather indices producing per-channel sliding windows:
+    shape ``(c, out_h, out_w, kernel*kernel)`` (depthwise/pooling
+    layout, window elements ordered (ky, kx))."""
+    base = _im2col_index.__wrapped__(c, h, w, kernel, stride, out_h, out_w)
+    k2 = kernel * kernel
+    idx = np.ascontiguousarray(
+        base.reshape(out_h, out_w, c, k2).transpose(2, 0, 1, 3)
+    )
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=512)
+def _avg_pool_divisors(
+    h: int, w: int, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Per-window divisor for Caffe-style average pooling: the number
+    of window elements inside the *declared* (possibly user-padded)
+    ``h x w`` extent.  The synthetic right/bottom zero rows added so
+    ceil-mode windows are complete are out of bounds and excluded."""
+    oy = np.arange(out_h) * stride
+    ox = np.arange(out_w) * stride
+    rows = np.minimum(oy + kernel, h) - oy
+    cols = np.minimum(ox + kernel, w) - ox
+    div = (rows[:, None] * cols[None, :]).astype(np.float32)
+    div.setflags(write=False)
+    return div
+
+
+@lru_cache(maxsize=256)
+def _deconv_scatter_index(
+    h: int, w: int, kernel: int, stride: int, out_w: int
+) -> np.ndarray:
+    """Flat scatter indices for the transposed-convolution stamp sum,
+    ordered (ky, kx, y, x) so per-output-element accumulation happens
+    in the same (ky, kx) order as the historical stamp loop."""
+    ky = np.arange(kernel)[:, None, None, None]
+    kx = np.arange(kernel)[None, :, None, None]
+    y = np.arange(h)[None, None, :, None]
+    x = np.arange(w)[None, None, None, :]
+    idx = ((y * stride + ky) * out_w + (x * stride + kx)).reshape(-1)
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=64)
+def _detection_cell_centers(
+    h: int, w: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalized (cx, cy) grid-cell centers for box decoding."""
+    ys, xs = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    cell_cx = (xs + 0.5) / w
+    cell_cy = (ys + 0.5) / h
+    cell_cx.setflags(write=False)
+    cell_cy.setflags(write=False)
+    return cell_cx, cell_cy
+
+
+for _fn in (
+    _chunk_bounds,
+    _im2col_index,
+    _channel_window_index,
+    _avg_pool_divisors,
+    _deconv_scatter_index,
+    _detection_cell_centers,
+):
+    register_cache(_fn.cache_clear)
+
+
+def _index(cached_fn, *key):
+    """Fetch an index tensor, bypassing the memo when caching is off."""
+    if caching_enabled():
+        return cached_fn(*key)
+    return cached_fn.__wrapped__(*key)
 
 
 # ----------------------------------------------------------------------
@@ -41,15 +169,19 @@ def _matmul_fp16_split(
     b16 = b.astype(np.float16)
     k = a16.shape[1]
     split_k = max(1, min(split_k, k))
-    bounds = np.linspace(0, k, split_k + 1, dtype=int)
+    if split_k == 1:
+        partial = (
+            a16.astype(np.float32) @ b16.astype(np.float32)
+        ).astype(np.float16)
+        # ``+ 0`` replicates accumulating into a zero buffer (it
+        # normalizes -0.0 like the multi-chunk path does).
+        return (partial + np.float16(0.0)).astype(np.float32)
     acc = np.zeros((a16.shape[0], b16.shape[1]), dtype=np.float16)
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
-        if hi <= lo:
-            continue
+    for lo, hi in _index(_chunk_bounds, k, split_k):
         partial = (
             a16[:, lo:hi].astype(np.float32) @ b16[lo:hi, :].astype(np.float32)
         ).astype(np.float16)
-        acc = (acc + partial).astype(np.float16)
+        acc = acc + partial  # fp16 + fp16 stays fp16
     return acc.astype(np.float32)
 
 
@@ -58,6 +190,21 @@ def _quantize_sym(x: np.ndarray, scale: float) -> np.ndarray:
     if scale <= 0:
         raise ValueError(f"int8 scale must be positive, got {scale}")
     return np.clip(np.rint(x / scale), -127, 127)
+
+
+def _per_channel_scales(absmax: np.ndarray, scale_cap: float) -> np.ndarray:
+    """Per-output-channel weight scales, capped at the calibrated
+    per-tensor scale.
+
+    A channel whose absmax exceeds the calibration range would
+    otherwise widen its own quantization step past what calibration
+    promised — the cap clips that channel instead (TensorRT clamps to
+    the calibrated dynamic range).  Channels without weights fall back
+    to the cap.
+    """
+    return np.where(
+        absmax > 0, np.minimum(absmax / 127.0, scale_cap), scale_cap
+    )
 
 
 def _matmul_int8(
@@ -72,12 +219,12 @@ def _matmul_int8(
     weights (``b``) are quantized **per output channel** (per column),
     as TensorRT does — per-tensor weight scales would let one large
     channel destroy the resolution of all the others.  ``scale_b``
-    caps the per-channel scales (channels without weights fall back to
-    it).
+    caps the per-channel scales (and channels without weights fall
+    back to it): see :func:`_per_channel_scales`.
     """
     qa = _quantize_sym(a, scale_a)
     col_absmax = np.abs(b).max(axis=0)
-    col_scales = np.where(col_absmax > 0, col_absmax / 127.0, scale_b)
+    col_scales = _per_channel_scales(col_absmax, scale_b)
     qb = np.clip(np.rint(b / col_scales[None, :]), -127, 127)
     # float64 holds int32-range products exactly.
     acc = qa.astype(np.float64) @ qb.astype(np.float64)
@@ -116,19 +263,27 @@ def _pad_nchw(x: np.ndarray, pad: int, value: float = 0.0) -> np.ndarray:
 def im2col(
     x: np.ndarray, kernel: int, stride: int, pad: int
 ) -> Tuple[np.ndarray, int, int]:
-    """Unfold ``x`` (N,C,H,W) into (N*OH*OW, C*k*k) patch rows."""
+    """Unfold ``x`` (N,C,H,W) into (N*OH*OW, C*k*k) patch rows via a
+    single flat gather with a cached index tensor."""
     x = _pad_nchw(x, pad)
     n, c, h, w = x.shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
-    windows = np.lib.stride_tricks.sliding_window_view(
-        x, (kernel, kernel), axis=(2, 3)
-    )[:, :, ::stride, ::stride, :, :]
-    # windows: (N, C, OH, OW, k, k) -> (N, OH, OW, C, k, k)
-    patches = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kernel * kernel
+    idx = _index(_im2col_index, c, h, w, kernel, stride, out_h, out_w)
+    patches = x.reshape(n, -1)[:, idx]
+    return patches.reshape(n * out_h * out_w, c * kernel * kernel), out_h, out_w
+
+
+def _gather_channel_windows(
+    xp: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Per-channel sliding windows ``(N, C, OH, OW, k*k)`` of a padded
+    map, gathered contiguously through the cached index tensor."""
+    n, c, h, w = xp.shape
+    idx = _index(
+        _channel_window_index, c, h, w, kernel, stride, out_h, out_w
     )
-    return np.ascontiguousarray(patches), out_h, out_w
+    return xp.reshape(n, -1)[:, idx]
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +310,7 @@ def conv2d(
     out = out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1).astype(np.float32)
-    return np.ascontiguousarray(out.astype(np.float32))
+    return np.ascontiguousarray(out.astype(np.float32, copy=False))
 
 
 def depthwise_conv2d(
@@ -166,43 +321,52 @@ def depthwise_conv2d(
     pad: int,
     math: LayerMath,
 ) -> np.ndarray:
-    """Depthwise convolution. ``kernel`` is (C, 1, k, k)."""
+    """Depthwise convolution. ``kernel`` is (C, 1, k, k).
+
+    The FP16 path honors ``math.split_k`` over its ``k*k`` window
+    reduction: each chunk's partial sum is rounded to float16 before
+    the chunks are summed in float16, matching the module's split-K
+    contract (and the non-depthwise matmul path).
+    """
     n, c, _h, _w = x.shape
     k = kernel.shape[2]
     xp = _pad_nchw(x, pad)
-    windows = np.lib.stride_tricks.sliding_window_view(
-        xp, (k, k), axis=(2, 3)
-    )[:, :, ::stride, ::stride, :, :]
-    # windows: (N, C, OH, OW, k, k); weights: (C, k, k)
-    w = kernel[:, 0]
+    out_h = (xp.shape[2] - k) // stride + 1
+    out_w = (xp.shape[3] - k) // stride + 1
+    windows = _gather_channel_windows(xp, k, stride, out_h, out_w)
+    w = kernel[:, 0].reshape(c, 1, 1, k * k)
     if math.precision is DataType.FP16:
         prod = (
             windows.astype(np.float16).astype(np.float32)
-            * w[None, :, None, None].astype(np.float16).astype(np.float32)
+            * w.astype(np.float16).astype(np.float32)
         )
-        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1).astype(np.float16)
-        out = out.astype(np.float32)
+        k2 = k * k
+        split_k = max(1, min(math.split_k, k2))
+        acc = np.zeros(prod.shape[:4], dtype=np.float16)
+        for lo, hi in _index(_chunk_bounds, k2, split_k):
+            partial = prod[..., lo:hi].sum(axis=-1).astype(np.float16)
+            acc = acc + partial  # fp16 + fp16 stays fp16
+        out = acc.astype(np.float32)
     elif math.precision is DataType.INT8:
         qx = _quantize_sym(windows, math.int8_scale_in)
-        # Per-channel weight scales (TensorRT convention).
-        ch_absmax = np.abs(w).max(axis=(1, 2))
-        ch_scales = np.where(
-            ch_absmax > 0, ch_absmax / 127.0, math.int8_scale_w
-        )
+        # Per-channel weight scales (TensorRT convention), capped at
+        # the calibrated per-tensor scale.
+        ch_absmax = np.abs(w).max(axis=(1, 2, 3))
+        ch_scales = _per_channel_scales(ch_absmax, math.int8_scale_w)
         qw = np.clip(
-            np.rint(w / ch_scales[:, None, None]), -127, 127
+            np.rint(w / ch_scales[:, None, None, None]), -127, 127
         )
-        prod = qx * qw[None, :, None, None]
-        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1)
+        prod = qx * qw
+        out = prod.sum(axis=-1)
         out = (
             out * (math.int8_scale_in * ch_scales[None, :, None, None])
         ).astype(np.float32)
     else:
-        prod = windows * w[None, :, None, None]
-        out = prod.reshape(*prod.shape[:4], -1).sum(axis=-1).astype(np.float32)
+        prod = windows * w
+        out = prod.sum(axis=-1).astype(np.float32, copy=False)
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
-    return np.ascontiguousarray(out.astype(np.float32))
+    return np.ascontiguousarray(out.astype(np.float32, copy=False))
 
 
 def deconv2d(
@@ -212,23 +376,47 @@ def deconv2d(
     stride: int,
     math: LayerMath,
 ) -> np.ndarray:
-    """Transposed convolution (used by the FCN segmentation head)."""
+    """Transposed convolution (used by the FCN segmentation head).
+
+    Each input pixel's ``out_c x k x k`` stamp is computed as one
+    matmul; the stamps are then placed by a vectorized scatter — a
+    strided assignment when stamps cannot overlap (``k <= stride``),
+    an ordered ``np.add.at`` accumulation otherwise.
+    """
     n, in_c, h, w = x.shape
     out_c, _, k, _ = kernel.shape
     out_h = (h - 1) * stride + k
     out_w = (w - 1) * stride + k
-    # As a matmul: for each input pixel, scatter its k*k*out_c stamp.
     w2d = kernel.reshape(out_c, in_c, k * k)
     cols = x.transpose(0, 2, 3, 1).reshape(n * h * w, in_c)
     stamp = precision_matmul(
         cols, w2d.transpose(1, 0, 2).reshape(in_c, out_c * k * k), math
     ).reshape(n, h, w, out_c, k, k)
-    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float32)
-    for i in range(k):
-        for j in range(k):
-            out[:, :, i : i + h * stride : stride, j : j + w * stride : stride] += (
-                stamp[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-            )
+    if k <= stride:
+        # Disjoint stamps: write every stamp with one strided
+        # assignment into a (h*stride, w*stride) grid, then crop.
+        buf = np.zeros((n, out_c, h * stride, w * stride), dtype=np.float32)
+        view = buf.reshape(n, out_c, h, stride, w, stride)
+        view[:, :, :, :k, :, :k] = stamp.transpose(0, 3, 1, 4, 2, 5)
+        # Accumulating into zeros normalizes -0.0 stamps; keep that.
+        np.add(buf, np.float32(0.0), out=buf)
+        out = np.ascontiguousarray(buf[:, :, :out_h, :out_w])
+    else:
+        idx = _index(_deconv_scatter_index, h, w, k, stride, out_w)
+        vals = np.ascontiguousarray(
+            stamp.transpose(0, 3, 4, 5, 1, 2)
+        ).reshape(n, out_c, -1)
+        out = np.zeros((n, out_c, out_h * out_w), dtype=np.float32)
+        np.add.at(
+            out,
+            (
+                np.arange(n)[:, None, None],
+                np.arange(out_c)[None, :, None],
+                idx[None, None, :],
+            ),
+            vals,
+        )
+        out = out.reshape(n, out_c, out_h, out_w)
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
     return out
@@ -245,7 +433,7 @@ def fully_connected(
     out = precision_matmul(flat, kernel.T, math)
     if bias is not None:
         out = out + bias.reshape(1, -1).astype(np.float32)
-    return out.astype(np.float32)
+    return out.astype(np.float32, copy=False)
 
 
 def max_pool(
@@ -271,15 +459,19 @@ def max_pool(
             mode="constant",
             constant_values=-np.inf,
         )
-    windows = np.lib.stride_tricks.sliding_window_view(
-        xp, (kernel, kernel), axis=(2, 3)
-    )[:, :, ::stride, ::stride, :, :]
-    return windows.reshape(*windows.shape[:4], -1).max(axis=-1)[
-        :, :, :out_h, :out_w
-    ].astype(np.float32)
+    windows = _gather_channel_windows(xp, kernel, stride, out_h, out_w)
+    return windows.max(axis=-1).astype(np.float32, copy=False)
 
 
 def avg_pool(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Average pooling with Caffe ceil-mode divisor semantics.
+
+    The user-declared zero padding counts toward each window's mean,
+    but the synthetic right/bottom rows added only to complete
+    ceil-mode windows are out of bounds: they are excluded from the
+    divisor, so edge windows average over their true element count
+    instead of being deflated by phantom zeros.
+    """
     in_h, in_w = x.shape[2], x.shape[3]
     xp = _pad_nchw(x, pad, value=0.0)
     n, c, h, w = xp.shape
@@ -292,12 +484,9 @@ def avg_pool(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
             ((0, 0), (0, 0), (0, max(0, need_h - h)), (0, max(0, need_w - w))),
             mode="constant",
         )
-    windows = np.lib.stride_tricks.sliding_window_view(
-        xp, (kernel, kernel), axis=(2, 3)
-    )[:, :, ::stride, ::stride, :, :]
-    return windows.reshape(*windows.shape[:4], -1).mean(axis=-1)[
-        :, :, :out_h, :out_w
-    ].astype(np.float32)
+    windows = _gather_channel_windows(xp, kernel, stride, out_h, out_w)
+    divisors = _index(_avg_pool_divisors, h, w, kernel, stride, out_h, out_w)
+    return (windows.sum(axis=-1) / divisors).astype(np.float32, copy=False)
 
 
 def global_avg_pool(x: np.ndarray) -> np.ndarray:
@@ -354,19 +543,34 @@ def lrn(
     half = size // 2
     padded = np.zeros((n, c + 2 * half, h, w), dtype=np.float32)
     padded[:, half : half + c] = sq
-    window_sum = np.zeros_like(x)
-    for offset in range(size):
-        window_sum += padded[:, offset : offset + c]
+    # One windowed sum over the channel axis instead of `size` shifted
+    # adds; numpy reduces the short trailing axis sequentially, so the
+    # result is bit-identical to the historical offset loop.
+    windows = np.lib.stride_tricks.sliding_window_view(padded, size, axis=1)
+    window_sum = windows[:, :c].sum(axis=-1)
     denom = (k + alpha * window_sum / size) ** beta
     return (x / denom).astype(np.float32)
 
 
 def softmax(x: np.ndarray) -> np.ndarray:
+    """Softmax over the class axis.
+
+    Rank-2 ``(N, C)`` inputs normalize across ``C``.  Rank-4
+    ``(N, C, H, W)`` inputs normalize **per pixel** over the channel
+    axis — the FCN segmentation head emits per-pixel class scores, and
+    flattening it to ``(N, C*H*W)`` would normalize each pixel against
+    every other pixel in the image.
+    """
+    if x.ndim == 4:
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=1, keepdims=True)
+        return out.astype(np.float32, copy=False)
     flat = x.reshape(x.shape[0], -1)
     shifted = flat - flat.max(axis=1, keepdims=True)
     exp = np.exp(shifted)
     out = exp / exp.sum(axis=1, keepdims=True)
-    return out.reshape(x.shape).astype(np.float32)
+    return out.reshape(x.shape).astype(np.float32, copy=False)
 
 
 def concat(parts: Sequence[np.ndarray], axis: int) -> np.ndarray:
@@ -441,41 +645,44 @@ def detection_output(
     ``conf`` is (N, num_classes, H, W) — class logits per cell.
     Returns (N, max_boxes, 6) rows of [class, score, x1, y1, x2, y2];
     unused rows have class = -1.
+
+    Decoding and class softmax run batched over all images; only the
+    inherently sequential greedy NMS remains per image, and it sees
+    only the cells that survive the score threshold.
     """
     n, _four, h, w = loc.shape
     out = np.full((n, max_boxes, 6), -1.0, dtype=np.float32)
-    ys, xs = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
-    cell_cx = (xs + 0.5) / w
-    cell_cy = (ys + 0.5) / h
+    cell_cx, cell_cy = _index(_detection_cell_centers, h, w)
+    # Decode center-size offsets relative to the cell — all images at
+    # once (elementwise, so identical to the per-image decode).
+    cx = cell_cx[None] + np.tanh(loc[:, 0]) * 0.5 / w
+    cy = cell_cy[None] + np.tanh(loc[:, 1]) * 0.5 / h
+    bw = np.clip(np.exp(np.clip(loc[:, 2], -4, 2)) / w * 2.0, 1e-3, 1.0)
+    bh = np.clip(np.exp(np.clip(loc[:, 3], -4, 2)) / h * 2.0, 1e-3, 1.0)
+    boxes = np.stack(
+        [cx - bw / 2, cy - bh / 2, cx + bw / 2, cy + bh / 2], axis=-1
+    ).reshape(n, -1, 4)
+    logits = conf.reshape(n, num_classes, -1).transpose(0, 2, 1)
+    shifted = logits - logits.max(axis=2, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=2, keepdims=True)
+    # Class 0 is background.
+    cls = probs[:, :, 1:].argmax(axis=2) + 1
+    score = np.take_along_axis(probs, cls[:, :, None], axis=2)[:, :, 0]
     for i in range(n):
-        # Decode center-size offsets relative to the cell.
-        cx = cell_cx + np.tanh(loc[i, 0]) * 0.5 / w
-        cy = cell_cy + np.tanh(loc[i, 1]) * 0.5 / h
-        bw = np.clip(np.exp(np.clip(loc[i, 2], -4, 2)) / w * 2.0, 1e-3, 1.0)
-        bh = np.clip(np.exp(np.clip(loc[i, 3], -4, 2)) / h * 2.0, 1e-3, 1.0)
-        boxes = np.stack(
-            [cx - bw / 2, cy - bh / 2, cx + bw / 2, cy + bh / 2], axis=-1
-        ).reshape(-1, 4)
-        logits = conf[i].reshape(num_classes, -1).T  # (cells, classes)
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        probs = np.exp(shifted)
-        probs /= probs.sum(axis=1, keepdims=True)
-        # Class 0 is background.
-        cls = probs[:, 1:].argmax(axis=1) + 1
-        score = probs[np.arange(len(cls)), cls]
-        mask = score >= score_threshold
+        mask = score[i] >= score_threshold
         if not mask.any():
             continue
-        kept = nms(boxes[mask], score[mask], nms_iou)
+        kept = nms(boxes[i][mask], score[i][mask], nms_iou)
         sel = np.flatnonzero(mask)[kept][:max_boxes]
         rows = np.stack(
             [
-                cls[sel].astype(np.float32),
-                score[sel].astype(np.float32),
-                boxes[sel, 0],
-                boxes[sel, 1],
-                boxes[sel, 2],
-                boxes[sel, 3],
+                cls[i, sel].astype(np.float32),
+                score[i, sel].astype(np.float32),
+                boxes[i, sel, 0],
+                boxes[i, sel, 1],
+                boxes[i, sel, 2],
+                boxes[i, sel, 3],
             ],
             axis=-1,
         )
@@ -491,4 +698,4 @@ def region_head(x: np.ndarray) -> np.ndarray:
     """
     out = x.copy()
     out[:, :5] = 1.0 / (1.0 + np.exp(-np.clip(x[:, :5], -60, 60)))
-    return out.astype(np.float32)
+    return out.astype(np.float32, copy=False)

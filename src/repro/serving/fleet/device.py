@@ -27,9 +27,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.caching import caching_enabled, register_cache
 
 from repro.engine.engine import Engine
 from repro.faults.events import FaultKind
@@ -50,6 +53,25 @@ from repro.telemetry.bus import BUS, SpanKind
 #: Modeled cost of pulling a model the device is not warm for from the
 #: shared store on the request path (deserialize + context setup).
 COLD_MODEL_LOAD_MS = 25.0
+
+
+@lru_cache(maxsize=65536)
+def _service_noise_cached(seed: int, rid: int) -> float:
+    """The seeded measurement-jitter draw for one (device, request)
+    pair — a pure function of the key, so a paired comparison replaying
+    the same request ids hits the memo instead of constructing a fresh
+    Generator per request."""
+    rng = np.random.default_rng((seed, 0xD0, rid))
+    return float(rng.uniform(-1.0, 1.0))
+
+
+register_cache(_service_noise_cached.cache_clear)
+
+
+def _service_noise(seed: int, rid: int) -> float:
+    if caching_enabled():
+        return _service_noise_cached(seed, rid)
+    return _service_noise_cached.__wrapped__(seed, rid)
 
 
 class DeviceStatus(enum.Enum):
@@ -359,8 +381,7 @@ class FleetDevice:
         serving = self._models[model]
         level = min(self.level_bias, len(serving.base_ms) - 1)
         base = serving.base_ms[level]
-        rng = np.random.default_rng((self.seed, 0xD0, rid))
-        noise = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        noise = 1.0 + self.jitter * _service_noise(self.seed, rid)
         extra = 0.0
         if not self._warm.get(model, False):
             self._warm[model] = True

@@ -18,6 +18,8 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from repro.caching import caching_enabled, register_cache
+
 #: Arrival slot width.  Rates are modulated per slot; arrivals inside a
 #: slot spread uniformly (seeded), so the slot width only bounds how
 #: fast the diurnal/burst envelope can change.
@@ -99,11 +101,50 @@ class TrafficModel:
         return keys, weights / weights.sum()
 
     # ------------------------------------------------------------------
+    def _schedule_key(self) -> Tuple[Any, ...]:
+        """Hashable identity of the schedule this model generates."""
+        return (
+            self.duration_s,
+            self.base_rps,
+            tuple(sorted(self.models.items())),
+            self.diurnal_amplitude,
+            self.burst_prob,
+            self.burst_mult,
+            self.burst_slots,
+            self.deadline_ms,
+            tuple(sorted(self.priorities.items())),
+            self.seed,
+        )
+
     def generate(self) -> List[FleetRequest]:
-        """The full arrival-sorted request schedule."""
+        """The full arrival-sorted request schedule.
+
+        The schedule is a pure function of the model's fields plus the
+        seed, so it is memoized process-wide: a paired fleet comparison
+        replays the identical offered load without drawing it twice.
+        Requests are frozen, so the cached tuple is shared and a fresh
+        list is returned each call.
+        """
+        if not caching_enabled():
+            return self._generate()
+        key = self._schedule_key()
+        hit = _SCHEDULE_CACHE.get(key)
+        if hit is None:
+            hit = tuple(self._generate())
+            _SCHEDULE_CACHE[key] = hit
+        return list(hit)
+
+    def _generate(self) -> List[FleetRequest]:
         rng = np.random.default_rng((self.seed, 0xF1EE7))
         model_names, model_p = self._weighted(self.models)
         prio_values, prio_p = self._weighted(self.priorities)
+        # Inverse-CDF sampling: one uniform + searchsorted per draw is
+        # bit-identical to ``rng.choice(n, p=...)`` (same stream, same
+        # cdf construction) without re-validating ``p`` every request.
+        model_cdf = model_p.cumsum()
+        model_cdf /= model_cdf[-1]
+        prio_cdf = prio_p.cumsum()
+        prio_cdf /= prio_cdf[-1]
         requests: List[FleetRequest] = []
         slots = int(math.ceil(self.duration_s * 1000.0 / SLOT_MS))
         burst_left = 0
@@ -126,11 +167,11 @@ class TrafficModel:
                         rid=rid,
                         t_ms=float(start_ms + offset),
                         model=model_names[
-                            int(rng.choice(len(model_names), p=model_p))
+                            int(model_cdf.searchsorted(rng.random(), side="right"))
                         ],
                         priority=int(
                             prio_values[
-                                int(rng.choice(len(prio_values), p=prio_p))
+                                int(prio_cdf.searchsorted(rng.random(), side="right"))
                             ]
                         ),
                         deadline_ms=self.deadline_ms,
@@ -138,3 +179,11 @@ class TrafficModel:
                 )
                 rid += 1
         return requests
+
+
+#: Memoized schedules keyed by :meth:`TrafficModel._schedule_key`.
+#: (Worst case under concurrent generate() calls is a duplicated draw,
+#: never a mixed schedule — entries are write-once and immutable.)
+_SCHEDULE_CACHE: Dict[Tuple[Any, ...], Tuple[FleetRequest, ...]] = {}
+
+register_cache(_SCHEDULE_CACHE.clear)
