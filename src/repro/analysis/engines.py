@@ -33,7 +33,7 @@ def device_by_name(name: str) -> DeviceSpec:
 
 
 class EngineFarm:
-    """Builds and memoizes engines per (model, device, slot index)."""
+    """Memoizes engines per (model, device, slot index, provider)."""
 
     def __init__(
         self,
@@ -41,10 +41,15 @@ class EngineFarm:
         pretrained: bool = True,
         base_seed: int = 1000,
         store: Optional["EngineStore"] = None,
+        provider: Optional[str] = None,
     ):
         self.precision = precision
         self.pretrained = pretrained
         self.base_seed = base_seed
+        #: Default execution provider(s) for every build — the
+        #: canonical ``provider=`` axis ("trt", "cuda", "cpu", "auto",
+        #: or a comma list); per-call ``engine(provider=...)`` wins.
+        self.provider = provider
         #: Optional persistent :class:`~repro.engine.store.EngineStore`.
         #: When set, builds route through the content-addressed store:
         #: every slot of a (model, device) pair resolves to the *same*
@@ -53,7 +58,7 @@ class EngineFarm:
         #: that rely on build-to-build diversity across slots.
         self.store = store
         self._graphs: Dict[str, Graph] = {}
-        self._engines: Dict[Tuple[str, str, int], Engine] = {}
+        self._engines: Dict[Tuple[str, str, int, str], Engine] = {}
 
     # ------------------------------------------------------------------
     def graph(self, model_name: str) -> Graph:
@@ -80,9 +85,16 @@ class EngineFarm:
         device_name: str,
         slot: int = 0,
         calibration_batch: Optional[np.ndarray] = None,
+        provider: Optional[str] = None,
     ) -> Engine:
         """The ``slot``-th engine of ``model_name`` built on a device."""
-        key = (model_name, device_name, slot)
+        from repro.runtime.providers import canonical_provider_key
+
+        spec = provider if provider is not None else self.provider
+        provider_key = canonical_provider_key(
+            spec if spec is not None else "trt"
+        )
+        key = (model_name, device_name, slot, provider_key)
         if key not in self._engines:
             device = device_by_name(device_name)
             config = BuilderConfig(
@@ -90,6 +102,7 @@ class EngineFarm:
                 seed=self._slot_seed(model_name, device_name, slot),
                 calibration_batch=calibration_batch,
                 input_name=self._input_name(model_name),
+                provider=spec if spec is not None else "trt",
             )
             if self.store is not None:
                 engine, _ = self.store.get_or_build(
@@ -102,11 +115,15 @@ class EngineFarm:
         return self._engines[key]
 
     def engines(
-        self, model_name: str, device_name: str, count: int
+        self,
+        model_name: str,
+        device_name: str,
+        count: int,
+        provider: Optional[str] = None,
     ) -> List[Engine]:
         """``count`` independently built engines on one device."""
         return [
-            self.engine(model_name, device_name, slot)
+            self.engine(model_name, device_name, slot, provider=provider)
             for slot in range(count)
         ]
 

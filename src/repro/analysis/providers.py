@@ -1,0 +1,209 @@
+"""Cross-provider comparison harness (``trtsim providers compare``).
+
+Builds each zoo model once per execution provider on the same device,
+times the noiseless model latency, and checks numeric agreement of the
+fp32 forward pass against the TRT reference.  A final INT8 section
+builds a mixed ``cuda,trt`` partition and verifies the optimum caveat:
+quantized ops must land on TrtProvider (CudaProvider rejects INT8) and
+every cross-provider edge must carry a billed transfer node.
+
+The report is a ``trtsim.provider_compare/1`` JSON document; CI runs
+it with ``--check`` so a provider cost-model regression (CUDA beating
+TRT, CPU not orders-of-magnitude slower, fp32 drift) fails the build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.builder import BuilderConfig, EngineBuilder, PrecisionMode
+from repro.graph.ir import DataType, Graph
+
+SCHEMA = "trtsim.provider_compare/1"
+
+#: Default model subset: small enough for a CI smoke, diverse enough
+#: to exercise conv/gemm/pool/LRN/concat paths.
+DEFAULT_MODELS = ("alexnet", "googlenet", "resnet18")
+
+#: fp32 agreement tolerance.  Both per-op paths run the same numpy
+#: kernels at fp32; only graph rewrites (BN folding, fusion) may
+#: reassociate arithmetic, which stays well inside 1e-4.
+FP32_TOLERANCE = 1e-4
+
+
+def _calibration_batch(
+    graph: Graph, input_name: str, n: int = 4, seed: int = 0
+) -> np.ndarray:
+    spec = graph.input_specs[input_name]
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, *spec.shape)).astype(np.float32)
+
+
+def _noiseless_ms(engine) -> float:
+    ctx = engine.create_execution_context()
+    return ctx.time_inference(jitter=0.0).total_ms
+
+
+def _forward(engine, batch: np.ndarray) -> Dict[str, np.ndarray]:
+    ctx = engine.create_execution_context()
+    return ctx.execute(**{engine.input_name: batch}).outputs
+
+
+def _agreement(
+    ref: Dict[str, np.ndarray], other: Dict[str, np.ndarray]
+) -> Dict[str, object]:
+    max_abs = 0.0
+    identical = True
+    for name, a in ref.items():
+        b = other[name]
+        max_abs = max(max_abs, float(np.max(np.abs(a - b), initial=0.0)))
+        identical = identical and bool(np.array_equal(a, b))
+    return {"max_abs_diff": max_abs, "bit_identical": identical}
+
+
+def provider_compare(
+    models: Optional[Sequence[str]] = None,
+    device_name: str = "NX",
+    providers: Sequence[str] = ("trt", "cuda", "cpu"),
+    seed: int = 3,
+    int8_model: Optional[str] = None,
+    tolerance: float = FP32_TOLERANCE,
+) -> Dict[str, object]:
+    """Compare execution providers across the zoo.
+
+    Returns a ``trtsim.provider_compare/1`` dict whose ``checks`` block
+    summarizes the gates: per-model strict latency ordering in
+    ``providers`` priority order (trt < cuda < cpu), fp32 numeric
+    agreement with the first provider's outputs within ``tolerance``,
+    and — in the ``int8`` section — quantized ops partitioned onto
+    TrtProvider only, with billed transfer nodes on every crossing.
+    """
+    from repro.analysis.engines import device_by_name
+    from repro.models import MODEL_REGISTRY, build_model
+    from repro.runtime.providers import resolve_provider
+
+    names = [resolve_provider(p).name for p in providers]
+    device = device_by_name(device_name)
+    model_names = list(models) if models is not None else list(DEFAULT_MODELS)
+
+    rows: List[Dict[str, object]] = []
+    ordering_ok = True
+    agreement_ok = True
+    for model in model_names:
+        graph = build_model(model, pretrained=False)
+        input_name = MODEL_REGISTRY[model].input_name
+        batch = _calibration_batch(graph, input_name, n=1, seed=seed)
+        per_provider: Dict[str, Dict[str, object]] = {}
+        ref_outputs: Optional[Dict[str, np.ndarray]] = None
+        for provider in names:
+            config = BuilderConfig(
+                seed=seed,
+                precision=PrecisionMode.FP32,
+                input_name=input_name,
+                provider=provider,
+            )
+            engine = EngineBuilder(device, config).build(graph)
+            outputs = _forward(engine, batch)
+            entry: Dict[str, object] = {
+                "latency_ms": round(_noiseless_ms(engine), 6),
+                "num_kernels": engine.num_kernels,
+            }
+            if ref_outputs is None:
+                ref_outputs = outputs
+                entry["agreement"] = {"max_abs_diff": 0.0,
+                                      "bit_identical": True}
+            else:
+                entry["agreement"] = _agreement(ref_outputs, outputs)
+            per_provider[provider] = entry
+        latencies = [
+            float(per_provider[p]["latency_ms"]) for p in names
+        ]
+        row_ordered = all(
+            a < b for a, b in zip(latencies, latencies[1:])
+        )
+        row_agrees = all(
+            float(per_provider[p]["agreement"]["max_abs_diff"]) <= tolerance
+            for p in names
+        )
+        ordering_ok = ordering_ok and row_ordered
+        agreement_ok = agreement_ok and row_agrees
+        rows.append(
+            {
+                "model": model,
+                "providers": per_provider,
+                "ordering_ok": row_ordered,
+                "agreement_ok": row_agrees,
+            }
+        )
+
+    int8_block = _int8_partition_check(
+        int8_model or model_names[0], device, seed
+    )
+
+    return {
+        "schema": SCHEMA,
+        "device": device.name,
+        "providers": names,
+        "tolerance": tolerance,
+        "models": rows,
+        "int8": int8_block,
+        "checks": {
+            "latency_ordering": ordering_ok,
+            "fp32_agreement": agreement_ok,
+            "int8_placement": bool(int8_block["placement_ok"]),
+            "transfers_billed": bool(int8_block["transfers_billed"]),
+        },
+    }
+
+
+def _int8_partition_check(
+    model: str, device, seed: int
+) -> Dict[str, object]:
+    """Build an INT8 graph with ``cuda,trt`` priority and audit the
+    partition: CudaProvider rejects quantized ops (the optimum
+    caveat), so every INT8 binding must have fallen back to TRT, and
+    each provider crossing must be billed as a transfer node."""
+    from repro.models import MODEL_REGISTRY, build_model
+
+    graph = build_model(model, pretrained=False)
+    input_name = MODEL_REGISTRY[model].input_name
+    config = BuilderConfig(
+        seed=seed,
+        precision=PrecisionMode.INT8,
+        input_name=input_name,
+        calibration_batch=_calibration_batch(graph, input_name),
+        provider="cuda,trt",
+    )
+    engine = EngineBuilder(device, config).build(graph)
+
+    int8_on_trt = True
+    quantized_layers: List[str] = []
+    for binding in engine.bindings:
+        if binding.transfer is not None:
+            continue
+        if any(k.precision is DataType.INT8 for k in binding.kernels):
+            quantized_layers.append(binding.layer_name)
+            if binding.provider != "trt":
+                int8_on_trt = False
+
+    transfers = [b for b in engine.bindings if b.transfer is not None]
+    transfers_billed = bool(transfers) and all(
+        b.workload.bytes_out > 0 for b in transfers
+    )
+    return {
+        "model": model,
+        "engine": engine.name,
+        "providers_used": sorted(
+            {b.provider for b in engine.bindings}
+        ),
+        "quantized_layers": quantized_layers,
+        "num_transfers": len(transfers),
+        "transfer_bytes": int(
+            sum(b.workload.bytes_out for b in transfers)
+        ),
+        "latency_ms": round(_noiseless_ms(engine), 6),
+        "placement_ok": bool(quantized_layers) and int8_on_trt,
+        "transfers_billed": transfers_billed,
+    }

@@ -64,6 +64,7 @@ def _cmd_build(args) -> int:
     config = BuilderConfig(
         precision=PrecisionMode(args.precision),
         seed=args.seed,
+        provider=args.provider,
     )
     network = build_model(args.model, pretrained=not args.no_pretrain)
     if getattr(args, "store", None):
@@ -93,7 +94,10 @@ def _cmd_run(args) -> int:
     from repro.profiling.nvprof import Nvprof
 
     farm = EngineFarm(pretrained=False)
-    engine = farm.engine(args.model, args.compile_device, args.slot)
+    engine = farm.engine(
+        args.model, args.compile_device, args.slot,
+        provider=args.provider,
+    )
     profiler = Nvprof() if args.nvprof else None
     stats = measure_case(
         engine,
@@ -247,7 +251,9 @@ def _cmd_inspect(args) -> int:
     from repro.engine.inspector import inspect_engine, inspect_engine_json
 
     farm = EngineFarm(pretrained=False)
-    engine = farm.engine(args.model, args.device, args.slot)
+    engine = farm.engine(
+        args.model, args.device, args.slot, provider=args.provider
+    )
     if args.json:
         print(inspect_engine_json(engine))
         return 0
@@ -617,7 +623,8 @@ def _cmd_store(args) -> int:
 
         device = device_by_name(args.device)
         config = BuilderConfig(
-            precision=PrecisionMode(args.precision), seed=args.seed
+            precision=PrecisionMode(args.precision), seed=args.seed,
+            provider=args.provider,
         )
         network = build_model(args.model, pretrained=not args.no_pretrain)
         engine, result = store.get_or_build(network, device, config)
@@ -680,7 +687,8 @@ def _cmd_store(args) -> int:
 
         device = device_by_name(args.device)
         config = BuilderConfig(
-            precision=PrecisionMode(args.precision), seed=args.seed
+            precision=PrecisionMode(args.precision), seed=args.seed,
+            provider=args.provider,
         )
         names = (
             args.models.split(",") if args.models
@@ -700,6 +708,77 @@ def _cmd_store(args) -> int:
 
     # stats
     print(_json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def _cmd_providers(args) -> int:
+    """Execution providers: list them, or compare across the zoo."""
+    import json as _json
+
+    if args.providers_command == "ls":
+        from repro.runtime.providers import (
+            DEFAULT_PROVIDER_PRIORITY,
+            resolve_provider,
+        )
+
+        print(f"{'name':<8}{'onnx name':<28}{'fusion':<8}"
+              f"{'tactics':<9}{'int8':<6}")
+        for name in DEFAULT_PROVIDER_PRIORITY:
+            prov = resolve_provider(name)
+            from repro.graph.ir import DataType
+
+            int8 = "yes" if prov.supports_precision(DataType.INT8) else "no"
+            print(f"{prov.name:<8}{prov.onnx_name:<28}"
+                  f"{'yes' if prov.fuses_layers else 'no':<8}"
+                  f"{'yes' if prov.tactic_search else 'no':<9}{int8:<6}")
+        return 0
+
+    # compare
+    from repro.analysis.providers import provider_compare
+
+    models = args.models.split(",") if args.models else None
+    report = provider_compare(
+        models=models,
+        device_name=args.device,
+        seed=args.seed,
+        int8_model=args.int8_model,
+    )
+    doc = _json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(doc + "\n")
+        print(f"report written to {args.output}")
+    if args.json:
+        print(doc)
+    else:
+        print(f"provider compare on {report['device']} "
+              f"({', '.join(report['providers'])})")
+        header = f"{'model':<26}" + "".join(
+            f"{p_ + ' ms':>14}" for p_ in report["providers"]
+        ) + f"{'ordered':>9}{'agrees':>8}"
+        print(header)
+        print("-" * len(header))
+        for row in report["models"]:
+            cells = "".join(
+                f"{row['providers'][p_]['latency_ms']:>14.3f}"
+                for p_ in report["providers"]
+            )
+            print(f"{row['model']:<26}{cells}"
+                  f"{'yes' if row['ordering_ok'] else 'NO':>9}"
+                  f"{'yes' if row['agreement_ok'] else 'NO':>8}")
+        int8 = report["int8"]
+        print(f"int8 {int8['model']}: {len(int8['quantized_layers'])} "
+              f"quantized layers on trt, {int8['num_transfers']} "
+              f"transfers ({int8['transfer_bytes']} bytes), "
+              f"{int8['latency_ms']:.3f} ms")
+        checks = report["checks"]
+        print("checks: " + ", ".join(
+            f"{k}={'ok' if v else 'FAIL'}" for k, v in checks.items()
+        ))
+    if args.check and not all(report["checks"].values()):
+        failed = [k for k, v in report["checks"].items() if not v]
+        print(f"provider gate FAILED: {', '.join(failed)}")
+        return 1
     return 0
 
 
@@ -727,7 +806,8 @@ def _cmd_fleet(args) -> int:
         from repro.engine.store import EngineStore
 
         farm = EngineFarm(
-            pretrained=False, store=EngineStore(args.store)
+            pretrained=False, store=EngineStore(args.store),
+            provider=args.providers,
         )
     else:
         import tempfile
@@ -739,6 +819,7 @@ def _cmd_fleet(args) -> int:
             store=EngineStore(
                 tempfile.mkdtemp(prefix="trtsim-fleet-")
             ),
+            provider=args.providers,
         )
     models = tuple(args.model.split(","))
     fallbacks = tuple(args.fallback or ())
@@ -819,6 +900,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _provider_arg(sp, flag="--provider"):
+        sp.add_argument(
+            flag, default="trt",
+            help='execution provider priority: "trt", "cuda", "cpu", '
+            '"auto", or a comma list like "cuda,trt" '
+            "(case-insensitive)",
+        )
+
     sub.add_parser("devices", help="print platform specs (Table I)")
     sub.add_parser("models", help="list the model zoo (Table II)")
 
@@ -832,6 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--precision", default="fp16",
         choices=["fp32", "fp16", "int8", "best"],
     )
+    _provider_arg(p)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--no-pretrain", action="store_true")
     p.add_argument("-o", "--output", default=None, help=".plan file")
@@ -864,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
             )
             sp.add_argument("--seed", type=int, default=None)
             sp.add_argument("--no-pretrain", action="store_true")
+            _provider_arg(sp)
 
     sp = store_sub.add_parser(
         "build", help="build one model through the store"
@@ -914,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["NX", "AGX"],
         help="build platform (defaults to --device)",
     )
+    _provider_arg(p)
     p.add_argument("--slot", type=int, default=0, help="engine slot index")
     p.add_argument("--runs", type=int, default=10)
     p.add_argument(
@@ -1006,6 +1098,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
         help="target device (case-insensitive)",
     )
+    _provider_arg(p)
     p.add_argument("--slot", type=int, default=0)
     p.add_argument("--json", action="store_true")
 
@@ -1155,6 +1248,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default="resnet18",
         help="comma-separated served model(s)",
     )
+    _provider_arg(p, flag="--providers")
     p.add_argument(
         "--fallback", action="append", default=None, metavar="MODEL",
         help="fallback-ladder engine per model (repeatable, "
@@ -1243,6 +1337,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true", help="fewer reps / fewer models"
     )
+
+    p = sub.add_parser(
+        "providers",
+        help="execution providers: list, or compare latency + numerics "
+        "across the zoo (trtsim.provider_compare/1)",
+    )
+    prov_sub = p.add_subparsers(dest="providers_command", required=True)
+    sp = prov_sub.add_parser("ls", help="list the registered providers")
+    sp = prov_sub.add_parser(
+        "compare",
+        help="per-provider latency + output agreement across the zoo",
+    )
+    sp.add_argument(
+        "--models", default=None,
+        help="comma-separated zoo names (default: alexnet,googlenet,"
+        "resnet18)",
+    )
+    sp.add_argument(
+        "--device", default="NX", type=str.upper, choices=["NX", "AGX"],
+        help="target device (case-insensitive)",
+    )
+    sp.add_argument("--seed", type=int, default=3)
+    sp.add_argument(
+        "--int8-model", default=None,
+        help="model for the mixed cuda,trt INT8 partition check",
+    )
+    sp.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless ordering/agreement/int8 gates all pass",
+    )
+    sp.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write the JSON report to FILE")
+    sp.add_argument("--json", action="store_true")
 
     p = sub.add_parser("trace", help="export a chrome://tracing timeline")
     p.add_argument("model")
@@ -1352,6 +1479,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "fleet": _cmd_fleet,
+    "providers": _cmd_providers,
     "metrics": _cmd_metrics,
     "store": _cmd_store,
 }

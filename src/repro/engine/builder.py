@@ -26,6 +26,11 @@ from repro.graph.shapes import infer_shapes
 from repro.hardware.specs import DeviceSpec
 from repro.hardware.workload import LayerWorkload, layer_workload
 from repro.runtime.math_config import LayerMath, MathConfig
+from repro.runtime.providers import (
+    TRT_PROVIDER,
+    ProviderSpec,
+    resolve_providers,
+)
 
 from repro.engine.engine import Engine, LayerBinding
 from repro.engine.kernels import DEFAULT_CATALOG, KernelCatalog, KernelSpec
@@ -102,6 +107,15 @@ class BuilderConfig:
     #: working set beyond device RAM) fails the build with
     #: :class:`DataflowViolation` instead of shipping the engine.
     analyze_dataflow: bool = False
+    #: Execution provider(s) for the build — the canonical ``provider=``
+    #: axis (case-insensitive name, :class:`~repro.runtime.providers
+    #: .ExecutionProvider` instance, or a priority-ordered list /
+    #: comma string such as ``"cuda,trt"`` for partitioned builds).
+    #: ``"trt"`` (the default) takes the classic fused/tactic-selected
+    #: pipeline, byte-identical to builds before this axis existed;
+    #: anything else routes through
+    #: :func:`repro.graph.partition.build_partitioned_engine`.
+    provider: ProviderSpec = "trt"
 
 
 # Module-level build counter: distinguishes successive anonymous builds
@@ -162,9 +176,26 @@ class EngineBuilder:
         self.catalog = catalog
 
     # ------------------------------------------------------------------
-    def build(self, network: Graph) -> Engine:
-        """Run the five-step pipeline and return a compiled engine."""
+    def build(
+        self, network: Graph, provider: Optional[ProviderSpec] = None
+    ) -> Engine:
+        """Run the five-step pipeline and return a compiled engine.
+
+        ``provider`` overrides ``config.provider`` for this build.  The
+        default TRT provider runs the classic fused/tactic-auctioned
+        pipeline below; any other provider (or priority list) builds a
+        per-op :class:`~repro.graph.partition.PartitionedEngine`.
+        """
         cfg = self.config
+        providers = resolve_providers(
+            provider if provider is not None else cfg.provider
+        )
+        if providers != (TRT_PROVIDER,):
+            from repro.graph.partition import build_partitioned_engine
+
+            return build_partitioned_engine(
+                network, self.device, providers, cfg, self.catalog
+            )
         seed = cfg.seed if cfg.seed is not None else _next_build_seed()
         rng = np.random.default_rng(seed)
         timing_cache = cfg.timing_cache

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.passes import PassReport
     from repro.hardware.gpu import InferenceTiming, TimelineSkeleton
     from repro.profiling.nvprof import Nvprof
+    from repro.runtime.providers import TransferSpec
 
 
 @dataclass
@@ -48,6 +49,14 @@ class LayerBinding:
     kernels: List[KernelSpec]
     workload: LayerWorkload
     tactic: Optional[TacticChoice]  # None for fixed sequences (detection)
+    #: Execution provider that runs this binding ("trt" / "cuda" /
+    #: "cpu").  Classic single-provider engines leave the default, so
+    #: their timelines stay byte-identical.
+    provider: str = "trt"
+    #: Set on cross-provider transfer pseudo-bindings (partitioned
+    #: engines only): the timeline bills them as DtoD memcpys and the
+    #: numeric executor ignores them.
+    transfer: Optional["TransferSpec"] = None
 
 
 @dataclass

@@ -35,11 +35,59 @@ def inspect_engine(
 
     layers: List[Dict] = []
     total_us = 0.0
+    transfer_us = 0.0
+    num_transfers = 0
     for binding in engine.bindings:
+        spec = getattr(binding, "transfer", None)
+        if spec is not None:
+            # Cross-provider transfer pseudo-binding: no graph layer
+            # backs it, and it is billed as a DtoD memcpy, not a kernel.
+            from repro.hardware.memory import MemcpyModel
+
+            xfer = MemcpyModel(device).single(binding.workload.bytes_out)
+            layers.append(
+                {
+                    "layer": binding.layer_name,
+                    "kind": "transfer",
+                    "provider": binding.provider,
+                    "transfer": {
+                        "tensor": spec.tensor,
+                        "from": spec.src_provider,
+                        "to": spec.dst_provider,
+                        "bytes": binding.workload.bytes_out,
+                        "predicted_us": round(xfer.total_us, 3),
+                    },
+                }
+            )
+            transfer_us += xfer.total_us
+            num_transfers += 1
+            continue
         layer = layer_by_name[binding.layer_name]
+        provider = getattr(binding, "provider", "trt")
+        params = None
+        if provider != "trt":
+            from repro.runtime.providers import provider_cost_params
+
+            params = provider_cost_params(provider)
         kernel_entries = []
         for kernel in binding.kernels:
             cost = cost_model.kernel_cost(kernel, binding.workload, clock)
+            if params is not None:
+                # Mirror the timeline's provider cost scaling so the
+                # inspector's prediction matches what simulation bills.
+                work = max(
+                    cost.compute_us / params.compute_scale,
+                    cost.bandwidth_us / params.bandwidth_scale,
+                )
+                if len(binding.kernels) > 1:
+                    work /= len(binding.kernels)
+                predicted = (
+                    cost.launch_us * params.launch_scale
+                    + work
+                    + cost.latency_us * params.latency_scale
+                )
+            else:
+                predicted = cost.total_us
             kernel_entries.append(
                 {
                     "name": kernel.name,
@@ -47,7 +95,7 @@ def inspect_engine(
                     "tile": [kernel.tile_m, kernel.tile_n],
                     "split_k": kernel.split_k,
                     "tensor_cores": kernel.uses_tensor_cores,
-                    "predicted_us": round(cost.total_us, 3),
+                    "predicted_us": round(predicted, 3),
                     "breakdown_us": {
                         "launch": round(cost.launch_us, 3),
                         "compute": round(cost.compute_us, 3),
@@ -56,10 +104,11 @@ def inspect_engine(
                     },
                 }
             )
-            total_us += cost.total_us
+            total_us += predicted
         entry = {
             "layer": binding.layer_name,
             "kind": layer.kind.value,
+            "provider": provider,
             "gemm": {
                 "m": binding.workload.gemm_m,
                 "n": binding.workload.gemm_n,
@@ -81,6 +130,12 @@ def inspect_engine(
         layers.append(entry)
 
     lint_report = lint_engine(engine)
+    partition = getattr(engine, "partition", None)
+    report_providers = (
+        list(partition.providers)
+        if partition is not None
+        else sorted({getattr(b, "provider", "trt") for b in engine.bindings})
+    )
     return {
         "engine": engine.name,
         "built_for": engine.device.name,
@@ -91,6 +146,9 @@ def inspect_engine(
         "num_layers": len(layers),
         "num_kernel_invocations": engine.num_kernels,
         "predicted_kernel_us": round(total_us, 3),
+        "providers": report_providers,
+        "num_transfers": num_transfers,
+        "predicted_transfer_us": round(transfer_us, 3),
         "lint": {
             "status": "ok" if lint_report.ok else "fail",
             "errors": len(lint_report.errors),

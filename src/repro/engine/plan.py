@@ -61,6 +61,12 @@ def save_plan(engine: Engine, path: Union[str, Path]) -> None:
             {
                 "layer": b.layer_name,
                 "kernels": [k.name for k in b.kernels],
+                "provider": b.provider,
+                **(
+                    {"transfer": b.transfer.to_dict()}
+                    if b.transfer is not None
+                    else {}
+                ),
             }
             for b in engine.bindings
         ],
@@ -74,6 +80,13 @@ def save_plan(engine: Engine, path: Union[str, Path]) -> None:
             for name, m in engine.math_config.per_layer.items()
         },
     }
+    partition = getattr(engine, "partition", None)
+    if partition is not None:
+        doc["partition"] = {
+            "providers": list(partition.providers),
+            "assignments": dict(partition.assignments),
+            "transfers": [t.to_dict() for t in partition.transfers],
+        }
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -140,19 +153,28 @@ def load_plan(path: Union[str, Path]) -> Engine:
     bindings = []
     layer_by_name = {layer.name: layer for layer in graph.layers}
     for entry in doc["bindings"]:
+        if "transfer" in entry:
+            # Cross-provider transfer pseudo-binding: reconstructed
+            # from its spec so the reloaded timeline is byte-identical.
+            from repro.graph.partition import transfer_binding
+            from repro.runtime.providers import TransferSpec
+
+            bindings.append(
+                transfer_binding(TransferSpec.from_dict(entry["transfer"]))
+            )
+            continue
         layer = layer_by_name[entry["layer"]]
         bindings.append(
             LayerBinding(
                 layer_name=entry["layer"],
-                kernels=[
-                    DEFAULT_CATALOG.by_name(k) for k in entry["kernels"]
-                ],
+                kernels=[_kernel_by_name(k) for k in entry["kernels"]],
                 workload=layer_workload(layer, shapes, act_dtype),
                 tactic=None,
+                provider=entry.get("provider", "trt"),
             )
         )
 
-    return Engine(
+    fields = dict(
         name=doc["name"],
         source_network=doc["source_network"],
         device=device,
@@ -166,3 +188,30 @@ def load_plan(path: Union[str, Path]) -> Engine:
         precision_mode=PrecisionMode(doc["precision_mode"]),
         build_time_us=float(doc["build_time_us"]),
     )
+    if "partition" in doc:
+        from repro.graph.partition import PartitionedEngine, PartitionPlan
+        from repro.runtime.providers import TransferSpec
+
+        block = doc["partition"]
+        return PartitionedEngine(
+            partition=PartitionPlan(
+                providers=tuple(block["providers"]),
+                assignments=dict(block["assignments"]),
+                transfers=tuple(
+                    TransferSpec.from_dict(t) for t in block["transfers"]
+                ),
+            ),
+            **fields,
+        )
+    return Engine(**fields)
+
+
+def _kernel_by_name(name: str):
+    """Resolve a plan kernel name: the TRT tactic catalog first, then
+    the provider kernel tables (CUDA/CPU generic kernels, transfers)."""
+    try:
+        return DEFAULT_CATALOG.by_name(name)
+    except KeyError:
+        from repro.runtime.providers import provider_kernel_by_name
+
+        return provider_kernel_by_name(name)

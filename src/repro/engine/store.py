@@ -60,6 +60,7 @@ from repro.engine.timing_cache import (
 )
 from repro.graph.ir import Graph
 from repro.hardware.specs import DeviceSpec
+from repro.runtime.providers import ProviderSpec, canonical_provider_key
 from repro.telemetry.bus import BUS, SpanKind
 
 _STORE_SCHEMA = "trtsim.engine_store/1"
@@ -111,6 +112,10 @@ def config_fingerprint(config: BuilderConfig) -> str:
         "input_name": config.input_name,
         "workspace_mb": config.workspace_mb,
         "verify_passes": config.verify_passes,
+        # Provider identity is part of the artifact: a TRT plan and a
+        # cuda/cpu/partitioned build of the same network must never
+        # collide under one content-addressed key.
+        "provider": canonical_provider_key(config.provider),
         "calibration": (
             hashlib.sha256(
                 np.ascontiguousarray(config.calibration_batch).tobytes()
@@ -476,15 +481,20 @@ class EngineStore:
         network: Graph,
         device: DeviceSpec,
         config: Optional[BuilderConfig] = None,
+        provider: Optional[ProviderSpec] = None,
     ) -> Tuple[Engine, StoreResult]:
         """The store's front door: pool -> disk -> (warm) build.
 
         A disk hit performs zero tactic measurements; a miss builds
         with the entry's sidecar timing cache when one survives (e.g.
         after a corruption eviction), else cold, and commits the new
-        artifact atomically.
+        artifact atomically.  ``provider`` overlays the config's
+        provider axis (name, instance, or priority list) — the store
+        key includes it, so every provider mix gets its own entry.
         """
         config = config or BuilderConfig(seed=0)
+        if provider is not None:
+            config = dataclasses.replace(config, provider=provider)
         key = store_key(network, device, config)
         digest = key.digest
         with self._lock:

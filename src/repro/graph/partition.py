@@ -1,0 +1,432 @@
+"""Per-op graph partitioning across execution providers.
+
+Mirrors ONNX Runtime's placement pass: walk the graph in topological
+order, assign each layer to the **highest-priority provider that
+supports it** (priority = the order the caller lists providers in), and
+insert an explicit cross-provider *transfer node* on every edge whose
+producer and consumer landed on different providers.  Transfers are
+billed as device-to-device memcpys against the Eq. 1 bandwidth model —
+the simulator's analogue of ORT's ``MemcpyToHost``/``MemcpyFromHost``
+nodes, and the reason a badly split graph can be slower than a
+single-provider one.
+
+The result is a :class:`PartitionedEngine` — a plain
+:class:`~repro.engine.engine.Engine` subclass, so every downstream
+consumer (``ExecutionContext``, ``simulate_inference``,
+``InferenceSupervisor``, the fleet, the store, the lint rules) handles
+it through the same API as a single-provider engine.  Transfer nodes
+appear as extra :class:`~repro.engine.engine.LayerBinding` entries
+carrying a :class:`~repro.runtime.providers.TransferSpec`; the numeric
+executor ignores them (they move bytes, not values) while the timeline
+prices them.
+
+Partitioned builds are **per-op by construction**: only dead-layer
+removal runs; vertical fusion and horizontal merging are skipped even
+for TRT-assigned layers, because fused super-layers cannot straddle a
+provider boundary.  The single-provider TRT path through
+:meth:`repro.engine.builder.EngineBuilder.build` never enters this
+module and stays byte-identical to the classic pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType, Graph
+from repro.graph.shapes import infer_shapes
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.workload import LayerWorkload, layer_workload
+from repro.runtime.math_config import LayerMath, MathConfig
+from repro.runtime.providers import (
+    ExecutionProvider,
+    ProviderError,
+    ProviderSpec,
+    TransferSpec,
+    canonical_provider_key,
+    resolve_providers,
+    transfer_kernel,
+)
+
+from repro.engine.builder import (
+    PLAN_FIXED_OVERHEAD_BYTES,
+    PLAN_PER_BINDING_BYTES,
+    BuilderConfig,
+    EngineBuilder,
+    PrecisionMode,
+    _next_build_seed,
+    _stored_weight_bytes,
+)
+from repro.engine.engine import Engine, LayerBinding
+from repro.engine.kernels import DEFAULT_CATALOG, KernelCatalog
+from repro.engine.passes import (
+    CalibrationCache,
+    PassReport,
+    calibrate_int8,
+    plan_quantization,
+    remove_dead_layers,
+)
+from repro.engine.tactics import TacticSelector
+from repro.engine.timing_cache import TIMING_CACHE_LOOKUP_US, TimingCache
+from repro.lint.invariants import PassInvariantGuard
+from repro.telemetry.bus import BUS, SpanKind
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Placement decision for one graph: who runs what, and the
+    transfers the placement implies."""
+
+    #: Provider names in the priority order the partition used.
+    providers: Tuple[str, ...]
+    #: layer name -> provider name, for every compute layer.
+    assignments: Dict[str, str]
+    #: Cross-provider edges, in insertion (schedule) order.
+    transfers: Tuple[TransferSpec, ...]
+
+    @property
+    def providers_used(self) -> Tuple[str, ...]:
+        """Providers that actually received at least one layer, in
+        priority order."""
+        used = set(self.assignments.values())
+        return tuple(name for name in self.providers if name in used)
+
+    def layers_on(self, provider_name: str) -> List[str]:
+        return [
+            name
+            for name, assigned in self.assignments.items()
+            if assigned == provider_name
+        ]
+
+
+@dataclass
+class PartitionedEngine(Engine):
+    """An engine whose layers span multiple execution providers.
+
+    Behaves exactly like :class:`~repro.engine.engine.Engine` (same
+    fields, same execution-context API); the extra ``partition`` field
+    records the placement, and transfer bindings are distinguishable
+    via ``binding.transfer is not None``.
+    """
+
+    partition: Optional[PartitionPlan] = None
+
+    @property
+    def providers_used(self) -> Tuple[str, ...]:
+        return self.partition.providers_used if self.partition else ()
+
+    def transfer_bindings(self) -> List[LayerBinding]:
+        return [b for b in self.bindings if b.transfer is not None]
+
+    def transfer_bytes(self) -> int:
+        """Total cross-provider traffic per batch-1 inference."""
+        return sum(
+            b.transfer.bytes for b in self.bindings if b.transfer is not None
+        )
+
+
+def _wants_int8(menu: List[DataType]) -> bool:
+    """A layer is a *quantized op* when the quantization plan kept INT8
+    on its menu (calibrated, not precision-sensitive)."""
+    return DataType.INT8 in menu
+
+
+def partition_graph(
+    graph: Graph,
+    providers: Tuple[ExecutionProvider, ...],
+    menus: Dict[str, List[DataType]],
+    categories: Dict[str, str],
+    shapes: Dict[str, Tuple[int, ...]],
+    act_dtype: DataType,
+) -> PartitionPlan:
+    """Assign every layer to the first provider that supports it and
+    derive the implied cross-provider transfers.
+
+    ``menus`` and ``categories`` map layer names to their quantization
+    menus and workload categories; ``shapes`` prices the transfers
+    (tensor volume x activation itemsize, batch 1 — the timeline scales
+    them with the micro-batch like any activation traffic).
+    """
+    assignments: Dict[str, str] = {}
+    transfers: List[TransferSpec] = []
+    seen_transfers: set = set()
+
+    for layer in graph.toposort():
+        menu = menus[layer.name]
+        category = categories[layer.name]
+        required = (
+            DataType.INT8 if _wants_int8(menu) else DataType.FP32
+        )
+        chosen: Optional[ExecutionProvider] = None
+        for provider in providers:
+            if provider.supports_layer(category, required):
+                chosen = provider
+                break
+        if chosen is None:
+            names = "+".join(p.name for p in providers)
+            raise ProviderError(
+                f"no provider in [{names}] supports layer "
+                f"{layer.name!r} ({category} at {required.value}); "
+                "add TrtProvider (quantized ops) or CpuProvider "
+                "(universal fallback) to the priority list"
+            )
+        assignments[layer.name] = chosen.name
+
+        for tensor in layer.inputs:
+            if tensor in graph.input_specs:
+                continue  # graph inputs arrive via the input HtoD memcpy
+            producer = graph.producer_of(tensor)
+            if producer is None:
+                continue
+            src = assignments[producer.name]
+            if src == chosen.name:
+                continue
+            dedup_key = (tensor, chosen.name)
+            if dedup_key in seen_transfers:
+                continue  # one copy serves every consumer on that provider
+            seen_transfers.add(dedup_key)
+            volume = int(np.prod(shapes[tensor])) if shapes[tensor] else 1
+            transfers.append(
+                TransferSpec(
+                    tensor=tensor,
+                    src_layer=producer.name,
+                    dst_layer=layer.name,
+                    src_provider=src,
+                    dst_provider=chosen.name,
+                    bytes=volume * act_dtype.itemsize,
+                    elements=volume,
+                )
+            )
+
+    return PartitionPlan(
+        providers=tuple(p.name for p in providers),
+        assignments=assignments,
+        transfers=tuple(transfers),
+    )
+
+
+def transfer_binding(spec: TransferSpec) -> LayerBinding:
+    """The timeline binding for one cross-provider transfer.
+
+    Shared with the plan loader so serialized partitioned engines
+    reconstruct byte-identical schedules."""
+    workload = LayerWorkload(
+        flops=0.0,
+        bytes_in=spec.bytes,
+        bytes_w=0,
+        bytes_out=spec.bytes,
+        gemm_m=1,
+        gemm_n=1,
+        gemm_k=0,
+        elements_out=spec.elements,
+        category="copy",
+    )
+    return LayerBinding(
+        layer_name=spec.label,
+        kernels=[transfer_kernel()],
+        workload=workload,
+        tactic=None,
+        provider=spec.dst_provider,
+        transfer=spec,
+    )
+
+
+def _partition_weight_chunks(
+    graph: Graph, bindings: List[LayerBinding]
+) -> List[int]:
+    """Per-layer stored weight bytes, by the same rule lint's ``P003``
+    re-derives: any single-kernel binding stores its weights in the
+    bound kernel's layout."""
+    by_name = {b.layer_name: b for b in bindings if b.transfer is None}
+    chunks: List[int] = []
+    for layer in graph.layers:
+        if not layer.weights:
+            continue
+        binding = by_name.get(layer.name)
+        if binding is not None and len(binding.kernels) == 1:
+            chunks.append(_stored_weight_bytes(layer, binding.kernels[0]))
+        else:
+            chunks.append(layer.weight_bytes())
+    return chunks
+
+
+def build_partitioned_engine(
+    network: Graph,
+    device: DeviceSpec,
+    providers: ProviderSpec,
+    config: Optional[BuilderConfig] = None,
+    catalog: KernelCatalog = DEFAULT_CATALOG,
+) -> PartitionedEngine:
+    """Build an engine whose layers are partitioned across providers.
+
+    The per-op analogue of :meth:`EngineBuilder.build`: dead layers are
+    removed (under the same pass-invariant guard), quantization is
+    planned, each layer is placed by :func:`partition_graph`, and then
+    TRT-assigned layers run real tactic auctions (charging build time
+    exactly like the classic pipeline) while CUDA/CPU-assigned layers
+    bind their provider's deterministic per-category kernel at zero
+    auction cost — those backends don't search.
+    """
+    provider_tuple = resolve_providers(providers)
+    provider_key = canonical_provider_key(provider_tuple)
+    cfg = config or BuilderConfig()
+    seed = cfg.seed if cfg.seed is not None else _next_build_seed()
+    rng = np.random.default_rng(seed)
+    timing_cache = cfg.timing_cache
+    if timing_cache is None and cfg.timing_cache_path is not None:
+        timing_cache = TimingCache.load_or_cold(cfg.timing_cache_path, device)
+    selector = TacticSelector(
+        device,
+        clock_mhz=device.max_gpu_clock_mhz,
+        rng=rng,
+        timing_noise=cfg.timing_noise,
+        timing_repeats=cfg.timing_repeats,
+        timing_cache=timing_cache,
+        workspace_limit_bytes=int(cfg.workspace_mb * 1024 * 1024),
+    )
+    allowed = cfg.precision.allowed_datatypes()
+    act_dtype = (
+        DataType.FP16
+        if cfg.precision is not PrecisionMode.FP32
+        else DataType.FP32
+    )
+
+    graph = network.copy()
+    graph.name = f"{network.name}::engine"
+    reports: List[PassReport] = []
+    guard = PassInvariantGuard() if cfg.verify_passes else None
+    if guard is not None:
+        report = guard.run(graph, remove_dead_layers)
+    else:
+        report = remove_dead_layers(graph)
+    reports.append(report)
+    if BUS.active:
+        BUS.emit(
+            SpanKind.BUILD_PASS,
+            report.pass_name,
+            changed=report.changed,
+            details=list(report.details),
+            network=network.name,
+            device=device.name,
+        )
+
+    calibration: Optional[CalibrationCache] = None
+    if cfg.calibration_batch is not None and DataType.INT8 in allowed:
+        calibration = calibrate_int8(
+            graph, cfg.calibration_batch, cfg.input_name
+        )
+    quant = plan_quantization(graph, allowed, calibration)
+
+    shapes = infer_shapes(graph)
+    menus: Dict[str, List[DataType]] = {}
+    categories: Dict[str, str] = {}
+    for layer in graph.toposort():
+        menus[layer.name] = list(quant.precisions_for(layer))
+        categories[layer.name] = layer_workload(
+            layer, shapes, act_dtype
+        ).category
+
+    plan = partition_graph(
+        graph, provider_tuple, menus, categories, shapes, act_dtype
+    )
+    by_name = {p.name: p for p in provider_tuple}
+
+    bindings: List[LayerBinding] = []
+    math_config = MathConfig(default=LayerMath())
+    build_time_us = 0.0
+    pending: Dict[str, List[TransferSpec]] = {}
+    for spec in plan.transfers:
+        pending.setdefault(spec.dst_layer, []).append(spec)
+
+    for layer in graph.toposort():
+        for spec in pending.get(layer.name, ()):
+            bindings.append(transfer_binding(spec))
+        provider = by_name[plan.assignments[layer.name]]
+        workload = layer_workload(layer, shapes, act_dtype)
+        if workload.category == "detection":
+            if provider.tactic_search:
+                kernels = list(catalog.detection_sequence())
+            else:
+                kernels = provider.kernel_sequence_for("detection")
+            bindings.append(
+                LayerBinding(
+                    layer_name=layer.name,
+                    kernels=kernels,
+                    workload=workload,
+                    tactic=None,
+                    provider=provider.name,
+                )
+            )
+            continue
+        if provider.tactic_search:
+            menu = menus[layer.name]
+            tactic = selector.choose(layer.name, workload, menu, catalog)
+            cached = tactic.candidates_timed - tactic.candidates_measured
+            build_time_us += (
+                tactic.measured_us * tactic.candidates_measured
+                + TIMING_CACHE_LOOKUP_US * cached
+            )
+            layer.precision = tactic.kernel.precision
+            math_config.per_layer[layer.name] = EngineBuilder._layer_math(
+                layer, tactic, calibration
+            )
+            kernel = tactic.kernel
+        else:
+            tactic = None
+            preferred = next(
+                p for p in menus[layer.name] if p is not DataType.INT8
+            )
+            kernel = provider.kernel_for(workload.category, preferred)
+            layer.precision = kernel.precision
+            math_config.per_layer[layer.name] = LayerMath(
+                precision=kernel.precision, split_k=kernel.split_k
+            )
+        # Re-price with the final stored precision, like the builder.
+        workload = layer_workload(layer, shapes, act_dtype)
+        bindings.append(
+            LayerBinding(
+                layer_name=layer.name,
+                kernels=[kernel],
+                workload=workload,
+                tactic=tactic,
+                provider=provider.name,
+            )
+        )
+
+    weight_chunks = _partition_weight_chunks(graph, bindings)
+    size_bytes = (
+        sum(weight_chunks)
+        + PLAN_FIXED_OVERHEAD_BYTES
+        + PLAN_PER_BINDING_BYTES * len(bindings)
+    )
+
+    engine = PartitionedEngine(
+        name=f"{network.name}@{device.name}+{provider_key}#seed{seed}",
+        source_network=network.name,
+        device=device,
+        graph=graph,
+        bindings=bindings,
+        math_config=math_config,
+        size_bytes=size_bytes,
+        weight_chunks=weight_chunks,
+        input_name=cfg.input_name,
+        build_seed=seed,
+        precision_mode=cfg.precision,
+        pass_reports=reports,
+        build_time_us=build_time_us,
+        partition=plan,
+    )
+    if cfg.analyze_dataflow:
+        EngineBuilder(device, cfg, catalog)._analyze(engine)
+    return engine
+
+
+__all__ = [
+    "PartitionPlan",
+    "PartitionedEngine",
+    "build_partitioned_engine",
+    "partition_graph",
+    "transfer_binding",
+]

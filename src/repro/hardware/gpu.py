@@ -84,12 +84,15 @@ class InferenceTiming:
 
 
 #: Deterministic timeline skeleton: (upload (bytes, calls, us) or None,
-#: input (bytes, us) or None, per-kernel (kernel_name, layer_name, base_us),
-#: the base durations again as a read-only float64 vector).
+#: input (bytes, us) or None, per-event (name, layer_name, base_us,
+#: transfer_bytes), the base durations again as a read-only float64
+#: vector).  ``transfer_bytes`` is 0 for kernel invocations and the
+#: copied byte count for cross-provider transfer entries, which are
+#: billed as DtoD memcpys rather than kernels.
 TimelineSkeleton = Tuple[
     Optional[Tuple[int, int, float]],
     Optional[Tuple[int, float]],
-    Tuple[Tuple[str, str, float], ...],
+    Tuple[Tuple[str, str, float, int], ...],
     np.ndarray,
 ]
 
@@ -124,10 +127,32 @@ def _timeline_skeleton(
             input_bytes if batch_size == 1 else input_bytes * batch_size
         )
         inp = (single.bytes, single.total_us)
-    kernels: List[Tuple[str, str, float]] = []
+    kernels: List[Tuple[str, str, float, int]] = []
     for binding in bindings:
-        n_kernels = len(binding.kernels)
         workload = binding.workload.for_batch(batch_size)
+        spec = getattr(binding, "transfer", None)
+        if spec is not None:
+            # Cross-provider transfer node (partitioned engines): the
+            # tensor crosses a provider boundary as a DtoD memcpy,
+            # billed against the Eq. 1 bandwidth model like any other
+            # transfer; activation bytes scale with the micro-batch.
+            xfer = memcpy.single(workload.bytes_out)
+            kernels.append(
+                (
+                    f"[CUDA memcpy DtoD] {binding.layer_name}",
+                    binding.layer_name,
+                    xfer.total_us,
+                    xfer.bytes,
+                )
+            )
+            continue
+        n_kernels = len(binding.kernels)
+        params = None
+        provider = getattr(binding, "provider", "trt")
+        if provider != "trt":
+            from repro.runtime.providers import provider_cost_params
+
+            params = provider_cost_params(provider)
         for kernel in binding.kernels:
             cost = cost_model.kernel_cost(
                 kernel,
@@ -140,7 +165,23 @@ def _timeline_skeleton(
             # pays its own launch overhead and dependent-load latency
             # chains (a sort pass's pointer chasing does not shrink
             # because other passes exist).
-            if n_kernels > 1:
+            if params is not None:
+                # Non-TRT providers scale the cost terms: effective
+                # FLOP rate and bandwidth shrink (divide), launch and
+                # latency exposure grow (multiply).  The TRT branch
+                # below is untouched — its costs define the model.
+                work = max(
+                    cost.compute_us / params.compute_scale,
+                    cost.bandwidth_us / params.bandwidth_scale,
+                )
+                if n_kernels > 1:
+                    work /= n_kernels
+                base = (
+                    cost.launch_us * params.launch_scale
+                    + work
+                    + cost.latency_us * params.latency_scale
+                )
+            elif n_kernels > 1:
                 base = (
                     cost.launch_us
                     + max(cost.compute_us, cost.bandwidth_us) / n_kernels
@@ -148,7 +189,7 @@ def _timeline_skeleton(
                 )
             else:
                 base = cost.total_us
-            kernels.append((kernel.name, binding.layer_name, base))
+            kernels.append((kernel.name, binding.layer_name, base, 0))
     bases = np.array([k[2] for k in kernels], dtype=np.float64)
     bases.setflags(write=False)
     return upload, inp, tuple(kernels), bases
@@ -288,7 +329,9 @@ def simulate_inference(
             0.5, 1.0 + jitter * rng.standard_normal(len(kernel_bases))
         )
 
-    if hardware_hook is None:
+    has_transfers = any(entry[3] for entry in kernel_bases)
+
+    if hardware_hook is None and not has_transfers:
         # Fast path: durations and start times vectorize.  Both the
         # elementwise ``(base * factor) * overhead`` and the sequential
         # left-to-right ``cumsum`` reproduce the scalar loop's float64
@@ -302,13 +345,68 @@ def simulate_inference(
         dur_list = durs.tolist()
         timing.kernel_events.extend(
             KernelEvent(name, layer, start, dur)
-            for (name, layer, _), start, dur in zip(
+            for (name, layer, _, _), start, dur in zip(
                 kernel_bases, starts, dur_list
             )
         )
         cursor = float(cum[-1]) if kernel_bases else cursor
+    elif hardware_hook is None:
+        # Partitioned timeline without faults: same vectorized math,
+        # but transfer entries take the memcpy overhead factor and are
+        # recorded as memcpy events mid-stream.
+        overheads = np.array(
+            [
+                memcpy_overhead if entry[3] else overhead
+                for entry in kernel_bases
+            ],
+            dtype=np.float64,
+        )
+        if factors is not None:
+            durs = base_vec * factors * overheads
+        else:
+            durs = base_vec * overheads
+        cum = np.concatenate(([cursor], durs)).cumsum()
+        starts = cum[:-1].tolist()
+        dur_list = durs.tolist()
+        for (name, layer, _, nbytes), start, dur in zip(
+            kernel_bases, starts, dur_list
+        ):
+            if nbytes:
+                timing.memcpy_events.append(
+                    MemcpyEvent(
+                        label=name,
+                        bytes=nbytes,
+                        calls=1,
+                        start_us=start,
+                        duration_us=dur,
+                    )
+                )
+            else:
+                timing.kernel_events.append(
+                    KernelEvent(name, layer, start, dur)
+                )
+        cursor = float(cum[-1]) if kernel_bases else cursor
     else:
-        for i, (kernel_name, layer_name, base) in enumerate(kernel_bases):
+        for i, (kernel_name, layer_name, base, nbytes) in enumerate(
+            kernel_bases
+        ):
+            if nbytes:
+                if factors is not None:
+                    dur = float(base * factors[i]) * memcpy_overhead
+                else:
+                    dur = base * memcpy_overhead
+                dur *= hardware_hook.memcpy_factor(kernel_name, cursor)
+                timing.memcpy_events.append(
+                    MemcpyEvent(
+                        label=kernel_name,
+                        bytes=nbytes,
+                        calls=1,
+                        start_us=cursor,
+                        duration_us=dur,
+                    )
+                )
+                cursor += dur
+                continue
             if factors is not None:
                 dur = float(base * factors[i]) * overhead
             else:

@@ -94,6 +94,10 @@ def _check_binding_coverage(engine: Engine, report) -> None:
     layer_names = {layer.name for layer in engine.graph.layers}
     seen: set = set()
     for binding in engine.bindings:
+        if binding.transfer is not None:
+            # Cross-provider transfer pseudo-bindings are not graph
+            # layers; P008 audits them instead.
+            continue
         if binding.layer_name in seen:
             report(
                 f"layer {binding.layer_name!r} is bound more than once",
@@ -170,6 +174,8 @@ def _check_weight_chunks(engine: Engine, report) -> None:
 def _check_precision_consistency(engine: Engine, report) -> None:
     layer_by_name = {layer.name: layer for layer in engine.graph.layers}
     for binding in engine.bindings:
+        if binding.transfer is not None:
+            continue  # transfer nodes compute nothing
         if len(binding.kernels) != 1:
             continue  # fixed multi-kernel sequences carry no layer math
         kernel = binding.kernels[0]
@@ -196,6 +202,84 @@ def _check_precision_consistency(engine: Engine, report) -> None:
                 f"{kernel.precision.value} kernel",
                 layer=binding.layer_name,
             )
+
+
+@register_rule(
+    ENGINE_RULES, "P007", "provider-unsupported-precision",
+    description="A quantized (INT8) layer is partitioned onto an "
+    "execution provider that rejects quantized ops (the optimum "
+    "CUDA-EP caveat); it must fall back to a supporting provider.",
+)
+def _check_provider_precision(engine: Engine, report) -> None:
+    from repro.runtime.providers import ProviderError, resolve_provider
+
+    for binding in engine.bindings:
+        if binding.transfer is not None:
+            continue
+        try:
+            provider = resolve_provider(binding.provider)
+        except ProviderError:
+            report(
+                f"layer {binding.layer_name!r} is assigned to unknown "
+                f"execution provider {binding.provider!r}",
+                layer=binding.layer_name,
+            )
+            continue
+        for kernel in binding.kernels:
+            if kernel.precision is DataType.INT8 and not (
+                provider.supports_precision(DataType.INT8)
+            ):
+                report(
+                    f"quantized layer {binding.layer_name!r} "
+                    f"({kernel.name!r}) is placed on provider "
+                    f"{provider.name!r}, which rejects INT8 ops",
+                    layer=binding.layer_name,
+                )
+
+
+@register_rule(
+    ENGINE_RULES, "P008", "partition-transfer-missing",
+    description="A cross-provider edge in a partitioned engine lacks "
+    "its transfer node, or a transfer node is unbilled (zero or "
+    "negative byte count) — the timeline would under-charge Eq. 1.",
+)
+def _check_partition_transfers(engine: Engine, report) -> None:
+    by_name = {
+        b.layer_name: b for b in engine.bindings if b.transfer is None
+    }
+    covered = set()
+    for binding in engine.bindings:
+        spec = binding.transfer
+        if spec is None:
+            continue
+        if spec.bytes <= 0 or binding.workload.bytes_out <= 0:
+            report(
+                f"transfer {binding.layer_name!r} moves "
+                f"{spec.bytes} byte(s) — cross-provider traffic must "
+                "be billed against the bandwidth model",
+                layer=binding.layer_name,
+            )
+        covered.add((spec.tensor, spec.dst_provider))
+    for layer in engine.graph.layers:
+        consumer = by_name.get(layer.name)
+        if consumer is None:
+            continue
+        for tensor in layer.inputs:
+            if tensor in engine.graph.input_specs:
+                continue
+            producer = engine.graph.producer_of(tensor)
+            if producer is None:
+                continue
+            source = by_name.get(producer.name)
+            if source is None or source.provider == consumer.provider:
+                continue
+            if (tensor, consumer.provider) not in covered:
+                report(
+                    f"tensor {tensor!r} crosses providers "
+                    f"{source.provider!r} -> {consumer.provider!r} "
+                    f"(layer {layer.name!r}) without a transfer node",
+                    layer=layer.name,
+                )
 
 
 @register_rule(
@@ -240,10 +324,17 @@ def _check_int8_scales(engine: Engine, report) -> None:
     "catalog — the tactic cannot be re-instantiated on load.",
 )
 def _check_kernel_names(doc: Dict, report) -> None:
+    from repro.runtime.providers import provider_kernel_by_name
+
     for entry in doc.get("bindings", []):
         for kernel_name in entry.get("kernels", []):
             try:
                 DEFAULT_CATALOG.by_name(kernel_name)
+                continue
+            except KeyError:
+                pass
+            try:
+                provider_kernel_by_name(kernel_name)
             except KeyError:
                 report(
                     f"binding for layer {entry.get('layer')!r} names "

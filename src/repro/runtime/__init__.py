@@ -12,5 +12,40 @@ The *temporal* half (how long each kernel takes on a Jetson) lives in
 
 from repro.runtime.executor import ExecutionResult, GraphExecutor
 from repro.runtime.math_config import LayerMath, MathConfig
+from repro.runtime.providers import (
+    CPU_PROVIDER,
+    CUDA_PROVIDER,
+    DEFAULT_PROVIDER_PRIORITY,
+    TRT_PROVIDER,
+    CpuProvider,
+    CudaProvider,
+    ExecutionProvider,
+    ProviderCostParams,
+    ProviderError,
+    TransferSpec,
+    TrtProvider,
+    canonical_provider_key,
+    resolve_provider,
+    resolve_providers,
+)
 
-__all__ = ["ExecutionResult", "GraphExecutor", "LayerMath", "MathConfig"]
+__all__ = [
+    "CPU_PROVIDER",
+    "CUDA_PROVIDER",
+    "CpuProvider",
+    "CudaProvider",
+    "DEFAULT_PROVIDER_PRIORITY",
+    "ExecutionProvider",
+    "ExecutionResult",
+    "GraphExecutor",
+    "LayerMath",
+    "MathConfig",
+    "ProviderCostParams",
+    "ProviderError",
+    "TRT_PROVIDER",
+    "TransferSpec",
+    "TrtProvider",
+    "canonical_provider_key",
+    "resolve_provider",
+    "resolve_providers",
+]

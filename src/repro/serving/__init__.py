@@ -33,6 +33,7 @@ from repro.serving.supervisor import (
     ServiceReport,
     StreamSpec,
     SupervisorConfig,
+    load_or_rebuild,
     load_or_rebuild_engine,
     run_fault_comparison,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ServiceReport",
     "StreamSpec",
     "SupervisorConfig",
+    "load_or_rebuild",
     "load_or_rebuild_engine",
     "run_fault_comparison",
 ]

@@ -366,6 +366,7 @@ class InferenceSupervisor:
         device: DeviceSpec,
         fallback_networks: Sequence[Any] = (),
         builder_config=None,
+        provider=None,
         **kwargs: Any,
     ) -> "InferenceSupervisor":
         """Build a supervisor whose engines all route through an
@@ -375,10 +376,18 @@ class InferenceSupervisor:
         ``store.get_or_build``, so a restarted server re-acquires its
         entire ladder as warm store hits — zero tactic auctions on the
         request path, bit-identical bindings across restarts.
+
+        ``provider`` is the canonical execution-provider axis; it is
+        forwarded to every ``get_or_build`` so the whole ladder is
+        built (and keyed in the store) for the same provider stack.
         """
-        engine, _ = store.get_or_build(network, device, builder_config)
+        engine, _ = store.get_or_build(
+            network, device, builder_config, provider=provider
+        )
         fallbacks = [
-            store.get_or_build(fb, device, builder_config)[0]
+            store.get_or_build(
+                fb, device, builder_config, provider=provider
+            )[0]
             for fb in fallback_networks
         ]
         return cls(engine, fallbacks=fallbacks, device=device, **kwargs)
@@ -910,13 +919,14 @@ def _sidecar_cache_path(plan_path) -> Optional["Path"]:
     return None
 
 
-def load_or_rebuild_engine(
+def load_or_rebuild(
     plan_path,
     network,
     device: DeviceSpec,
     builder_config=None,
     injector: Optional[FaultInjector] = None,
     store=None,
+    provider=None,
 ) -> Tuple[Engine, bool]:
     """Load a ``.plan`` that passes its integrity audit, else rebuild.
 
@@ -935,7 +945,12 @@ def load_or_rebuild_engine(
     sidecar cache shipped next to the plan (``<plan>.timing``), and
     only warns and rebuilds truly cold when neither exists — the
     regression the original fallback silently caused.
+
+    ``provider`` selects the execution provider(s) for any rebuild
+    (``"trt"``, ``"cuda"``, ``"cpu"``, ``"auto"``, or a priority list
+    like ``"cuda,trt"``); it does not alter a plan that loads clean.
     """
+    import dataclasses
     import warnings
 
     from repro.engine.builder import BuilderConfig, EngineBuilder
@@ -956,7 +971,10 @@ def load_or_rebuild_engine(
         )
     if store is not None:
         engine, _ = store.get_or_build(
-            network, device, builder_config or BuilderConfig(seed=0)
+            network,
+            device,
+            builder_config or BuilderConfig(seed=0),
+            provider=provider,
         )
         return engine, True
     config = builder_config
@@ -976,8 +994,34 @@ def load_or_rebuild_engine(
                 stacklevel=2,
             )
             config = BuilderConfig(seed=0)
+    if provider is not None:
+        config = dataclasses.replace(config, provider=provider)
     engine = EngineBuilder(device, config).build(network)
     return engine, True
+
+
+def load_or_rebuild_engine(
+    plan_path,
+    network,
+    device: DeviceSpec,
+    builder_config=None,
+    injector: Optional[FaultInjector] = None,
+    store=None,
+) -> Tuple[Engine, bool]:
+    """Deprecated alias for :func:`load_or_rebuild` (implicit TRT)."""
+    warn_once(
+        "serving.load_or_rebuild_engine",
+        "load_or_rebuild_engine() is deprecated; call "
+        "load_or_rebuild(..., provider=...) instead",
+    )
+    return load_or_rebuild(
+        plan_path,
+        network,
+        device,
+        builder_config=builder_config,
+        injector=injector,
+        store=store,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Cross-provider consistency (ISSUE 9, satellite 4): fp32 outputs
+agree across TrtProvider / CudaProvider / CpuProvider within precision
+tolerance — bit-identical where both paths are arithmetically exact —
+and INT8 graphs partition quantized ops onto TrtProvider only."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.providers import (
+    FP32_TOLERANCE,
+    provider_compare,
+)
+from repro.engine.builder import (
+    BuilderConfig,
+    EngineBuilder,
+    PrecisionMode,
+)
+from repro.graph.ir import DataType
+from repro.hardware.specs import XAVIER_NX
+from repro.models import MODEL_REGISTRY, build_model
+
+ZOO_SWEEP = ("alexnet", "googlenet", "resnet18", "mtcnn")
+
+
+def _fp32_outputs(model, provider, seed=3):
+    graph = build_model(model, pretrained=False)
+    input_name = MODEL_REGISTRY[model].input_name
+    spec = graph.input_specs[input_name]
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(1, *spec.shape)).astype(np.float32)
+    config = BuilderConfig(
+        seed=seed,
+        precision=PrecisionMode.FP32,
+        input_name=input_name,
+        provider=provider,
+    )
+    engine = EngineBuilder(XAVIER_NX, config).build(graph)
+    ctx = engine.create_execution_context()
+    return ctx.execute(**{input_name: x}).outputs
+
+
+@pytest.mark.parametrize("model", ZOO_SWEEP)
+def test_fp32_agreement_across_providers(model):
+    trt = _fp32_outputs(model, "trt")
+    for provider in ("cuda", "cpu"):
+        other = _fp32_outputs(model, provider)
+        assert set(other) == set(trt)
+        for name in trt:
+            np.testing.assert_allclose(
+                other[name], trt[name],
+                atol=FP32_TOLERANCE, rtol=0.0,
+                err_msg=f"{model}: trt vs {provider} on {name}",
+            )
+
+
+def test_alexnet_fp32_bit_identical_trt_vs_cuda():
+    """AlexNet's only graph rewrite at fp32 (conv+relu fusion) is
+    arithmetically exact, so TRT and per-op CUDA paths must produce
+    bit-identical tensors — not merely close ones."""
+    trt = _fp32_outputs("alexnet", "trt")
+    cuda = _fp32_outputs("alexnet", "cuda")
+    for name in trt:
+        assert np.array_equal(trt[name], cuda[name]), name
+
+
+@pytest.mark.parametrize("model", ("alexnet", "resnet18"))
+def test_int8_quantized_ops_only_on_trt(model):
+    graph = build_model(model, pretrained=False)
+    input_name = MODEL_REGISTRY[model].input_name
+    spec = graph.input_specs[input_name]
+    rng = np.random.default_rng(0)
+    config = BuilderConfig(
+        seed=3,
+        precision=PrecisionMode.INT8,
+        input_name=input_name,
+        provider="cuda,trt",
+        calibration_batch=rng.normal(
+            size=(4, *spec.shape)
+        ).astype(np.float32),
+    )
+    engine = EngineBuilder(XAVIER_NX, config).build(graph)
+    quantized = [
+        b for b in engine.bindings
+        if b.transfer is None
+        and any(k.precision is DataType.INT8 for k in b.kernels)
+    ]
+    assert quantized, "INT8 build should quantize at least one layer"
+    assert all(b.provider == "trt" for b in quantized)
+    # CUDA still hosts the non-quantized remainder in this priority
+    assert any(
+        b.provider == "cuda" for b in engine.bindings
+        if b.transfer is None
+    )
+
+
+def test_provider_compare_report_gates():
+    report = provider_compare(models=("alexnet",))
+    assert report["schema"] == "trtsim.provider_compare/1"
+    assert all(report["checks"].values()), report["checks"]
+    row = report["models"][0]
+    latencies = [
+        row["providers"][p]["latency_ms"]
+        for p in report["providers"]
+    ]
+    assert latencies == sorted(latencies)
+    # CPU is orders of magnitude slower than TRT
+    assert latencies[-1] / latencies[0] > 50.0

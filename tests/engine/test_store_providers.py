@@ -1,0 +1,101 @@
+"""Cross-provider EngineStore behaviour: provider identity is part of
+the config fingerprint, so engines built for different provider stacks
+never collide in the content-addressed store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    BuilderConfig,
+    EngineStore,
+    PrecisionMode,
+    config_fingerprint,
+    store_key,
+)
+from repro.hardware.specs import XAVIER_NX
+
+from tests.conftest import make_small_cnn
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return EngineStore(tmp_path / "store")
+
+
+def _config(provider="trt"):
+    return BuilderConfig(
+        seed=0, precision=PrecisionMode.FP32, provider=provider
+    )
+
+
+class TestFingerprint:
+    def test_provider_in_fingerprint(self):
+        assert config_fingerprint(_config("trt")) != config_fingerprint(
+            _config("cuda")
+        )
+
+    def test_fingerprint_uses_canonical_key(self):
+        # aliases and case collapse to the same canonical provider key
+        assert config_fingerprint(_config("CUDA")) == config_fingerprint(
+            _config("CUDAExecutionProvider")
+        )
+
+    def test_provider_changes_store_key(self, small_cnn):
+        trt = store_key(small_cnn, XAVIER_NX, _config("trt"))
+        cuda = store_key(small_cnn, XAVIER_NX, _config("cuda"))
+        assert trt.digest != cuda.digest
+
+
+class TestCrossProviderStore:
+    def test_per_provider_entries_do_not_collide(self, store):
+        net = make_small_cnn()
+        trt, r_trt = store.get_or_build(net, XAVIER_NX, _config())
+        cuda, r_cuda = store.get_or_build(
+            net, XAVIER_NX, _config(), provider="cuda"
+        )
+        assert r_trt.key != r_cuda.key
+        assert trt.name != cuda.name
+        assert all(b.provider == "cuda" for b in cuda.bindings)
+
+    def test_each_provider_warm_on_second_build(self, store):
+        net = make_small_cnn()
+        for provider in ("trt", "cuda", "cpu"):
+            cold, r0 = store.get_or_build(
+                net, XAVIER_NX, _config(), provider=provider
+            )
+            assert not r0.is_hit
+            warm, r1 = store.get_or_build(
+                net, XAVIER_NX, _config(), provider=provider
+            )
+            assert r1.is_hit
+            assert [k.name for b in warm.bindings for k in b.kernels] \
+                == [k.name for b in cold.bindings for k in b.kernels]
+
+    def test_partitioned_engine_survives_the_store(self, store):
+        import numpy as np
+
+        net = make_small_cnn()
+        spec = next(iter(net.input_specs.values()))
+        rng = np.random.default_rng(0)
+        config = BuilderConfig(
+            seed=0,
+            precision=PrecisionMode.INT8,
+            calibration_batch=rng.normal(
+                size=(4, *spec.shape)
+            ).astype(np.float32),
+        )
+        cold, _ = store.get_or_build(
+            net, XAVIER_NX, config, provider="cuda,trt"
+        )
+        warm, result = store.get_or_build(
+            net, XAVIER_NX, config, provider="cuda,trt"
+        )
+        assert result.is_hit
+        from repro.graph.partition import PartitionedEngine
+
+        assert isinstance(warm, PartitionedEngine)
+        assert warm.partition.assignments == cold.partition.assignments
+        assert len(warm.transfer_bindings()) == len(
+            cold.transfer_bindings()
+        )

@@ -1,0 +1,100 @@
+"""Fire-a-fixture tests for the provider-partition rule family
+members: "P007" (quantized op on a provider that rejects INT8) and
+"P008" (missing or unbilled cross-provider transfer nodes)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine import BuilderConfig, EngineBuilder, PrecisionMode
+from repro.hardware.specs import XAVIER_NX
+from repro.lint import lint_engine
+
+from tests.conftest import make_small_cnn
+
+
+def fired(report, rule_id):
+    return [d for d in report.diagnostics if d.rule_id == rule_id]
+
+
+def _calibration(graph, n=4, seed=0):
+    spec = next(iter(graph.input_specs.values()))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, *spec.shape)).astype(np.float32)
+
+
+@pytest.fixture()
+def mixed_engine():
+    """An INT8 small-CNN partitioned across cuda,trt — lints clean."""
+    net = make_small_cnn()
+    config = BuilderConfig(
+        seed=0,
+        precision=PrecisionMode.INT8,
+        provider="cuda,trt",
+        calibration_batch=_calibration(net),
+    )
+    return EngineBuilder(XAVIER_NX, config).build(net)
+
+
+def test_mixed_partition_lints_clean(mixed_engine):
+    report = lint_engine(mixed_engine)
+    assert report.ok, [str(d) for d in report.diagnostics]
+    assert not fired(report, "P007")
+    assert not fired(report, "P008")
+
+
+def test_p007_int8_on_cuda(mixed_engine):
+    # relabel one quantized (INT8-bound) trt layer as cuda — exactly
+    # the placement CudaProvider rejects
+    from repro.graph.ir import DataType
+
+    target = next(
+        i for i, b in enumerate(mixed_engine.bindings)
+        if b.transfer is None
+        and any(k.precision is DataType.INT8 for k in b.kernels)
+    )
+    broken = mixed_engine.bindings[target]
+    mixed_engine.bindings[target] = dataclasses.replace(
+        broken, provider="cuda"
+    )
+    report = lint_engine(mixed_engine)
+    diags = fired(report, "P007")
+    assert diags and "rejects INT8" in diags[0].message
+
+
+def test_p007_unknown_provider(mixed_engine):
+    mixed_engine.bindings[0] = dataclasses.replace(
+        mixed_engine.bindings[0], provider="rocm"
+    )
+    report = lint_engine(mixed_engine)
+    assert fired(report, "P007")
+
+
+def test_p008_missing_transfer(mixed_engine):
+    # drop one transfer pseudo-binding: its cross-provider edge is now
+    # uncovered
+    idx = next(
+        i for i, b in enumerate(mixed_engine.bindings)
+        if b.transfer is not None
+    )
+    del mixed_engine.bindings[idx]
+    report = lint_engine(mixed_engine)
+    assert fired(report, "P008")
+
+
+def test_p008_unbilled_transfer(mixed_engine):
+    idx = next(
+        i for i, b in enumerate(mixed_engine.bindings)
+        if b.transfer is not None
+    )
+    binding = mixed_engine.bindings[idx]
+    mixed_engine.bindings[idx] = dataclasses.replace(
+        binding,
+        transfer=dataclasses.replace(binding.transfer, bytes=0),
+    )
+    report = lint_engine(mixed_engine)
+    diags = fired(report, "P008")
+    assert diags and "billed" in diags[0].message

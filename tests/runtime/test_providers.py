@@ -1,0 +1,163 @@
+"""Execution-provider registry: resolution, aliases, cost params,
+per-op kernel tables, and the CUDA provider's quantization caveat."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.ir import DataType
+from repro.runtime.providers import (
+    CPU_PROVIDER,
+    CUDA_PROVIDER,
+    DEFAULT_PROVIDER_PRIORITY,
+    TRT_PROVIDER,
+    ExecutionProvider,
+    ProviderError,
+    TransferSpec,
+    canonical_provider_key,
+    provider_cost_params,
+    provider_kernel_by_name,
+    resolve_provider,
+    resolve_providers,
+    transfer_kernel,
+)
+
+
+class TestResolution:
+    def test_singletons_by_short_name(self):
+        assert resolve_provider("trt") is TRT_PROVIDER
+        assert resolve_provider("cuda") is CUDA_PROVIDER
+        assert resolve_provider("cpu") is CPU_PROVIDER
+
+    def test_onnx_runtime_aliases(self):
+        assert resolve_provider("TensorrtExecutionProvider") is TRT_PROVIDER
+        assert resolve_provider("CUDAExecutionProvider") is CUDA_PROVIDER
+        assert resolve_provider("CPUExecutionProvider") is CPU_PROVIDER
+
+    def test_case_insensitive_like_device_flag(self):
+        assert resolve_provider("TRT") is TRT_PROVIDER
+        assert resolve_provider("  Cuda ") is CUDA_PROVIDER
+
+    def test_instance_passthrough(self):
+        assert resolve_provider(CUDA_PROVIDER) is CUDA_PROVIDER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ProviderError, match="unknown"):
+            resolve_provider("rocm")
+
+    def test_auto_is_default_priority(self):
+        assert resolve_providers("auto") == (
+            TRT_PROVIDER,
+            CUDA_PROVIDER,
+            CPU_PROVIDER,
+        )
+        assert DEFAULT_PROVIDER_PRIORITY == ("trt", "cuda", "cpu")
+
+    def test_comma_list_preserves_priority_order(self):
+        assert resolve_providers("cuda,trt") == (
+            CUDA_PROVIDER,
+            TRT_PROVIDER,
+        )
+
+    def test_list_dedupes(self):
+        assert resolve_providers("trt,TRT,trt") == (TRT_PROVIDER,)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ProviderError):
+            resolve_providers(())
+
+    def test_canonical_key(self):
+        assert canonical_provider_key("trt") == "trt"
+        assert canonical_provider_key("CUDA,Trt") == "cuda+trt"
+        assert canonical_provider_key("auto") == "trt+cuda+cpu"
+
+
+class TestCostParams:
+    def test_trt_is_identity(self):
+        assert TRT_PROVIDER.cost_params.is_identity
+
+    def test_cuda_slower_than_trt_but_not_crazy(self):
+        p = provider_cost_params("cuda")
+        assert not p.is_identity
+        assert 0.0 < p.compute_scale < 1.0
+        assert 0.0 < p.bandwidth_scale < 1.0
+        assert p.launch_scale > 1.0
+
+    def test_cpu_orders_of_magnitude(self):
+        p = provider_cost_params("cpu")
+        # compute throughput ratio alone must be >= 100x
+        assert 1.0 / p.compute_scale >= 100.0
+        assert 1.0 / p.bandwidth_scale >= 10.0
+
+
+class TestSupports:
+    def test_trt_supports_everything(self):
+        for prec in (DataType.FP32, DataType.FP16, DataType.INT8):
+            assert TRT_PROVIDER.supports_layer("conv", prec)
+
+    def test_cuda_rejects_int8_optimum_caveat(self):
+        assert not CUDA_PROVIDER.supports_precision(DataType.INT8)
+        assert not CUDA_PROVIDER.supports_layer("conv", DataType.INT8)
+        with pytest.raises(ProviderError):
+            CUDA_PROVIDER.kernel_for("conv", DataType.INT8)
+
+    def test_cpu_always_supported(self):
+        for category in (
+            "conv", "gemm", "pooling", "pointwise", "softmax"
+        ):
+            for prec in (DataType.FP32, DataType.FP16, DataType.INT8):
+                assert CPU_PROVIDER.supports_layer(category, prec)
+
+
+class TestKernelTables:
+    def test_cuda_kernels_are_per_op_no_tensor_cores(self):
+        k = CUDA_PROVIDER.kernel_for("conv", DataType.FP16)
+        assert k.name.startswith("cudnn_")
+        assert not k.uses_tensor_cores
+        assert k.split_k == 1
+
+    def test_cpu_runs_everything_fp32(self):
+        k = CPU_PROVIDER.kernel_for("conv", DataType.INT8)
+        assert k.precision is DataType.FP32
+        assert k.name.startswith("cpu_")
+
+    def test_kernel_for_is_deterministic(self):
+        a = CUDA_PROVIDER.kernel_for("gemm", DataType.FP32)
+        b = CUDA_PROVIDER.kernel_for("gemm", DataType.FP32)
+        assert a is b
+
+    def test_detection_sequence(self):
+        seq = CUDA_PROVIDER.kernel_sequence_for("detection")
+        assert len(seq) == 3
+        base = ExecutionProvider()
+        with pytest.raises(ProviderError):
+            base.kernel_sequence_for("detection")
+
+    def test_provider_kernel_lookup_by_name(self):
+        k = CUDA_PROVIDER.kernel_for("conv", DataType.FP32)
+        assert provider_kernel_by_name(k.name) is k
+
+    def test_trt_catalog_names_not_shadowed(self):
+        # TRT tactic-catalog kernels must never resolve through the
+        # provider tables (they would bypass the auction machinery).
+        with pytest.raises(KeyError):
+            provider_kernel_by_name("trt_volta_h884gemm_128x128")
+
+    def test_transfer_kernel_registered(self):
+        k = transfer_kernel()
+        assert provider_kernel_by_name(k.name) is k
+
+
+class TestTransferSpec:
+    def test_label_and_roundtrip(self):
+        spec = TransferSpec(
+            tensor="conv1_out",
+            src_layer="conv1",
+            dst_layer="relu1",
+            src_provider="trt",
+            dst_provider="cuda",
+            bytes=4096,
+            elements=1024,
+        )
+        assert spec.label == "transfer:conv1_out@trt->cuda"
+        assert TransferSpec.from_dict(spec.to_dict()) == spec
