@@ -11,3 +11,7 @@ from repro.analysis.config import ExperimentScale, current_scale
 from repro.analysis.engines import EngineFarm
 
 __all__ = ["EngineFarm", "ExperimentScale", "current_scale"]
+
+# NOTE: repro.analysis.interference and repro.analysis.fleet are
+# imported lazily by their callers — both pull the serving stack in,
+# which the lightweight experiment harnesses above don't need.

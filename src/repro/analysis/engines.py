@@ -114,6 +114,35 @@ class EngineFarm:
                 self._engines[key] = builder.build(self.graph(model_name))
         return self._engines[key]
 
+    def pinned_engine(self, model_name: str, device_name: str) -> Engine:
+        """One engine per (model, device), identical across processes.
+
+        ``engine()``'s slot seeds mix ``hash(model_name)``, which the
+        interpreter salts per process (PYTHONHASHSEED) — good for the
+        build-consistency studies that want build-to-build diversity,
+        wrong for artifacts that must be byte-identical across separate
+        invocations (fleet reports, interference matrices).  This path
+        pins ``seed=base_seed`` and the default TRT provider so the
+        same farm settings always reproduce the same engine.
+        """
+        key = (model_name, device_name, -1, "trt")
+        if key not in self._engines:
+            device = device_by_name(device_name)
+            config = BuilderConfig(
+                precision=self.precision,
+                seed=self.base_seed,
+                input_name=self._input_name(model_name),
+            )
+            if self.store is not None:
+                engine, _ = self.store.get_or_build(
+                    self.graph(model_name), device, config
+                )
+            else:
+                builder = EngineBuilder(device, config)
+                engine = builder.build(self.graph(model_name))
+            self._engines[key] = engine
+        return self._engines[key]
+
     def engines(
         self,
         model_name: str,

@@ -19,9 +19,19 @@ from __future__ import annotations
 import json
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.engines import EngineFarm, device_by_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.interference import InterferenceReport
 from repro.engine.builder import BuilderConfig
 from repro.faults.scenario import FaultPlan
 from repro.serving.fleet import (
@@ -66,44 +76,57 @@ def build_fleet(
     farm: Optional[EngineFarm] = None,
     seed: int = 0,
     clock_mhz: Optional[float] = None,
+    placement: Optional[Sequence[Sequence[str]]] = None,
+    coloc_factors: Optional[Sequence[Dict[str, float]]] = None,
 ) -> List[FleetDevice]:
     """A named fleet: ``dev0..devN`` over the spec's device mix.
 
-    Every device installs every model (primary plus the fallback
-    ladder).  With multiple models, warm residency is assigned
-    round-robin so engine-affinity routing has cold devices to avoid;
-    a single-model fleet is warm everywhere.  Engines are shared per
-    (model, device type); per-device *state* (queues, warm flags,
-    fault windows, supervisors) is independent.
+    By default every device installs every model (primary plus the
+    fallback ladder).  With multiple models, warm residency is
+    assigned round-robin so engine-affinity routing has cold devices
+    to avoid; a single-model fleet is warm everywhere.  Engines are
+    shared per (model, device type); per-device *state* (queues, warm
+    flags, fault windows, supervisors) is independent.
 
-    Engines build with a *fixed* seed (not the farm's hash-derived
-    slot seeds, which vary across interpreter processes): the same
-    fleet spec must produce byte-identical simulation reports from
-    separate ``trtsim fleet`` invocations.
+    ``placement`` (one model list per device, e.g. from
+    :func:`repro.analysis.interference.advise_placement`) instead
+    installs only each device's assigned models, all warm, and
+    ``coloc_factors`` (parallel to ``placement``, from
+    :func:`repro.analysis.interference.placement_factors`) attaches
+    the per-model co-location slowdowns that sharing each GPU
+    implies.  Omitting both leaves the legacy everything-everywhere
+    fleet byte-identical.
+
+    Engines build through :meth:`EngineFarm.pinned_engine` — a fixed
+    seed, not the farm's hash-derived slot seeds, which vary across
+    interpreter processes: the same fleet spec must produce
+    byte-identical simulation reports from separate ``trtsim fleet``
+    invocations.
     """
     farm = farm or EngineFarm(pretrained=False)
-    built: dict = {}
-
-    def _engine(model: str, device_name: str):
-        key = (model, device_name)
-        if key not in built:
-            config = BuilderConfig(
-                precision=farm.precision,
-                seed=1000,
-                input_name=EngineFarm._input_name(model),
+    n_devices = sum(c for c, _ in parse_fleet_spec(spec))
+    if placement is not None:
+        if len(placement) != n_devices:
+            raise ValueError(
+                f"placement covers {len(placement)} devices but the "
+                f"spec {spec!r} has {n_devices}"
             )
-            graph = farm.graph(model)
-            spec_obj = device_by_name(device_name)
-            if farm.store is not None:
-                engine, _ = farm.store.get_or_build(
-                    graph, spec_obj, config
-                )
-            else:
-                from repro.engine.builder import EngineBuilder
-
-                engine = EngineBuilder(spec_obj, config).build(graph)
-            built[key] = engine
-        return built[key]
+        unknown = {
+            m for group in placement for m in group
+        } - set(models)
+        if unknown:
+            raise ValueError(
+                f"placement names models outside the fleet mix: "
+                f"{sorted(unknown)}"
+            )
+    if coloc_factors is not None:
+        if placement is None:
+            raise ValueError("coloc_factors requires a placement")
+        if len(coloc_factors) != len(placement):
+            raise ValueError(
+                "coloc_factors must parallel placement "
+                f"({len(coloc_factors)} != {len(placement)})"
+            )
 
     devices: List[FleetDevice] = []
     index = 0
@@ -117,7 +140,11 @@ def build_fleet(
                 seed=seed,
                 clock_mhz=clock_mhz,
             )
-            for j, model in enumerate(models):
+            device_models = (
+                list(models) if placement is None
+                else list(placement[index])
+            )
+            for j, model in enumerate(device_models):
                 config = BuilderConfig(
                     precision=farm.precision,
                     seed=1000,
@@ -130,15 +157,19 @@ def build_fleet(
                         farm.graph(f) for f in fallbacks
                     ],
                     builder_config=config,
-                    engine=_engine(model, device_name),
+                    engine=farm.pinned_engine(model, device_name),
                     fallback_engines=[
-                        _engine(f, device_name) for f in fallbacks
+                        farm.pinned_engine(f, device_name)
+                        for f in fallbacks
                     ],
                     warm=(
-                        len(models) == 1
+                        placement is not None
+                        or len(models) == 1
                         or (index - j) % len(models) == 0
                     ),
                 )
+            if coloc_factors is not None:
+                device.set_colocation(coloc_factors[index])
             devices.append(device)
             index += 1
     return devices
@@ -353,6 +384,181 @@ class PolicySweep:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+@dataclass
+class PlacementComparison:
+    """Advisor vs round-robin placement over identical traffic.
+
+    Both fleets are priced by the *same* interference physics (each
+    device's co-location factors follow from its resident set); only
+    the assignment differs, so the gain isolates what matrix-aware
+    packing buys.
+    """
+
+    advisor: FleetReport
+    round_robin: FleetReport
+    advisor_placement: List[List[str]]
+    round_robin_placement: List[List[str]]
+
+    @property
+    def attainment_gain(self) -> float:
+        """Deadline-attainment multiple of advised placement over the
+        naive round-robin baseline."""
+        floor = max(self.round_robin.attainment, 1e-9)
+        return self.advisor.attainment / floor
+
+    def table(self) -> str:
+        rows = [
+            ("requests", "requests", "d"),
+            ("deadline hits", "deadline_hits", "d"),
+            ("attainment", "attainment", ".3f"),
+            ("p99 latency (ms)", "p99_latency_ms", ".2f"),
+            ("served", "served", "d"),
+        ]
+        lines = [f"{'metric':<20}{'advisor':>12}{'round-robin':>12}"]
+        for label, attr, fmt in rows:
+            a = format(getattr(self.advisor, attr), fmt)
+            r = format(getattr(self.round_robin, attr), fmt)
+            lines.append(f"{label:<20}{a:>12}{r:>12}")
+        lines.append(
+            f"{'attainment gain':<20}{self.attainment_gain:>12.2f}"
+            f"{'1.00':>12}"
+        )
+        for title, placement in (
+            ("advisor", self.advisor_placement),
+            ("round-robin", self.round_robin_placement),
+        ):
+            lines.append(f"{title} placement:")
+            for i, group in enumerate(placement):
+                lines.append(f"  dev{i}: {', '.join(group) or '-'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "trtsim.placement_compare/1",
+            "attainment_gain": self.attainment_gain,
+            "advisor_placement": [
+                list(g) for g in self.advisor_placement
+            ],
+            "round_robin_placement": [
+                list(g) for g in self.round_robin_placement
+            ],
+            "advisor": self.advisor.to_dict(),
+            "round_robin": self.round_robin.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def placement_bottleneck_rps(
+    devices: Sequence[FleetDevice], n_models: int
+) -> float:
+    """Sustainable fleet-wide request rate under a placement.
+
+    Traffic splits uniformly over ``n_models`` models and each model
+    lives on exactly one device, so device *d* saturates when the
+    offered rate reaches ``n_models / sum(effective service time of
+    d's models)`` — the fleet bottleneck is the minimum over devices.
+    Effective service times include each device's co-location
+    factors: a placement that groups interfering models *loses
+    capacity*, which is exactly what the advisor is minimizing.
+    """
+    caps = []
+    for device in devices:
+        total_s = sum(
+            device.effective_base_ms(m) / 1000.0
+            for m in device.models()
+        )
+        if total_s > 0:
+            caps.append(n_models / total_s)
+    return min(caps) if caps else 0.0
+
+
+def compare_placement(
+    spec: str = "2xNX",
+    models: Optional[Sequence[str]] = None,
+    policy: str = "least-loaded",
+    duration_s: float = 4.0,
+    utilization: float = 0.95,
+    deadline_slack: float = 4.0,
+    seed: int = 0,
+    farm: Optional[EngineFarm] = None,
+    clock_mhz: Optional[float] = None,
+    matrix: Optional["InterferenceReport"] = None,
+) -> PlacementComparison:
+    """The advisor experiment: co-locate ``models`` across the fleet
+    by interference-aware bin packing vs naive round-robin, then run
+    identical traffic through both and compare deadline attainment.
+
+    ``matrix`` (an :class:`~repro.analysis.interference
+    .InterferenceReport`) is probed on the spec's first device type
+    when omitted.
+
+    Traffic is *steady* (no diurnal swing, no bursts) and sized at
+    ``utilization`` of the tighter of the two fleets' bottleneck
+    devices (co-location factors included): near saturation, the
+    capacity the advisor recovers by separating interfering models is
+    the difference between a draining queue and a diverging one, so
+    deadline attainment — not survival — is what the comparison
+    measures.
+    """
+    from repro.analysis.interference import (
+        DEFAULT_MATRIX_MODELS,
+        advise_placement,
+        interference_matrix,
+        placement_factors,
+        round_robin_placement,
+    )
+
+    model_names = list(models or DEFAULT_MATRIX_MODELS)
+    farm = farm or EngineFarm(pretrained=False)
+    groups = parse_fleet_spec(spec)
+    n_devices = sum(c for c, _ in groups)
+    if matrix is None:
+        matrix = interference_matrix(
+            model_names,
+            device_name=groups[0][1],
+            farm=farm,
+            clock_mhz=clock_mhz,
+            seed=seed,
+        )
+    advised = advise_placement(matrix, n_devices, model_names)
+    naive = round_robin_placement(model_names, n_devices)
+    advisor_fleet = build_fleet(
+        spec, model_names, farm=farm, seed=seed, clock_mhz=clock_mhz,
+        placement=advised,
+        coloc_factors=placement_factors(matrix, advised),
+    )
+    naive_fleet = build_fleet(
+        spec, model_names, farm=farm, seed=seed, clock_mhz=clock_mhz,
+        placement=naive,
+        coloc_factors=placement_factors(matrix, naive),
+    )
+    bottleneck = min(
+        placement_bottleneck_rps(advisor_fleet, len(model_names)),
+        placement_bottleneck_rps(naive_fleet, len(model_names)),
+    )
+    traffic = TrafficModel(
+        duration_s=duration_s,
+        base_rps=max(1.0, utilization * bottleneck),
+        models={m: 1.0 for m in model_names},
+        diurnal_amplitude=0.0,
+        burst_prob=0.0,
+        deadline_ms=default_deadline_ms(naive_fleet, deadline_slack),
+        seed=seed,
+    )
+    return PlacementComparison(
+        advisor=run_fleet(
+            advisor_fleet, traffic, policy=policy, resilient=True
+        ),
+        round_robin=run_fleet(
+            naive_fleet, traffic, policy=policy, resilient=True
+        ),
+        advisor_placement=advised,
+        round_robin_placement=naive,
+    )
 
 
 def compare_policies(

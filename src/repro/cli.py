@@ -892,6 +892,73 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_colocate(args) -> int:
+    """Multi-model co-location: interference matrix, pair ranking,
+    and the interference-aware placement advisor."""
+    from repro.analysis.engines import EngineFarm
+    from repro.analysis.interference import (
+        DEFAULT_MATRIX_MODELS,
+        interference_matrix,
+    )
+
+    farm = EngineFarm(pretrained=False)
+    models = tuple(
+        args.models.split(",") if args.models else DEFAULT_MATRIX_MODELS
+    )
+
+    if args.colocate_command == "advisor":
+        from repro.analysis.fleet import compare_placement
+
+        comparison = compare_placement(
+            spec=args.devices, models=models, policy=args.policy,
+            duration_s=args.duration_s, utilization=args.utilization,
+            deadline_slack=args.deadline_slack, seed=args.seed,
+            farm=farm, clock_mhz=args.clock_mhz,
+        )
+        doc, text = comparison.to_json(), comparison.table()
+        if args.min_gain is not None:
+            text += (
+                f"\n\ngate: attainment gain "
+                f"{comparison.attainment_gain:.3f} vs required "
+                f">= {args.min_gain:.3f}"
+            )
+    else:
+        report = interference_matrix(
+            models, device_name=args.device, farm=farm,
+            mode=args.mode, clock_mhz=args.clock_mhz, seed=args.seed,
+            kappa=args.kappa,
+        )
+        doc = report.to_json()
+        if args.colocate_command == "pairings":
+            lines = [
+                f"{a} + {b}: {cost:.3f}"
+                for a, b, cost in report.pairings()
+            ]
+            best, worst = report.best_pair, report.worst_pair
+            lines.append(
+                f"best {best[0]}+{best[1]} ({best[2]:.3f}), "
+                f"worst {worst[0]}+{worst[1]} ({worst[2]:.3f})"
+            )
+            text = "\n".join(lines)
+        else:
+            bounds = ", ".join(
+                f"{p.name}={p.bound}" for p in report.models
+            )
+            text = report.table() + "\n" + bounds
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(doc + "\n")
+    if args.json:
+        print(doc)
+    else:
+        print(text)
+    if args.colocate_command == "advisor" and args.min_gain is not None:
+        if comparison.attainment_gain < args.min_gain:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="trtsim",
@@ -1308,6 +1375,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "colocate",
+        help="concurrent multi-model co-location: NxN interference "
+        "matrix, pair ranking, placement advisor vs round-robin",
+    )
+    coloc_sub = p.add_subparsers(dest="colocate_command", required=True)
+
+    def _coloc_common(sp):
+        sp.add_argument(
+            "--models", default=None,
+            help="comma-separated zoo names (default: alexnet,"
+            "googlenet,mobilenet_v1,mtcnn)",
+        )
+        sp.add_argument(
+            "--clock-mhz", type=float, default=None,
+            help="pinned GPU clock (default: device max)",
+        )
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--json", action="store_true")
+        sp.add_argument(
+            "--report", default=None, metavar="FILE",
+            help="write the full JSON report",
+        )
+
+    def _matrix_args(sp):
+        _coloc_common(sp)
+        sp.add_argument(
+            "--device", default="NX", type=str.upper,
+            choices=["NX", "AGX"],
+            help="target device (case-insensitive)",
+        )
+        sp.add_argument(
+            "--mode", default="sm-partition",
+            choices=["sm-partition", "time-slice"],
+            help="GPU sharing discipline for the pair probes",
+        )
+        sp.add_argument(
+            "--kappa", type=float, default=1.0,
+            help="DRAM contention sensitivity (sm-partition mode)",
+        )
+
+    sp = coloc_sub.add_parser(
+        "matrix",
+        help="NxN slowdown matrix across co-located model pairs "
+        "(trtsim.interference/1)",
+    )
+    _matrix_args(sp)
+
+    sp = coloc_sub.add_parser(
+        "pairings",
+        help="unordered pairs ranked by mutual slowdown, best first",
+    )
+    _matrix_args(sp)
+
+    sp = coloc_sub.add_parser(
+        "advisor",
+        help="interference-aware placement vs round-robin over "
+        "identical fleet traffic (trtsim.placement_compare/1)",
+    )
+    _coloc_common(sp)
+    sp.add_argument(
+        "--devices", default="2xNX",
+        help="fleet spec, e.g. 2xNX or 4xNX+2xAGX",
+    )
+    sp.add_argument(
+        "--policy", default="least-loaded",
+        choices=[
+            "round-robin", "least-loaded", "latency-aware",
+            "engine-affinity",
+        ],
+    )
+    sp.add_argument("--duration-s", type=float, default=4.0)
+    sp.add_argument(
+        "--utilization", type=float, default=0.95,
+        help="offered load as a fraction of the bottleneck capacity",
+    )
+    sp.add_argument(
+        "--deadline-slack", type=float, default=4.0,
+        help="deadline as a multiple of the slowest base latency",
+    )
+    sp.add_argument(
+        "--min-gain", type=float, default=None,
+        help="exit 1 unless attainment gain >= this",
+    )
+
+    p = sub.add_parser(
         "bench",
         help="hot-path micro-benchmarks (trtsim.bench/1 JSON, "
         "--check gates against a committed baseline)",
@@ -1479,6 +1631,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "fleet": _cmd_fleet,
+    "colocate": _cmd_colocate,
     "providers": _cmd_providers,
     "metrics": _cmd_metrics,
     "store": _cmd_store,

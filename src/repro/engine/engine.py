@@ -172,6 +172,7 @@ class ExecutionContext:
         profiler: Optional["Nvprof"] = None,
         hardware_hook: Optional[object] = None,
         batch_size: int = 1,
+        mem_contention: float = 1.0,
     ) -> "InferenceTiming":
         """Latency of one inference on ``self.device``.
 
@@ -184,7 +185,9 @@ class ExecutionContext:
         ``batch_size`` times one engine execution over a micro-batch:
         per-kernel workloads scale per
         :meth:`~repro.hardware.workload.LayerWorkload.for_batch` and
-        the input memcpy carries the whole batch.
+        the input memcpy carries the whole batch.  ``mem_contention``
+        (>= 1.0) stretches bandwidth-bound terms to model co-located
+        tenants sharing DRAM (see :mod:`repro.serving.colocation`).
         """
         from repro.hardware.gpu import simulate_inference
 
@@ -202,6 +205,7 @@ class ExecutionContext:
             hardware_hook=hardware_hook,
             batch_size=batch_size,
             skeleton_cache=self._timing_cache,
+            mem_contention=mem_contention,
         )
 
     def infer(

@@ -106,27 +106,40 @@ def _timeline_skeleton(
     include_engine_upload: bool,
     sm_fraction: float,
     batch_size: int,
+    mem_contention: float = 1.0,
 ) -> TimelineSkeleton:
     """The noise-free portion of the timeline.
 
     Everything here is a pure function of (engine, device, clock,
-    sm_fraction, batch): memcpy transfer times and per-kernel base
-    durations.  Jitter, profiler overhead, and fault-hook factors are
-    applied per call on top, so caching the skeleton cannot change any
-    simulated byte.
+    sm_fraction, batch, contention): memcpy transfer times and
+    per-kernel base durations.  Jitter, profiler overhead, and
+    fault-hook factors are applied per call on top, so caching the
+    skeleton cannot change any simulated byte.
+
+    ``mem_contention`` models cross-tenant DRAM interference under
+    co-location: every bandwidth-bound term (memcpy transfers and each
+    kernel's Eq. 1 ``bandwidth_us``) stretches by the factor while
+    compute stays untouched — which is exactly why compute-bound
+    neighbors absorb co-location better than bandwidth-bound ones.
+    ``1.0`` (the default, an exact float multiply by one) is
+    bit-identical to the isolated timeline.
     """
+    if mem_contention < 1.0:
+        raise ValueError(
+            f"mem_contention must be >= 1.0, got {mem_contention}"
+        )
     cost_model = CostModel(device)
     memcpy = MemcpyModel(device)
     upload: Optional[Tuple[int, int, float]] = None
     if include_engine_upload and weight_chunks:
         up = memcpy.transfer(list(weight_chunks))
-        upload = (up.bytes, up.calls, up.total_us)
+        upload = (up.bytes, up.calls, up.total_us * mem_contention)
     inp: Optional[Tuple[int, float]] = None
     if input_bytes:
         single = memcpy.single(
             input_bytes if batch_size == 1 else input_bytes * batch_size
         )
-        inp = (single.bytes, single.total_us)
+        inp = (single.bytes, single.total_us * mem_contention)
     kernels: List[Tuple[str, str, float, int]] = []
     for binding in bindings:
         workload = binding.workload.for_batch(batch_size)
@@ -141,7 +154,7 @@ def _timeline_skeleton(
                 (
                     f"[CUDA memcpy DtoD] {binding.layer_name}",
                     binding.layer_name,
-                    xfer.total_us,
+                    xfer.total_us * mem_contention,
                     xfer.bytes,
                 )
             )
@@ -165,6 +178,7 @@ def _timeline_skeleton(
             # pays its own launch overhead and dependent-load latency
             # chains (a sort pass's pointer chasing does not shrink
             # because other passes exist).
+            bw_us = cost.bandwidth_us * mem_contention
             if params is not None:
                 # Non-TRT providers scale the cost terms: effective
                 # FLOP rate and bandwidth shrink (divide), launch and
@@ -172,7 +186,7 @@ def _timeline_skeleton(
                 # below is untouched — its costs define the model.
                 work = max(
                     cost.compute_us / params.compute_scale,
-                    cost.bandwidth_us / params.bandwidth_scale,
+                    bw_us / params.bandwidth_scale,
                 )
                 if n_kernels > 1:
                     work /= n_kernels
@@ -184,11 +198,15 @@ def _timeline_skeleton(
             elif n_kernels > 1:
                 base = (
                     cost.launch_us
-                    + max(cost.compute_us, cost.bandwidth_us) / n_kernels
+                    + max(cost.compute_us, bw_us) / n_kernels
                     + cost.latency_us
                 )
             else:
-                base = cost.total_us
+                base = (
+                    cost.launch_us
+                    + max(cost.compute_us, bw_us)
+                    + cost.latency_us
+                )
             kernels.append((kernel.name, binding.layer_name, base, 0))
     bases = np.array([k[2] for k in kernels], dtype=np.float64)
     bases.setflags(write=False)
@@ -209,6 +227,7 @@ def simulate_inference(
     hardware_hook: Optional[object] = None,
     batch_size: int = 1,
     skeleton_cache: Optional[Dict[object, TimelineSkeleton]] = None,
+    mem_contention: float = 1.0,
 ) -> InferenceTiming:
     """Simulate one inference and return its timeline.
 
@@ -231,14 +250,20 @@ def simulate_inference(
     implements this protocol; a factor of exactly ``1.0`` leaves the
     timeline bit-identical to the hook-free run.
 
+    ``mem_contention`` (>= 1.0) stretches every bandwidth-bound term —
+    memcpys and each kernel's Eq. 1 ``bandwidth_us`` — modeling shared
+    DRAM pressure from co-located tenants (see
+    :mod:`repro.serving.colocation`); ``1.0`` is bit-identical to the
+    isolated run.
+
     ``skeleton_cache`` (an engine-owned dict, see
     :class:`repro.engine.engine.ExecutionContext`) memoizes the
     deterministic timeline skeleton per (clock, sm_fraction, batch,
-    upload) key.  The caller must dedicate one dict per fixed
-    (bindings, device, weight_chunks, input_bytes) tuple — the key does
-    not re-derive those.  Jitter, profiler overhead, and fault hooks
-    are applied per call in the original order, so cached and uncached
-    timelines are bit-identical draw for draw.
+    upload, contention) key.  The caller must dedicate one dict per
+    fixed (bindings, device, weight_chunks, input_bytes) tuple — the
+    key does not re-derive those.  Jitter, profiler overhead, and
+    fault hooks are applied per call in the original order, so cached
+    and uncached timelines are bit-identical draw for draw.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -248,13 +273,14 @@ def simulate_inference(
     cursor = 0.0
 
     skeleton: Optional[TimelineSkeleton] = None
-    cache_key: Optional[Tuple[float, float, int, bool]] = None
+    cache_key: Optional[Tuple[float, float, int, bool, float]] = None
     if skeleton_cache is not None and caching_enabled():
         cache_key = (
             float(clock_mhz),
             float(sm_fraction),
             batch_size,
             bool(include_engine_upload),
+            float(mem_contention),
         )
         skeleton = skeleton_cache.get(cache_key)
     if skeleton is None:
@@ -267,6 +293,7 @@ def simulate_inference(
             include_engine_upload,
             sm_fraction,
             batch_size,
+            mem_contention,
         )
         if cache_key is not None:
             skeleton_cache[cache_key] = skeleton

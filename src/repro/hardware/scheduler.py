@@ -107,10 +107,20 @@ class StreamScheduler:
         engine: "Engine",
         device: Optional[DeviceSpec] = None,
         faults: Optional[object] = None,
+        resident_mb: float = 0.0,
     ):
         self.engine = engine
         self.device = device or engine.device
         self.faults = faults
+        #: RAM (MB) already committed to co-resident engines (warm
+        #: EnginePool tenants, fallback ladders).  Deducted from the
+        #: usable-RAM stream budget so pool residency and per-stream
+        #: activations cannot jointly over-commit the board.
+        self.resident_mb = float(resident_mb)
+        # One context for the whole scheduler: its skeleton cache is
+        # keyed by (clock, batch), so concurrency sweeps re-time the
+        # same engine without rebuilding the deterministic timeline.
+        self._context: Optional[object] = None
 
     # ------------------------------------------------------------------
     def _ram_stolen_mb(self) -> float:
@@ -145,7 +155,11 @@ class StreamScheduler:
     ) -> float:
         """Kernel-only latency of one (micro-batched) inference at full
         SM share."""
-        context = self.engine.create_execution_context(self.device)
+        if self._context is None:
+            self._context = self.engine.create_execution_context(
+                self.device
+            )
+        context = self._context
         timing = context.time_inference(
             clock_mhz=clock_mhz,
             include_engine_upload=False,  # weights stay resident
@@ -183,17 +197,24 @@ class StreamScheduler:
         traffic = self._per_inference_traffic_bytes(batch_size)
         # Eq. 1: N = O(Fmem * Bwid / Bth). Per-thread demand at full
         # speed is traffic / latency; the usable share of peak DRAM
-        # bandwidth caps the total.
+        # bandwidth caps the total.  An engine whose bindings move no
+        # DRAM bytes (fully-fused residency, degenerate graphs) demands
+        # no bandwidth: the bound is unlimited, not a division by zero
+        # — RAM and host-submission bounds still apply below.
         per_thread_bw = traffic / latency_us * 1e6  # bytes/s
         usable_bw = (
             self.device.mem_bandwidth_gbps * 1e9 * UTILIZATION_CEILING
             * self._bandwidth_scale()
         )
-        n_bw = int(usable_bw / per_thread_bw)
+        if per_thread_bw > 0:
+            n_bw = int(usable_bw / per_thread_bw)
+        else:
+            n_bw = 2 ** 31
         ram_mb = max(
             0.0,
             self.device.ram_gb * 1024 * USABLE_RAM_FRACTION
-            - self._ram_stolen_mb(),
+            - self._ram_stolen_mb()
+            - self.resident_mb,
         )
         n_ram = int(ram_mb / self._per_stream_memory_mb(batch_size))
         # Host submission bound: each stream issues num_kernels launches
@@ -241,8 +262,12 @@ class StreamScheduler:
         )
         # Per *frame* the batched engine moves traffic/batch bytes, so
         # the Eq. 1 frame-rate cap rises sub-linearly with batch until
-        # activation traffic dominates the amortized weights.
-        fps_bw_cap = usable_bw / (traffic / batch_size)
+        # activation traffic dominates the amortized weights.  Zero
+        # traffic demands no bandwidth — the cap is unbounded.
+        if traffic > 0:
+            fps_bw_cap = usable_bw / (traffic / batch_size)
+        else:
+            fps_bw_cap = float("inf")
         # Aggregate throughput also stops growing at the binding cap —
         # host submission rate or DRAM bandwidth, whichever is lower.
         fps_host_cap = supported * batch_size * 1e6 / latency_us

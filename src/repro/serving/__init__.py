@@ -26,6 +26,12 @@ from repro.serving.batching import (
     MicroBatch,
     coalesce,
 )
+from repro.serving.colocation import (
+    ColocationConfig,
+    ColocationReport,
+    ColocationScheduler,
+    TenantSpec,
+)
 from repro.serving.supervisor import (
     InferenceSupervisor,
     RequestRecord,
@@ -42,7 +48,11 @@ __all__ = [
     "BatchRequest",
     "BatchingConfig",
     "BatchingQueue",
+    "ColocationConfig",
+    "ColocationReport",
+    "ColocationScheduler",
     "MicroBatch",
+    "TenantSpec",
     "coalesce",
     "InferenceSupervisor",
     "RequestRecord",

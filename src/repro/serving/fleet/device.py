@@ -55,23 +55,39 @@ from repro.telemetry.bus import BUS, SpanKind
 COLD_MODEL_LOAD_MS = 25.0
 
 
-@lru_cache(maxsize=65536)
-def _service_noise_cached(seed: int, rid: int) -> float:
-    """The seeded measurement-jitter draw for one (device, request)
-    pair — a pure function of the key, so a paired comparison replaying
-    the same request ids hits the memo instead of constructing a fresh
-    Generator per request."""
-    rng = np.random.default_rng((seed, 0xD0, rid))
-    return float(rng.uniform(-1.0, 1.0))
+#: Requests per batched noise draw: one Generator construction covers
+#: this many consecutive request ids instead of one.
+_NOISE_BLOCK = 256
 
 
-register_cache(_service_noise_cached.cache_clear)
+@lru_cache(maxsize=4096)
+def _service_noise_block(seed: int, block: int) -> np.ndarray:
+    """One batched jitter draw covering ``_NOISE_BLOCK`` consecutive
+    request ids.
+
+    The per-request scheme built a fresh ``Generator`` per (device,
+    request) pair — PCG64 seeding dominated the fleet hot loop.  A
+    block draw amortizes that 256x while staying a pure function of the
+    key: request ``rid`` always reads slot ``rid % _NOISE_BLOCK`` of
+    block ``rid // _NOISE_BLOCK`` whether or not the memo is enabled,
+    so replayed request ids see bit-identical noise either way."""
+    rng = np.random.default_rng((seed, 0xD0, block))
+    draws = rng.uniform(-1.0, 1.0, _NOISE_BLOCK)
+    draws.setflags(write=False)
+    return draws
+
+
+register_cache(_service_noise_block.cache_clear)
 
 
 def _service_noise(seed: int, rid: int) -> float:
     if caching_enabled():
-        return _service_noise_cached(seed, rid)
-    return _service_noise_cached.__wrapped__(seed, rid)
+        block = _service_noise_block(seed, rid // _NOISE_BLOCK)
+    else:
+        block = _service_noise_block.__wrapped__(
+            seed, rid // _NOISE_BLOCK
+        )
+    return float(block[rid % _NOISE_BLOCK])
 
 
 class DeviceStatus(enum.Enum):
@@ -109,10 +125,16 @@ def _ladder_base_ms(
     spec: DeviceSpec,
     clock_mhz: Optional[float] = None,
 ) -> List[float]:
-    """Noiseless per-level service time of a supervisor's ladder."""
+    """Noiseless per-level service time of a supervisor's ladder.
+
+    Reuses the supervisor's own execution contexts instead of creating
+    a throwaway context per engine: each context carries the timeline
+    skeleton cache, so installs and warm restores at the same clock
+    re-read the cached skeleton rather than re-deriving every kernel
+    cost.
+    """
     out = []
-    for engine in supervisor.engines:
-        context = engine.create_execution_context(spec)
+    for context in supervisor.ladder_contexts():
         out.append(
             context.time_inference(
                 clock_mhz=clock_mhz,
@@ -144,6 +166,12 @@ class FleetDevice:
         self.clock_mhz = clock_mhz
         self._models: Dict[str, ModelServing] = {}
         self._warm: Dict[str, bool] = {}
+        #: Per-model co-location slowdown factors (>= 1.0) from the
+        #: interference model — how much sharing this GPU with the
+        #: other resident models stretches each model's service time.
+        #: Empty (the default) leaves service times bit-identical to a
+        #: colocation-unaware fleet.
+        self._coloc_factors: Dict[str, float] = {}
         #: (network, fallback_networks, builder_config) per model — what
         #: a from_store restore needs to re-acquire the ladder.
         self._sources: Dict[str, Tuple[Any, Sequence[Any], Any]] = {}
@@ -239,6 +267,23 @@ class FleetDevice:
 
     def affinity_key(self, model: str) -> str:
         return self._models[model].affinity_key
+
+    def set_colocation(self, factors: Dict[str, float]) -> None:
+        """Attach per-model co-location slowdown factors.
+
+        ``factors[model]`` (>= 1.0) multiplies ``model``'s service
+        time, pricing the DRAM/SM interference from the other models
+        resident on this GPU (see
+        :func:`repro.analysis.interference.placement_factors`).
+        Models absent from ``factors`` serve at 1.0.
+        """
+        for model, factor in factors.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"colocation factor for {model!r} must be >= 1.0,"
+                    f" got {factor}"
+                )
+        self._coloc_factors = dict(factors)
 
     # ------------------------------------------------------------------
     # fault timeline
@@ -376,11 +421,20 @@ class FleetDevice:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
+    def effective_base_ms(self, model: str, level: int = 0) -> float:
+        """Noiseless service time including the co-location factor —
+        what capacity planning must divide by."""
+        base = self._models[model].base_ms[level]
+        return base * self._coloc_factors.get(model, 1.0)
+
     def service_ms(self, model: str, rid: int, t_ms: float) -> float:
         """Deterministic service time for request ``rid`` at ``t_ms``."""
         serving = self._models[model]
         level = min(self.level_bias, len(serving.base_ms) - 1)
         base = serving.base_ms[level]
+        coloc = self._coloc_factors.get(model)
+        if coloc is not None:
+            base = base * coloc
         noise = 1.0 + self.jitter * _service_noise(self.seed, rid)
         extra = 0.0
         if not self._warm.get(model, False):

@@ -357,6 +357,12 @@ class InferenceSupervisor:
         self._hit_streak = 0
         self._shed: Dict[str, bool] = {s.name: False for s in self.streams}
 
+    def ladder_contexts(self) -> List[ExecutionContext]:
+        """The long-lived execution contexts of the engine ladder
+        (level 0 = primary).  Callers timing the ladder should reuse
+        these — each carries its engine's timeline-skeleton cache."""
+        return self._contexts
+
     # ------------------------------------------------------------------
     @classmethod
     def from_store(
@@ -413,10 +419,23 @@ class InferenceSupervisor:
     # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
+    def _resident_engine_mb(self) -> float:
+        """RAM held by the resident engine ladder (primary + fallbacks).
+
+        These bytes were previously billed only against the
+        :class:`~repro.engine.store.EnginePool` budget while the stream
+        budget assumed the full ``USABLE_RAM_FRACTION`` share — the two
+        together could over-commit board RAM.  Admission control now
+        deducts residency before dividing by the per-stream working
+        set.
+        """
+        return sum(e.size_bytes for e in self.engines) / (1024.0 * 1024.0)
+
     def _streams_that_fit(self) -> int:
         usable = self.device.ram_gb * 1024.0 * USABLE_RAM_FRACTION
         budget = (
             usable
+            - self._resident_engine_mb()
             - self.injector.ram_stolen_mb(self.device)
             - self.config.admission_headroom_mb
         )

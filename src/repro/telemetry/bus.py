@@ -60,6 +60,7 @@ class SpanKind(enum.Enum):
     FLEET_BREAKER = "serve.fleet.breaker"
     FLEET_FAILOVER = "serve.fleet.failover"
     FLEET_DEGRADE = "serve.fleet.degrade"
+    COLOC_TENANT = "serve.coloc.tenant"
     CLOCK = "hw.clock"
     SAMPLE = "hw.sample"
     FAULT = "fault"
@@ -314,6 +315,22 @@ class TelemetryBus:
                 float(attrs.get("level", 0))
             )
             m.counter("trtsim_fleet_degradation_moves_total").inc()
+        elif kind is SpanKind.COLOC_TENANT:
+            device = str(attrs.get("device", ""))
+            if attrs.get("admitted"):
+                m.counter(
+                    "trtsim_coloc_tenants_admitted_total", device=device
+                ).inc()
+                m.histogram("trtsim_coloc_slowdown").observe(
+                    float(attrs.get("slowdown", 1.0))
+                )
+                m.histogram("trtsim_coloc_slo_attainment").observe(
+                    float(attrs.get("slo_attainment", 0.0))
+                )
+            else:
+                m.counter(
+                    "trtsim_coloc_tenants_rejected_total", device=device
+                ).inc()
         elif kind is SpanKind.STORE:
             event = str(attrs.get("event", ""))
             tier = str(attrs.get("tier", "disk"))

@@ -62,6 +62,33 @@ class TestSimulateInference:
         assert timing.without_memcpy_us() == pytest.approx(timing.kernel_us)
         assert timing.total_ms == pytest.approx(timing.total_us / 1e3)
 
+    def test_mem_contention_one_is_bit_identical(self, engine):
+        ctx = engine.create_execution_context()
+        plain = ctx.time_inference(jitter=0.0)
+        factored = ctx.time_inference(jitter=0.0, mem_contention=1.0)
+        assert factored.total_us == plain.total_us
+
+    def test_mem_contention_stretches_bandwidth_time(self, engine):
+        ctx = engine.create_execution_context()
+        plain = ctx.time_inference(jitter=0.0)
+        contended = ctx.time_inference(jitter=0.0, mem_contention=1.5)
+        assert contended.total_us > plain.total_us
+        # Memcpys are pure DRAM traffic: each stretches by the factor.
+        for before, after in zip(
+            plain.memcpy_events, contended.memcpy_events
+        ):
+            assert after.duration_us == pytest.approx(
+                before.duration_us * 1.5
+            )
+        # Compute-bound kernels hide moderate contention, so the
+        # kernel total grows by less than the raw factor.
+        assert contended.kernel_us < plain.kernel_us * 1.5
+
+    def test_mem_contention_below_one_rejected(self, engine):
+        ctx = engine.create_execution_context()
+        with pytest.raises(ValueError, match="mem_contention"):
+            ctx.time_inference(jitter=0.0, mem_contention=0.5)
+
 
 class TestUnoptimizedBaseline:
     def test_slower_than_engine(self, engine, small_cnn):
@@ -174,3 +201,53 @@ class TestStreamScheduler:
         result = sched.sweep(step=2)
         assert result.max_threads == 0
         assert result.points == []
+
+    def test_zero_traffic_means_unbounded_bandwidth(
+        self, engine, monkeypatch
+    ):
+        """Regression: an engine whose bindings move no DRAM bytes
+        used to divide by a zero per-thread bandwidth demand.  The
+        Eq. 1 bound must become unlimited (RAM and host-submission
+        bounds still apply), not crash."""
+        sched = StreamScheduler(engine)
+        monkeypatch.setattr(
+            sched, "_per_inference_traffic_bytes",
+            lambda batch_size=1: 0.0,
+        )
+        supported = sched.max_supported_threads()
+        assert supported > 0
+        result = sched.sweep(step=8)
+        assert result.max_threads == supported
+        assert all(not p.bandwidth_limited for p in result.points)
+
+    def test_resident_engines_shrink_the_ram_bound(self, engine):
+        """Regression: RAM already held by co-resident engines was
+        billed only against the pool budget while the stream budget
+        assumed the full usable share."""
+        from repro.hardware.scheduler import USABLE_RAM_FRACTION
+
+        sched = StreamScheduler(engine)
+        free = sched.max_supported_threads()
+        usable = XAVIER_NX.ram_gb * 1024.0 * USABLE_RAM_FRACTION
+        per_stream = sched.per_stream_memory_mb()
+        # Residency that leaves room for exactly one stream.
+        crowded = StreamScheduler(
+            engine, resident_mb=usable - per_stream * 1.5
+        ).max_supported_threads()
+        assert crowded == 1 < free
+
+    def test_scheduler_reuses_one_execution_context(self, engine):
+        """Regression: every timing call built a fresh
+        ExecutionContext, so the per-context timeline-skeleton cache
+        never hit and concurrency sweeps re-simulated the identical
+        deterministic timeline each time."""
+        sched = StreamScheduler(engine)
+        assert sched._context is None
+        first = sched.max_supported_threads()
+        context = sched._context
+        assert context is not None
+        second = sched.max_supported_threads()
+        assert sched._context is context
+        assert first == second
+        # Repeated same-clock calls share one cached skeleton.
+        assert len(context._timing_cache) == 1

@@ -180,3 +180,48 @@ class TestRestore:
         assert total == pytest.approx((4000.0 - 1000.0 - restore) / 1e3)
         # A run ending mid-outage only loses the elapsed part.
         assert device.device_seconds(1500.0) == pytest.approx(1.0)
+
+
+class TestColocationFactors:
+    def test_factor_scales_base_and_service_time(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        plain = device.service_ms("cnn", 0, 0.0)
+        device.set_colocation({"cnn": 1.4})
+        assert device.effective_base_ms("cnn") == pytest.approx(14.0)
+        assert device.service_ms("cnn", 0, 0.0) == pytest.approx(
+            plain * 1.4
+        )
+
+    def test_unlisted_model_serves_at_unity(self):
+        device = make_device("dev0", base_ms=10.0, with_fallback=False)
+        device.set_colocation({"other": 2.0})
+        assert device.effective_base_ms("cnn") == pytest.approx(10.0)
+
+    def test_factor_below_one_rejected(self):
+        device = make_device("dev0", with_fallback=False)
+        with pytest.raises(ValueError, match=">= 1.0"):
+            device.set_colocation({"cnn": 0.9})
+
+
+class TestServiceNoiseBlocks:
+    def test_block_draws_match_uncached_path_bitwise(self):
+        """Regression guard on the batched jitter memo: a request id
+        must see the identical draw whether its 256-wide block comes
+        from the lru_cache or a fresh computation."""
+        from repro.caching import caches_disabled
+        from repro.serving.fleet.device import (
+            _NOISE_BLOCK,
+            _service_noise,
+            _service_noise_block,
+        )
+
+        rids = [0, 1, _NOISE_BLOCK - 1, _NOISE_BLOCK, 3 * _NOISE_BLOCK + 7]
+        _service_noise_block.cache_clear()
+        cached = [_service_noise(9, rid) for rid in rids]
+        with caches_disabled():
+            uncached = [_service_noise(9, rid) for rid in rids]
+        assert cached == uncached
+        # Adjacent rids within one block differ (it is real jitter),
+        # and all draws live in the advertised [-1, 1] band.
+        assert cached[0] != cached[1]
+        assert all(-1.0 <= d <= 1.0 for d in cached)

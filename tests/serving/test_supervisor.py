@@ -259,6 +259,36 @@ class TestAdmissionControl:
         assert not any(r.dropped for r in after)
         assert any("readmitted" in a for _, a in report.actions)
 
+    def test_resident_ladder_counts_against_the_stream_budget(
+        self, engine, lite_engine
+    ):
+        """Regression: the engine ladder's resident bytes were billed
+        only against the EnginePool budget while admission control
+        divided the full USABLE_RAM_FRACTION share by the per-stream
+        working set — together the two could over-commit board RAM."""
+        from repro.hardware.scheduler import USABLE_RAM_FRACTION
+
+        supervisor = InferenceSupervisor(
+            engine,
+            streams=[StreamSpec("a")],
+            fallbacks=[lite_engine],
+            injector=FaultInjector(zero_fault_plan()),
+        )
+        resident = supervisor._resident_engine_mb()
+        assert resident == pytest.approx(
+            (engine.size_bytes + lite_engine.size_bytes)
+            / (1024.0 * 1024.0)
+        )
+        fit = supervisor._streams_that_fit()
+        usable = XAVIER_NX.ram_gb * 1024.0 * USABLE_RAM_FRACTION
+        # Combined commitment — residency plus admitted working sets —
+        # stays inside the one usable budget...
+        assert resident + fit * supervisor._per_stream_mb <= usable
+        # ...and admitting one more stream would burst it.
+        assert (
+            resident + (fit + 1) * supervisor._per_stream_mb > usable
+        )
+
     def test_unsupervised_baseline_fails_everyone(self, engine):
         supervisor = InferenceSupervisor(
             engine,

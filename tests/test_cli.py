@@ -425,3 +425,40 @@ class TestFleetCommand:
         for policy in ("round-robin", "least-loaded", "latency-aware",
                        "engine-affinity"):
             assert policy in out
+
+
+class TestColocateCommand:
+    def test_matrix_table_and_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "INTERFERENCE_matrix.json"
+        code = main(
+            ["colocate", "matrix",
+             "--models", "alexnet,googlenet,mtcnn",
+             "--report", str(report)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "googlenet" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "trtsim.interference/1"
+        assert len(doc["pairings"]) == 3
+
+    def test_pairings_ranked(self, capsys):
+        assert main(
+            ["colocate", "pairings",
+             "--models", "alexnet,googlenet,mobilenet_v1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "worst" in out
+
+    def test_advisor_gate_fails_on_impossible_threshold(self, capsys):
+        code = main(
+            ["colocate", "advisor",
+             "--models", "alexnet,googlenet,mobilenet_v1,mtcnn",
+             "--devices", "2xNX", "--duration-s", "1.0",
+             "--min-gain", "1000"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "attainment gain" in out
